@@ -1,0 +1,140 @@
+// Command mmmsim simulates (or really executes) partitioned parallel MMM.
+//
+// Modes:
+//
+//	mmmsim -shape square-corner -ratio 10:1:1 -alg SCB [-n 200]   one scenario
+//	mmmsim -sweep [-nmodel 5000] [-nsim 200]                      the Fig 14 sweep
+//	mmmsim -exec -shape block-rectangle -ratio 4:2:1 [-n 128]     real goroutine run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/exec"
+	"repro/internal/experiment"
+	"repro/internal/matrix"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+func parseShape(s string) (partition.Shape, error) {
+	for _, sh := range partition.AllShapes {
+		if strings.EqualFold(strings.ReplaceAll(sh.String(), "-", ""), strings.ReplaceAll(s, "-", "")) {
+			return sh, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown shape %q (want one of square-corner, rectangle-corner, square-rectangle, block-rectangle, l-rectangle, traditional-rectangle)", s)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mmmsim: ")
+	var (
+		shapeStr = flag.String("shape", "block-rectangle", "candidate shape")
+		ratioStr = flag.String("ratio", "5:2:1", "processor speed ratio")
+		algStr   = flag.String("alg", "SCB", "MMM algorithm")
+		n        = flag.Int("n", 200, "matrix dimension")
+		sweep    = flag.Bool("sweep", false, "run the Fig 14 x:1:1 sweep instead")
+		nModel   = flag.Int("nmodel", 5000, "sweep: model matrix dimension (paper: 5000)")
+		nSim     = flag.Int("nsim", 200, "sweep: simulated grid dimension")
+		doExec   = flag.Bool("exec", false, "really execute on goroutine processors and verify the product")
+		gantt    = flag.Bool("gantt", false, "render the simulated schedule as a Gantt chart")
+		star     = flag.Bool("star", false, "use the star topology")
+		seed     = flag.Int64("seed", 1, "seed for -exec matrices")
+	)
+	flag.Parse()
+
+	if *sweep {
+		rows, err := experiment.Fig14Sweep(nil, *nModel, *nSim)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiment.WriteFig14Table(os.Stdout, rows); err != nil {
+			log.Fatal(err)
+		}
+		if x := experiment.Crossover(rows); x > 0 {
+			fmt.Printf("\nSquare-Corner overtakes Block-Rectangle at ratio %.0f:1:1\n", x)
+		}
+		return
+	}
+
+	ratio, err := partition.ParseRatio(*ratioStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alg, err := model.ParseAlgorithm(*algStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s, err := parseShape(*shapeStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := partition.Build(s, *n, ratio)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := model.DefaultMachine(ratio)
+	if *star {
+		m.Topology = model.Star
+	}
+
+	fmt.Printf("%s, ratio %s, N=%d, %s, %s topology\n", s, ratio, *n, alg, m.Topology)
+	fmt.Printf("VoC: %d elements (%.4f × N²)\n", g.VoC(), float64(g.VoC())/float64(*n**n))
+	mod := model.EvaluateGrid(alg, m, g)
+	fmt.Printf("model: T_comm=%.6fs T_comp=%.6fs T_exe=%.6fs\n", mod.Comm, mod.Comp, mod.Total)
+	res, err := sim.Simulate(alg, m, g, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sim:   T_comm=%.6fs T_exe=%.6fs (%d tasks)\n", res.TComm, res.TExe, res.Tasks)
+
+	if *gantt {
+		fmt.Println()
+		if err := sim.WriteGantt(os.Stdout, alg, m, g, 72); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *doExec {
+		rng := rand.New(rand.NewSource(*seed))
+		a := matrix.New(*n)
+		b := matrix.New(*n)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		cfg := exec.Config{Machine: m, Algorithm: alg}
+		var (
+			c     *matrix.Dense
+			stats *exec.Stats
+			err   error
+		)
+		switch alg {
+		case model.SCB, model.PCB:
+			c, stats, err = exec.Multiply(cfg, g, a, b)
+		case model.SCO, model.PCO:
+			c, stats, err = exec.MultiplyOverlap(cfg, g, a, b)
+		case model.PIO:
+			c, stats, err = exec.MultiplyPIO(cfg, g, a, b)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := matrix.New(*n)
+		matrix.MulKIJ(want, a, b)
+		status := "MATCH (bit-exact vs serial kij)"
+		if !c.Equal(want) {
+			status = "MISMATCH"
+		}
+		fmt.Printf("exec:  moved %d elements (VoC %d), virtual T_exe=%.6fs, wall %v, result %s\n",
+			stats.TotalVolume, g.VoC(), stats.VirtualExe, stats.Wall, status)
+		if status == "MISMATCH" {
+			os.Exit(1)
+		}
+	}
+}

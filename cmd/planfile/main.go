@@ -1,0 +1,143 @@
+// Command planfile creates, inspects and executes partition plans — the
+// serialisable artefact a downstream runtime would consume.
+//
+// Modes:
+//
+//	planfile -create -ratio 10:1:1 -alg SCB -n 500 -o plan.json
+//	planfile -show plan.json
+//	planfile -exec plan.json [-seed 1]      run the plan on goroutine processors
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+
+	heteropart "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("planfile: ")
+	var (
+		create   = flag.Bool("create", false, "create a plan")
+		show     = flag.String("show", "", "print a plan file")
+		execPath = flag.String("exec", "", "execute a plan file")
+		ratioStr = flag.String("ratio", "5:2:1", "create: processor ratio")
+		algStr   = flag.String("alg", "SCB", "create: MMM algorithm")
+		n        = flag.Int("n", 200, "create: matrix dimension")
+		out      = flag.String("o", "", "create: output path (default stdout)")
+		star     = flag.Bool("star", false, "create: star topology")
+		seed     = flag.Int64("seed", 1, "exec: matrix seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *create:
+		ratio, err := heteropart.ParseRatio(*ratioStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alg, err := heteropart.ParseAlgorithm(*algStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := heteropart.DefaultMachine(ratio)
+		if *star {
+			m.Topology = heteropart.Star
+		}
+		plan, err := heteropart.NewPlan(alg, m, *n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := plan.WriteJSON(w); err != nil {
+			log.Fatal(err)
+		}
+		if *out != "" {
+			fmt.Printf("wrote %s: %s for ratio %s (VoC %d, expected T_exe %.6fs)\n",
+				*out, plan.Shape, plan.Ratio, plan.VoC, plan.Expected.Total)
+		}
+
+	case *show != "":
+		f, err := os.Open(*show)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		plan, err := heteropart.ReadPlan(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("plan: %s, ratio %s, N=%d, %s on %s topology\n",
+			plan.Shape, plan.Ratio, plan.N, plan.Algorithm, plan.Topology)
+		fmt.Printf("VoC %d elements; expected T_comm=%.6fs T_exe=%.6fs\n",
+			plan.VoC, plan.Expected.Comm, plan.Expected.Total)
+		for _, pp := range plan.Procs {
+			fmt.Printf("  %s: speed %g, %d elements, sends %d, rect rows %d..%d cols %d..%d\n",
+				pp.Processor, pp.Speed, pp.Elements, pp.SendElements,
+				pp.Rect[0], pp.Rect[2]-1, pp.Rect[1], pp.Rect[3]-1)
+		}
+		g, err := plan.Partition()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s", g.RenderASCII(32))
+
+	case *execPath != "":
+		f, err := os.Open(*execPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan, err := heteropart.ReadPlan(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		g, err := plan.Partition()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ratio, err := heteropart.ParseRatio(plan.Ratio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		alg, err := heteropart.ParseAlgorithm(plan.Algorithm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if alg != heteropart.SCB && alg != heteropart.PCB {
+			alg = heteropart.SCB
+		}
+		rng := rand.New(rand.NewSource(*seed))
+		a := heteropart.NewMatrix(plan.N)
+		b := heteropart.NewMatrix(plan.N)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		_, stats, err := heteropart.Multiply(
+			heteropart.ExecConfig{Machine: heteropart.DefaultMachine(ratio), Algorithm: alg}, g, a, b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		status := "volume matches plan"
+		if stats.TotalVolume != plan.VoC {
+			status = fmt.Sprintf("VOLUME MISMATCH: moved %d, planned %d", stats.TotalVolume, plan.VoC)
+		}
+		fmt.Printf("executed %s: moved %d elements, wall %v — %s\n",
+			plan.Shape, stats.TotalVolume, stats.Wall, status)
+
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

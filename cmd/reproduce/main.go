@@ -1,0 +1,104 @@
+// Command reproduce runs the complete reproduction suite in one shot and
+// writes a markdown report: the §VII census, the Fig 13/14 comparisons,
+// the §X optimal-shape tables, the engine ablation, the latency sweep and
+// the optimal-shape phase diagram. It is the non-benchmark twin of
+// `go test -bench=.` for generating EXPERIMENTS.md-style reports.
+//
+// Usage:
+//
+//	reproduce [-n 80] [-runs 20] [-seed 1] > report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reproduce: ")
+	var (
+		n    = flag.Int("n", 80, "matrix dimension for grid-based studies")
+		runs = flag.Int("runs", 20, "DFA runs per ratio in the census")
+		seed = flag.Int64("seed", 1, "base seed")
+	)
+	flag.Parse()
+	out := os.Stdout
+	start := time.Now()
+
+	fmt.Fprintf(out, "# Reproduction report (N=%d, %d runs/ratio, seed %d)\n\n", *n, *runs, *seed)
+
+	fmt.Fprintf(out, "## §VII archetype census (Postulate 1)\n\n")
+	census, err := experiment.Census(experiment.CensusConfig{
+		N: *n, RunsPerRatio: *runs, Seed: *seed, Beautify: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiment.WriteCensusTable(out, census); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(out, "\ncounterexamples: %d\n\n", experiment.CensusCounterexamples(census))
+
+	fmt.Fprintf(out, "## Fig 14 sweep (SCB, fully connected, N=5000 model / N=%d sim)\n\n", *n)
+	fig14, err := experiment.Fig14Sweep(nil, 5000, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiment.WriteFig14Table(out, fig14); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(out, "\ncrossover: x = %.0f (theory ≈ 9.7)\n\n", experiment.Crossover(fig14))
+
+	fmt.Fprintf(out, "## §X optimal shape per ratio × algorithm\n\n### fully connected\n\n")
+	full, err := experiment.OptimalShapes(*n, nil, model.FullyConnected)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiment.WriteOptimalTable(out, full); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(out, "\n### star topology\n\n")
+	star, err := experiment.OptimalShapes(*n, nil, model.Star)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiment.WriteOptimalTable(out, star); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(out, "\n## Optimal-shape phase diagram (SCB)\n\n```\n")
+	wm, err := experiment.ComputeWinnerMap(model.SCB, model.FullyConnected, 6, 20, 1, *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wm.Write(out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(out, "```\n\n## Push-engine ablation (3:1:1)\n\n")
+	abl, err := experiment.PushAblation(*n, partition.MustRatio(3, 1, 1), min(*runs, 8), *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiment.WriteAblationTable(out, abl); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(out, "\n## Latency sensitivity (Block-Rectangle, 5:2:1)\n\n")
+	lat, err := experiment.LatencySweep(nil, partition.MustRatio(5, 2, 1), *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiment.WriteLatencyTable(out, lat); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(out, "\n_generated in %v_\n", time.Since(start).Round(time.Millisecond))
+}

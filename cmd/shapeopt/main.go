@@ -1,0 +1,96 @@
+// Command shapeopt compares the six candidate canonical shapes for a
+// processor ratio and reports the optimum per MMM algorithm (the Section X
+// methodology).
+//
+// Usage:
+//
+//	shapeopt -ratio 10:1:1 [-n 200] [-alg SCB] [-topology star]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("shapeopt: ")
+	var (
+		ratioStr = flag.String("ratio", "5:2:1", "processor speed ratio Pr:Rr:Sr")
+		n        = flag.Int("n", 200, "matrix dimension")
+		algStr   = flag.String("alg", "", "algorithm (SCB, PCB, SCO, PCO, PIO); empty = all")
+		topoStr  = flag.String("topology", "full", "network topology: full or star")
+	)
+	flag.Parse()
+
+	ratio, err := partition.ParseRatio(*ratioStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := model.DefaultMachine(ratio)
+	switch *topoStr {
+	case "full", "fully-connected":
+		m.Topology = model.FullyConnected
+	case "star":
+		m.Topology = model.Star
+	default:
+		log.Fatalf("unknown topology %q (want full or star)", *topoStr)
+	}
+	algs := model.AllAlgorithms[:]
+	if *algStr != "" {
+		a, err := model.ParseAlgorithm(*algStr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		algs = []model.Algorithm{a}
+	}
+
+	fmt.Printf("Candidate shapes for ratio %s on N=%d (%s topology)\n\n", ratio, *n, m.Topology)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "shape\tVoC (elements)\talgorithm\tmodel T_exe (s)\tsim T_exe (s)\tefficiency")
+	type key struct {
+		alg  model.Algorithm
+		best float64
+		name partition.Shape
+	}
+	bests := map[model.Algorithm]*key{}
+	for _, s := range partition.AllShapes {
+		g, err := partition.Build(s, *n, ratio)
+		if err != nil {
+			fmt.Fprintf(w, "%s\tinfeasible\t\t\t\t\n", s)
+			continue
+		}
+		for i, a := range algs {
+			mod := model.EvaluateGrid(a, m, g)
+			res, err := sim.Simulate(a, m, g, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			name := ""
+			voc := ""
+			if i == 0 {
+				name = s.String()
+				voc = fmt.Sprintf("%d", g.VoC())
+			}
+			eff := model.Efficiency(a, m, g.Snapshot())
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.6f\t%.6f\t%.1f%%\n", name, voc, a, mod.Total, res.TExe, 100*eff)
+			if b := bests[a]; b == nil || mod.Total < b.best {
+				bests[a] = &key{alg: a, best: mod.Total, name: s}
+			}
+		}
+	}
+	w.Flush()
+	fmt.Println()
+	for _, a := range algs {
+		if b := bests[a]; b != nil {
+			fmt.Printf("optimal for %s: %s (model T_exe %.6f s)\n", a, b.name, b.best)
+		}
+	}
+}

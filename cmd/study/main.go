@@ -1,0 +1,56 @@
+// Command study runs the paper's full pipeline for one ratio: the Push
+// census (Postulate 1 check), the Section VIII reduction of the best
+// terminal state, and the Section X candidate comparison.
+//
+// Usage:
+//
+//	study -ratio 5:2:1 [-n 100] [-runs 50] [-topology star]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("study: ")
+	var (
+		ratioStr = flag.String("ratio", "5:2:1", "processor speed ratio Pr:Rr:Sr")
+		n        = flag.Int("n", 100, "matrix dimension")
+		runs     = flag.Int("runs", 30, "DFA runs")
+		seed     = flag.Int64("seed", 1, "base seed")
+		topoStr  = flag.String("topology", "full", "full or star")
+	)
+	flag.Parse()
+
+	ratio, err := partition.ParseRatio(*ratioStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo := model.FullyConnected
+	if *topoStr == "star" {
+		topo = model.Star
+	}
+	st, err := core.Run(core.StudyConfig{
+		N:        *n,
+		Ratio:    ratio,
+		Runs:     *runs,
+		Seed:     *seed,
+		Topology: topo,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Write(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if st.Counterexamples > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,32 @@
+// Command surface emits the Fig 13 cost-surface samples as CSV: the SCB
+// communication cost of the Square-Corner and Block-Rectangle partitions
+// over the ratio plane Rr ∈ [1, rrmax], Pr ∈ [1, prmax] (Sr = 1), with
+// the Theorem 9.1 feasibility wall marked.
+//
+// Usage:
+//
+//	surface [-rrmax 10] [-prmax 20] [-step 0.5] > fig13.csv
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("surface: ")
+	var (
+		rrMax = flag.Float64("rrmax", 10, "maximum Rr (paper: 10)")
+		prMax = flag.Float64("prmax", 20, "maximum Pr (paper: 20)")
+		step  = flag.Float64("step", 0.5, "sampling step")
+	)
+	flag.Parse()
+	pts := experiment.Fig13Surface(*rrMax, *prMax, *step)
+	if err := experiment.WriteSurfaceCSV(os.Stdout, pts); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package heteropart_test
+
+import (
+	"fmt"
+
+	heteropart "repro"
+)
+
+// ExampleSearch runs the paper's Push search and classifies the terminal
+// shape.
+func ExampleSearch() {
+	res, err := heteropart.Search(heteropart.SearchConfig{
+		N:     60,
+		Ratio: heteropart.MustRatio(2, 1, 1),
+		Seed:  1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("converged:", res.Converged)
+	fmt.Println("VoC never increased:", res.FinalVoC <= res.InitialVoC)
+	fmt.Println("archetype known:", heteropart.Classify(res.Final) != heteropart.ArchetypeUnknown)
+	// Output:
+	// converged: true
+	// VoC never increased: true
+	// archetype known: true
+}
+
+// ExampleOptimal compares the six candidates for a highly heterogeneous
+// platform.
+func ExampleOptimal() {
+	m := heteropart.DefaultMachine(heteropart.MustRatio(20, 1, 1))
+	best, _, err := heteropart.Optimal(heteropart.SCB, m, 200)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(best)
+	// Output:
+	// Square-Corner
+}
+
+// ExampleBuildShape constructs a canonical candidate and reports its
+// communication volume.
+func ExampleBuildShape() {
+	ratio := heteropart.MustRatio(2, 2, 1)
+	fmt.Println("square-corner feasible:", heteropart.SquareCornerFeasible(ratio))
+	g, err := heteropart.BuildShape(heteropart.BlockRectangle, 100, ratio)
+	if err != nil {
+		panic(err)
+	}
+	// Analytic volume: band height h = 60 rows cost 1 each, every column
+	// costs 1 → (60+100)·N = 16000 elements, plus at most a couple of
+	// boundary lines from integral raggedness.
+	fmt.Println("block-rectangle VoC close to analytic:", g.VoC() >= 16000 && g.VoC() <= 16300)
+	// Output:
+	// square-corner feasible: false
+	// block-rectangle VoC close to analytic: true
+}
+
+// ExampleSquareCornerFeasible shows the Theorem 9.1 boundary.
+func ExampleSquareCornerFeasible() {
+	for _, pr := range []float64{2, 3, 10} {
+		ratio := heteropart.MustRatio(pr, 1, 1)
+		fmt.Printf("%v: %v\n", ratio, heteropart.SquareCornerFeasible(ratio))
+	}
+	// Output:
+	// 2:1:1: true
+	// 3:1:1: true
+	// 10:1:1: true
+}

@@ -1,0 +1,60 @@
+// gpu_node models the hybrid-node scenario the paper's introduction
+// motivates (via Zhong, Rychkov & Lastovetsky [9]): a modern compute node
+// seen as a small number of *abstract processors* — here a GPU with its
+// host core (fast), a multi-core CPU socket (medium), and a second, older
+// socket (slow). The example sweeps the GPU's relative speed and shows
+// where the non-rectangular Square-Corner partition takes over from the
+// traditional rectangular ones, under both barrier and overlap algorithms.
+//
+// Run with: go run ./examples/gpu_node
+package main
+
+import (
+	"fmt"
+	"log"
+
+	heteropart "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	const n = 240
+	// CPU sockets fixed at 2:1; the GPU sweeps from 2× to 24× the slow
+	// socket.
+	fmt.Println("abstract processors: P = GPU+host core, R = CPU socket 0, S = CPU socket 1 (R:S = 2:1)")
+	fmt.Println()
+	fmt.Printf("%-10s %-14s %-22s %-22s\n", "GPU speed", "SC feasible?", "optimal (SCB barrier)", "optimal (PCO overlap)")
+	for _, gpu := range []float64{2, 4, 6, 8, 10, 12, 16, 20, 24} {
+		ratio := heteropart.MustRatio(gpu, 2, 1)
+		m := heteropart.DefaultMachine(ratio)
+		scb, _, err := heteropart.Optimal(heteropart.SCB, m, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pco, _, err := heteropart.Optimal(heteropart.PCO, m, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10.0f %-14v %-22v %-22v\n",
+			gpu, heteropart.SquareCornerFeasible(ratio), scb, pco)
+	}
+
+	fmt.Println()
+	fmt.Println("At high GPU dominance the slow sockets shrink to corner squares; their")
+	fmt.Println("rows and columns stop crossing each other, which is exactly what cuts the")
+	fmt.Println("volume of communication (paper Fig 13/14).")
+
+	// Render the winning high-heterogeneity shape.
+	ratio := heteropart.MustRatio(20, 2, 1)
+	m := heteropart.DefaultMachine(ratio)
+	best, _, err := heteropart.Optimal(heteropart.SCB, m, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := heteropart.BuildShape(best, n, ratio)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%v at 20:2:1 (·=GPU, R=socket0, S=socket1), VoC %d:\n\n%s",
+		best, g.VoC(), g.RenderASCII(30))
+}

@@ -1,0 +1,81 @@
+// Quickstart: the library in five steps.
+//
+//  1. Describe the platform as a speed ratio Pr:Rr:Sr.
+//  2. Run the Push search from a random arrangement of matrix elements and
+//     watch it condense into one of the paper's four archetypes.
+//  3. Reduce the terminal state to Archetype A (Theorems 8.1–8.4).
+//  4. Compare the six candidate canonical shapes and pick the optimum for
+//     an MMM algorithm.
+//  5. Actually multiply two matrices with the chosen partition on three
+//     goroutine "processors" and verify the result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	heteropart "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A node where one device is 5× and another 2× faster than the
+	// slowest (the paper's 5:2:1 study ratio).
+	ratio := heteropart.MustRatio(5, 2, 1)
+	const n = 120
+	fmt.Printf("platform ratio %s, matrix %d×%d\n\n", ratio, n, n)
+
+	// 2. The Push search (the paper's DFA, Section VI).
+	res, err := heteropart.Search(heteropart.SearchConfig{N: n, Ratio: ratio, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Push search: %d pushes, VoC %d → %d (−%.0f%%), archetype %v\n",
+		res.Steps, res.InitialVoC, res.FinalVoC,
+		100*(1-float64(res.FinalVoC)/float64(res.InitialVoC)),
+		heteropart.Classify(res.Final))
+
+	// 3. Reduce to Archetype A.
+	red, err := heteropart.ReduceToA(res.Final)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reduced %v → %v, VoC %d → %d\n\n", red.From, red.To, red.VoCBefore, red.VoCAfter)
+
+	// 4. Candidate comparison for the SCB algorithm.
+	m := heteropart.DefaultMachine(ratio)
+	best, cands, err := heteropart.Optimal(heteropart.SCB, m, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range cands {
+		if !c.Feasible {
+			fmt.Printf("  %-22s infeasible (Thm 9.1)\n", c.Shape)
+			continue
+		}
+		fmt.Printf("  %-22s VoC %6d   T_exe %.6fs\n", c.Shape, c.VoC, c.Breakdown.Total)
+	}
+	fmt.Printf("optimal shape under SCB: %v\n\n", best)
+
+	// 5. Multiply for real with the winning shape.
+	g, err := heteropart.BuildShape(best, n, ratio)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := heteropart.NewMatrix(n)
+	b := heteropart.NewMatrix(n)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	_, stats, err := heteropart.Multiply(
+		heteropart.ExecConfig{Machine: m, Algorithm: heteropart.SCB}, g, a, b)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("executed on 3 goroutine processors: moved %d elements (= VoC %d), wall %v\n",
+		stats.TotalVolume, g.VoC(), stats.Wall)
+}

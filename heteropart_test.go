@@ -1,0 +1,140 @@
+package heteropart
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSearchClassifyReducePipeline(t *testing.T) {
+	res, err := Search(SearchConfig{N: 40, Ratio: MustRatio(3, 1, 1), Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("search did not converge")
+	}
+	if res.FinalVoC > res.InitialVoC {
+		t.Fatal("search increased VoC")
+	}
+	arch := Classify(res.Final)
+	if arch == ArchetypeUnknown {
+		t.Fatalf("terminal state unclassifiable:\n%s", res.Final.RenderASCII(20))
+	}
+	red, err := ReduceToA(res.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if red.To != ArchetypeA {
+		t.Fatalf("reduction ended at %v", red.To)
+	}
+	if red.VoCAfter > red.VoCBefore {
+		t.Fatal("reduction increased VoC")
+	}
+}
+
+func TestOptimalHighHeterogeneityPrefersSquareCorner(t *testing.T) {
+	m := DefaultMachine(MustRatio(20, 1, 1))
+	best, cands, err := Optimal(SCB, m, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != SquareCorner {
+		t.Errorf("at 20:1:1 SCB best = %v, want Square-Corner", best)
+	}
+	if len(cands) != len(AllShapes) {
+		t.Errorf("candidates = %d", len(cands))
+	}
+}
+
+func TestOptimalLowHeterogeneityAvoidsSquareCorner(t *testing.T) {
+	m := DefaultMachine(MustRatio(2, 2, 1)) // SC infeasible here
+	best, cands, err := Optimal(SCB, m, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == SquareCorner {
+		t.Error("Square-Corner must not win when infeasible")
+	}
+	for _, c := range cands {
+		if c.Shape == SquareCorner && c.Feasible {
+			t.Error("Square-Corner should be infeasible at 2:2:1")
+		}
+	}
+}
+
+func TestOptimalValidation(t *testing.T) {
+	if _, _, err := Optimal(SCB, DefaultMachine(MustRatio(2, 1, 1)), 2); err == nil {
+		t.Error("tiny n should error")
+	}
+}
+
+func TestBuildEvaluateSimulateAgree(t *testing.T) {
+	ratio := MustRatio(5, 2, 1)
+	m := DefaultMachine(ratio)
+	g, err := BuildShape(BlockRectangle, 80, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := Evaluate(SCB, m, g)
+	s, err := Simulate(SCB, m, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := (mod.Total - s.TExe) / mod.Total; rel > 1e-9 || rel < -1e-9 {
+		t.Errorf("model %g vs sim %g", mod.Total, s.TExe)
+	}
+}
+
+func TestMultiplyThroughPublicAPI(t *testing.T) {
+	const n = 32
+	ratio := MustRatio(4, 2, 1)
+	g, err := BuildShape(LRectangle, n, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := NewMatrix(n)
+	b := NewMatrix(n)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c, stats, err := Multiply(ExecConfig{Machine: DefaultMachine(ratio), Algorithm: SCB}, g, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalVolume != g.VoC() {
+		t.Errorf("volume %d != VoC %d", stats.TotalVolume, g.VoC())
+	}
+	if c.N() != n {
+		t.Error("result dimension")
+	}
+}
+
+func TestPublicConstantsConsistent(t *testing.T) {
+	if len(PaperRatios) != 11 {
+		t.Error("paper ratios")
+	}
+	if len(AllShapes) != 6 {
+		t.Error("six candidates")
+	}
+	if len(AllAlgorithms) != 5 {
+		t.Error("five algorithms")
+	}
+	if a, err := ParseAlgorithm("PIO"); err != nil || a != PIO {
+		t.Error("ParseAlgorithm")
+	}
+	if !SquareCornerFeasible(MustRatio(10, 1, 1)) {
+		t.Error("10:1:1 should admit the Square-Corner")
+	}
+	if CornerCount(mustShape(t, TraditionalRectangle), P) < 4 {
+		t.Error("corner count sanity")
+	}
+}
+
+func mustShape(t *testing.T, s Shape) *Partition {
+	t.Helper()
+	g, err := BuildShape(s, 60, MustRatio(3, 2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -1,0 +1,190 @@
+// Package core composes the paper's full pipeline — the primary
+// contribution as a single orchestrated study:
+//
+//  1. run the Push-search DFA from many random start states (Section VI),
+//  2. classify every terminal state into the four archetypes and check
+//     Postulate 1 (Section VII),
+//  3. reduce non-A terminal states to Archetype A (Section VIII),
+//  4. build the six candidate canonical shapes and pick the optimum for
+//     each MMM algorithm under the requested topology (Sections IX–X).
+//
+// The individual pieces live in internal/push, internal/shape,
+// internal/partition, internal/model and internal/experiment; core wires
+// them together the way the paper's methodology does, and is what the
+// command-line tools drive.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiment"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/push"
+	"repro/internal/shape"
+)
+
+// StudyConfig parameterises a full study of one ratio.
+type StudyConfig struct {
+	// N is the matrix dimension for the DFA runs and candidate builds.
+	N int
+	// Ratio is the processor speed ratio.
+	Ratio partition.Ratio
+	// Runs is the number of DFA runs (the paper used ~10,000 per ratio).
+	Runs int
+	// Seed drives all randomisation.
+	Seed int64
+	// Topology for the Section X comparison.
+	Topology model.Topology
+}
+
+// Study is the outcome of the full pipeline for one ratio.
+type Study struct {
+	Config StudyConfig
+	// Archetypes histograms the DFA terminal states.
+	Archetypes map[shape.Archetype]int
+	// Counterexamples counts terminal states outside A–D (Postulate 1
+	// predicts zero).
+	Counterexamples int
+	// MeanVoCDrop is the average fractional VoC reduction of the runs.
+	MeanVoCDrop float64
+	// BestTerminalVoC is the lowest VoC any DFA run reached.
+	BestTerminalVoC int64
+	// ReducedVoC is the VoC of the best terminal state after the
+	// Section VIII reduction to Archetype A.
+	ReducedVoC int64
+	// Optimal maps each MMM algorithm to the winning candidate shape.
+	Optimal map[model.Algorithm]partition.Shape
+	// CandidateVoC lists each candidate's VoC (−1 when infeasible).
+	CandidateVoC map[partition.Shape]int64
+}
+
+// Run executes the full pipeline.
+func Run(cfg StudyConfig) (*Study, error) {
+	if cfg.N < 10 {
+		return nil, fmt.Errorf("core: N must be ≥ 10, got %d", cfg.N)
+	}
+	if cfg.Runs <= 0 {
+		return nil, fmt.Errorf("core: Runs must be positive")
+	}
+	if err := cfg.Ratio.Validate(); err != nil {
+		return nil, err
+	}
+	st := &Study{
+		Config:       cfg,
+		Archetypes:   make(map[shape.Archetype]int),
+		Optimal:      make(map[model.Algorithm]partition.Shape),
+		CandidateVoC: make(map[partition.Shape]int64),
+	}
+
+	// Phase 1+2: DFA census.
+	rows, err := experiment.Census(experiment.CensusConfig{
+		N:            cfg.N,
+		RunsPerRatio: cfg.Runs,
+		Ratios:       []partition.Ratio{cfg.Ratio},
+		Seed:         cfg.Seed,
+		Beautify:     true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	st.Archetypes = rows[0].Counts
+	st.Counterexamples = st.Archetypes[shape.ArchetypeUnknown]
+	st.MeanVoCDrop = rows[0].MeanVoCDrop
+
+	// Phase 3: reduce the best terminal state to Archetype A. Re-run the
+	// single best seed (census is deterministic in cfg.Seed).
+	best, err := bestTerminal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	st.BestTerminalVoC = best.VoC()
+	red, err := shape.ReduceToA(best)
+	if err != nil {
+		return nil, err
+	}
+	st.ReducedVoC = red.VoCAfter
+
+	// Phase 4: candidate comparison per algorithm.
+	m := model.DefaultMachine(cfg.Ratio)
+	m.Topology = cfg.Topology
+	for _, s := range partition.AllShapes {
+		g, err := partition.Build(s, cfg.N, cfg.Ratio)
+		if err != nil {
+			st.CandidateVoC[s] = -1
+			continue
+		}
+		st.CandidateVoC[s] = g.VoC()
+	}
+	for _, a := range model.AllAlgorithms {
+		bestShape := partition.Shape(0)
+		bestTotal := -1.0
+		for _, s := range partition.AllShapes {
+			g, err := partition.Build(s, cfg.N, cfg.Ratio)
+			if err != nil {
+				continue
+			}
+			total := model.EvaluateGrid(a, m, g).Total
+			if bestTotal < 0 || total < bestTotal {
+				bestTotal = total
+				bestShape = s
+			}
+		}
+		if bestTotal < 0 {
+			return nil, fmt.Errorf("core: no feasible candidate for %v", cfg.Ratio)
+		}
+		st.Optimal[a] = bestShape
+	}
+	return st, nil
+}
+
+// bestTerminal re-runs the census seeds and returns the terminal state
+// with the lowest VoC.
+func bestTerminal(cfg StudyConfig) (*partition.Grid, error) {
+	var best *partition.Grid
+	for run := 0; run < cfg.Runs; run++ {
+		res, err := push.Run(push.Config{
+			N:        cfg.N,
+			Ratio:    cfg.Ratio,
+			Seed:     cfg.Seed + int64(run),
+			Beautify: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Final.VoC() < best.VoC() {
+			best = res.Final
+		}
+	}
+	return best, nil
+}
+
+// Write renders the study as human-readable text.
+func (st *Study) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "Study of ratio %s (N=%d, %d runs)\n",
+		st.Config.Ratio, st.Config.N, st.Config.Runs); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "  archetypes: A=%d B=%d C=%d D=%d other=%d\n",
+		st.Archetypes[shape.ArchetypeA], st.Archetypes[shape.ArchetypeB],
+		st.Archetypes[shape.ArchetypeC], st.Archetypes[shape.ArchetypeD],
+		st.Counterexamples)
+	fmt.Fprintf(w, "  mean VoC reduction: %.1f%%\n", 100*st.MeanVoCDrop)
+	fmt.Fprintf(w, "  best terminal VoC: %d; after reduction to A: %d\n",
+		st.BestTerminalVoC, st.ReducedVoC)
+	fmt.Fprintf(w, "  candidate VoC (%s topology):\n", st.Config.Topology)
+	for _, s := range partition.AllShapes {
+		v := st.CandidateVoC[s]
+		if v < 0 {
+			fmt.Fprintf(w, "    %-22s infeasible\n", s)
+			continue
+		}
+		fmt.Fprintf(w, "    %-22s %d\n", s, v)
+	}
+	fmt.Fprintf(w, "  optimal shape per algorithm:\n")
+	for _, a := range model.AllAlgorithms {
+		fmt.Fprintf(w, "    %-4s %s\n", a, st.Optimal[a])
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/push"
+)
+
+// AblationRow reports the search quality of one engine configuration —
+// the design-choice ablations DESIGN.md calls out.
+type AblationRow struct {
+	Name string
+	// MeanFinalVoC is the average terminal VoC across the runs.
+	MeanFinalVoC float64
+	// MeanSteps is the average committed-Push count.
+	MeanSteps float64
+	// Converged counts runs that reached a fixed point.
+	Converged int
+	// Runs is the sample size.
+	Runs int
+}
+
+// PushAblation compares the Push-search configurations:
+//
+//   - "types 1 only": just the strictest (guaranteed-progress) type;
+//   - "types 1–4": the VoC-decreasing types without the plateau moves;
+//   - "all types": the full engine (types 5–6 escape VoC plateaus);
+//   - "all types + beautify": plus the Theorem 8.3 cleanup pass;
+//   - "clustered starts": the adversarial clustered q₀ family.
+//
+// Lower mean terminal VoC = better condensation. The plateau types and
+// the beautify pass are the design choices the ablation isolates.
+func PushAblation(n int, ratio partition.Ratio, runs int, seed int64) ([]AblationRow, error) {
+	if runs <= 0 {
+		return nil, fmt.Errorf("experiment: ablation needs runs > 0")
+	}
+	configs := []struct {
+		name      string
+		types     []push.Type
+		beautify  bool
+		clustered bool
+	}{
+		{name: "types 1 only", types: []push.Type{push.TypeOne}},
+		{name: "types 1-4", types: []push.Type{push.TypeOne, push.TypeTwo, push.TypeThree, push.TypeFour}},
+		{name: "all types"},
+		{name: "all types + beautify", beautify: true},
+		{name: "clustered starts", beautify: true, clustered: true},
+	}
+	var rows []AblationRow
+	for _, cfg := range configs {
+		row := AblationRow{Name: cfg.name, Runs: runs}
+		for run := 0; run < runs; run++ {
+			res, err := push.Run(push.Config{
+				N:         n,
+				Ratio:     ratio,
+				Seed:      seed + int64(run),
+				Types:     cfg.types,
+				Beautify:  cfg.beautify,
+				Clustered: cfg.clustered,
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.MeanFinalVoC += float64(res.FinalVoC)
+			row.MeanSteps += float64(res.Steps)
+			if res.Converged {
+				row.Converged++
+			}
+		}
+		row.MeanFinalVoC /= float64(runs)
+		row.MeanSteps /= float64(runs)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteAblationTable renders the ablation as markdown.
+func WriteAblationTable(w io.Writer, rows []AblationRow) error {
+	if _, err := fmt.Fprintln(w, "| configuration | mean terminal VoC | mean pushes | converged |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %.0f | %.1f | %d/%d |\n",
+			r.Name, r.MeanFinalVoC, r.MeanSteps, r.Converged, r.Runs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LatencyRow reports modelled execution times at one Hockney latency.
+type LatencyRow struct {
+	Alpha float64
+	// Per-algorithm totals for the Block-Rectangle partition.
+	Totals [model.NumAlgorithms]float64
+}
+
+// LatencySweep studies the communication-latency sensitivity the paper's
+// conclusion defers to future work: as the per-message latency α grows,
+// the interleaved algorithm (PIO), which sends N small messages, loses to
+// the barrier algorithms, which send one large one.
+func LatencySweep(alphas []float64, ratio partition.Ratio, n int) ([]LatencyRow, error) {
+	if len(alphas) == 0 {
+		alphas = []float64{0, 1e-7, 1e-6, 1e-5, 1e-4}
+	}
+	g, err := partition.Build(partition.BlockRectangle, n, ratio)
+	if err != nil {
+		return nil, err
+	}
+	var rows []LatencyRow
+	for _, alpha := range alphas {
+		m := model.DefaultMachine(ratio)
+		m.Net.Alpha = alpha
+		row := LatencyRow{Alpha: alpha}
+		for i, a := range model.AllAlgorithms {
+			row.Totals[i] = model.EvaluateGrid(a, m, g).Total
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteLatencyTable renders the sweep as markdown.
+func WriteLatencyTable(w io.Writer, rows []LatencyRow) error {
+	header := "| α (s) |"
+	sep := "|---|"
+	for _, a := range model.AllAlgorithms {
+		header += " " + a.String() + " (s) |"
+		sep += "---|"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, sep); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		line := fmt.Sprintf("| %.0e |", r.Alpha)
+		for _, t := range r.Totals {
+			line += fmt.Sprintf(" %.6f |", t)
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}

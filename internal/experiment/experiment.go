@@ -1,0 +1,437 @@
+// Package experiment contains the reproduction harness: each function
+// regenerates one of the paper's figures or result tables (see DESIGN.md
+// §5 for the experiment index). The harness is deliberately deterministic
+// — every randomised study takes an explicit base seed — so EXPERIMENTS.md
+// numbers can be regenerated exactly.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/push"
+	"repro/internal/shape"
+	"repro/internal/sim"
+)
+
+// CensusConfig parameterises the Section VII archetype census.
+type CensusConfig struct {
+	// N is the matrix dimension (paper: 1000; tests use smaller).
+	N int
+	// RunsPerRatio is the number of DFA runs per ratio (paper: ~10,000).
+	RunsPerRatio int
+	// Ratios defaults to the paper's eleven ratios.
+	Ratios []partition.Ratio
+	// Seed drives all runs deterministically.
+	Seed int64
+	// Beautify applies the paper's cleanup pass before classification
+	// (the paper's program used one for Archetype C, Thm 8.3).
+	Beautify bool
+	// Workers bounds parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// CensusRow is the outcome for one ratio.
+type CensusRow struct {
+	Ratio  partition.Ratio
+	Counts map[shape.Archetype]int
+	// MeanSteps is the average number of Push operations per run.
+	MeanSteps float64
+	// MeanVoCDrop is the average fractional VoC reduction start→end.
+	MeanVoCDrop float64
+}
+
+// Census runs the DFA many times per ratio and classifies every terminal
+// state — the experimental support for Postulate 1 (Fig 5, §VII).
+func Census(cfg CensusConfig) ([]CensusRow, error) {
+	if cfg.N < 10 {
+		return nil, fmt.Errorf("experiment: census N must be ≥ 10, got %d", cfg.N)
+	}
+	if cfg.RunsPerRatio <= 0 {
+		return nil, fmt.Errorf("experiment: RunsPerRatio must be positive")
+	}
+	ratios := cfg.Ratios
+	if len(ratios) == 0 {
+		ratios = partition.PaperRatios
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	rows := make([]CensusRow, len(ratios))
+	for ri, ratio := range ratios {
+		row := CensusRow{Ratio: ratio, Counts: make(map[shape.Archetype]int)}
+		type outcome struct {
+			arch  shape.Archetype
+			steps int
+			drop  float64
+		}
+		outcomes := make([]outcome, cfg.RunsPerRatio)
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		var firstErr error
+		var errMu sync.Mutex
+		for run := 0; run < cfg.RunsPerRatio; run++ {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(run int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				res, err := push.Run(push.Config{
+					N:        cfg.N,
+					Ratio:    ratio,
+					Seed:     cfg.Seed + int64(ri)*1_000_003 + int64(run),
+					Beautify: cfg.Beautify,
+				})
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					return
+				}
+				drop := 0.0
+				if res.InitialVoC > 0 {
+					drop = 1 - float64(res.FinalVoC)/float64(res.InitialVoC)
+				}
+				outcomes[run] = outcome{shape.Classify(res.Final), res.Steps, drop}
+			}(run)
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		var steps, drop float64
+		for _, o := range outcomes {
+			row.Counts[o.arch]++
+			steps += float64(o.steps)
+			drop += o.drop
+		}
+		row.MeanSteps = steps / float64(cfg.RunsPerRatio)
+		row.MeanVoCDrop = drop / float64(cfg.RunsPerRatio)
+		rows[ri] = row
+	}
+	return rows, nil
+}
+
+// CensusCounterexamples returns the total number of terminal states that
+// fell outside the four archetypes — zero supports Postulate 1.
+func CensusCounterexamples(rows []CensusRow) int {
+	total := 0
+	for _, r := range rows {
+		total += r.Counts[shape.ArchetypeUnknown]
+	}
+	return total
+}
+
+// WriteCensusTable renders the census as a markdown table (the Fig 5 /
+// §VII-C summary).
+func WriteCensusTable(w io.Writer, rows []CensusRow) error {
+	if _, err := fmt.Fprintln(w, "| ratio | A | B | C | D | other | mean pushes | mean VoC drop |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "| %s | %d | %d | %d | %d | %d | %.1f | %.1f%% |\n",
+			r.Ratio, r.Counts[shape.ArchetypeA], r.Counts[shape.ArchetypeB],
+			r.Counts[shape.ArchetypeC], r.Counts[shape.ArchetypeD],
+			r.Counts[shape.ArchetypeUnknown], r.MeanSteps, 100*r.MeanVoCDrop); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SurfacePoint is one sample of the Fig 13 cost surfaces.
+type SurfacePoint struct {
+	Rr, Pr   float64
+	SC, BR   float64 // normalised SCB communication costs
+	Feasible bool    // Square-Corner feasibility (the vertical wall)
+}
+
+// Fig13Surface samples the Square-Corner and Block-Rectangle SCB cost
+// functions over Rr ∈ [1, rrMax], Pr ∈ [1, prMax] (paper: 10 and 20),
+// with Sr = 1.
+func Fig13Surface(rrMax, prMax float64, step float64) []SurfacePoint {
+	if step <= 0 {
+		step = 0.5
+	}
+	var pts []SurfacePoint
+	for rr := 1.0; rr <= rrMax+1e-9; rr += step {
+		for pr := 1.0; pr <= prMax+1e-9; pr += step {
+			if pr < rr {
+				continue // ratio ordering Pr ≥ Rr
+			}
+			ratio := partition.MustRatio(pr, rr, 1)
+			br, _ := model.NormalizedVoC(partition.BlockRectangle, ratio)
+			pt := SurfacePoint{Rr: rr, Pr: pr, BR: br}
+			if sc, ok := model.NormalizedVoC(partition.SquareCorner, ratio); ok {
+				pt.SC = sc
+				pt.Feasible = true
+			}
+			pts = append(pts, pt)
+		}
+	}
+	return pts
+}
+
+// WriteSurfaceCSV emits the Fig 13 samples as CSV.
+func WriteSurfaceCSV(w io.Writer, pts []SurfacePoint) error {
+	if _, err := fmt.Fprintln(w, "Rr,Pr,squarecorner,blockrectangle,feasible"); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		sc := ""
+		if p.Feasible {
+			sc = fmt.Sprintf("%.6f", p.SC)
+		}
+		if _, err := fmt.Fprintf(w, "%.3f,%.3f,%s,%.6f,%v\n", p.Rr, p.Pr, sc, p.BR, p.Feasible); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig14Row is one point of the Fig 14 communication-time comparison.
+type Fig14Row struct {
+	X float64 // heterogeneity: ratio x:1:1
+	// Closed-form Hockney communication seconds (N, bandwidth from the
+	// machine), NaN-free: SCFeasible gates SC.
+	SCModel, BRModel float64
+	SCFeasible       bool
+	// Simulated communication seconds on a concrete N-cell grid.
+	SCSim, BRSim float64
+}
+
+// Fig14Sweep reproduces Fig 14: SCB communication time for Square-Corner
+// vs Block-Rectangle on a fully connected network as heterogeneity x
+// (ratio x:1:1) grows. n is the matrix dimension used for the simulated
+// series (the closed forms use nModel, the paper's 5000).
+func Fig14Sweep(xs []float64, nModel, nSim int) ([]Fig14Row, error) {
+	if len(xs) == 0 {
+		for x := 2.0; x <= 25; x++ {
+			xs = append(xs, x)
+		}
+	}
+	rows := make([]Fig14Row, 0, len(xs))
+	for _, x := range xs {
+		ratio := partition.MustRatio(x, 1, 1)
+		m := model.DefaultMachine(ratio)
+		row := Fig14Row{X: x}
+		if sc, ok := model.SCBCommSeconds(partition.SquareCorner, m, nModel); ok {
+			row.SCModel = sc
+			row.SCFeasible = true
+		}
+		br, ok := model.SCBCommSeconds(partition.BlockRectangle, m, nModel)
+		if !ok {
+			return nil, fmt.Errorf("experiment: block-rectangle closed form missing at x=%v", x)
+		}
+		row.BRModel = br
+
+		if nSim > 0 {
+			if row.SCFeasible {
+				g, err := partition.Build(partition.SquareCorner, nSim, ratio)
+				if err == nil {
+					res, err := sim.Simulate(model.SCB, m, g, 0)
+					if err != nil {
+						return nil, err
+					}
+					// Scale the simulated comm time from nSim to nModel
+					// (volume scales with N²).
+					row.SCSim = res.TComm * float64(nModel) * float64(nModel) / (float64(nSim) * float64(nSim))
+				}
+			}
+			g, err := partition.Build(partition.BlockRectangle, nSim, ratio)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sim.Simulate(model.SCB, m, g, 0)
+			if err != nil {
+				return nil, err
+			}
+			row.BRSim = res.TComm * float64(nModel) * float64(nModel) / (float64(nSim) * float64(nSim))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Crossover returns the smallest x at which the Square-Corner's modelled
+// communication time beats the Block-Rectangle's, or 0 if none.
+func Crossover(rows []Fig14Row) float64 {
+	for _, r := range rows {
+		if r.SCFeasible && r.SCModel < r.BRModel {
+			return r.X
+		}
+	}
+	return 0
+}
+
+// WriteFig14Table renders the sweep as a markdown table.
+func WriteFig14Table(w io.Writer, rows []Fig14Row) error {
+	if _, err := fmt.Fprintln(w, "| x (ratio x:1:1) | SC model (s) | BR model (s) | SC sim (s) | BR sim (s) | winner |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		sc := "infeasible"
+		winner := "Block-Rectangle"
+		if r.SCFeasible {
+			sc = fmt.Sprintf("%.4f", r.SCModel)
+			if r.SCModel < r.BRModel {
+				winner = "Square-Corner"
+			}
+		}
+		scSim := "-"
+		if r.SCSim > 0 {
+			scSim = fmt.Sprintf("%.4f", r.SCSim)
+		}
+		brSim := "-"
+		if r.BRSim > 0 {
+			brSim = fmt.Sprintf("%.4f", r.BRSim)
+		}
+		if _, err := fmt.Fprintf(w, "| %.0f | %s | %.4f | %s | %s | %s |\n",
+			r.X, sc, r.BRModel, scSim, brSim, winner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ShapeCost is one candidate's modelled cost for a scenario.
+type ShapeCost struct {
+	Shape    partition.Shape
+	Feasible bool
+	VoC      int64
+	Total    float64 // modelled execution seconds
+	SimTotal float64 // simulated execution seconds
+}
+
+// OptimalRow reports the per-candidate costs and the winner for one
+// (ratio, algorithm, topology) scenario — the Section X methodology
+// applied across all six candidates.
+type OptimalRow struct {
+	Ratio     partition.Ratio
+	Algorithm model.Algorithm
+	Topology  model.Topology
+	Costs     []ShapeCost
+	Best      partition.Shape
+}
+
+// OptimalShapes evaluates all six candidates for each ratio × algorithm
+// under the given topology, using both the analytic models and the
+// simulator, and reports the winner by modelled execution time.
+func OptimalShapes(n int, ratios []partition.Ratio, topo model.Topology) ([]OptimalRow, error) {
+	if len(ratios) == 0 {
+		ratios = partition.PaperRatios
+	}
+	var rows []OptimalRow
+	for _, ratio := range ratios {
+		m := model.DefaultMachine(ratio)
+		m.Topology = topo
+		for _, alg := range model.AllAlgorithms {
+			row := OptimalRow{Ratio: ratio, Algorithm: alg, Topology: topo}
+			best := -1
+			for _, s := range partition.AllShapes {
+				sc := ShapeCost{Shape: s}
+				g, err := partition.Build(s, n, ratio)
+				if err == nil {
+					sc.Feasible = true
+					sc.VoC = g.VoC()
+					sc.Total = model.EvaluateGrid(alg, m, g).Total
+					res, err := sim.Simulate(alg, m, g, 0)
+					if err != nil {
+						return nil, err
+					}
+					sc.SimTotal = res.TExe
+					if best < 0 || sc.Total < row.Costs[best].Total {
+						best = len(row.Costs)
+					}
+				}
+				row.Costs = append(row.Costs, sc)
+			}
+			if best < 0 {
+				return nil, fmt.Errorf("experiment: no feasible shape for %v", ratio)
+			}
+			row.Best = row.Costs[best].Shape
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteOptimalTable renders the winners grid: one line per ratio, one
+// column per algorithm.
+func WriteOptimalTable(w io.Writer, rows []OptimalRow) error {
+	byRatio := map[string]map[model.Algorithm]partition.Shape{}
+	var order []string
+	for _, r := range rows {
+		key := r.Ratio.String()
+		if byRatio[key] == nil {
+			byRatio[key] = map[model.Algorithm]partition.Shape{}
+			order = append(order, key)
+		}
+		byRatio[key][r.Algorithm] = r.Best
+	}
+	sort.Strings(order)
+	header := "| ratio |"
+	sep := "|---|"
+	for _, a := range model.AllAlgorithms {
+		header += " " + a.String() + " |"
+		sep += "---|"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, sep); err != nil {
+		return err
+	}
+	for _, key := range order {
+		line := "| " + key + " |"
+		for _, a := range model.AllAlgorithms {
+			line += " " + strings.TrimSuffix(byRatio[key][a].String(), "") + " |"
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExampleRun reproduces Fig 7: a single seeded DFA run whose partition is
+// rendered (at the paper's coarse granularity) at the requested snapshot
+// steps plus the final state. Returned keys are the step numbers.
+func ExampleRun(n int, ratio partition.Ratio, seed int64, at []int, boxes int) (map[int]string, *push.RunResult, error) {
+	want := make(map[int]bool, len(at))
+	for _, s := range at {
+		want[s] = true
+	}
+	frames := make(map[int]string)
+	res, err := push.Run(push.Config{
+		N:     n,
+		Ratio: ratio,
+		Seed:  seed,
+		Snapshot: func(step int, g *partition.Grid) {
+			if want[step] {
+				frames[step] = g.RenderASCII(boxes)
+			}
+		},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	frames[res.Steps] = res.Final.RenderASCII(boxes)
+	return frames, res, nil
+}

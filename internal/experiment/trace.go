@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/partition"
+	"repro/internal/push"
+	"repro/internal/shape"
+)
+
+// TracePoint is one step of a recorded Push search.
+type TracePoint struct {
+	Step int   `json:"step"`
+	VoC  int64 `json:"voc"`
+}
+
+// Trace is a recorded Push-search run: the VoC decay curve plus the run's
+// identity, serialisable to JSON for offline analysis.
+type Trace struct {
+	N         int          `json:"n"`
+	Ratio     string       `json:"ratio"`
+	Seed      int64        `json:"seed"`
+	Points    []TracePoint `json:"points"`
+	Converged bool         `json:"converged"`
+	Archetype string       `json:"archetype"`
+}
+
+// TraceRun executes a Push search and records the VoC after every
+// committed Push — the convergence curve behind Fig 7.
+func TraceRun(n int, ratio partition.Ratio, seed int64) (*Trace, error) {
+	tr := &Trace{N: n, Ratio: ratio.String(), Seed: seed}
+	res, err := push.Run(push.Config{
+		N:     n,
+		Ratio: ratio,
+		Seed:  seed,
+		Snapshot: func(step int, g *partition.Grid) {
+			tr.Points = append(tr.Points, TracePoint{Step: step, VoC: g.VoC()})
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tr.Converged = res.Converged
+	tr.Archetype = shape.Classify(res.Final).String()
+	return tr, nil
+}
+
+// WriteJSON serialises the trace.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadTrace parses a JSON trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("experiment: trace decode: %w", err)
+	}
+	return &t, nil
+}
+
+// Monotone reports whether the recorded VoC never increases — the Push
+// guarantee as visible in the trace.
+func (t *Trace) Monotone() bool {
+	for i := 1; i < len(t.Points); i++ {
+		if t.Points[i].VoC > t.Points[i-1].VoC {
+			return false
+		}
+	}
+	return true
+}
+
+// Sparkline renders the VoC decay as a one-line unicode sparkline of the
+// given width.
+func (t *Trace) Sparkline(width int) string {
+	if len(t.Points) == 0 || width <= 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := t.Points[len(t.Points)-1].VoC, t.Points[0].VoC
+	for _, p := range t.Points {
+		if p.VoC < lo {
+			lo = p.VoC
+		}
+		if p.VoC > hi {
+			hi = p.VoC
+		}
+	}
+	span := hi - lo
+	var sb strings.Builder
+	for i := 0; i < width; i++ {
+		idx := i * (len(t.Points) - 1) / max(width-1, 1)
+		v := t.Points[idx].VoC
+		level := 0
+		if span > 0 {
+			level = int((v - lo) * int64(len(glyphs)-1) / span)
+		}
+		sb.WriteRune(glyphs[level])
+	}
+	return sb.String()
+}

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+// WinnerMap extends the Fig 13 comparison from two shapes to all six
+// candidates: for every sampled ratio (Pr, Rr, Sr=1) it reports which
+// candidate minimises the given algorithm's modelled execution time — a
+// phase diagram of the optimal-shape problem over the ratio plane.
+type WinnerMap struct {
+	Algorithm model.Algorithm
+	Topology  model.Topology
+	RrMax     float64
+	PrMax     float64
+	Step      float64
+	// Cells maps "Rr,Pr" sample coordinates to the winning shape.
+	Cells map[[2]float64]partition.Shape
+}
+
+// ComputeWinnerMap samples the ratio plane on an n-cell grid basis (the
+// shapes are constructed concretely so integral effects are included).
+func ComputeWinnerMap(a model.Algorithm, topo model.Topology, rrMax, prMax, step float64, n int) (*WinnerMap, error) {
+	if step <= 0 {
+		step = 1
+	}
+	if n < 10 {
+		return nil, fmt.Errorf("experiment: winner map needs n ≥ 10")
+	}
+	wm := &WinnerMap{
+		Algorithm: a, Topology: topo,
+		RrMax: rrMax, PrMax: prMax, Step: step,
+		Cells: make(map[[2]float64]partition.Shape),
+	}
+	for rr := 1.0; rr <= rrMax+1e-9; rr += step {
+		for pr := rr; pr <= prMax+1e-9; pr += step {
+			ratio := partition.MustRatio(pr, rr, 1)
+			m := model.DefaultMachine(ratio)
+			m.Topology = topo
+			bestTotal := -1.0
+			var best partition.Shape
+			for _, s := range partition.AllShapes {
+				g, err := partition.Build(s, n, ratio)
+				if err != nil {
+					continue
+				}
+				total := model.EvaluateGrid(a, m, g).Total
+				if bestTotal < 0 || total < bestTotal {
+					bestTotal, best = total, s
+				}
+			}
+			if bestTotal < 0 {
+				return nil, fmt.Errorf("experiment: no feasible shape at Pr=%v Rr=%v", pr, rr)
+			}
+			wm.Cells[[2]float64{rr, pr}] = best
+		}
+	}
+	return wm, nil
+}
+
+// shapeGlyph assigns one letter per candidate for the ASCII phase diagram.
+func shapeGlyph(s partition.Shape) byte {
+	switch s {
+	case partition.SquareCorner:
+		return 'C' // square-Corner
+	case partition.RectangleCorner:
+		return 'r'
+	case partition.SquareRectangle:
+		return 'Q'
+	case partition.BlockRectangle:
+		return 'B'
+	case partition.LRectangle:
+		return 'L'
+	case partition.TraditionalRectangle:
+		return 'T'
+	}
+	return '?'
+}
+
+// Write renders the phase diagram: Pr increases downward, Rr rightward;
+// '.' marks the Pr < Rr region excluded by the ratio ordering.
+func (wm *WinnerMap) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "winner map: %v, %v topology (C=Square-Corner r=Rectangle-Corner Q=Square-Rectangle B=Block-Rectangle L=L-Rectangle T=Traditional)\n",
+		wm.Algorithm, wm.Topology); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "rows: Pr = 1..%g (top to bottom); cols: Rr = 1..%g (left to right); step %g\n",
+		wm.PrMax, wm.RrMax, wm.Step); err != nil {
+		return err
+	}
+	for pr := 1.0; pr <= wm.PrMax+1e-9; pr += wm.Step {
+		line := make([]byte, 0, int(wm.RrMax/wm.Step)+2)
+		for rr := 1.0; rr <= wm.RrMax+1e-9; rr += wm.Step {
+			if s, ok := wm.Cells[[2]float64{rr, pr}]; ok {
+				line = append(line, shapeGlyph(s))
+			} else {
+				line = append(line, '.')
+			}
+		}
+		if _, err := fmt.Fprintf(w, "Pr=%5.1f %s\n", pr, line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns how many sampled cells each shape wins.
+func (wm *WinnerMap) Count() map[partition.Shape]int {
+	out := make(map[partition.Shape]int)
+	for _, s := range wm.Cells {
+		out[s]++
+	}
+	return out
+}

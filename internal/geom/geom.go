@@ -1,0 +1,273 @@
+// Package geom provides small geometric primitives used throughout the
+// partition-shape machinery: half-open rectangles on the integer lattice,
+// points, and the coordinate views that let the Push engine implement a
+// single canonical direction (Down) and obtain the other three directions
+// (Up, Left, Right) by remapping coordinates.
+package geom
+
+import "fmt"
+
+// Point is a cell coordinate (Row, Col) in an N×N matrix. Row 0 is the top
+// row and Col 0 is the leftmost column, matching the paper's figures.
+type Point struct {
+	Row, Col int
+}
+
+// Rect is a half-open axis-aligned rectangle of matrix cells:
+// rows [Top, Bottom) and columns [Left, Right). The zero Rect is empty.
+//
+// In the paper's notation (Section IV-A) an enclosing rectangle for
+// processor X has edges x_top, x_right, x_bottom, x_left; those map to
+// Top, Right-1, Bottom-1 and Left here (the paper uses closed bounds).
+type Rect struct {
+	Top, Left, Bottom, Right int
+}
+
+// EmptyRect is the canonical empty rectangle.
+var EmptyRect = Rect{}
+
+// NewRect returns the rectangle spanning rows [top, bottom) and columns
+// [left, right). Degenerate inputs collapse to the empty rectangle.
+func NewRect(top, left, bottom, right int) Rect {
+	if bottom <= top || right <= left {
+		return EmptyRect
+	}
+	return Rect{Top: top, Left: left, Bottom: bottom, Right: right}
+}
+
+// IsEmpty reports whether r contains no cells.
+func (r Rect) IsEmpty() bool { return r.Bottom <= r.Top || r.Right <= r.Left }
+
+// Width returns the number of columns spanned by r.
+func (r Rect) Width() int {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Right - r.Left
+}
+
+// Height returns the number of rows spanned by r.
+func (r Rect) Height() int {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.Bottom - r.Top
+}
+
+// Area returns the number of cells in r.
+func (r Rect) Area() int { return r.Width() * r.Height() }
+
+// Contains reports whether the cell (row, col) lies inside r.
+func (r Rect) Contains(row, col int) bool {
+	return row >= r.Top && row < r.Bottom && col >= r.Left && col < r.Right
+}
+
+// ContainsRect reports whether every cell of s lies inside r. The empty
+// rectangle is contained in everything.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	if r.IsEmpty() {
+		return false
+	}
+	return s.Top >= r.Top && s.Bottom <= r.Bottom && s.Left >= r.Left && s.Right <= r.Right
+}
+
+// Intersect returns the overlap of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	t := Rect{
+		Top:    max(r.Top, s.Top),
+		Left:   max(r.Left, s.Left),
+		Bottom: min(r.Bottom, s.Bottom),
+		Right:  min(r.Right, s.Right),
+	}
+	if t.IsEmpty() {
+		return EmptyRect
+	}
+	return t
+}
+
+// Overlaps reports whether r and s share at least one cell.
+func (r Rect) Overlaps(s Rect) bool { return !r.Intersect(s).IsEmpty() }
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		Top:    min(r.Top, s.Top),
+		Left:   min(r.Left, s.Left),
+		Bottom: max(r.Bottom, s.Bottom),
+		Right:  max(r.Right, s.Right),
+	}
+}
+
+// Translate returns r shifted by (dr, dc).
+func (r Rect) Translate(dr, dc int) Rect {
+	if r.IsEmpty() {
+		return EmptyRect
+	}
+	return Rect{Top: r.Top + dr, Left: r.Left + dc, Bottom: r.Bottom + dr, Right: r.Right + dc}
+}
+
+// Eq reports semantic equality: all empty rectangles are equal.
+func (r Rect) Eq(s Rect) bool {
+	if r.IsEmpty() && s.IsEmpty() {
+		return true
+	}
+	return r == s
+}
+
+func (r Rect) String() string {
+	if r.IsEmpty() {
+		return "Rect(empty)"
+	}
+	return fmt.Sprintf("Rect(rows %d..%d, cols %d..%d)", r.Top, r.Bottom-1, r.Left, r.Right-1)
+}
+
+// Direction identifies one of the four Push directions from the paper.
+type Direction uint8
+
+const (
+	// Down moves the active processor's elements from the top edge of its
+	// enclosing rectangle into the rows below (the paper's worked example).
+	Down Direction = iota
+	// Up moves elements from the bottom edge into the rows above.
+	Up
+	// Right moves elements from the left edge into the columns to the right.
+	Right
+	// Left moves elements from the right edge into the columns to the left.
+	Left
+	numDirections
+)
+
+// NumDirections is the number of distinct Push directions.
+const NumDirections = int(numDirections)
+
+// AllDirections lists every direction in a stable order.
+var AllDirections = [4]Direction{Down, Up, Right, Left}
+
+func (d Direction) String() string {
+	switch d {
+	case Down:
+		return "Down"
+	case Up:
+		return "Up"
+	case Right:
+		return "Right"
+	case Left:
+		return "Left"
+	}
+	return fmt.Sprintf("Direction(%d)", uint8(d))
+}
+
+// Arrow returns the paper's arrow notation for d.
+func (d Direction) Arrow() string {
+	switch d {
+	case Down:
+		return "↓"
+	case Up:
+		return "↑"
+	case Right:
+		return "→"
+	case Left:
+		return "←"
+	}
+	return "?"
+}
+
+// View maps logical coordinates (in which every Push is a Push Down) onto
+// physical matrix coordinates. The Push engine works entirely in logical
+// space; a View makes the four physical directions share one code path.
+//
+// Logical space is always an n×n grid. For Down the mapping is the
+// identity; for Up it flips rows; for Right it transposes (logical rows are
+// physical columns, so moving "down" logically moves right physically); for
+// Left it transposes and flips.
+type View struct {
+	n         int
+	transpose bool
+	flip      bool
+}
+
+// NewView returns the view that realises Push in direction d on an n×n grid.
+func NewView(n int, d Direction) View {
+	switch d {
+	case Down:
+		return View{n: n}
+	case Up:
+		return View{n: n, flip: true}
+	case Right:
+		return View{n: n, transpose: true}
+	case Left:
+		return View{n: n, transpose: true, flip: true}
+	}
+	panic("geom: invalid direction")
+}
+
+// N returns the grid size the view was built for.
+func (v View) N() int { return v.n }
+
+// Transposed reports whether logical rows map to physical columns.
+func (v View) Transposed() bool { return v.transpose }
+
+// Flipped reports whether logical rows are reversed before transposition.
+func (v View) Flipped() bool { return v.flip }
+
+// FlipIndex maps a logical row index through the flip (identity when the
+// view is not flipped).
+func (v View) FlipIndex(i int) int {
+	if v.flip {
+		return v.n - 1 - i
+	}
+	return i
+}
+
+// Apply maps a logical (row, col) to the physical (row, col).
+func (v View) Apply(row, col int) (int, int) {
+	if v.flip {
+		row = v.n - 1 - row
+	}
+	if v.transpose {
+		return col, row
+	}
+	return row, col
+}
+
+// Invert maps a physical (row, col) back to logical coordinates. Views are
+// involutions up to the order of flip/transpose; Invert is exact.
+func (v View) Invert(row, col int) (int, int) {
+	if v.transpose {
+		row, col = col, row
+	}
+	if v.flip {
+		row = v.n - 1 - row
+	}
+	return row, col
+}
+
+// ApplyRect maps a logical rectangle to the physical rectangle covering the
+// same cells.
+func (v View) ApplyRect(r Rect) Rect {
+	if r.IsEmpty() {
+		return EmptyRect
+	}
+	r1, c1 := v.Apply(r.Top, r.Left)
+	r2, c2 := v.Apply(r.Bottom-1, r.Right-1)
+	return NewRect(min(r1, r2), min(c1, c2), max(r1, r2)+1, max(c1, c2)+1)
+}
+
+// InvertRect maps a physical rectangle to logical coordinates.
+func (v View) InvertRect(r Rect) Rect {
+	if r.IsEmpty() {
+		return EmptyRect
+	}
+	r1, c1 := v.Invert(r.Top, r.Left)
+	r2, c2 := v.Invert(r.Bottom-1, r.Right-1)
+	return NewRect(min(r1, r2), min(c1, c2), max(r1, r2)+1, max(c1, c2)+1)
+}

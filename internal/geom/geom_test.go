@@ -1,0 +1,354 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRectDegenerate(t *testing.T) {
+	cases := []struct {
+		top, left, bottom, right int
+	}{
+		{0, 0, 0, 0},
+		{5, 5, 5, 10},
+		{5, 5, 10, 5},
+		{10, 0, 5, 10},
+		{0, 10, 10, 5},
+	}
+	for _, c := range cases {
+		r := NewRect(c.top, c.left, c.bottom, c.right)
+		if !r.IsEmpty() {
+			t.Errorf("NewRect(%d,%d,%d,%d) = %v, want empty", c.top, c.left, c.bottom, c.right, r)
+		}
+		if r.Area() != 0 || r.Width() != 0 || r.Height() != 0 {
+			t.Errorf("empty rect has nonzero dimensions: %v", r)
+		}
+	}
+}
+
+func TestRectDimensions(t *testing.T) {
+	r := NewRect(2, 3, 7, 11)
+	if got := r.Height(); got != 5 {
+		t.Errorf("Height = %d, want 5", got)
+	}
+	if got := r.Width(); got != 8 {
+		t.Errorf("Width = %d, want 8", got)
+	}
+	if got := r.Area(); got != 40 {
+		t.Errorf("Area = %d, want 40", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := NewRect(2, 3, 7, 11)
+	cases := []struct {
+		row, col int
+		want     bool
+	}{
+		{2, 3, true},
+		{6, 10, true},
+		{7, 10, false},
+		{6, 11, false},
+		{1, 3, false},
+		{2, 2, false},
+		{4, 5, true},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.row, c.col); got != c.want {
+			t.Errorf("Contains(%d,%d) = %v, want %v", c.row, c.col, got, c.want)
+		}
+	}
+}
+
+func TestRectContainsRect(t *testing.T) {
+	r := NewRect(0, 0, 10, 10)
+	if !r.ContainsRect(NewRect(2, 2, 5, 5)) {
+		t.Error("inner rect should be contained")
+	}
+	if !r.ContainsRect(EmptyRect) {
+		t.Error("empty rect is contained in everything")
+	}
+	if EmptyRect.ContainsRect(r) {
+		t.Error("empty rect contains nothing non-empty")
+	}
+	if r.ContainsRect(NewRect(2, 2, 11, 5)) {
+		t.Error("overhanging rect should not be contained")
+	}
+	if !r.ContainsRect(r) {
+		t.Error("rect contains itself")
+	}
+}
+
+func TestRectIntersect(t *testing.T) {
+	a := NewRect(0, 0, 5, 5)
+	b := NewRect(3, 3, 8, 8)
+	got := a.Intersect(b)
+	want := NewRect(3, 3, 5, 5)
+	if got != want {
+		t.Errorf("Intersect = %v, want %v", got, want)
+	}
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("Overlaps should be true and symmetric")
+	}
+	c := NewRect(5, 5, 8, 8) // touches at corner, half-open => disjoint
+	if a.Overlaps(c) {
+		t.Error("corner-touching half-open rects must not overlap")
+	}
+	if got := a.Intersect(EmptyRect); !got.IsEmpty() {
+		t.Errorf("Intersect with empty = %v, want empty", got)
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := NewRect(0, 0, 2, 2)
+	b := NewRect(5, 5, 8, 9)
+	got := a.Union(b)
+	want := NewRect(0, 0, 8, 9)
+	if got != want {
+		t.Errorf("Union = %v, want %v", got, want)
+	}
+	if got := a.Union(EmptyRect); got != a {
+		t.Errorf("Union with empty = %v, want %v", got, a)
+	}
+	if got := EmptyRect.Union(b); got != b {
+		t.Errorf("empty Union b = %v, want %v", got, b)
+	}
+}
+
+func TestRectTranslate(t *testing.T) {
+	r := NewRect(1, 2, 4, 6)
+	got := r.Translate(3, -2)
+	want := NewRect(4, 0, 7, 4)
+	if got != want {
+		t.Errorf("Translate = %v, want %v", got, want)
+	}
+	if !EmptyRect.Translate(5, 5).IsEmpty() {
+		t.Error("translated empty rect must stay empty")
+	}
+}
+
+func TestRectEq(t *testing.T) {
+	if !EmptyRect.Eq(NewRect(3, 3, 3, 7)) {
+		t.Error("all empty rects are equal")
+	}
+	if !NewRect(0, 0, 1, 1).Eq(NewRect(0, 0, 1, 1)) {
+		t.Error("identical rects are equal")
+	}
+	if NewRect(0, 0, 1, 1).Eq(NewRect(0, 0, 2, 1)) {
+		t.Error("different rects are not equal")
+	}
+}
+
+func TestDirectionStrings(t *testing.T) {
+	want := map[Direction][2]string{
+		Down:  {"Down", "↓"},
+		Up:    {"Up", "↑"},
+		Right: {"Right", "→"},
+		Left:  {"Left", "←"},
+	}
+	for d, w := range want {
+		if d.String() != w[0] {
+			t.Errorf("%v.String() = %q, want %q", d, d.String(), w[0])
+		}
+		if d.Arrow() != w[1] {
+			t.Errorf("%v.Arrow() = %q, want %q", d, d.Arrow(), w[1])
+		}
+	}
+	bogus := Direction(200)
+	if bogus.Arrow() != "?" {
+		t.Errorf("bogus arrow = %q", bogus.Arrow())
+	}
+}
+
+func TestViewRoundTrip(t *testing.T) {
+	const n = 17
+	for _, d := range AllDirections {
+		v := NewView(n, d)
+		if v.N() != n {
+			t.Fatalf("N = %d, want %d", v.N(), n)
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				pr, pc := v.Apply(i, j)
+				if pr < 0 || pr >= n || pc < 0 || pc >= n {
+					t.Fatalf("dir %v: Apply(%d,%d) out of range: (%d,%d)", d, i, j, pr, pc)
+				}
+				lr, lc := v.Invert(pr, pc)
+				if lr != i || lc != j {
+					t.Fatalf("dir %v: round trip (%d,%d) -> (%d,%d) -> (%d,%d)", d, i, j, pr, pc, lr, lc)
+				}
+			}
+		}
+	}
+}
+
+func TestViewIsBijection(t *testing.T) {
+	const n = 9
+	for _, d := range AllDirections {
+		v := NewView(n, d)
+		seen := make(map[Point]bool, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				pr, pc := v.Apply(i, j)
+				p := Point{pr, pc}
+				if seen[p] {
+					t.Fatalf("dir %v: Apply not injective at (%d,%d)", d, i, j)
+				}
+				seen[p] = true
+			}
+		}
+	}
+}
+
+func TestViewDownIsIdentity(t *testing.T) {
+	v := NewView(8, Down)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if r, c := v.Apply(i, j); r != i || c != j {
+				t.Fatalf("Down view not identity at (%d,%d): got (%d,%d)", i, j, r, c)
+			}
+		}
+	}
+}
+
+func TestViewUpFlipsRows(t *testing.T) {
+	v := NewView(5, Up)
+	if r, c := v.Apply(0, 2); r != 4 || c != 2 {
+		t.Errorf("Up view Apply(0,2) = (%d,%d), want (4,2)", r, c)
+	}
+}
+
+func TestViewRightTransposes(t *testing.T) {
+	v := NewView(5, Right)
+	// Logical "down" (increasing logical row) must increase the physical column.
+	r0, c0 := v.Apply(0, 1)
+	r1, c1 := v.Apply(1, 1)
+	if r0 != r1 {
+		t.Errorf("Right view: physical row changed (%d -> %d)", r0, r1)
+	}
+	if c1 != c0+1 {
+		t.Errorf("Right view: physical col should advance by 1, got %d -> %d", c0, c1)
+	}
+}
+
+func TestViewLeftMovesLeft(t *testing.T) {
+	v := NewView(5, Left)
+	_, c0 := v.Apply(0, 1)
+	_, c1 := v.Apply(1, 1)
+	if c1 != c0-1 {
+		t.Errorf("Left view: physical col should retreat by 1, got %d -> %d", c0, c1)
+	}
+}
+
+func TestViewApplyRectRoundTrip(t *testing.T) {
+	const n = 12
+	rnd := rand.New(rand.NewSource(1))
+	for _, d := range AllDirections {
+		v := NewView(n, d)
+		for k := 0; k < 200; k++ {
+			t1 := rnd.Intn(n)
+			l1 := rnd.Intn(n)
+			r := NewRect(t1, l1, t1+1+rnd.Intn(n-t1), l1+1+rnd.Intn(n-l1))
+			got := v.InvertRect(v.ApplyRect(r))
+			if !got.Eq(r) {
+				t.Fatalf("dir %v: rect round trip %v -> %v", d, r, got)
+			}
+			if v.ApplyRect(r).Area() != r.Area() {
+				t.Fatalf("dir %v: rect area changed: %v -> %v", d, r, v.ApplyRect(r))
+			}
+		}
+	}
+}
+
+func TestViewApplyRectCoversSameCells(t *testing.T) {
+	const n = 7
+	for _, d := range AllDirections {
+		v := NewView(n, d)
+		r := NewRect(1, 2, 4, 6)
+		pr := v.ApplyRect(r)
+		count := 0
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ri, rj := v.Apply(i, j)
+				inLogical := r.Contains(i, j)
+				inPhysical := pr.Contains(ri, rj)
+				if inLogical != inPhysical {
+					t.Fatalf("dir %v: cell (%d,%d) logical=%v physical=%v", d, i, j, inLogical, inPhysical)
+				}
+				if inLogical {
+					count++
+				}
+			}
+		}
+		if count != r.Area() {
+			t.Fatalf("dir %v: covered %d cells, want %d", d, count, r.Area())
+		}
+	}
+}
+
+func TestViewEmptyRect(t *testing.T) {
+	v := NewView(10, Left)
+	if !v.ApplyRect(EmptyRect).IsEmpty() {
+		t.Error("ApplyRect(empty) must be empty")
+	}
+	if !v.InvertRect(EmptyRect).IsEmpty() {
+		t.Error("InvertRect(empty) must be empty")
+	}
+}
+
+// Property: Intersect is commutative and contained in both operands.
+func TestQuickIntersectProperties(t *testing.T) {
+	f := func(a, b uint8, c, d uint8, e, f2, g, h uint8) bool {
+		r1 := NewRect(int(a%20), int(b%20), int(a%20)+int(c%10)+1, int(b%20)+int(d%10)+1)
+		r2 := NewRect(int(e%20), int(f2%20), int(e%20)+int(g%10)+1, int(f2%20)+int(h%10)+1)
+		i1 := r1.Intersect(r2)
+		i2 := r2.Intersect(r1)
+		if !i1.Eq(i2) {
+			return false
+		}
+		if !r1.ContainsRect(i1) || !r2.ContainsRect(i1) {
+			return false
+		}
+		return r1.Union(r2).ContainsRect(r1) && r1.Union(r2).ContainsRect(r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewViewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewView with invalid direction should panic")
+		}
+	}()
+	NewView(4, Direction(99))
+}
+
+func TestViewAccessors(t *testing.T) {
+	cases := []struct {
+		d          Direction
+		transposed bool
+		flipped    bool
+	}{
+		{Down, false, false},
+		{Up, false, true},
+		{Right, true, false},
+		{Left, true, true},
+	}
+	for _, c := range cases {
+		v := NewView(9, c.d)
+		if v.Transposed() != c.transposed || v.Flipped() != c.flipped {
+			t.Errorf("%v: transposed=%v flipped=%v", c.d, v.Transposed(), v.Flipped())
+		}
+	}
+	up := NewView(9, Up)
+	if up.FlipIndex(0) != 8 || up.FlipIndex(8) != 0 {
+		t.Error("FlipIndex should mirror for flipped views")
+	}
+	down := NewView(9, Down)
+	if down.FlipIndex(3) != 3 {
+		t.Error("FlipIndex should be identity for Down")
+	}
+}

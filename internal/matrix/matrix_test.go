@@ -1,0 +1,464 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func randomPair(n int, seed int64) (*Dense, *Dense) {
+	rng := rand.New(rand.NewSource(seed))
+	a := New(n)
+	b := New(n)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	return a, b
+}
+
+func TestNewZeroed(t *testing.T) {
+	m := New(5)
+	if m.N() != 5 {
+		t.Fatalf("N = %d, want 5", m.N())
+	}
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("New not zeroed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestNewNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestSetAtRow(t *testing.T) {
+	m := New(4)
+	m.Set(2, 3, 7.5)
+	if got := m.At(2, 3); got != 7.5 {
+		t.Errorf("At = %v, want 7.5", got)
+	}
+	row := m.Row(2)
+	if row[3] != 7.5 {
+		t.Errorf("Row slice = %v", row)
+	}
+	row[0] = -1 // live slice
+	if m.At(2, 0) != -1 {
+		t.Error("Row must return a live slice")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("FromRows content wrong: %v", m)
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows should error")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := New(3)
+	m.Set(1, 1, 5)
+	c := m.Clone()
+	c.Set(1, 1, 9)
+	if m.At(1, 1) != 5 {
+		t.Error("Clone must be independent")
+	}
+	if !m.Equal(m.Clone()) {
+		t.Error("Clone must equal original")
+	}
+}
+
+func TestIdentityMultiplication(t *testing.T) {
+	const n = 9
+	a, _ := randomPair(n, 3)
+	id := Identity(n)
+	c := New(n)
+	MulKIJ(c, a, id)
+	if !c.ApproxEqual(a, 0) {
+		t.Error("A·I != A under kij")
+	}
+	c.Zero()
+	MulKIJ(c, id, a)
+	if !c.ApproxEqual(a, 0) {
+		t.Error("I·A != A under kij")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	tr := m.Transpose()
+	if tr.At(0, 1) != 3 || tr.At(1, 0) != 2 {
+		t.Errorf("Transpose wrong: %v", tr)
+	}
+	if !m.Transpose().Transpose().Equal(m) {
+		t.Error("double transpose must be identity")
+	}
+}
+
+func TestKernelsAgree(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16, 33, 64, 100} {
+		a, b := randomPair(n, int64(n))
+		want := New(n)
+		MulIJK(want, a, b)
+
+		kij := New(n)
+		MulKIJ(kij, a, b)
+		if d, _ := kij.MaxDiff(want); d > 1e-12*float64(n) {
+			t.Errorf("n=%d: kij vs ijk max diff %g", n, d)
+		}
+
+		blk := New(n)
+		MulBlocked(blk, a, b, 8)
+		if d, _ := blk.MaxDiff(want); d > 1e-12*float64(n) {
+			t.Errorf("n=%d: blocked vs ijk max diff %g", n, d)
+		}
+
+		par := New(n)
+		MulParallel(par, a, b, 4)
+		if !par.Equal(kij) {
+			t.Errorf("n=%d: parallel kij must be bit-identical to serial kij", n)
+		}
+	}
+}
+
+func TestMulBlockedDefaultBlock(t *testing.T) {
+	n := 70
+	a, b := randomPair(n, 9)
+	want := New(n)
+	MulKIJ(want, a, b)
+	got := New(n)
+	MulBlocked(got, a, b, 0) // DefaultBlock
+	if d, _ := got.MaxDiff(want); d > 1e-10 {
+		t.Errorf("default block diff %g", d)
+	}
+}
+
+func TestMulKIJStepAccumulates(t *testing.T) {
+	const n = 12
+	a, b := randomPair(n, 11)
+	want := New(n)
+	MulKIJ(want, a, b)
+	got := New(n)
+	for k := 0; k < n; k++ {
+		MulKIJStep(got, a, b, k)
+	}
+	if !got.Equal(want) {
+		t.Error("sum of kij steps must equal full kij (identical order)")
+	}
+}
+
+func TestMulKIJStepOutOfRangePanics(t *testing.T) {
+	a := New(3)
+	b := New(3)
+	c := New(3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for pivot out of range")
+		}
+	}()
+	MulKIJStep(c, a, b, 3)
+}
+
+func TestMulSubKIJCoversExactlyRegion(t *testing.T) {
+	const n = 10
+	a, b := randomPair(n, 21)
+	full := New(n)
+	MulKIJ(full, a, b)
+	c := New(n)
+	MulSubKIJ(c, a, b, 2, 6, 3, 9)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			inside := i >= 2 && i < 6 && j >= 3 && j < 9
+			if inside && c.At(i, j) != full.At(i, j) {
+				t.Fatalf("(%d,%d) inside region differs", i, j)
+			}
+			if !inside && c.At(i, j) != 0 {
+				t.Fatalf("(%d,%d) outside region was touched", i, j)
+			}
+		}
+	}
+}
+
+func TestMulSubKIJTiling(t *testing.T) {
+	// Two disjoint row/col tiles covering the matrix reproduce the full
+	// product exactly (this is what a rectangular partition computes).
+	const n = 8
+	a, b := randomPair(n, 5)
+	want := New(n)
+	MulKIJ(want, a, b)
+	got := New(n)
+	MulSubKIJ(got, a, b, 0, 5, 0, n)
+	MulSubKIJ(got, a, b, 5, n, 0, n)
+	if !got.Equal(want) {
+		t.Error("row-band tiling must reproduce the full product")
+	}
+}
+
+func TestMulMaskedMatchesSub(t *testing.T) {
+	const n = 9
+	a, b := randomPair(n, 8)
+	mask := make([]bool, n*n)
+	for i := 1; i < 5; i++ {
+		for j := 2; j < 7; j++ {
+			mask[i*n+j] = true
+		}
+	}
+	viaMask := New(n)
+	MulMasked(viaMask, a, b, mask)
+	viaSub := New(n)
+	MulSubKIJ(viaSub, a, b, 1, 5, 2, 7)
+	if !viaMask.Equal(viaSub) {
+		t.Error("masked kernel must match sub kernel on a rectangle")
+	}
+}
+
+func TestMulMaskedNonRectangularCover(t *testing.T) {
+	// An arbitrary 3-way disjoint mask cover reproduces the full product —
+	// the correctness basis for non-rectangular partitions.
+	const n = 11
+	a, b := randomPair(n, 13)
+	want := New(n)
+	MulKIJ(want, a, b)
+
+	rng := rand.New(rand.NewSource(42))
+	masks := make([][]bool, 3)
+	for p := range masks {
+		masks[p] = make([]bool, n*n)
+	}
+	for idx := 0; idx < n*n; idx++ {
+		masks[rng.Intn(3)][idx] = true
+	}
+	got := New(n)
+	for _, m := range masks {
+		MulMasked(got, a, b, m)
+	}
+	if !got.Equal(want) {
+		t.Error("3-way masked cover must reproduce the full kij product")
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	a := New(4)
+	b := New(4)
+	for _, f := range []func(){
+		func() { MulKIJ(a, a, b) },
+		func() { MulIJK(b, a, b) },
+		func() { MulBlocked(a, a, b, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("aliased destination should panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDimensionMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("dimension mismatch should panic")
+		}
+	}()
+	MulKIJ(New(3), New(4), New(4))
+}
+
+func TestMaxDiffDimensionError(t *testing.T) {
+	if _, err := New(3).MaxDiff(New(4)); err == nil {
+		t.Error("MaxDiff should error on dimension mismatch")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	m, _ := FromRows([][]float64{{3, 0}, {0, 4}})
+	if got := m.FrobeniusNorm(); math.Abs(got-5) > 1e-15 {
+		t.Errorf("‖m‖F = %v, want 5", got)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	small := New(2)
+	if !strings.Contains(small.String(), "0.0000") {
+		t.Errorf("small String: %q", small.String())
+	}
+	big := New(20)
+	if !strings.Contains(big.String(), "20×20") {
+		t.Errorf("big String: %q", big.String())
+	}
+}
+
+func TestFillSequentialDeterministic(t *testing.T) {
+	a := New(6)
+	b := New(6)
+	a.FillSequential()
+	b.FillSequential()
+	if !a.Equal(b) {
+		t.Error("FillSequential must be deterministic")
+	}
+	if a.At(0, 0) != 0 {
+		t.Error("first element must be 0")
+	}
+}
+
+func TestFlops(t *testing.T) {
+	if got := Flops(10); got != 2000 {
+		t.Errorf("Flops(10) = %d, want 2000", got)
+	}
+	if got := Flops(5000); got != 2*5000*5000*5000 {
+		t.Errorf("Flops(5000) overflowed: %d", got)
+	}
+}
+
+func TestMulParallelWorkerEdgeCases(t *testing.T) {
+	const n = 5
+	a, b := randomPair(n, 17)
+	want := New(n)
+	MulKIJ(want, a, b)
+	for _, w := range []int{0, 1, 2, n, n + 10} {
+		got := New(n)
+		MulParallel(got, a, b, w)
+		if !got.Equal(want) {
+			t.Errorf("workers=%d: mismatch", w)
+		}
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ within tolerance.
+func TestQuickTransposeProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 6
+		a, b := randomPair(n, seed)
+		ab := New(n)
+		MulKIJ(ab, a, b)
+		btat := New(n)
+		MulKIJ(btat, b.Transpose(), a.Transpose())
+		return ab.Transpose().ApproxEqual(btat, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: multiplication distributes over matrix addition.
+func TestQuickDistributive(t *testing.T) {
+	f := func(seed int64) bool {
+		n := 5
+		rng := rand.New(rand.NewSource(seed))
+		a := New(n)
+		b := New(n)
+		c := New(n)
+		a.FillRandom(rng)
+		b.FillRandom(rng)
+		c.FillRandom(rng)
+		// A·(B+C)
+		bc := New(n)
+		for i := range bc.data {
+			bc.data[i] = b.data[i] + c.data[i]
+		}
+		left := New(n)
+		MulKIJ(left, a, bc)
+		// A·B + A·C
+		right := New(n)
+		MulKIJ(right, a, b)
+		MulKIJ(right, a, c) // accumulates
+		return left.ApproxEqual(right, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMulKIJ(b *testing.B) {
+	for _, n := range []int{64, 128, 256} {
+		a, x := randomPair(n, 1)
+		c := New(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			b.SetBytes(int64(8 * n * n))
+			for i := 0; i < b.N; i++ {
+				c.Zero()
+				MulKIJ(c, a, x)
+			}
+		})
+	}
+}
+
+func BenchmarkMulBlocked(b *testing.B) {
+	for _, n := range []int{128, 256} {
+		a, x := randomPair(n, 1)
+		c := New(n)
+		b.Run(sizeName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				c.Zero()
+				MulBlocked(c, a, x, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkMulParallel(b *testing.B) {
+	n := 256
+	a, x := randomPair(n, 1)
+	c := New(n)
+	for i := 0; i < b.N; i++ {
+		c.Zero()
+		MulParallel(c, a, x, 0)
+	}
+}
+
+func sizeName(n int) string {
+	return "n" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Property: matrix multiplication is associative within tolerance.
+func TestQuickAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		const n = 5
+		rng := rand.New(rand.NewSource(seed))
+		a, b2, c := New(n), New(n), New(n)
+		a.FillRandom(rng)
+		b2.FillRandom(rng)
+		c.FillRandom(rng)
+		ab := New(n)
+		MulKIJ(ab, a, b2)
+		abc1 := New(n)
+		MulKIJ(abc1, ab, c)
+		bc := New(n)
+		MulKIJ(bc, b2, c)
+		abc2 := New(n)
+		MulKIJ(abc2, a, bc)
+		return abc1.ApproxEqual(abc2, 1e-11)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

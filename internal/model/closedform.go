@@ -1,0 +1,117 @@
+package model
+
+import (
+	"math"
+
+	"repro/internal/partition"
+)
+
+// This file carries the closed-form communication-volume expressions the
+// Section X comparison uses, in the paper's normalised coordinates
+// (matrix dimension N = 1). Multiply by N² to obtain element counts for a
+// concrete matrix. The exact-grid VoC of a constructed candidate converges
+// to these expressions as N grows; the tests verify that.
+
+// NormalizedVoC returns the closed-form Volume of Communication of a
+// canonical candidate shape for the given ratio, normalised by N² (so a
+// VoC of v means v·N² elements). It returns ok=false when the shape is
+// infeasible for the ratio (Thm 9.1) or no closed form is defined.
+func NormalizedVoC(s partition.Shape, ratio partition.Ratio) (v float64, ok bool) {
+	t := ratio.T()
+	fR := ratio.Rr / t
+	fS := ratio.Sr / t
+	switch s {
+	case partition.SquareCorner:
+		// Two disjoint squares of sides √fR and √fS: the rows and the
+		// columns crossing each square host two processors.
+		// VoC = 2N(R_w + S_w) → 2(√fR + √fS) in normalised units.
+		if !partition.SquareCornerFeasible(ratio) {
+			return 0, false
+		}
+		return 2 * (math.Sqrt(fR) + math.Sqrt(fS)), true
+
+	case partition.RectangleCorner:
+		// Corner rectangles of widths x and 1−x (Section IX-B.1). Rows
+		// crossing each rectangle cost its height; every column costs 1
+		// (each column meets exactly two processors)... in normalised
+		// terms VoC = (hR + hS) + 1 with hR = fR/x, hS = fS/(1−x),
+		// minimised over the split x.
+		best := math.Inf(1)
+		for x := 0.01; x < 0.995; x += 0.005 {
+			hR := fR / x
+			hS := fS / (1 - x)
+			if hR > 1 || hS > 1 {
+				continue
+			}
+			if c := hR + hS + 1; c < best {
+				best = c
+			}
+		}
+		if math.IsInf(best, 1) {
+			return 0, false
+		}
+		return best, true
+
+	case partition.SquareRectangle:
+		// Full-height strip of width fR (columns crossing it cost... its
+		// rows meet two processors: strip rows cost nothing extra — the
+		// strip spans all rows, so every row hosts {R,P} → each of the N
+		// rows costs 1 where the square adds a third processor.
+		// Rows: 1 (every row hosts R and P) + side of the square
+		// (those rows gain a third processor). Columns: strip columns
+		// host only R? No — the strip is full-height so its columns host
+		// R alone (cost 0); the square's columns host {S,P} (cost side);
+		// remaining columns host P alone... P spans rows above the
+		// square in the square's columns too, so square columns cost 1
+		// each over side columns.
+		// Net normalised VoC = 1 + 2·√fS.
+		side := math.Sqrt(fS)
+		wR := fR
+		if wR+side > 1 {
+			return 0, false
+		}
+		return 1 + 2*side, true
+
+	case partition.BlockRectangle:
+		// Bottom band of height h = fR + fS split between R and S:
+		// band rows host {R,S} (cost h), every column hosts two
+		// processors (cost 1). VoC = h + 1 — the paper's N(R_len + N).
+		return fR + fS + 1, true
+
+	case partition.LRectangle:
+		// R full-height strip width fR: every row hosts {R,P}… plus the
+		// S band of height hS = fS/(1−fR) across the remaining columns:
+		// band rows gain S (third processor) → +hS… rows: 1 + hS? Rows
+		// crossing the band host {R,S,P}? The band spans columns right
+		// of the strip and P is above it, so band rows host R (strip),
+		// S (band): the paper's metric counts processors per row:
+		// non-band rows {R,P} → 1; band rows {R,S} → 1 — plus P only
+		// when the band does not reach the bottom… canonical form has
+		// the band at the bottom: band rows host {R,S} → 1. So all rows
+		// cost 1. Columns: strip columns {R} → 0; other columns {S,P} →
+		// 1 each → (1−fR). VoC = 1 + (1 − fR).
+		if fR >= 1 {
+			return 0, false
+		}
+		return 1 + (1 - fR), true
+
+	case partition.TraditionalRectangle:
+		// P strip plus an R/S strip of width w = fR + fS: every row
+		// hosts ≥2 processors (cost 1); strip columns host {R,S}
+		// (cost w). VoC = 1 + (fR + fS).
+		return 1 + fR + fS, true
+	}
+	return 0, false
+}
+
+// SCBCommSeconds returns the modelled SCB communication time in seconds
+// for a canonical shape on an N×N matrix under the machine's Hockney
+// parameters — the quantity plotted in Figs 13 and 14.
+func SCBCommSeconds(s partition.Shape, m Machine, n int) (float64, bool) {
+	v, ok := NormalizedVoC(s, m.Ratio)
+	if !ok {
+		return 0, false
+	}
+	elements := v * float64(n) * float64(n)
+	return m.Net.Alpha + m.Net.Beta*elements, true
+}

@@ -1,0 +1,393 @@
+// Package model implements the performance models of Section IV-B: total
+// execution time of parallel matrix-matrix multiplication on three
+// heterogeneous processors under the five MMM algorithms (SCB, PCB, SCO,
+// PCO, PIO), driven by the Hockney communication model and the partition
+// metrics of Eq 1 / Eq 6.
+//
+// All models are evaluated exactly on a concrete partition grid (via
+// partition.Metrics), so they apply to the candidate canonical shapes and
+// to arbitrary non-shapes alike. Closed forms for the canonical shapes
+// used in the Section X comparison live in closedform.go.
+package model
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+)
+
+// Algorithm identifies one of the five parallel MMM algorithms of
+// Section II.
+type Algorithm uint8
+
+const (
+	// SCB — Serial Communication with Barrier: all data sent serially,
+	// then computation proceeds in parallel (Eq 2–3).
+	SCB Algorithm = iota
+	// PCB — Parallel Communication with Barrier: all data sent in
+	// parallel, then computation (Eq 4–6).
+	PCB
+	// SCO — Serial Communication with Bulk Overlap: serial sends overlap
+	// with computation of the communication-free elements (Eq 7).
+	SCO
+	// PCO — Parallel Communication with Bulk Overlap (Eq 8).
+	PCO
+	// PIO — Parallel Interleaving Overlap: pivot row/column k is sent
+	// while step k−1 is computed (Eq 9).
+	PIO
+	numAlgorithms
+)
+
+// NumAlgorithms is the number of modelled MMM algorithms.
+const NumAlgorithms = int(numAlgorithms)
+
+// AllAlgorithms lists the algorithms in paper order.
+var AllAlgorithms = [NumAlgorithms]Algorithm{SCB, PCB, SCO, PCO, PIO}
+
+func (a Algorithm) String() string {
+	switch a {
+	case SCB:
+		return "SCB"
+	case PCB:
+		return "PCB"
+	case SCO:
+		return "SCO"
+	case PCO:
+		return "PCO"
+	case PIO:
+		return "PIO"
+	}
+	return fmt.Sprintf("Algorithm(%d)", uint8(a))
+}
+
+// ParseAlgorithm parses an algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for _, a := range AllAlgorithms {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("model: unknown algorithm %q", s)
+}
+
+// Topology is the interconnect layout of Section X.
+type Topology uint8
+
+const (
+	// FullyConnected lets every processor pair communicate directly.
+	FullyConnected Topology = iota
+	// Star routes all traffic through the fastest processor P: R and S
+	// exchange data only via P, doubling the cost of any R↔S volume.
+	Star
+)
+
+func (t Topology) String() string {
+	switch t {
+	case FullyConnected:
+		return "fully-connected"
+	case Star:
+		return "star"
+	}
+	return fmt.Sprintf("Topology(%d)", uint8(t))
+}
+
+// Hockney is the linear communication model T_comm = α + β·M of Hockney
+// [12]: α seconds of latency per message plus β seconds per element.
+type Hockney struct {
+	// Alpha is the per-message latency in seconds.
+	Alpha float64
+	// Beta is the per-element transfer time in seconds (element size ÷
+	// bandwidth).
+	Beta float64
+}
+
+// Time returns the cost of one message of m elements.
+func (h Hockney) Time(m int64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	return h.Alpha + h.Beta*float64(m)
+}
+
+// PerElement returns the marginal per-element cost β.
+func (h Hockney) PerElement() float64 { return h.Beta }
+
+// Machine gathers everything the models need about the platform.
+type Machine struct {
+	// Ratio is the relative processing-speed ratio.
+	Ratio partition.Ratio
+	// Net is the communication model.
+	Net Hockney
+	// FlopTime is the seconds the *slowest* processor (S, speed 1) needs
+	// for one element-update (one multiply-add of the kij loop).
+	// Processor X performs an element update in FlopTime/Speed(X).
+	FlopTime float64
+	// Topology selects the interconnect (Section X); the zero value is
+	// FullyConnected.
+	Topology Topology
+}
+
+// DefaultMachine mirrors the paper's experimental platform of Fig 14:
+// 1000 MB/s network, 8-byte elements, negligible latency, and a unit
+// element-update time scaled so that compute and communication are
+// comparable at N=5000.
+func DefaultMachine(ratio partition.Ratio) Machine {
+	return Machine{
+		Ratio:    ratio,
+		Net:      Hockney{Alpha: 0, Beta: 8.0 / 1e9}, // 8 B / (1000 MB/s)
+		FlopTime: 1.0 / 1e9,
+	}
+}
+
+// compTime returns the seconds processor p needs to update count elements
+// once per pivot step over all N steps (count · N element-updates).
+func (m Machine) compTime(p partition.Proc, count int, n int) float64 {
+	return float64(count) * float64(n) * m.FlopTime / m.Ratio.Speed(p)
+}
+
+// stepTime returns the seconds processor p needs for a single pivot step
+// over count elements.
+func (m Machine) stepTime(p partition.Proc, count int) float64 {
+	return float64(count) * m.FlopTime / m.Ratio.Speed(p)
+}
+
+// Breakdown reports the components of an execution-time estimate.
+type Breakdown struct {
+	Algorithm Algorithm
+	// Comm is the (possibly overlapped) communication time in seconds.
+	Comm float64
+	// Overlap is the computation time overlapped with communication
+	// (zero for barrier algorithms).
+	Overlap float64
+	// Comp is the non-overlapped computation time.
+	Comp float64
+	// Total is the modelled execution time (Eqs 2, 4, 7, 8, 9).
+	Total float64
+}
+
+// Evaluate models the execution time of algorithm a on partition metrics
+// snap (Eqs 2–9).
+func Evaluate(a Algorithm, m Machine, snap partition.Metrics) Breakdown {
+	switch a {
+	case SCB:
+		return evalSCB(m, snap)
+	case PCB:
+		return evalPCB(m, snap)
+	case SCO:
+		return evalSCO(m, snap)
+	case PCO:
+		return evalPCO(m, snap)
+	case PIO:
+		return evalPIO(m, snap)
+	}
+	panic("model: unknown algorithm")
+}
+
+// EvaluateGrid is Evaluate on a concrete partition.
+func EvaluateGrid(a Algorithm, m Machine, g *partition.Grid) Breakdown {
+	return Evaluate(a, m, g.Snapshot())
+}
+
+// CommVolume returns the total communication volume in elements for the
+// given topology. Under the fully connected topology it is Eq 1's VoC.
+// Under the star topology every element exchanged between R and S crosses
+// two links (via P), so the R↔S share of the volume is doubled; the
+// per-processor send volumes d_X (Eq 6) bound that share.
+func CommVolume(m Machine, snap partition.Metrics) int64 {
+	v := snap.VoC
+	if m.Topology == Star {
+		v += starRelayVolume(snap)
+	}
+	return v
+}
+
+// starRelayVolume estimates the extra volume the star topology forwards
+// through P: the data R needs from S plus the data S needs from R. With
+// identically partitioned matrices this is bounded by the smaller of the
+// two processors' send volumes; we use that bound as the model.
+func starRelayVolume(snap partition.Metrics) int64 {
+	dR := sendVolume(snap, partition.R)
+	dS := sendVolume(snap, partition.S)
+	if dR < dS {
+		return dR
+	}
+	return dS
+}
+
+// sendVolume returns the exact unicast send volume of processor p in
+// elements: each of p's cells is sent once per other processor in its row
+// and once per other processor in its column. Summed over processors this
+// equals Eq 1's VoC exactly, and it vanishes when no communication is
+// needed. The paper's Eq 6 approximates it as d_X = (N·i_X + N·j_X) − ∈X,
+// which over-counts when a processor's rows or columns are unshared (it
+// is N² even for a single-processor grid); Eq 6's literal form remains
+// available as SendVolumeEq6.
+func sendVolume(snap partition.Metrics, p partition.Proc) int64 {
+	return snap.Sends[p]
+}
+
+// SendVolume exposes the exact per-processor send volume.
+func SendVolume(snap partition.Metrics, p partition.Proc) int64 {
+	return sendVolume(snap, p)
+}
+
+// SendVolumeEq6 is the paper's literal d_X formula (Eq 6):
+// (N·i_X + N·j_X) − ∈X.
+func SendVolumeEq6(snap partition.Metrics, p partition.Proc) int64 {
+	n := int64(snap.N)
+	return n*int64(snap.Rows[p]) + n*int64(snap.Cols[p]) - int64(snap.Elements[p])
+}
+
+func maxCompTime(m Machine, snap partition.Metrics, counts [partition.NumProcs]int) float64 {
+	var worst float64
+	for _, p := range partition.Procs {
+		if t := m.compTime(p, counts[p], snap.N); t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// evalSCB implements Eqs 2–3: serial communication of the whole VoC, then
+// a barrier, then parallel computation.
+func evalSCB(m Machine, snap partition.Metrics) Breakdown {
+	comm := m.Net.Time(CommVolume(m, snap))
+	comp := maxCompTime(m, snap, snap.Elements)
+	return Breakdown{Algorithm: SCB, Comm: comm, Comp: comp, Total: comm + comp}
+}
+
+// evalPCB implements Eqs 4–6: each processor sends its volume d_X in
+// parallel; communication time is the slowest sender.
+func evalPCB(m Machine, snap partition.Metrics) Breakdown {
+	var comm float64
+	for _, p := range partition.Procs {
+		d := sendVolume(snap, p)
+		if m.Topology == Star && p != partition.P {
+			// R and S reach each other via P: their traffic to the
+			// other slow processor is sent twice (once into P, once
+			// out). Model the second hop as P's burden, which is the
+			// slowest-link bound.
+			d += minInt64(sendVolume(snap, partition.R), sendVolume(snap, partition.S))
+		}
+		if t := m.Net.Time(d); t > comm {
+			comm = t
+		}
+	}
+	comp := maxCompTime(m, snap, snap.Elements)
+	return Breakdown{Algorithm: PCB, Comm: comm, Comp: comp, Total: comm + comp}
+}
+
+// evalSCO implements Eq 7: serial communication overlapped with the
+// computation of the communication-free (overlap) elements; then the
+// remainder is computed.
+func evalSCO(m Machine, snap partition.Metrics) Breakdown {
+	comm := m.Net.Time(CommVolume(m, snap))
+	var overlap float64
+	var remainder [partition.NumProcs]int
+	for _, p := range partition.Procs {
+		if t := m.compTime(p, snap.Overlap[p], snap.N); t > overlap {
+			overlap = t
+		}
+		remainder[p] = snap.Elements[p] - snap.Overlap[p]
+	}
+	comp := maxCompTime(m, snap, remainder)
+	first := comm
+	if overlap > first {
+		first = overlap
+	}
+	return Breakdown{Algorithm: SCO, Comm: comm, Overlap: overlap, Comp: comp, Total: first + comp}
+}
+
+// evalPCO implements Eq 8: parallel communication overlapped with the
+// overlap-element computation, then the remainder.
+func evalPCO(m Machine, snap partition.Metrics) Breakdown {
+	var comm float64
+	for _, p := range partition.Procs {
+		if t := m.Net.Time(sendVolume(snap, p)); t > comm {
+			comm = t
+		}
+	}
+	if m.Topology == Star {
+		comm += m.Net.Time(starRelayVolume(snap))
+	}
+	var overlap float64
+	var remainder [partition.NumProcs]int
+	for _, p := range partition.Procs {
+		if t := m.compTime(p, snap.Overlap[p], snap.N); t > overlap {
+			overlap = t
+		}
+		remainder[p] = snap.Elements[p] - snap.Overlap[p]
+	}
+	comp := maxCompTime(m, snap, remainder)
+	first := comm
+	if overlap > first {
+		first = overlap
+	}
+	return Breakdown{Algorithm: PCO, Comm: comm, Overlap: overlap, Comp: comp, Total: first + comp}
+}
+
+// evalPIO implements Eq 9: the N pivot steps are pipelined — step k's
+// communication (the pivot row and column, costed at the per-step share
+// of the VoC) overlaps step k−1's computation; a fill (first send) and a
+// drain (last compute) bracket the pipeline.
+func evalPIO(m Machine, snap partition.Metrics) Breakdown {
+	n := snap.N
+	if n == 0 {
+		return Breakdown{Algorithm: PIO}
+	}
+	// Per-step communication: the VoC spread evenly over the N pivots
+	// (each pivot step communicates the pivot row and column shares) —
+	// but the Hockney latency α is paid per step, not amortised: the
+	// interleaved algorithm sends N small messages where the barrier
+	// algorithms send one large one. This is the latency sensitivity the
+	// paper's conclusion names as future work.
+	vol := CommVolume(m, snap)
+	stepComm := 0.0
+	if vol > 0 {
+		stepComm = m.Net.Alpha + m.Net.Beta*float64(vol)/float64(n)
+	}
+	// Per-step computation: every processor updates its elements once.
+	var stepComp float64
+	for _, p := range partition.Procs {
+		if t := m.stepTime(p, snap.Elements[p]); t > stepComp {
+			stepComp = t
+		}
+	}
+	stepMax := stepComm
+	if stepComp > stepMax {
+		stepMax = stepComp
+	}
+	total := stepComm + float64(n)*stepMax + stepComp // Send k, pipeline, Compute k+1
+	return Breakdown{
+		Algorithm: PIO,
+		Comm:      stepComm * float64(n),
+		Comp:      stepComp * float64(n),
+		Total:     total,
+	}
+}
+
+func minInt64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// IdealTime returns the communication-free, perfectly-balanced lower
+// bound for the execution time: all N³ element-updates spread across the
+// processors in proportion to speed.
+func IdealTime(m Machine, n int) float64 {
+	updates := float64(n) * float64(n) * float64(n)
+	return updates * m.FlopTime / m.Ratio.T()
+}
+
+// Efficiency returns IdealTime divided by the modelled execution time of
+// algorithm a on the partition — 1.0 means the partition wastes nothing
+// on communication or imbalance; lower is worse.
+func Efficiency(a Algorithm, m Machine, snap partition.Metrics) float64 {
+	total := Evaluate(a, m, snap).Total
+	if total <= 0 {
+		return 0
+	}
+	return IdealTime(m, snap.N) / total
+}

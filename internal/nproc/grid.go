@@ -1,0 +1,367 @@
+// Package nproc generalises the Push search beyond three processors — the
+// extension the paper's conclusion (§XI) names as the natural next step
+// ("a fundamental requirement of this program is that it must also be
+// applicable beyond the three processor case. It can easily be adapted to
+// form partition shapes for any number of processors").
+//
+// The package provides a K-processor partition grid with the same O(1)
+// Volume-of-Communication bookkeeping as the three-processor grid, the
+// K-processor Push operation (same six types, same two-cursor legality
+// search, same ΔVoC contracts), and the randomised DFA runner. Processor
+// 0 is the fastest (the analogue of P); every other processor can be
+// pushed.
+package nproc
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// MaxProcs bounds the processor count (rendering glyphs and sanity).
+const MaxProcs = 10
+
+// Ratio is the relative speed of each processor, fastest first
+// (ratio[0] ≥ ratio[1] ≥ … > 0). The slowest is conventionally 1.
+type Ratio []float64
+
+// Validate checks positivity, ordering and length.
+func (r Ratio) Validate() error {
+	if len(r) < 2 {
+		return fmt.Errorf("nproc: need at least 2 processors, got %d", len(r))
+	}
+	if len(r) > MaxProcs {
+		return fmt.Errorf("nproc: at most %d processors, got %d", MaxProcs, len(r))
+	}
+	for i, v := range r {
+		if v <= 0 {
+			return fmt.Errorf("nproc: speed %d is %v, must be positive", i, v)
+		}
+		if i > 0 && v > r[i-1] {
+			return fmt.Errorf("nproc: speeds must be non-increasing (fastest first)")
+		}
+	}
+	return nil
+}
+
+// T returns the speed sum.
+func (r Ratio) T() float64 {
+	var t float64
+	for _, v := range r {
+		t += v
+	}
+	return t
+}
+
+// Counts apportions n² elements proportionally to speed with
+// largest-remainder rounding.
+func (r Ratio) Counts(n int) []int {
+	area := n * n
+	t := r.T()
+	counts := make([]int, len(r))
+	fracs := make([]float64, len(r))
+	assigned := 0
+	for i, v := range r {
+		exact := float64(area) * v / t
+		counts[i] = int(exact)
+		fracs[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < area {
+		best := 0
+		for i := 1; i < len(r); i++ {
+			if fracs[i] > fracs[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		fracs[best] = -1
+		assigned++
+	}
+	return counts
+}
+
+func (r Ratio) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	return strings.Join(parts, ":")
+}
+
+// Grid is a K-processor partition of an n×n matrix with incremental
+// occupancy counters.
+type Grid struct {
+	n, k   int
+	cells  []uint8
+	rowCnt []int32 // [i*k+p]
+	colCnt []int32
+	rowOcc []int16
+	colOcc []int16
+	total  []int
+	voc    int
+}
+
+// NewGrid returns an n×n grid with k processors, all cells assigned to
+// processor 0 (the fastest).
+func NewGrid(n, k int) *Grid {
+	if n <= 0 {
+		panic("nproc: grid size must be positive")
+	}
+	if k < 2 || k > MaxProcs {
+		panic("nproc: processor count out of range")
+	}
+	g := &Grid{
+		n:      n,
+		k:      k,
+		cells:  make([]uint8, n*n),
+		rowCnt: make([]int32, n*k),
+		colCnt: make([]int32, n*k),
+		rowOcc: make([]int16, n),
+		colOcc: make([]int16, n),
+		total:  make([]int, k),
+	}
+	for i := 0; i < n; i++ {
+		g.rowCnt[i*k] = int32(n)
+		g.colCnt[i*k] = int32(n)
+		g.rowOcc[i] = 1
+		g.colOcc[i] = 1
+	}
+	g.total[0] = n * n
+	return g
+}
+
+// N returns the matrix dimension; K the processor count.
+func (g *Grid) N() int { return g.n }
+
+// K returns the processor count.
+func (g *Grid) K() int { return g.k }
+
+// At returns the processor owning cell (i, j).
+func (g *Grid) At(i, j int) int { return int(g.cells[i*g.n+j]) }
+
+// Set assigns cell (i, j) to processor p in O(1).
+func (g *Grid) Set(i, j, p int) {
+	if p < 0 || p >= g.k {
+		panic("nproc: invalid processor")
+	}
+	idx := i*g.n + j
+	old := int(g.cells[idx])
+	if old == p {
+		return
+	}
+	g.cells[idx] = uint8(p)
+	g.total[old]--
+	g.total[p]++
+
+	ro, rn := i*g.k+old, i*g.k+p
+	g.rowCnt[ro]--
+	if g.rowCnt[ro] == 0 {
+		g.rowOcc[i]--
+		g.voc--
+	}
+	if g.rowCnt[rn] == 0 {
+		g.rowOcc[i]++
+		g.voc++
+	}
+	g.rowCnt[rn]++
+
+	co, cn := j*g.k+old, j*g.k+p
+	g.colCnt[co]--
+	if g.colCnt[co] == 0 {
+		g.colOcc[j]--
+		g.voc--
+	}
+	if g.colCnt[cn] == 0 {
+		g.colOcc[j]++
+		g.voc++
+	}
+	g.colCnt[cn]++
+}
+
+// Count returns ∈p.
+func (g *Grid) Count(p int) int { return g.total[p] }
+
+// RowHas / ColHas report line occupancy.
+func (g *Grid) RowHas(i, p int) bool { return g.rowCnt[i*g.k+p] > 0 }
+
+// ColHas reports whether column j contains processor p.
+func (g *Grid) ColHas(j, p int) bool { return g.colCnt[j*g.k+p] > 0 }
+
+// VoC returns Eq 1 generalised to K processors, in elements.
+func (g *Grid) VoC() int64 { return int64(g.voc) * int64(g.n) }
+
+// EnclosingRect returns processor p's enclosing rectangle.
+func (g *Grid) EnclosingRect(p int) geom.Rect {
+	if g.total[p] == 0 {
+		return geom.EmptyRect
+	}
+	top, bottom := -1, -1
+	for i := 0; i < g.n; i++ {
+		if g.RowHas(i, p) {
+			if top < 0 {
+				top = i
+			}
+			bottom = i
+		}
+	}
+	left, right := -1, -1
+	for j := 0; j < g.n; j++ {
+		if g.ColHas(j, p) {
+			if left < 0 {
+				left = j
+			}
+			right = j
+		}
+	}
+	return geom.NewRect(top, left, bottom+1, right+1)
+}
+
+// Clone deep-copies the grid.
+func (g *Grid) Clone() *Grid {
+	return &Grid{
+		n: g.n, k: g.k,
+		cells:  append([]uint8(nil), g.cells...),
+		rowCnt: append([]int32(nil), g.rowCnt...),
+		colCnt: append([]int32(nil), g.colCnt...),
+		rowOcc: append([]int16(nil), g.rowOcc...),
+		colOcc: append([]int16(nil), g.colOcc...),
+		total:  append([]int(nil), g.total...),
+		voc:    g.voc,
+	}
+}
+
+// Equal reports identical assignments.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.n != o.n || g.k != o.k {
+		return false
+	}
+	for i, v := range g.cells {
+		if v != o.cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint hashes the assignment.
+func (g *Grid) Fingerprint() uint64 {
+	h := fnv.New64a()
+	h.Write(g.cells)
+	return h.Sum64()
+}
+
+// Validate recomputes the counters from scratch.
+func (g *Grid) Validate() error {
+	total := make([]int, g.k)
+	rowCnt := make([]int32, g.n*g.k)
+	colCnt := make([]int32, g.n*g.k)
+	for i := 0; i < g.n; i++ {
+		for j := 0; j < g.n; j++ {
+			p := int(g.cells[i*g.n+j])
+			if p >= g.k {
+				return fmt.Errorf("nproc: invalid processor %d at (%d,%d)", p, i, j)
+			}
+			total[p]++
+			rowCnt[i*g.k+p]++
+			colCnt[j*g.k+p]++
+		}
+	}
+	voc := 0
+	for i := 0; i < g.n; i++ {
+		occR, occC := 0, 0
+		for p := 0; p < g.k; p++ {
+			if rowCnt[i*g.k+p] != g.rowCnt[i*g.k+p] {
+				return fmt.Errorf("nproc: row %d count for %d drifted", i, p)
+			}
+			if colCnt[i*g.k+p] != g.colCnt[i*g.k+p] {
+				return fmt.Errorf("nproc: col %d count for %d drifted", i, p)
+			}
+			if rowCnt[i*g.k+p] > 0 {
+				occR++
+			}
+			if colCnt[i*g.k+p] > 0 {
+				occC++
+			}
+		}
+		if int16(occR) != g.rowOcc[i] || int16(occC) != g.colOcc[i] {
+			return fmt.Errorf("nproc: occupancy drifted at line %d", i)
+		}
+		voc += occR - 1 + occC - 1
+	}
+	for p := range total {
+		if total[p] != g.total[p] {
+			return fmt.Errorf("nproc: total for %d drifted", p)
+		}
+	}
+	if voc != g.voc {
+		return fmt.Errorf("nproc: VoC drifted: cached %d actual %d", g.voc, voc)
+	}
+	return nil
+}
+
+// NewRandom builds the randomised start state: all cells on processor 0,
+// then each slower processor claims its quota at uniform random positions
+// still owned by 0 (the §VI-A.2 procedure, generalised).
+func NewRandom(n int, ratio Ratio, rng *rand.Rand) (*Grid, error) {
+	if err := ratio.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGrid(n, len(ratio))
+	counts := ratio.Counts(n)
+	for p := 1; p < len(ratio); p++ {
+		remaining := counts[p]
+		for remaining > 0 {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if g.At(i, j) == 0 {
+				g.Set(i, j, p)
+				remaining--
+			}
+		}
+	}
+	return g, nil
+}
+
+// RenderASCII draws the grid at reduced granularity; processor 0 renders
+// as '.', the rest as '1'..'9'.
+func (g *Grid) RenderASCII(boxes int) string {
+	if boxes <= 0 || boxes > g.n {
+		boxes = g.n
+	}
+	var sb strings.Builder
+	tally := make([]int, g.k)
+	for bi := 0; bi < boxes; bi++ {
+		r0, r1 := bi*g.n/boxes, (bi+1)*g.n/boxes
+		for bj := 0; bj < boxes; bj++ {
+			c0, c1 := bj*g.n/boxes, (bj+1)*g.n/boxes
+			for p := range tally {
+				tally[p] = 0
+			}
+			for i := r0; i < r1; i++ {
+				for j := c0; j < c1; j++ {
+					tally[g.At(i, j)]++
+				}
+			}
+			best := 0
+			for p := 1; p < g.k; p++ {
+				// Ties break toward slower processors so small regions
+				// stay visible.
+				if tally[p] >= tally[best] && tally[p] > 0 {
+					if tally[p] > tally[best] || best == 0 {
+						best = p
+					}
+				}
+			}
+			if best == 0 {
+				sb.WriteByte('.')
+			} else {
+				sb.WriteByte(byte('0' + best))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,320 @@
+package nproc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Type mirrors the six Push legality regimes of Section IV-A, generalised
+// to K processors (identical parameters; the displaced processor may be
+// any processor other than the active one).
+type Type uint8
+
+// The six types.
+const (
+	TypeOne Type = 1 + iota
+	TypeTwo
+	TypeThree
+	TypeFour
+	TypeFive
+	TypeSix
+)
+
+// AllTypes in strongest-first order.
+var AllTypes = []Type{TypeOne, TypeTwo, TypeThree, TypeFour, TypeFive, TypeSix}
+
+func (t Type) params() (dirtyLimit int, ownerStrict, strictDecrease bool) {
+	switch t {
+	case TypeOne:
+		return 0, true, true
+	case TypeTwo:
+		return -1, true, true
+	case TypeThree:
+		return 0, false, true
+	case TypeFour:
+		return -1, false, true
+	case TypeFive:
+		return 1, true, false
+	case TypeSix:
+		return -1, false, false
+	}
+	panic("nproc: invalid type")
+}
+
+// Result describes a committed Push.
+type Result struct {
+	Active   int
+	Dir      geom.Direction
+	Type     Type
+	Moved    int
+	DeltaVoC int64
+}
+
+type vgrid struct {
+	g *Grid
+	v geom.View
+}
+
+func (vg vgrid) at(i, j int) int {
+	pi, pj := vg.v.Apply(i, j)
+	return vg.g.At(pi, pj)
+}
+
+func (vg vgrid) set(i, j, p int) {
+	pi, pj := vg.v.Apply(i, j)
+	vg.g.Set(pi, pj, p)
+}
+
+func (vg vgrid) rowHas(i, p int) bool {
+	if vg.v.Transposed() {
+		return vg.g.ColHas(vg.v.FlipIndex(i), p)
+	}
+	return vg.g.RowHas(vg.v.FlipIndex(i), p)
+}
+
+func (vg vgrid) colHas(j, p int) bool {
+	if vg.v.Transposed() {
+		return vg.g.RowHas(j, p)
+	}
+	return vg.g.ColHas(j, p)
+}
+
+func (vg vgrid) rect(p int) geom.Rect {
+	return vg.v.InvertRect(vg.g.EnclosingRect(p))
+}
+
+type cursor struct {
+	g, h   int
+	bounds geom.Rect
+}
+
+func newCursor(rect geom.Rect) cursor {
+	return cursor{g: rect.Top + 1, h: rect.Left, bounds: rect}
+}
+
+func (c *cursor) valid() bool { return c.g < c.bounds.Bottom }
+
+func (c *cursor) advance() {
+	c.h++
+	if c.h >= c.bounds.Right {
+		c.h = c.bounds.Left
+		c.g++
+	}
+}
+
+// Attempt tries a single K-processor Push; identical legality machinery
+// to the three-processor engine (three-tier monotone cursors and the
+// per-type ΔVoC contract). Processor 0 — the fastest — is never pushed.
+func Attempt(g *Grid, active int, dir geom.Direction, t Type, accept func(*Grid) bool) (Result, bool) {
+	if active <= 0 || active >= g.k {
+		return Result{}, false
+	}
+	dirtyLimit, ownerStrict, strictDecrease := t.params()
+	vg := vgrid{g: g, v: geom.NewView(g.n, dir)}
+	rect := vg.rect(active)
+	if rect.IsEmpty() || rect.Height() < 2 {
+		return Result{}, false
+	}
+	vocBefore := g.VoC()
+	activeRectBefore := g.EnclosingRect(active)
+	top := rect.Top
+
+	type undoCell struct {
+		i, j, prev int
+	}
+	var undo []undoCell
+	rollback := func() {
+		for i := len(undo) - 1; i >= 0; i-- {
+			vg.set(undo[i].i, undo[i].j, undo[i].prev)
+		}
+	}
+
+	moved, dirtied := 0, 0
+	curA, curB, curC := newCursor(rect), newCursor(rect), newCursor(rect)
+	place := func(j int, cur *cursor, tier int) bool {
+		for cur.valid() {
+			cg, ch := cur.g, cur.h
+			owner := vg.at(cg, ch)
+			if owner == active {
+				cur.advance()
+				continue
+			}
+			willDirty := 0
+			if !vg.rowHas(cg, active) {
+				willDirty++
+			}
+			if !vg.colHas(ch, active) {
+				willDirty++
+			}
+			ok := true
+			switch tier {
+			case 0: // strict
+				ok = willDirty == 0 && vg.rowHas(top, owner) && vg.colHas(j, owner)
+			case 1: // amortised
+				ok = willDirty == 0 && vg.colHas(j, owner)
+			default: // typed
+				if dirtyLimit >= 0 && dirtied+willDirty > dirtyLimit {
+					ok = false
+				}
+				if ok && ownerStrict && (!vg.rowHas(top, owner) || !vg.colHas(j, owner)) {
+					ok = false
+				}
+			}
+			if ok {
+				undo = append(undo, undoCell{top, j, active}, undoCell{cg, ch, owner})
+				vg.set(top, j, owner)
+				vg.set(cg, ch, active)
+				dirtied += willDirty
+				moved++
+				cur.advance()
+				return true
+			}
+			cur.advance()
+		}
+		return false
+	}
+
+	for j := rect.Left; j < rect.Right; j++ {
+		if vg.at(top, j) != active {
+			continue
+		}
+		if place(j, &curA, 0) {
+			continue
+		}
+		if !ownerStrict && place(j, &curB, 1) {
+			continue
+		}
+		if !place(j, &curC, 2) {
+			rollback()
+			return Result{}, false
+		}
+	}
+	if moved == 0 {
+		return Result{}, false
+	}
+	delta := g.VoC() - vocBefore
+	if delta > 0 || (strictDecrease && delta >= 0) {
+		rollback()
+		return Result{}, false
+	}
+	if !activeRectBefore.ContainsRect(g.EnclosingRect(active)) {
+		rollback()
+		return Result{}, false
+	}
+	if accept != nil && !accept(g) {
+		rollback()
+		return Result{}, false
+	}
+	return Result{Active: active, Dir: dir, Type: t, Moved: moved, DeltaVoC: delta}, true
+}
+
+// AttemptAny tries the types in order.
+func AttemptAny(g *Grid, active int, dir geom.Direction, accept func(*Grid) bool) (Result, bool) {
+	for _, t := range AllTypes {
+		if res, ok := Attempt(g, active, dir, t, accept); ok {
+			return res, true
+		}
+	}
+	return Result{}, false
+}
+
+// RunConfig parameterises a K-processor DFA run.
+type RunConfig struct {
+	N     int
+	Ratio Ratio
+	Seed  int64
+	// MaxSteps bounds committed pushes (0 = 40·N·(K−1)).
+	MaxSteps int
+	// FullDirections gives every processor all four directions instead of
+	// the paper's random subsets.
+	FullDirections bool
+}
+
+// RunResult reports a completed K-processor run.
+type RunResult struct {
+	Final                *Grid
+	Steps                int
+	InitialVoC, FinalVoC int64
+	Converged            bool
+	Plan                 map[int][]geom.Direction
+}
+
+// Run executes the generalised DFA: every slower processor is pushed in
+// its (randomised) direction set until no legal Push remains.
+func Run(cfg RunConfig) (*RunResult, error) {
+	if cfg.N <= 1 {
+		return nil, fmt.Errorf("nproc: N must be ≥ 2")
+	}
+	if err := cfg.Ratio.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g, err := NewRandom(cfg.N, cfg.Ratio, rng)
+	if err != nil {
+		return nil, err
+	}
+	k := len(cfg.Ratio)
+	plan := make(map[int][]geom.Direction, k-1)
+	for p := 1; p < k; p++ {
+		if cfg.FullDirections {
+			plan[p] = append([]geom.Direction(nil), geom.AllDirections[:]...)
+			continue
+		}
+		cnt := 1 + rng.Intn(geom.NumDirections)
+		perm := rng.Perm(geom.NumDirections)
+		dirs := make([]geom.Direction, cnt)
+		for i := 0; i < cnt; i++ {
+			dirs[i] = geom.AllDirections[perm[i]]
+		}
+		plan[p] = dirs
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 40 * cfg.N * (k - 1)
+	}
+
+	res := &RunResult{Plan: plan, InitialVoC: g.VoC()}
+	plateau := map[uint64]bool{g.Fingerprint(): true}
+	lastVoC := g.VoC()
+	accept := func(t *Grid) bool {
+		if t.VoC() < lastVoC {
+			return true
+		}
+		fp := t.Fingerprint()
+		if plateau[fp] {
+			return false
+		}
+		plateau[fp] = true
+		return true
+	}
+	steps := 0
+	for steps < maxSteps {
+		progressed := false
+		order := rng.Perm(k - 1)
+		for _, oi := range order {
+			p := oi + 1
+			for _, d := range plan[p] {
+				if r, ok := AttemptAny(g, p, d, accept); ok {
+					steps++
+					progressed = true
+					if r.DeltaVoC < 0 {
+						lastVoC = g.VoC()
+						plateau = map[uint64]bool{g.Fingerprint(): true}
+					}
+					if steps >= maxSteps {
+						res.Final, res.Steps, res.FinalVoC = g, steps, g.VoC()
+						return res, nil
+					}
+				}
+			}
+		}
+		if !progressed {
+			res.Converged = true
+			break
+		}
+	}
+	res.Final, res.Steps, res.FinalVoC = g, steps, g.VoC()
+	return res, nil
+}

@@ -1,0 +1,169 @@
+package nproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// BuildStrips constructs the traditional K-processor partition: vertical
+// strips with widths proportional to speed, fastest first. Every row
+// hosts all K processors, so the normalised VoC is (K−1)·N² — the
+// baseline the corner shapes are measured against.
+func BuildStrips(n int, ratio Ratio) (*Grid, error) {
+	if err := ratio.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGrid(n, len(ratio))
+	counts := ratio.Counts(n)
+	// Column-major fill from the right, slowest processor first, so the
+	// fastest (processor 0) keeps the leftmost strip.
+	col, row := n-1, 0
+	for p := len(ratio) - 1; p >= 1; p-- {
+		for c := 0; c < counts[p]; c++ {
+			g.Set(row, col, p)
+			row++
+			if row == n {
+				row = 0
+				col--
+			}
+		}
+	}
+	return g, nil
+}
+
+// BuildCornerSquares generalises the Square-Corner to K processors: each
+// slower processor receives a near-square in its own matrix corner (up to
+// four slower processors), the fastest keeps the remainder. Feasible when
+// the squares fit without meeting: opposite corners may not overlap
+// diagonally and adjacent corners may not overlap along their shared
+// side.
+func BuildCornerSquares(n int, ratio Ratio) (*Grid, error) {
+	if err := ratio.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(ratio)
+	if k-1 > 4 {
+		return nil, fmt.Errorf("nproc: corner-squares supports at most 4 slower processors, got %d", k-1)
+	}
+	counts := ratio.Counts(n)
+	sides := make([]int, k)
+	for p := 1; p < k; p++ {
+		sides[p] = int(math.Ceil(math.Sqrt(float64(counts[p]))))
+		if sides[p] > n {
+			return nil, fmt.Errorf("nproc: square %d side %d exceeds N=%d", p, sides[p], n)
+		}
+	}
+	// Corner order: bottom-left, top-right, top-left, bottom-right —
+	// pairs of adjacent processors share at most one matrix side.
+	type corner struct{ anchorRow, anchorCol int } // 0 = top/left, 1 = bottom/right
+	corners := []corner{{1, 0}, {0, 1}, {0, 0}, {1, 1}}
+	// Feasibility: squares on the same side must not overlap.
+	sideAt := func(p int) int {
+		if p >= 1 && p < k {
+			return sides[p]
+		}
+		return 0
+	}
+	// bottom-left(1) vs top-left(3) share the left side; bottom-left vs
+	// bottom-right(4) share the bottom; top-right(2) vs top-left share
+	// the top; top-right vs bottom-right share the right; and diagonal
+	// pairs must not cross in both dimensions.
+	checks := [][2]int{{1, 3}, {1, 4}, {2, 3}, {2, 4}}
+	for _, c := range checks {
+		if c[0] < k && c[1] < k && sideAt(c[0])+sideAt(c[1]) > n {
+			return nil, fmt.Errorf("nproc: corner squares %d and %d (sides %d+%d) exceed N=%d",
+				c[0], c[1], sideAt(c[0]), sideAt(c[1]), n)
+		}
+	}
+	for _, c := range [][2]int{{1, 2}, {3, 4}} { // diagonals
+		if c[0] < k && c[1] < k && sideAt(c[0])+sideAt(c[1]) > n {
+			return nil, fmt.Errorf("nproc: diagonal squares %d and %d exceed N=%d", c[0], c[1], n)
+		}
+	}
+
+	g := NewGrid(n, k)
+	for p := 1; p < k; p++ {
+		co := corners[p-1]
+		side := sides[p]
+		remaining := counts[p]
+		for r := 0; r < side && remaining > 0; r++ {
+			for c := 0; c < side && remaining > 0; c++ {
+				i, j := r, c
+				if co.anchorRow == 1 {
+					i = n - 1 - r
+				}
+				if co.anchorCol == 1 {
+					j = n - 1 - c
+				}
+				g.Set(i, j, p)
+				remaining--
+			}
+		}
+	}
+	return g, nil
+}
+
+// NormalizedStripsVoC is the closed-form strips baseline: every row hosts
+// all K processors and columns are pure, so VoC/N² = K−1.
+func NormalizedStripsVoC(k int) float64 { return float64(k - 1) }
+
+// NormalizedCornerSquaresVoC is the closed-form corner-squares volume:
+// each square of fraction f_p contributes 2√f_p (its rows and columns).
+func NormalizedCornerSquaresVoC(ratio Ratio) float64 {
+	t := ratio.T()
+	var v float64
+	for p := 1; p < len(ratio); p++ {
+		v += 2 * math.Sqrt(ratio[p]/t)
+	}
+	return v
+}
+
+// BuildBand generalises the Block-Rectangle to K processors: the slower
+// processors share a full-width bottom band, side by side, each a block
+// of the band's height; the fastest keeps the rest. This is the strongest
+// rectangular baseline for moderate heterogeneity (the K-processor
+// analogue of Section IX's Type 4).
+func BuildBand(n int, ratio Ratio) (*Grid, error) {
+	if err := ratio.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(ratio)
+	counts := ratio.Counts(n)
+	band := 0
+	for p := 1; p < k; p++ {
+		band += counts[p]
+	}
+	h := (band + n - 1) / n
+	if h > n {
+		return nil, fmt.Errorf("nproc: band height %d exceeds N=%d", h, n)
+	}
+	g := NewGrid(n, k)
+	// Fill the band column-major from the left, slow processors in
+	// order; any slack stays with processor 0 at the band's right end.
+	col, row := 0, n-1
+	for p := 1; p < k; p++ {
+		for c := 0; c < counts[p]; c++ {
+			g.Set(row, col, p)
+			row--
+			if row < n-h {
+				row = n - 1
+				col++
+			}
+		}
+	}
+	return g, nil
+}
+
+// NormalizedBandVoC is the closed-form band baseline: every band row
+// crosses all K−1 side-by-side blocks (cost K−2 per row over height
+// Σf_p) and every column hosts two processors (cost 1). For K=3 this is
+// the Block-Rectangle's 1 + Σf.
+func NormalizedBandVoC(ratio Ratio) float64 {
+	t := ratio.T()
+	k := len(ratio)
+	var slow float64
+	for p := 1; p < k; p++ {
+		slow += ratio[p] / t
+	}
+	return 1 + float64(k-2)*slow
+}

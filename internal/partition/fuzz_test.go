@@ -1,0 +1,54 @@
+package partition
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the grid deserialiser: arbitrary bytes must either
+// round-trip exactly or be rejected, never corrupt a grid or panic.
+func FuzzDecode(f *testing.F) {
+	g := NewGrid(4)
+	g.Set(1, 2, R)
+	g.Set(3, 3, S)
+	f.Add(g.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 2})
+	f.Add([]byte{0, 0, 0, 2, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		grid, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := grid.Validate(); err != nil {
+			t.Fatalf("decoded grid fails validation: %v", err)
+		}
+		if !bytes.Equal(grid.Encode(), data) {
+			t.Fatal("decode/encode not a fixed point on accepted input")
+		}
+	})
+}
+
+// FuzzParseRatio hardens the ratio parser: accepted ratios must be valid
+// and re-parseable via String.
+func FuzzParseRatio(f *testing.F) {
+	for _, s := range []string{"5:2:1", "2:1", "1:1:1", "x", "5:", ":::", "1e9:2:1", "-1:2:1"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRatio(s)
+		if err != nil {
+			return
+		}
+		if err := r.Validate(); err != nil {
+			t.Fatalf("ParseRatio accepted invalid ratio %v: %v", r, err)
+		}
+		back, err := ParseRatio(r.String())
+		if err != nil {
+			t.Fatalf("String() of accepted ratio does not re-parse: %q", r.String())
+		}
+		if back != r {
+			t.Fatalf("round trip changed ratio: %v -> %v", r, back)
+		}
+	})
+}

@@ -1,0 +1,456 @@
+// Package partition implements the data-partition grid at the heart of the
+// paper: the assignment q(i,j) ∈ {R, S, P} of every element of an N×N
+// matrix to one of three heterogeneous processors, together with the
+// communication metrics the Push operation and the performance models are
+// defined over — per-row/per-column processor occupancy, the Volume of
+// Communication (Eq 1), enclosing rectangles, and the candidate canonical
+// shapes of Section IX.
+package partition
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/geom"
+)
+
+// Proc identifies one of the three heterogeneous processors. The numeric
+// values follow the paper's partition function q (Section IV):
+// q = 0 for R, 1 for S, 2 for P.
+type Proc uint8
+
+const (
+	// R is the middle-speed processor (ratio Rr).
+	R Proc = 0
+	// S is the slowest processor (ratio Sr = 1).
+	S Proc = 1
+	// P is the fastest processor (ratio Pr ≥ Rr ≥ Sr).
+	P Proc = 2
+	// NumProcs is the number of processors in the three-processor study.
+	NumProcs = 3
+)
+
+// Procs lists all processors in q-value order.
+var Procs = [NumProcs]Proc{R, S, P}
+
+func (p Proc) String() string {
+	switch p {
+	case R:
+		return "R"
+	case S:
+		return "S"
+	case P:
+		return "P"
+	}
+	return fmt.Sprintf("Proc(%d)", uint8(p))
+}
+
+// Valid reports whether p is one of R, S, P.
+func (p Proc) Valid() bool { return p < NumProcs }
+
+// Grid is a concrete partition shape: the assignment of every cell of an
+// n×n matrix to a processor, with occupancy counters maintained
+// incrementally so that the Volume of Communication (Eq 1) and the
+// per-processor communication metrics are O(1) to read and O(1) to update
+// per cell mutation.
+type Grid struct {
+	n     int
+	cells []Proc
+	// rowCnt[i*NumProcs+p] = number of cells of processor p in row i.
+	rowCnt []int32
+	colCnt []int32
+	// rowOcc[i] = number of distinct processors present in row i (c_i in Eq 1).
+	rowOcc []int8
+	colOcc []int8
+	total  [NumProcs]int
+	// rowsWith[p] = number of rows containing at least one cell of p (i_X).
+	rowsWith [NumProcs]int
+	colsWith [NumProcs]int
+	// voc is Eq 1 divided by N: Σ_i (c_i − 1) + Σ_j (c_j − 1).
+	voc int
+}
+
+// NewGrid returns an n×n grid entirely assigned to processor P — the start
+// state of the paper's randomised initialisation (Section VI-A.2).
+func NewGrid(n int) *Grid {
+	if n <= 0 {
+		panic("partition: grid size must be positive")
+	}
+	g := &Grid{
+		n:      n,
+		cells:  make([]Proc, n*n),
+		rowCnt: make([]int32, n*NumProcs),
+		colCnt: make([]int32, n*NumProcs),
+		rowOcc: make([]int8, n),
+		colOcc: make([]int8, n),
+	}
+	for i := range g.cells {
+		g.cells[i] = P
+	}
+	for i := 0; i < n; i++ {
+		g.rowCnt[i*NumProcs+int(P)] = int32(n)
+		g.colCnt[i*NumProcs+int(P)] = int32(n)
+		g.rowOcc[i] = 1
+		g.colOcc[i] = 1
+	}
+	g.total[P] = n * n
+	g.rowsWith[P] = n
+	g.colsWith[P] = n
+	return g
+}
+
+// N returns the matrix dimension.
+func (g *Grid) N() int { return g.n }
+
+// At returns the processor assigned to cell (i, j).
+func (g *Grid) At(i, j int) Proc { return g.cells[i*g.n+j] }
+
+// Set assigns cell (i, j) to processor p, updating all occupancy counters
+// in O(1).
+func (g *Grid) Set(i, j int, p Proc) {
+	if !p.Valid() {
+		panic("partition: invalid processor")
+	}
+	idx := i*g.n + j
+	old := g.cells[idx]
+	if old == p {
+		return
+	}
+	g.cells[idx] = p
+	g.total[old]--
+	g.total[p]++
+
+	ro := i*NumProcs + int(old)
+	rn := i*NumProcs + int(p)
+	g.rowCnt[ro]--
+	if g.rowCnt[ro] == 0 {
+		g.rowOcc[i]--
+		g.voc--
+		g.rowsWith[old]--
+	}
+	if g.rowCnt[rn] == 0 {
+		g.rowOcc[i]++
+		g.voc++
+		g.rowsWith[p]++
+	}
+	g.rowCnt[rn]++
+
+	co := j*NumProcs + int(old)
+	cn := j*NumProcs + int(p)
+	g.colCnt[co]--
+	if g.colCnt[co] == 0 {
+		g.colOcc[j]--
+		g.voc--
+		g.colsWith[old]--
+	}
+	if g.colCnt[cn] == 0 {
+		g.colOcc[j]++
+		g.voc++
+		g.colsWith[p]++
+	}
+	g.colCnt[cn]++
+}
+
+// Swap exchanges the processors of cells a and b.
+func (g *Grid) Swap(ai, aj, bi, bj int) {
+	pa := g.At(ai, aj)
+	pb := g.At(bi, bj)
+	g.Set(ai, aj, pb)
+	g.Set(bi, bj, pa)
+}
+
+// Count returns ∈p — the number of cells assigned to p.
+func (g *Grid) Count(p Proc) int { return g.total[p] }
+
+// RowCount returns the number of cells of p in row i.
+func (g *Grid) RowCount(i int, p Proc) int { return int(g.rowCnt[i*NumProcs+int(p)]) }
+
+// ColCount returns the number of cells of p in column j.
+func (g *Grid) ColCount(j int, p Proc) int { return int(g.colCnt[j*NumProcs+int(p)]) }
+
+// RowHas reports whether row i contains any cell of p — the paper's
+// row(q, i, X) metric (Section VI-B).
+func (g *Grid) RowHas(i int, p Proc) bool { return g.rowCnt[i*NumProcs+int(p)] > 0 }
+
+// ColHas reports whether column j contains any cell of p — col(q, j, X).
+func (g *Grid) ColHas(j int, p Proc) bool { return g.colCnt[j*NumProcs+int(p)] > 0 }
+
+// RowProcs returns c_i — the number of distinct processors in row i.
+func (g *Grid) RowProcs(i int) int { return int(g.rowOcc[i]) }
+
+// ColProcs returns c_j — the number of distinct processors in column j.
+func (g *Grid) ColProcs(j int) int { return int(g.colOcc[j]) }
+
+// RowsWith returns i_X — the number of rows containing elements of p
+// (Eq 6).
+func (g *Grid) RowsWith(p Proc) int { return g.rowsWith[p] }
+
+// ColsWith returns j_X — the number of columns containing elements of p.
+func (g *Grid) ColsWith(p Proc) int { return g.colsWith[p] }
+
+// VoC returns the Volume of Communication of Eq 1 in elements:
+//
+//	VoC = Σ_i N(c_i − 1) + Σ_j N(c_j − 1)
+//
+// maintained incrementally, so this is O(1).
+func (g *Grid) VoC() int64 { return int64(g.voc) * int64(g.n) }
+
+// VoCRows returns only the row term of Eq 1 divided by N: Σ_i (c_i − 1).
+func (g *Grid) VoCRows() int {
+	s := 0
+	for i := 0; i < g.n; i++ {
+		s += int(g.rowOcc[i]) - 1
+	}
+	return s
+}
+
+// VoCCols returns only the column term of Eq 1 divided by N.
+func (g *Grid) VoCCols() int {
+	s := 0
+	for j := 0; j < g.n; j++ {
+		s += int(g.colOcc[j]) - 1
+	}
+	return s
+}
+
+// EnclosingRect returns processor p's enclosing rectangle: the smallest
+// rectangle strictly large enough to encompass all of p's cells
+// (Section II). Returns the empty rectangle when p owns no cells.
+func (g *Grid) EnclosingRect(p Proc) geom.Rect {
+	if g.total[p] == 0 {
+		return geom.EmptyRect
+	}
+	top, bottom := -1, -1
+	for i := 0; i < g.n; i++ {
+		if g.RowHas(i, p) {
+			if top < 0 {
+				top = i
+			}
+			bottom = i
+		}
+	}
+	left, right := -1, -1
+	for j := 0; j < g.n; j++ {
+		if g.ColHas(j, p) {
+			if left < 0 {
+				left = j
+			}
+			right = j
+		}
+	}
+	return geom.NewRect(top, left, bottom+1, right+1)
+}
+
+// Clone returns a deep copy of the grid.
+func (g *Grid) Clone() *Grid {
+	c := &Grid{
+		n:        g.n,
+		cells:    append([]Proc(nil), g.cells...),
+		rowCnt:   append([]int32(nil), g.rowCnt...),
+		colCnt:   append([]int32(nil), g.colCnt...),
+		rowOcc:   append([]int8(nil), g.rowOcc...),
+		colOcc:   append([]int8(nil), g.colOcc...),
+		total:    g.total,
+		rowsWith: g.rowsWith,
+		colsWith: g.colsWith,
+		voc:      g.voc,
+	}
+	return c
+}
+
+// Equal reports whether two grids hold identical cell assignments.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.n != o.n {
+		return false
+	}
+	for i, v := range g.cells {
+		if v != o.cells[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of the cell assignment, used by
+// the DFA runner to detect cycles among VoC-plateau states.
+func (g *Grid) Fingerprint() uint64 {
+	h := fnv.New64a()
+	buf := make([]byte, len(g.cells))
+	for i, p := range g.cells {
+		buf[i] = byte(p)
+	}
+	h.Write(buf)
+	return h.Sum64()
+}
+
+// Transpose returns a new grid with rows and columns exchanged:
+// q'(i,j) = q(j,i). The Volume of Communication is invariant under
+// transposition (Eq 1 is symmetric in rows and columns), which tests use
+// to validate the Push engine's direction views.
+func (g *Grid) Transpose() *Grid {
+	t := NewGrid(g.n)
+	for i := 0; i < g.n; i++ {
+		for j := 0; j < g.n; j++ {
+			t.Set(j, i, g.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mask returns a row-major boolean mask of p's cells, the form the masked
+// multiplication kernel consumes.
+func (g *Grid) Mask(p Proc) []bool {
+	m := make([]bool, len(g.cells))
+	for i, v := range g.cells {
+		m[i] = v == p
+	}
+	return m
+}
+
+// FillRect assigns every cell of r to p.
+func (g *Grid) FillRect(r geom.Rect, p Proc) {
+	for i := r.Top; i < r.Bottom; i++ {
+		for j := r.Left; j < r.Right; j++ {
+			g.Set(i, j, p)
+		}
+	}
+}
+
+// OverlapCount returns the number of p's cells (i, j) such that processor p
+// owns the entire row i and the entire column j — the elements computable
+// with no communication at all, which the bulk-overlap algorithms (SCO,
+// PCO) compute while communication is in flight.
+func (g *Grid) OverlapCount(p Proc) int {
+	n := g.n
+	fullCols := make([]bool, n)
+	anyFull := false
+	for j := 0; j < n; j++ {
+		if g.ColCount(j, p) == n {
+			fullCols[j] = true
+			anyFull = true
+		}
+	}
+	if !anyFull {
+		return 0
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		if g.RowCount(i, p) != n {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if fullCols[j] {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// Validate recomputes every counter from the raw cells and reports the
+// first inconsistency found. It is the integrity oracle used by tests and
+// failure-injection checks; a healthy grid always returns nil.
+func (g *Grid) Validate() error {
+	n := g.n
+	var total [NumProcs]int
+	rowCnt := make([]int32, n*NumProcs)
+	colCnt := make([]int32, n*NumProcs)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := g.cells[i*n+j]
+			if !p.Valid() {
+				return fmt.Errorf("cell (%d,%d) holds invalid processor %d", i, j, p)
+			}
+			total[p]++
+			rowCnt[i*NumProcs+int(p)]++
+			colCnt[j*NumProcs+int(p)]++
+		}
+	}
+	if total != g.total {
+		return fmt.Errorf("total counts drifted: cached %v, actual %v", g.total, total)
+	}
+	voc := 0
+	var rowsWith, colsWith [NumProcs]int
+	for i := 0; i < n; i++ {
+		occ := 0
+		for p := 0; p < NumProcs; p++ {
+			if rowCnt[i*NumProcs+p] != g.rowCnt[i*NumProcs+p] {
+				return fmt.Errorf("row %d count for %v drifted", i, Proc(p))
+			}
+			if rowCnt[i*NumProcs+p] > 0 {
+				occ++
+				rowsWith[p]++
+			}
+		}
+		if int8(occ) != g.rowOcc[i] {
+			return fmt.Errorf("row %d occupancy drifted: cached %d, actual %d", i, g.rowOcc[i], occ)
+		}
+		voc += occ - 1
+	}
+	for j := 0; j < n; j++ {
+		occ := 0
+		for p := 0; p < NumProcs; p++ {
+			if colCnt[j*NumProcs+p] != g.colCnt[j*NumProcs+p] {
+				return fmt.Errorf("col %d count for %v drifted", j, Proc(p))
+			}
+			if colCnt[j*NumProcs+p] > 0 {
+				occ++
+				colsWith[p]++
+			}
+		}
+		if int8(occ) != g.colOcc[j] {
+			return fmt.Errorf("col %d occupancy drifted: cached %d, actual %d", j, g.colOcc[j], occ)
+		}
+		voc += occ - 1
+	}
+	if voc != g.voc {
+		return fmt.Errorf("VoC drifted: cached %d, actual %d", g.voc, voc)
+	}
+	if rowsWith != g.rowsWith {
+		return fmt.Errorf("rowsWith drifted: cached %v, actual %v", g.rowsWith, rowsWith)
+	}
+	if colsWith != g.colsWith {
+		return fmt.Errorf("colsWith drifted: cached %v, actual %v", g.colsWith, colsWith)
+	}
+	return nil
+}
+
+// Metrics is a snapshot of the per-processor quantities the performance
+// models of Section IV-B consume.
+type Metrics struct {
+	N int
+	// Elements[p] is ∈p.
+	Elements [NumProcs]int
+	// Rows[p] is i_p, Cols[p] is j_p (rows/cols containing p).
+	Rows, Cols [NumProcs]int
+	// Overlap[p] counts p's cells in fully-p rows and columns.
+	Overlap [NumProcs]int
+	// Sends[p] counts the elements p must send, unicast: each cell of p
+	// is sent once per *other* processor present in its row (A data) and
+	// once per other processor in its column (B data), i.e. the cell
+	// contributes (c_i − 1) + (c_j − 1). Summed over processors this
+	// equals Eq 1's VoC exactly, and it is zero when p is alone. It is
+	// the exact quantity the paper's d_X (Eq 6) approximates.
+	Sends [NumProcs]int64
+	// VoC is Eq 1 in elements.
+	VoC int64
+}
+
+// Snapshot gathers the model inputs from the grid.
+func (g *Grid) Snapshot() Metrics {
+	m := Metrics{N: g.n, VoC: g.VoC()}
+	for _, p := range Procs {
+		m.Elements[p] = g.Count(p)
+		m.Rows[p] = g.RowsWith(p)
+		m.Cols[p] = g.ColsWith(p)
+		m.Overlap[p] = g.OverlapCount(p)
+	}
+	for i := 0; i < g.n; i++ {
+		rowOthers := int64(g.RowProcs(i) - 1)
+		for j := 0; j < g.n; j++ {
+			p := g.At(i, j)
+			m.Sends[p] += rowOthers + int64(g.ColProcs(j)-1)
+		}
+	}
+	return m
+}

@@ -1,0 +1,328 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func TestNewGridAllP(t *testing.T) {
+	g := NewGrid(8)
+	if g.N() != 8 {
+		t.Fatalf("N = %d", g.N())
+	}
+	if g.Count(P) != 64 || g.Count(R) != 0 || g.Count(S) != 0 {
+		t.Fatalf("counts = %d %d %d", g.Count(P), g.Count(R), g.Count(S))
+	}
+	if g.VoC() != 0 {
+		t.Fatalf("single-processor grid must have VoC 0, got %d", g.VoC())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewGridInvalidSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewGrid(0) should panic")
+		}
+	}()
+	NewGrid(0)
+}
+
+func TestSetUpdatesCounters(t *testing.T) {
+	g := NewGrid(4)
+	g.Set(1, 2, R)
+	if g.At(1, 2) != R {
+		t.Fatal("At after Set")
+	}
+	if g.Count(R) != 1 || g.Count(P) != 15 {
+		t.Fatalf("counts %d %d", g.Count(R), g.Count(P))
+	}
+	if !g.RowHas(1, R) || !g.ColHas(2, R) {
+		t.Fatal("RowHas/ColHas")
+	}
+	if g.RowProcs(1) != 2 || g.ColProcs(2) != 2 {
+		t.Fatal("occupancy")
+	}
+	// Row 1 and column 2 each now host 2 processors: VoC = N*(1) + N*(1).
+	if g.VoC() != 8 {
+		t.Fatalf("VoC = %d, want 8", g.VoC())
+	}
+	if g.RowsWith(R) != 1 || g.ColsWith(R) != 1 {
+		t.Fatal("rowsWith/colsWith")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Setting the same value is a no-op.
+	g.Set(1, 2, R)
+	if g.VoC() != 8 || g.Count(R) != 1 {
+		t.Fatal("idempotent Set changed state")
+	}
+}
+
+func TestSetInvalidProcPanics(t *testing.T) {
+	g := NewGrid(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Set with invalid proc should panic")
+		}
+	}()
+	g.Set(0, 0, Proc(7))
+}
+
+func TestVoCMatchesDefinition(t *testing.T) {
+	// Randomised cross-check of the incremental VoC against Eq 1 computed
+	// from scratch.
+	rng := rand.New(rand.NewSource(7))
+	g := NewGrid(16)
+	for k := 0; k < 2000; k++ {
+		g.Set(rng.Intn(16), rng.Intn(16), Procs[rng.Intn(3)])
+		if k%97 == 0 {
+			want := int64(g.VoCRows()+g.VoCCols()) * int64(g.N())
+			if g.VoC() != want {
+				t.Fatalf("step %d: incremental VoC %d != definition %d", k, g.VoC(), want)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("step %d: %v", k, err)
+			}
+		}
+	}
+}
+
+func TestSwap(t *testing.T) {
+	g := NewGrid(4)
+	g.Set(0, 0, R)
+	g.Set(3, 3, S)
+	g.Swap(0, 0, 3, 3)
+	if g.At(0, 0) != S || g.At(3, 3) != R {
+		t.Fatal("Swap did not exchange")
+	}
+	if g.Count(R) != 1 || g.Count(S) != 1 {
+		t.Fatal("Swap changed counts")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnclosingRect(t *testing.T) {
+	g := NewGrid(10)
+	if !g.EnclosingRect(R).IsEmpty() {
+		t.Fatal("empty processor must have empty rect")
+	}
+	g.Set(2, 3, R)
+	g.Set(7, 5, R)
+	got := g.EnclosingRect(R)
+	want := geom.NewRect(2, 3, 8, 6)
+	if got != want {
+		t.Fatalf("rect = %v, want %v", got, want)
+	}
+	// P's enclosing rectangle is the whole matrix.
+	if g.EnclosingRect(P) != geom.NewRect(0, 0, 10, 10) {
+		t.Fatal("P rect should be full matrix")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	g := NewGrid(6)
+	g.Set(1, 1, R)
+	c := g.Clone()
+	if !c.Equal(g) {
+		t.Fatal("clone differs")
+	}
+	c.Set(2, 2, S)
+	if g.At(2, 2) != P {
+		t.Fatal("clone mutation leaked")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Equal(c) {
+		t.Fatal("Equal should detect difference")
+	}
+}
+
+func TestEqualDifferentSizes(t *testing.T) {
+	if NewGrid(3).Equal(NewGrid(4)) {
+		t.Fatal("grids of different sizes cannot be equal")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	g := NewGrid(8)
+	f0 := g.Fingerprint()
+	g.Set(4, 4, S)
+	if g.Fingerprint() == f0 {
+		t.Fatal("fingerprint should change with cells")
+	}
+	h := NewGrid(8)
+	h.Set(4, 4, S)
+	if h.Fingerprint() != g.Fingerprint() {
+		t.Fatal("equal grids must share fingerprints")
+	}
+}
+
+func TestMask(t *testing.T) {
+	g := NewGrid(3)
+	g.Set(0, 1, R)
+	g.Set(2, 2, R)
+	m := g.Mask(R)
+	wantIdx := map[int]bool{1: true, 8: true}
+	for i, v := range m {
+		if v != wantIdx[i] {
+			t.Fatalf("mask[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestFillRect(t *testing.T) {
+	g := NewGrid(6)
+	r := geom.NewRect(1, 2, 4, 5)
+	g.FillRect(r, S)
+	if g.Count(S) != r.Area() {
+		t.Fatalf("Count(S) = %d, want %d", g.Count(S), r.Area())
+	}
+	if g.EnclosingRect(S) != r {
+		t.Fatalf("rect = %v", g.EnclosingRect(S))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverlapCount(t *testing.T) {
+	// P owns everything except a 2×2 S block: P has no fully-owned rows
+	// through the S rows, and no fully-owned columns through the S cols.
+	g := NewGrid(6)
+	g.FillRect(geom.NewRect(0, 0, 2, 2), S)
+	// Fully-P rows: 2..5 (4 rows). Fully-P cols: 2..5 (4 cols).
+	// Overlap(P) = 4*4 = 16 cells.
+	if got := g.OverlapCount(P); got != 16 {
+		t.Fatalf("Overlap(P) = %d, want 16", got)
+	}
+	if got := g.OverlapCount(S); got != 0 {
+		t.Fatalf("Overlap(S) = %d, want 0", got)
+	}
+	// A full-width S band: S fully owns its rows but no full columns.
+	g2 := NewGrid(6)
+	g2.FillRect(geom.NewRect(4, 0, 6, 6), S)
+	if got := g2.OverlapCount(S); got != 0 {
+		t.Fatalf("band Overlap(S) = %d, want 0 (no full columns)", got)
+	}
+	// Single-processor grid: everything is overlap.
+	g3 := NewGrid(4)
+	if got := g3.OverlapCount(P); got != 16 {
+		t.Fatalf("all-P Overlap = %d, want 16", got)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	g := NewGrid(5)
+	g.FillRect(geom.NewRect(0, 0, 2, 2), R)
+	m := g.Snapshot()
+	if m.N != 5 {
+		t.Fatal("N")
+	}
+	if m.Elements[R] != 4 || m.Elements[P] != 21 {
+		t.Fatalf("elements %v", m.Elements)
+	}
+	if m.Rows[R] != 2 || m.Cols[R] != 2 {
+		t.Fatalf("rows/cols %v %v", m.Rows, m.Cols)
+	}
+	if m.VoC != g.VoC() {
+		t.Fatal("VoC mismatch")
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	g := NewGrid(4)
+	g.Set(1, 1, R)
+	// Corrupt the raw cells behind the counters' back.
+	g.cells[0] = S
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate must detect corrupted cells")
+	}
+}
+
+func TestQuickRandomMutationInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGrid(9)
+		for k := 0; k < 300; k++ {
+			g.Set(rng.Intn(9), rng.Intn(9), Procs[rng.Intn(3)])
+		}
+		if g.Count(P)+g.Count(R)+g.Count(S) != 81 {
+			return false
+		}
+		return g.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcString(t *testing.T) {
+	if R.String() != "R" || S.String() != "S" || P.String() != "P" {
+		t.Fatal("proc names")
+	}
+	if Proc(9).Valid() {
+		t.Fatal("Proc(9) should be invalid")
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	g := NewGrid(1000)
+	rng := rand.New(rand.NewSource(1))
+	idx := make([][2]int, 4096)
+	for i := range idx {
+		idx[i] = [2]int{rng.Intn(1000), rng.Intn(1000)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := idx[i%len(idx)]
+		g.Set(c[0], c[1], Procs[i%3])
+	}
+}
+
+func BenchmarkVoC(b *testing.B) {
+	g := NewGrid(1000)
+	g.FillRect(geom.NewRect(0, 0, 300, 300), R)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.VoC() < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	g := NewGrid(500)
+	g.FillRect(geom.NewRect(0, 0, 150, 150), R)
+	g.FillRect(geom.NewRect(350, 350, 500, 500), S)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Snapshot()
+	}
+}
+
+func TestSendsSumToVoC(t *testing.T) {
+	// The unicast send volumes decompose Eq 1's VoC exactly, for any
+	// arrangement of elements.
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		g := NewRandom(24, PaperRatios[trial%len(PaperRatios)], rng)
+		snap := g.Snapshot()
+		var sum int64
+		for _, p := range Procs {
+			sum += snap.Sends[p]
+		}
+		if sum != g.VoC() {
+			t.Fatalf("trial %d: Σ sends = %d, VoC = %d", trial, sum, g.VoC())
+		}
+	}
+}

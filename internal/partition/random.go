@@ -1,0 +1,56 @@
+package partition
+
+import "math/rand"
+
+// NewRandom builds the random start state q₀ of the DFA exactly as the
+// paper describes (Section VI-A.2): every element begins assigned to the
+// fastest processor P; then each slower processor X in turn claims its
+// quota by drawing random (row, column) pairs, claiming the element only if
+// it still belongs to P.
+//
+// The quota for each processor comes from ratio.Counts(n), so the element
+// counts match the processing-speed ratio exactly.
+func NewRandom(n int, ratio Ratio, rng *rand.Rand) *Grid {
+	g := NewGrid(n)
+	counts := ratio.Counts(n)
+	for _, x := range [2]Proc{R, S} {
+		remaining := counts[x]
+		for remaining > 0 {
+			i := rng.Intn(n)
+			j := rng.Intn(n)
+			if g.At(i, j) == P {
+				g.Set(i, j, x)
+				remaining--
+			}
+		}
+	}
+	return g
+}
+
+// NewRandomClustered builds a random start state whose R and S cells are
+// drawn from random rectangular patches rather than uniformly — a harder
+// adversarial family for the Push search used by the census harness to
+// widen coverage of start states beyond the paper's uniform sampling.
+func NewRandomClustered(n int, ratio Ratio, rng *rand.Rand) *Grid {
+	g := NewGrid(n)
+	counts := ratio.Counts(n)
+	for _, x := range [2]Proc{R, S} {
+		remaining := counts[x]
+		for remaining > 0 {
+			// Pick a random patch and claim P-cells inside it.
+			h := 1 + rng.Intn(n/2+1)
+			w := 1 + rng.Intn(n/2+1)
+			top := rng.Intn(n - h + 1)
+			left := rng.Intn(n - w + 1)
+			for i := top; i < top+h && remaining > 0; i++ {
+				for j := left; j < left+w && remaining > 0; j++ {
+					if g.At(i, j) == P {
+						g.Set(i, j, x)
+						remaining--
+					}
+				}
+			}
+		}
+	}
+	return g
+}

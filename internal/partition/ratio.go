@@ -1,0 +1,146 @@
+package partition
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Ratio is the relative processing-speed ratio Pr : Rr : Sr of the three
+// processors (Section IV, assumption 2). The paper normalises Sr = 1 and
+// requires Pr ≥ Rr ≥ Sr; constructors here enforce that ordering.
+type Ratio struct {
+	Pr, Rr, Sr float64
+}
+
+// NewRatio builds a validated ratio.
+func NewRatio(pr, rr, sr float64) (Ratio, error) {
+	r := Ratio{Pr: pr, Rr: rr, Sr: sr}
+	if err := r.Validate(); err != nil {
+		return Ratio{}, err
+	}
+	return r, nil
+}
+
+// MustRatio is NewRatio that panics on invalid input; for tests and
+// literals.
+func MustRatio(pr, rr, sr float64) Ratio {
+	r, err := NewRatio(pr, rr, sr)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParseRatio parses "Pr:Rr:Sr", e.g. "5:2:1". Sr may be omitted
+// ("5:2" means 5:2:1).
+func ParseRatio(s string) (Ratio, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return Ratio{}, fmt.Errorf("partition: ratio %q: want Pr:Rr[:Sr]", s)
+	}
+	vals := make([]float64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return Ratio{}, fmt.Errorf("partition: ratio %q: %v", s, err)
+		}
+		vals[i] = v
+	}
+	sr := 1.0
+	if len(vals) == 3 {
+		sr = vals[2]
+	}
+	return NewRatio(vals[0], vals[1], sr)
+}
+
+// Validate checks positivity and the ordering Pr ≥ Rr ≥ Sr.
+func (r Ratio) Validate() error {
+	if r.Pr <= 0 || r.Rr <= 0 || r.Sr <= 0 {
+		return fmt.Errorf("partition: ratio %v: all speeds must be positive", r)
+	}
+	if r.Pr < r.Rr || r.Rr < r.Sr {
+		return fmt.Errorf("partition: ratio %v: want Pr ≥ Rr ≥ Sr", r)
+	}
+	return nil
+}
+
+// T returns the ratio sum Pr + Rr + Sr (Eq 12).
+func (r Ratio) T() float64 { return r.Pr + r.Rr + r.Sr }
+
+// Speed returns the relative speed of processor p.
+func (r Ratio) Speed(p Proc) float64 {
+	switch p {
+	case P:
+		return r.Pr
+	case R:
+		return r.Rr
+	case S:
+		return r.Sr
+	}
+	panic("partition: invalid processor")
+}
+
+// Fraction returns p's share of the matrix, Speed(p)/T — the volume of
+// elements assigned to p under computational load balance (Thm 9.1 proof).
+func (r Ratio) Fraction(p Proc) float64 { return r.Speed(p) / r.T() }
+
+// Counts apportions the n² matrix elements to the processors
+// proportionally to speed using largest-remainder rounding, so the counts
+// are exact and sum to n².
+func (r Ratio) Counts(n int) [NumProcs]int {
+	area := n * n
+	t := r.T()
+	var counts [NumProcs]int
+	var fracs [NumProcs]float64
+	assigned := 0
+	for _, p := range Procs {
+		exact := float64(area) * r.Speed(p) / t
+		counts[p] = int(exact)
+		fracs[p] = exact - float64(counts[p])
+		assigned += counts[p]
+	}
+	// Hand out the leftover cells to the largest fractional parts,
+	// breaking ties toward the faster processor.
+	for assigned < area {
+		best := -1
+		for _, p := range Procs {
+			if best < 0 || fracs[p] > fracs[Proc(best)] ||
+				(fracs[p] == fracs[Proc(best)] && r.Speed(p) > r.Speed(Proc(best))) {
+				best = int(p)
+			}
+		}
+		counts[best]++
+		fracs[best] = -1
+		assigned++
+	}
+	return counts
+}
+
+// Normalized returns the ratio scaled so Sr = 1.
+func (r Ratio) Normalized() Ratio {
+	return Ratio{Pr: r.Pr / r.Sr, Rr: r.Rr / r.Sr, Sr: 1}
+}
+
+func (r Ratio) String() string {
+	return fmt.Sprintf("%s:%s:%s", trimFloat(r.Pr), trimFloat(r.Rr), trimFloat(r.Sr))
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
+
+// PaperRatios are the eleven processor ratios studied in Section VII.
+var PaperRatios = []Ratio{
+	MustRatio(2, 1, 1),
+	MustRatio(3, 1, 1),
+	MustRatio(4, 1, 1),
+	MustRatio(5, 1, 1),
+	MustRatio(10, 1, 1),
+	MustRatio(2, 2, 1),
+	MustRatio(3, 2, 1),
+	MustRatio(4, 2, 1),
+	MustRatio(5, 2, 1),
+	MustRatio(5, 3, 1),
+	MustRatio(5, 4, 1),
+}

@@ -1,0 +1,150 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRatio(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Ratio
+		wantErr bool
+	}{
+		{"5:2:1", Ratio{5, 2, 1}, false},
+		{"5:2", Ratio{5, 2, 1}, false},
+		{"10 : 1 : 1", Ratio{10, 1, 1}, false},
+		{"2.5:1.5:1", Ratio{2.5, 1.5, 1}, false},
+		{"1:2:3", Ratio{}, true}, // violates Pr ≥ Rr ≥ Sr
+		{"5", Ratio{}, true},
+		{"a:b:c", Ratio{}, true},
+		{"0:0:0", Ratio{}, true},
+		{"-1:1:1", Ratio{}, true},
+	}
+	for _, c := range cases {
+		got, err := ParseRatio(c.in)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseRatio(%q): expected error, got %v", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseRatio(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseRatio(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRatioT(t *testing.T) {
+	r := MustRatio(5, 2, 1)
+	if r.T() != 8 {
+		t.Errorf("T = %v, want 8", r.T())
+	}
+}
+
+func TestRatioSpeedAndFraction(t *testing.T) {
+	r := MustRatio(5, 2, 1)
+	if r.Speed(P) != 5 || r.Speed(R) != 2 || r.Speed(S) != 1 {
+		t.Error("Speed wrong")
+	}
+	if r.Fraction(P) != 5.0/8 {
+		t.Errorf("Fraction(P) = %v", r.Fraction(P))
+	}
+}
+
+func TestRatioSpeedInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Speed of invalid proc should panic")
+		}
+	}()
+	MustRatio(2, 1, 1).Speed(Proc(9))
+}
+
+func TestRatioCountsExact(t *testing.T) {
+	for _, r := range PaperRatios {
+		for _, n := range []int{10, 33, 100, 1000} {
+			counts := r.Counts(n)
+			sum := counts[P] + counts[R] + counts[S]
+			if sum != n*n {
+				t.Errorf("ratio %v n=%d: counts sum %d != %d", r, n, sum, n*n)
+			}
+			// Counts are within one cell of the exact fractional share.
+			for _, p := range Procs {
+				exact := float64(n*n) * r.Fraction(p)
+				if d := float64(counts[p]) - exact; d < -1 || d > 1 {
+					t.Errorf("ratio %v n=%d proc %v: count %d vs exact %.2f", r, n, p, counts[p], exact)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickCountsAlwaysSum(t *testing.T) {
+	f := func(a, b, c uint8, nn uint8) bool {
+		pr := float64(a%20) + 1
+		rr := float64(b%20) + 1
+		sr := float64(c%20) + 1
+		if rr > pr {
+			pr, rr = rr, pr
+		}
+		if sr > rr {
+			rr, sr = sr, rr
+		}
+		if rr > pr {
+			pr, rr = rr, pr
+		}
+		r := MustRatio(pr, rr, sr)
+		n := int(nn%50) + 2
+		counts := r.Counts(n)
+		return counts[P]+counts[R]+counts[S] == n*n &&
+			counts[P] >= 0 && counts[R] >= 0 && counts[S] >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioNormalized(t *testing.T) {
+	r := MustRatio(10, 4, 2)
+	n := r.Normalized()
+	if n.Pr != 5 || n.Rr != 2 || n.Sr != 1 {
+		t.Errorf("Normalized = %v", n)
+	}
+}
+
+func TestRatioString(t *testing.T) {
+	if got := MustRatio(5, 2, 1).String(); got != "5:2:1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := MustRatio(2.5, 1.5, 1).String(); got != "2.5:1.5:1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestPaperRatiosValid(t *testing.T) {
+	if len(PaperRatios) != 11 {
+		t.Fatalf("paper studies 11 ratios, have %d", len(PaperRatios))
+	}
+	for _, r := range PaperRatios {
+		if err := r.Validate(); err != nil {
+			t.Errorf("paper ratio %v invalid: %v", r, err)
+		}
+		if r.Sr != 1 {
+			t.Errorf("paper ratio %v should be normalised to Sr=1", r)
+		}
+	}
+}
+
+func TestMustRatioPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustRatio should panic on invalid ratio")
+		}
+	}()
+	MustRatio(1, 2, 3)
+}

@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderASCII draws the partition at reduced granularity, the way Fig 7
+// presents the example run: the grid is divided into boxes×boxes squares
+// and each box is drawn with the glyph of the processor owning the
+// majority of its cells ('.' for P, 'R', 'S'; majority ties break toward
+// the slower processor so small regions stay visible).
+func (g *Grid) RenderASCII(boxes int) string {
+	var b strings.Builder
+	g.renderTo(&b, boxes)
+	return b.String()
+}
+
+func (g *Grid) renderTo(w io.Writer, boxes int) {
+	if boxes <= 0 || boxes > g.n {
+		boxes = g.n
+	}
+	glyph := [NumProcs]byte{R: 'R', S: 'S', P: '.'}
+	line := make([]byte, boxes+1)
+	line[boxes] = '\n'
+	for bi := 0; bi < boxes; bi++ {
+		r0 := bi * g.n / boxes
+		r1 := (bi + 1) * g.n / boxes
+		for bj := 0; bj < boxes; bj++ {
+			c0 := bj * g.n / boxes
+			c1 := (bj + 1) * g.n / boxes
+			var tally [NumProcs]int
+			for i := r0; i < r1; i++ {
+				for j := c0; j < c1; j++ {
+					tally[g.At(i, j)]++
+				}
+			}
+			// Majority owner; ties break S > R > P so the slowest
+			// (smallest) processor never vanishes from the picture.
+			best := P
+			for _, p := range [3]Proc{R, S, P} {
+				if tally[p] > tally[best] || (tally[p] == tally[best] && p != P && best == P) {
+					best = p
+				}
+			}
+			line[bj] = glyph[best]
+		}
+		if _, err := w.Write(line); err != nil {
+			return
+		}
+	}
+}
+
+// Downsample returns a boxes×boxes grid in which each cell holds the
+// majority owner of the corresponding block of g — the same reduction the
+// paper uses to present partitions at 1/100th granularity (Fig 7).
+// Majority ties break toward the slower processor (S over R over P) so
+// small regions never vanish.
+func (g *Grid) Downsample(boxes int) *Grid {
+	if boxes <= 0 || boxes > g.n {
+		boxes = g.n
+	}
+	out := NewGrid(boxes)
+	for bi := 0; bi < boxes; bi++ {
+		r0 := bi * g.n / boxes
+		r1 := (bi + 1) * g.n / boxes
+		for bj := 0; bj < boxes; bj++ {
+			c0 := bj * g.n / boxes
+			c1 := (bj + 1) * g.n / boxes
+			var tally [NumProcs]int
+			for i := r0; i < r1; i++ {
+				for j := c0; j < c1; j++ {
+					tally[g.At(i, j)]++
+				}
+			}
+			best := P
+			for _, p := range [3]Proc{R, S, P} {
+				if tally[p] > tally[best] || (tally[p] == tally[best] && p != P && best == P) {
+					best = p
+				}
+			}
+			out.Set(bi, bj, best)
+		}
+	}
+	return out
+}
+
+// WritePGM writes the partition as a binary PGM image (one pixel per cell;
+// P=white, R=gray, S=black), matching the paper's white/gray/black figure
+// convention.
+func (g *Grid) WritePGM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", g.n, g.n); err != nil {
+		return err
+	}
+	shade := [NumProcs]byte{P: 255, R: 160, S: 0}
+	row := make([]byte, g.n)
+	for i := 0; i < g.n; i++ {
+		for j := 0; j < g.n; j++ {
+			row[j] = shade[g.At(i, j)]
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Encode serialises the grid into a compact byte form (size header plus
+// one byte per cell) that Decode restores exactly.
+func (g *Grid) Encode() []byte {
+	buf := make([]byte, 4+len(g.cells))
+	buf[0] = byte(g.n >> 24)
+	buf[1] = byte(g.n >> 16)
+	buf[2] = byte(g.n >> 8)
+	buf[3] = byte(g.n)
+	for i, p := range g.cells {
+		buf[4+i] = byte(p)
+	}
+	return buf
+}
+
+// Decode restores a grid from Encode's output.
+func Decode(buf []byte) (*Grid, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("partition: decode: truncated header")
+	}
+	n := int(buf[0])<<24 | int(buf[1])<<16 | int(buf[2])<<8 | int(buf[3])
+	if n <= 0 || len(buf) != 4+n*n {
+		return nil, fmt.Errorf("partition: decode: bad length %d for n=%d", len(buf), n)
+	}
+	g := NewGrid(n)
+	for idx, b := range buf[4:] {
+		p := Proc(b)
+		if !p.Valid() {
+			return nil, fmt.Errorf("partition: decode: invalid processor %d at cell %d", b, idx)
+		}
+		g.Set(idx/n, idx%n, p)
+	}
+	return g, nil
+}

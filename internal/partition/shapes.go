@@ -1,0 +1,424 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Shape identifies one of the six candidate canonical partition types of
+// Section IX (Figs 11 and 12), the survivors of the Push search after the
+// archetype reductions of Section VIII.
+type Shape uint8
+
+const (
+	// SquareCorner is Type 1A: R and S are squares in opposite corners.
+	SquareCorner Shape = iota
+	// RectangleCorner is Type 1B: R and S are corner rectangles of
+	// combined width N (the optimum when two squares cannot fit,
+	// Pr < 2√Rr).
+	RectangleCorner
+	// SquareRectangle is Type 3: one full-height rectangle plus one
+	// square.
+	SquareRectangle
+	// BlockRectangle is Type 4 (Type 2 reduces to it): a full-width
+	// bottom band split between R and S at equal heights.
+	BlockRectangle
+	// LRectangle is Type 5: a full-height strip (R) and a bottom band
+	// across the remainder (S), forming an L around a rectangular P.
+	LRectangle
+	// TraditionalRectangle is Type 6: the classical all-rectangle
+	// partition — P a full-height strip, R and S stacked in the other
+	// strip.
+	TraditionalRectangle
+	numShapes
+)
+
+// NumShapes is the number of candidate canonical shapes.
+const NumShapes = int(numShapes)
+
+// AllShapes lists the candidates in paper order.
+var AllShapes = [NumShapes]Shape{
+	SquareCorner, RectangleCorner, SquareRectangle,
+	BlockRectangle, LRectangle, TraditionalRectangle,
+}
+
+func (s Shape) String() string {
+	switch s {
+	case SquareCorner:
+		return "Square-Corner"
+	case RectangleCorner:
+		return "Rectangle-Corner"
+	case SquareRectangle:
+		return "Square-Rectangle"
+	case BlockRectangle:
+		return "Block-Rectangle"
+	case LRectangle:
+		return "L-Rectangle"
+	case TraditionalRectangle:
+		return "Traditional-Rectangle"
+	}
+	return fmt.Sprintf("Shape(%d)", uint8(s))
+}
+
+// ErrInfeasible reports that a candidate shape cannot be formed for the
+// requested ratio and matrix size (e.g. two squares that do not fit,
+// Thm 9.1).
+var ErrInfeasible = errors.New("partition: shape infeasible for ratio")
+
+// Build constructs the canonical version of shape s for the given ratio on
+// an n×n grid. Cell counts are exact (largest-remainder apportionment);
+// each processor's region is rectangular or asymptotically rectangular in
+// the paper's sense (at most one partial row/column, Fig 3).
+func Build(s Shape, n int, ratio Ratio) (*Grid, error) {
+	if err := ratio.Validate(); err != nil {
+		return nil, err
+	}
+	counts := ratio.Counts(n)
+	switch s {
+	case SquareCorner:
+		return buildSquareCorner(n, counts)
+	case RectangleCorner:
+		return buildRectangleCorner(n, counts)
+	case SquareRectangle:
+		return buildSquareRectangle(n, counts)
+	case BlockRectangle:
+		return buildBlockRectangle(n, counts)
+	case LRectangle:
+		return buildLRectangle(n, counts)
+	case TraditionalRectangle:
+		return buildTraditionalRectangle(n, counts)
+	}
+	return nil, fmt.Errorf("partition: unknown shape %v", s)
+}
+
+// SquareCornerFeasible implements the generalised Theorem 9.1 feasibility
+// condition: two non-overlapping squares of areas Rr/T and Sr/T fit in the
+// unit matrix iff √(Rr/T) + √(Sr/T) ≤ 1, which for Sr = Rr reduces to the
+// paper's Pr > 2√Rr.
+func SquareCornerFeasible(ratio Ratio) bool {
+	t := ratio.T()
+	return math.Sqrt(ratio.Rr/t)+math.Sqrt(ratio.Sr/t) <= 1
+}
+
+// fillCount assigns exactly count cells of processor p scanning the cells
+// yielded by next (which must yield distinct in-range cells). It reports
+// an error if next runs out first.
+func fillCount(g *Grid, p Proc, count int, next func() (int, int, bool)) error {
+	for c := 0; c < count; c++ {
+		i, j, ok := next()
+		if !ok {
+			return fmt.Errorf("partition: ran out of cells placing %v (%d of %d): %w", p, c, count, ErrInfeasible)
+		}
+		g.Set(i, j, p)
+	}
+	return nil
+}
+
+// scanRows yields cells row by row over rows[...] and cols [c0,c1). When
+// rightToLeft is set, columns within each row are visited right to left —
+// used when two processors fill toward each other so the shared ragged row
+// is consumed from opposite ends.
+func scanRows(rows []int, c0, c1 int, rightToLeft bool) func() (int, int, bool) {
+	ri := 0
+	j := c0
+	if rightToLeft {
+		j = c1 - 1
+	}
+	return func() (int, int, bool) {
+		for {
+			if ri >= len(rows) {
+				return 0, 0, false
+			}
+			if !rightToLeft && j < c1 {
+				i, jj := rows[ri], j
+				j++
+				return i, jj, true
+			}
+			if rightToLeft && j >= c0 {
+				i, jj := rows[ri], j
+				j--
+				return i, jj, true
+			}
+			ri++
+			if rightToLeft {
+				j = c1 - 1
+			} else {
+				j = c0
+			}
+		}
+	}
+}
+
+// scanCols yields cells column by column over cols[...] and rows [r0,r1).
+// By default rows within a column are visited bottom-up; topDown reverses
+// that, so two processors filling a shared ragged column approach from
+// opposite ends.
+func scanCols(cols []int, r0, r1 int, topDown bool) func() (int, int, bool) {
+	ci := 0
+	i := r1 - 1
+	if topDown {
+		i = r0
+	}
+	return func() (int, int, bool) {
+		for {
+			if ci >= len(cols) {
+				return 0, 0, false
+			}
+			if !topDown && i >= r0 {
+				ii := i
+				i--
+				return ii, cols[ci], true
+			}
+			if topDown && i < r1 {
+				ii := i
+				i++
+				return ii, cols[ci], true
+			}
+			ci++
+			if topDown {
+				i = r0
+			} else {
+				i = r1 - 1
+			}
+		}
+	}
+}
+
+func ascend(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for v := lo; v < hi; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+func descend(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for v := hi - 1; v >= lo; v-- {
+		out = append(out, v)
+	}
+	return out
+}
+
+func isqrtCeil(v int) int {
+	if v <= 0 {
+		return 0
+	}
+	s := int(math.Ceil(math.Sqrt(float64(v))))
+	for s > 0 && (s-1)*(s-1) >= v {
+		s--
+	}
+	for s*s < v {
+		s++
+	}
+	return s
+}
+
+// buildSquareCorner places R as a (near-)square in the bottom-left corner
+// and S as a (near-)square in the top-right corner (Fig 11, left).
+func buildSquareCorner(n int, counts [NumProcs]int) (*Grid, error) {
+	sideR := isqrtCeil(counts[R])
+	sideS := isqrtCeil(counts[S])
+	if sideR+sideS > n {
+		return nil, fmt.Errorf("squares of sides %d and %d exceed N=%d: %w", sideR, sideS, n, ErrInfeasible)
+	}
+	g := NewGrid(n)
+	// R: bottom-left, filling bottom rows first across columns [0, sideR).
+	if err := fillCount(g, R, counts[R], scanRows(descend(n-sideR, n), 0, sideR, false)); err != nil {
+		return nil, err
+	}
+	// S: top-right, filling top rows first across columns [n-sideS, n).
+	if err := fillCount(g, S, counts[S], scanRows(ascend(0, sideS), n-sideS, n, false)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildRectangleCorner places R bottom-left and S top-right as rectangles
+// whose widths sum to N, choosing the integer split that minimises the
+// combined perimeter (the Section IX-B.1 optimisation for Pr < 2√Rr; also
+// valid when squares would fit).
+func buildRectangleCorner(n int, counts [NumProcs]int) (*Grid, error) {
+	bestW, bestCost := -1, math.Inf(1)
+	for w := 1; w < n; w++ {
+		hR := (counts[R] + w - 1) / w
+		wS := n - w
+		hS := (counts[S] + wS - 1) / wS
+		// Each rectangle must fit vertically; the column strips are
+		// disjoint by construction so no horizontal overlap is possible.
+		if hR > n || hS > n {
+			continue
+		}
+		cost := float64(counts[R])/float64(w) + float64(w) +
+			float64(counts[S])/float64(wS) + float64(wS)
+		if cost < bestCost {
+			bestCost, bestW = cost, w
+		}
+	}
+	if bestW < 0 {
+		return nil, fmt.Errorf("no corner-rectangle split of width N fits: %w", ErrInfeasible)
+	}
+	g := NewGrid(n)
+	// R occupies columns [0, bestW) from the bottom; S occupies columns
+	// [bestW, n) from the top. Column strips are disjoint, so the two
+	// rectangles can never overlap.
+	if err := fillCount(g, R, counts[R], scanRows(descend(0, n), 0, bestW, false)); err != nil {
+		return nil, err
+	}
+	if err := fillCount(g, S, counts[S], scanRows(ascend(0, n), bestW, n, false)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildSquareRectangle places R as a full-height strip on the left and S as
+// a square on the bottom edge immediately to its right (Fig 12, Type 3
+// canonical form: R_x2 = S_x1, S bottom-aligned).
+func buildSquareRectangle(n int, counts [NumProcs]int) (*Grid, error) {
+	wR := (counts[R] + n - 1) / n // strip width including partial column
+	sideS := isqrtCeil(counts[S])
+	if wR+sideS > n {
+		return nil, fmt.Errorf("strip width %d plus square side %d exceeds N=%d: %w", wR, sideS, n, ErrInfeasible)
+	}
+	g := NewGrid(n)
+	// R fills whole columns left to right, bottom-up in the last partial
+	// column (asymptotically rectangular).
+	if err := fillCount(g, R, counts[R], scanCols(ascend(0, wR), 0, n, false)); err != nil {
+		return nil, err
+	}
+	// S: bottom-aligned square adjacent to the strip.
+	if err := fillCount(g, S, counts[S], scanRows(descend(n-sideS, n), wR, wR+sideS, false)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildBlockRectangle places R and S side by side in a full-width bottom
+// band of equal height h = ⌈(∈R+∈S)/N⌉ (Section IX-B.2: the Type 2 → Type 4
+// reduction sets R_height = S_height; canonical corners R_y1 = P_y2,
+// S_z1 = P_z2).
+//
+// Integral bookkeeping: the bottom h−1 rows of the band are filled
+// exactly (R from the left, S from the right, meeting in one shared
+// column); the leftover r* = band − (h−1)·N cells sit in the band's top
+// row, R's share from the left and S's from the right. All P slack is
+// thereby confined to the middle of that single top row, so the grid's
+// VoC matches the closed form N(h+N) to O(1) lines.
+func buildBlockRectangle(n int, counts [NumProcs]int) (*Grid, error) {
+	band := counts[R] + counts[S]
+	h := (band + n - 1) / n
+	if h > n {
+		return nil, ErrInfeasible
+	}
+	g := NewGrid(n)
+	if h == 0 {
+		return g, nil
+	}
+	rStar := band - (h-1)*n // filled cells of the band's top row (1..n)
+	topR := counts[R] * rStar / band
+	topS := rStar - topR
+	// Clamp so neither processor's bottom share goes negative.
+	if counts[S] < topS {
+		topS = counts[S]
+		topR = rStar - topS
+	}
+	if counts[R] < topR {
+		topR = counts[R]
+		topS = rStar - topR
+	}
+	bottomR := counts[R] - topR
+	bottomS := counts[S] - topS // bottomR+bottomS == (h−1)·n exactly
+	// Bottom block: R bottom-up from the left, S top-down from the right,
+	// so the shared boundary column splits cleanly.
+	if err := fillCount(g, R, bottomR, scanCols(ascend(0, n), n-h+1, n, false)); err != nil {
+		return nil, err
+	}
+	if err := fillCount(g, S, bottomS, scanCols(descend(0, n), n-h+1, n, true)); err != nil {
+		return nil, err
+	}
+	// Top band row: R from the left, S from the right, P slack between.
+	if err := fillCount(g, R, topR, scanRows([]int{n - h}, 0, n, false)); err != nil {
+		return nil, err
+	}
+	if err := fillCount(g, S, topS, scanRows([]int{n - h}, 0, n, true)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildLRectangle places R as a full-height strip on the left and S as a
+// band across the bottom of the remaining columns; together they form an L
+// and P's remainder is a rectangle (Fig 12, Type 5).
+func buildLRectangle(n int, counts [NumProcs]int) (*Grid, error) {
+	wR := (counts[R] + n - 1) / n
+	rem := n - wR
+	if rem <= 0 {
+		return nil, ErrInfeasible
+	}
+	hS := (counts[S] + rem - 1) / rem
+	if hS > n {
+		return nil, ErrInfeasible
+	}
+	g := NewGrid(n)
+	if err := fillCount(g, R, counts[R], scanCols(ascend(0, wR), 0, n, false)); err != nil {
+		return nil, err
+	}
+	// S fills bottom rows of the remaining columns, bottom row first.
+	if err := fillCount(g, S, counts[S], scanRows(descend(n-hS, n), wR, n, false)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// buildTraditionalRectangle stacks R (top) and S (bottom) in a right-hand
+// full-height strip of width ⌈(∈R+∈S)/N⌉, leaving P the left strip — the
+// classical rectangular partition (Fig 12, Type 6).
+//
+// Integral bookkeeping mirrors buildBlockRectangle, transposed: the
+// strip's rightmost w−1 columns are filled exactly (R from the top, S
+// from the bottom, meeting in one shared row); the leftover
+// c* = (∈R+∈S) − (w−1)·N cells occupy the strip's leftmost column, R's
+// share at its top and S's at its bottom, confining all P slack to that
+// single column.
+func buildTraditionalRectangle(n int, counts [NumProcs]int) (*Grid, error) {
+	band := counts[R] + counts[S]
+	w := (band + n - 1) / n
+	if w > n {
+		return nil, ErrInfeasible
+	}
+	g := NewGrid(n)
+	if w == 0 {
+		return g, nil
+	}
+	cStar := band - (w-1)*n // filled cells of the strip's left column
+	colR := counts[R] * cStar / band
+	colS := cStar - colR
+	if counts[S] < colS {
+		colS = counts[S]
+		colR = cStar - colS
+	}
+	if counts[R] < colR {
+		colR = counts[R]
+		colS = cStar - colR
+	}
+	innerR := counts[R] - colR
+	innerS := counts[S] - colS // innerR+innerS == (w−1)·n exactly
+	left := n - w
+	// Inner strip: R row-major from the top-left, S row-major from the
+	// bottom-right, meeting in one shared row.
+	if err := fillCount(g, R, innerR, scanRows(ascend(0, n), left+1, n, false)); err != nil {
+		return nil, err
+	}
+	if err := fillCount(g, S, innerS, scanRows(descend(0, n), left+1, n, true)); err != nil {
+		return nil, err
+	}
+	// Strip's left column: R from the top, S from the bottom, P between.
+	if err := fillCount(g, R, colR, scanCols([]int{left}, 0, n, true)); err != nil {
+		return nil, err
+	}
+	if err := fillCount(g, S, colS, scanCols([]int{left}, 0, n, false)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

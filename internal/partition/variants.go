@@ -1,0 +1,130 @@
+package partition
+
+import (
+	"fmt"
+	"math"
+)
+
+// Corner identifies a matrix corner for variant placements (§IX-A notes
+// each candidate type admits positional freedom; Theorem 8.1 implies the
+// choices are VoC-equivalent, which the variant constructors let tests
+// verify directly).
+type Corner uint8
+
+// The four corners.
+const (
+	BottomLeft Corner = iota
+	BottomRight
+	TopLeft
+	TopRight
+)
+
+func (c Corner) String() string {
+	switch c {
+	case BottomLeft:
+		return "bottom-left"
+	case BottomRight:
+		return "bottom-right"
+	case TopLeft:
+		return "top-left"
+	case TopRight:
+		return "top-right"
+	}
+	return fmt.Sprintf("Corner(%d)", uint8(c))
+}
+
+// cornerScan yields a near-square fill order anchored at the corner.
+func cornerScan(n, side int, c Corner) func() (int, int, bool) {
+	switch c {
+	case BottomLeft:
+		return scanRows(descend(n-side, n), 0, side, false)
+	case BottomRight:
+		return scanRows(descend(n-side, n), n-side, n, true)
+	case TopLeft:
+		return scanRows(ascend(0, side), 0, side, false)
+	case TopRight:
+		return scanRows(ascend(0, side), n-side, n, true)
+	}
+	panic("partition: invalid corner")
+}
+
+// BuildSquareCornerAt constructs the Square-Corner with R anchored
+// bottom-left and S in the chosen other corner. All choices are
+// VoC-equivalent (the positional freedom of §IX-A); the default Build
+// uses TopRight.
+func BuildSquareCornerAt(n int, ratio Ratio, sCorner Corner) (*Grid, error) {
+	if err := ratio.Validate(); err != nil {
+		return nil, err
+	}
+	if sCorner == BottomLeft {
+		return nil, fmt.Errorf("partition: S cannot share R's bottom-left corner: %w", ErrInfeasible)
+	}
+	counts := ratio.Counts(n)
+	sideR := isqrtCeil(counts[R])
+	sideS := isqrtCeil(counts[S])
+	if sideR+sideS > n {
+		return nil, fmt.Errorf("squares of sides %d and %d exceed N=%d: %w", sideR, sideS, n, ErrInfeasible)
+	}
+	g := NewGrid(n)
+	if err := fillCount(g, R, counts[R], cornerScan(n, sideR, BottomLeft)); err != nil {
+		return nil, err
+	}
+	if err := fillCount(g, S, counts[S], cornerScan(n, sideS, sCorner)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// BuildRectangleCornerSplit constructs the Type 1B Rectangle-Corner with
+// an explicit column split: R occupies columns [0, wR) from the bottom,
+// S columns [wR, N) from the top. The default Build chooses the
+// perimeter-minimising wR; this variant exposes the free parameter so the
+// §IX-B.1 optimisation can be validated by sweeping it.
+func BuildRectangleCornerSplit(n int, ratio Ratio, wR int) (*Grid, error) {
+	if err := ratio.Validate(); err != nil {
+		return nil, err
+	}
+	if wR < 1 || wR >= n {
+		return nil, fmt.Errorf("partition: split %d out of range (1..%d): %w", wR, n-1, ErrInfeasible)
+	}
+	counts := ratio.Counts(n)
+	if (counts[R]+wR-1)/wR > n || (counts[S]+(n-wR)-1)/(n-wR) > n {
+		return nil, fmt.Errorf("partition: split %d cannot hold the counts: %w", wR, ErrInfeasible)
+	}
+	g := NewGrid(n)
+	if err := fillCount(g, R, counts[R], scanRows(descend(0, n), 0, wR, false)); err != nil {
+		return nil, err
+	}
+	if err := fillCount(g, S, counts[S], scanRows(ascend(0, n), wR, n, false)); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// OptimalRectangleCornerSplit returns the split the §IX-B.1 perimeter
+// minimisation selects (the one Build uses), for comparison against
+// sweeps of BuildRectangleCornerSplit.
+func OptimalRectangleCornerSplit(n int, ratio Ratio) (int, error) {
+	if err := ratio.Validate(); err != nil {
+		return 0, err
+	}
+	counts := ratio.Counts(n)
+	bestW, bestCost := -1, math.Inf(1)
+	for w := 1; w < n; w++ {
+		hR := (counts[R] + w - 1) / w
+		wS := n - w
+		hS := (counts[S] + wS - 1) / wS
+		if hR > n || hS > n {
+			continue
+		}
+		cost := float64(counts[R])/float64(w) + float64(w) +
+			float64(counts[S])/float64(wS) + float64(wS)
+		if cost < bestCost {
+			bestCost, bestW = cost, w
+		}
+	}
+	if bestW < 0 {
+		return 0, ErrInfeasible
+	}
+	return bestW, nil
+}

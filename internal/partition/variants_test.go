@@ -1,0 +1,131 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSquareCornerPositionInvariance(t *testing.T) {
+	// §IX-A / Theorem 8.1: the corner S occupies does not change the
+	// volume of communication.
+	ratio := MustRatio(10, 1, 1)
+	const n = 200
+	var vocs []int64
+	for _, c := range []Corner{BottomRight, TopLeft, TopRight} {
+		g, err := BuildSquareCornerAt(n, ratio, c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		counts := ratio.Counts(n)
+		for _, p := range Procs {
+			if g.Count(p) != counts[p] {
+				t.Fatalf("%v: count(%v) = %d, want %d", c, p, g.Count(p), counts[p])
+			}
+		}
+		vocs = append(vocs, g.VoC())
+	}
+	for i := 1; i < len(vocs); i++ {
+		if vocs[i] != vocs[0] {
+			t.Errorf("corner placement changed VoC: %v", vocs)
+		}
+	}
+	// And it matches the default constructor.
+	def, err := Build(SquareCorner, n, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.VoC() != vocs[0] {
+		t.Errorf("default SC VoC %d differs from variant %d", def.VoC(), vocs[0])
+	}
+}
+
+func TestBuildSquareCornerAtErrors(t *testing.T) {
+	if _, err := BuildSquareCornerAt(100, MustRatio(10, 1, 1), BottomLeft); !errors.Is(err, ErrInfeasible) {
+		t.Error("S on R's corner must be rejected")
+	}
+	if _, err := BuildSquareCornerAt(100, MustRatio(2, 2, 1), TopRight); !errors.Is(err, ErrInfeasible) {
+		t.Error("infeasible ratio must be rejected")
+	}
+	if _, err := BuildSquareCornerAt(100, Ratio{}, TopRight); err == nil {
+		t.Error("invalid ratio must be rejected")
+	}
+}
+
+func TestRectangleCornerSplitOptimal(t *testing.T) {
+	// The §IX-B.1 perimeter minimisation must pick a split whose actual
+	// grid VoC is (near-)minimal over the whole sweep.
+	ratio := MustRatio(2, 2, 1)
+	const n = 150
+	bestW, err := OptimalRectangleCornerSplit(n, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chosen, err := BuildRectangleCornerSplit(n, ratio, bestW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep only proper Type 1 splits: §IX-A requires both rectangles
+	// strictly shorter than N in both dimensions (a full-height rectangle
+	// is Type 3's Square-Rectangle family, not a corner rectangle, and
+	// legitimately beats the corner optimum at this ratio).
+	counts := ratio.Counts(n)
+	minVoC := int64(1) << 62
+	for w := 1; w < n; w++ {
+		hR := (counts[R] + w - 1) / w
+		hS := (counts[S] + (n - w) - 1) / (n - w)
+		if hR >= n || hS >= n {
+			continue
+		}
+		g, err := BuildRectangleCornerSplit(n, ratio, w)
+		if err != nil {
+			continue
+		}
+		if g.VoC() < minVoC {
+			minVoC = g.VoC()
+		}
+	}
+	// Integral raggedness allows a line or two of slack between the
+	// continuous optimum and the best integer split.
+	if chosen.VoC() > minVoC+int64(2*n) {
+		t.Errorf("chosen split %d gives VoC %d, sweep minimum is %d", bestW, chosen.VoC(), minVoC)
+	}
+	// And Build's Rectangle-Corner equals the chosen-split construction.
+	def, err := Build(RectangleCorner, n, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if def.VoC() != chosen.VoC() {
+		t.Errorf("Build VoC %d != chosen-split VoC %d", def.VoC(), chosen.VoC())
+	}
+}
+
+func TestBuildRectangleCornerSplitErrors(t *testing.T) {
+	ratio := MustRatio(2, 2, 1)
+	if _, err := BuildRectangleCornerSplit(100, ratio, 0); err == nil {
+		t.Error("split 0 must be rejected")
+	}
+	if _, err := BuildRectangleCornerSplit(100, ratio, 100); err == nil {
+		t.Error("split n must be rejected")
+	}
+	if _, err := BuildRectangleCornerSplit(100, ratio, 1); !errors.Is(err, ErrInfeasible) {
+		t.Error("split too narrow for the counts must be infeasible")
+	}
+	if _, err := BuildRectangleCornerSplit(100, Ratio{}, 50); err == nil {
+		t.Error("invalid ratio must be rejected")
+	}
+}
+
+func TestCornerString(t *testing.T) {
+	want := map[Corner]string{
+		BottomLeft: "bottom-left", BottomRight: "bottom-right",
+		TopLeft: "top-left", TopRight: "top-right",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q", c, c.String())
+		}
+	}
+}

@@ -1,0 +1,364 @@
+// Package push implements the paper's primary contribution: the three-
+// processor Push operation (Section IV-A) and the computer-aided search
+// program built on it (Sections V–VI).
+//
+// A Push is an atomic transformation of a partition shape q into q₁ that
+// cleans one edge row/column of the active processor's enclosing rectangle,
+// relocating the active processor's elements deeper into its rectangle and
+// handing the displaced elements' owners the vacated edge cells. Six Push
+// types (Section IV-A.1–6) impose progressively weaker occupancy
+// constraints; all of them guarantee the Volume of Communication (Eq 1)
+// never increases — types 1–4 strictly decrease it, types 5–6 leave it
+// unchanged at worst. The engine enforces this guarantee mechanically: a
+// tentative Push whose recomputed ΔVoC violates its type's contract is
+// rolled back and reported illegal, as is one that enlarges any
+// processor's enclosing rectangle.
+package push
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+)
+
+// Type identifies one of the six Push legality regimes of Section IV-A.
+type Type uint8
+
+const (
+	// TypeOne strictly decreases VoC: the active processor lands only in
+	// rows/columns it already occupies, and the displaced processor must
+	// already occupy the cleaned row and the receiving column.
+	TypeOne Type = 1 + iota
+	// TypeTwo strictly decreases VoC but lets the active processor dirty
+	// l fresh rows/columns provided at least l are cleaned; the displaced
+	// processor constraint stays strict.
+	TypeTwo
+	// TypeThree strictly decreases VoC with the strict placement rule but
+	// a relaxed displaced-processor rule.
+	TypeThree
+	// TypeFour strictly decreases VoC with both rules relaxed.
+	TypeFour
+	// TypeFive leaves VoC unchanged at worst; at most one fresh
+	// row/column may be dirtied; strict displaced-processor rule.
+	TypeFive
+	// TypeSix leaves VoC unchanged at worst with both rules relaxed.
+	TypeSix
+)
+
+// AllTypes lists the types in the order the search program tries them:
+// strongest (guaranteed progress) first.
+var AllTypes = []Type{TypeOne, TypeTwo, TypeThree, TypeFour, TypeFive, TypeSix}
+
+func (t Type) String() string {
+	if t >= TypeOne && t <= TypeSix {
+		return fmt.Sprintf("Type%d", uint8(t))
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// params returns (dirtyLimit, ownerStrict, strictDecrease) for each type.
+//   - dirtyLimit: how many rows/columns not previously containing the
+//     active processor its elements may move into (-1 = unlimited, the
+//     net effect being guarded by the ΔVoC contract);
+//   - ownerStrict: whether the displaced processor must already occupy the
+//     cleaned row and the receiving column;
+//   - strictDecrease: whether the committed Push must strictly lower VoC.
+func (t Type) params() (dirtyLimit int, ownerStrict, strictDecrease bool) {
+	switch t {
+	case TypeOne:
+		return 0, true, true
+	case TypeTwo:
+		return -1, true, true
+	case TypeThree:
+		return 0, false, true
+	case TypeFour:
+		return -1, false, true
+	case TypeFive:
+		return 1, true, false
+	case TypeSix:
+		return -1, false, false
+	}
+	panic("push: invalid type")
+}
+
+// Result describes a committed Push.
+type Result struct {
+	Active   partition.Proc
+	Dir      geom.Direction
+	Type     Type
+	Moved    int   // elements of the active processor relocated
+	DeltaVoC int64 // VoC(q₁) − VoC(q), never positive
+}
+
+// AcceptFunc lets the caller veto a fully-formed Push just before it
+// commits (the DFA runner uses this to break VoC-plateau cycles). The grid
+// passed in is the tentative post-Push state; returning false rolls the
+// Push back.
+type AcceptFunc func(g *partition.Grid) bool
+
+// vgrid adapts a Grid to the logical coordinate system of a View, in which
+// every Push is a Push Down: the cleaned edge is the logical top row of
+// the active processor's enclosing rectangle and elements move to higher
+// logical rows.
+type vgrid struct {
+	g *partition.Grid
+	v geom.View
+}
+
+func (vg vgrid) at(i, j int) partition.Proc {
+	pi, pj := vg.v.Apply(i, j)
+	return vg.g.At(pi, pj)
+}
+
+func (vg vgrid) set(i, j int, p partition.Proc) {
+	pi, pj := vg.v.Apply(i, j)
+	vg.g.Set(pi, pj, p)
+}
+
+func (vg vgrid) rowHas(i int, p partition.Proc) bool {
+	if vg.v.Transposed() {
+		return vg.g.ColHas(vg.v.FlipIndex(i), p)
+	}
+	return vg.g.RowHas(vg.v.FlipIndex(i), p)
+}
+
+func (vg vgrid) colHas(j int, p partition.Proc) bool {
+	if vg.v.Transposed() {
+		return vg.g.RowHas(j, p)
+	}
+	return vg.g.ColHas(j, p)
+}
+
+func (vg vgrid) rect(p partition.Proc) geom.Rect {
+	return vg.v.InvertRect(vg.g.EnclosingRect(p))
+}
+
+// undoLog records logical-cell mutations for rollback.
+type undoLog struct {
+	cells []undoCell
+}
+
+type undoCell struct {
+	i, j int
+	prev partition.Proc
+}
+
+func (u *undoLog) record(i, j int, prev partition.Proc) {
+	u.cells = append(u.cells, undoCell{i, j, prev})
+}
+
+func (u *undoLog) rollback(vg vgrid) {
+	for k := len(u.cells) - 1; k >= 0; k-- {
+		c := u.cells[k]
+		vg.set(c.i, c.j, c.prev)
+	}
+	u.cells = u.cells[:0]
+}
+
+// cursor is a monotone scan position over the interior rows of an
+// enclosing rectangle (everything strictly below the cleaned edge).
+type cursor struct {
+	g, h   int
+	bounds geom.Rect
+}
+
+func newCursor(rect geom.Rect) cursor {
+	return cursor{g: rect.Top + 1, h: rect.Left, bounds: rect}
+}
+
+func (c *cursor) valid() bool { return c.g < c.bounds.Bottom }
+
+func (c *cursor) advance() {
+	c.h++
+	if c.h >= c.bounds.Right {
+		c.h = c.bounds.Left
+		c.g++
+	}
+}
+
+// traceFn, when set by tests, receives diagnostic messages about why
+// Attempt rejected a Push.
+var traceFn func(format string, args ...any)
+
+func tracef(format string, args ...any) {
+	if traceFn != nil {
+		traceFn(format, args...)
+	}
+}
+
+// Attempt tries a single Push of the given type on the active processor in
+// the given direction. On success the grid is mutated and the Result
+// describes the transformation; on failure the grid is untouched.
+//
+// accept may be nil; when non-nil it can veto the Push (see AcceptFunc).
+func Attempt(g *partition.Grid, active partition.Proc, dir geom.Direction, t Type, accept AcceptFunc) (Result, bool) {
+	if active == partition.P {
+		// Only the slower processors are ever pushed (Section VI-C: a
+		// partition is condensed when no processor except the largest
+		// may be moved).
+		return Result{}, false
+	}
+	dirtyLimit, ownerStrict, strictDecrease := t.params()
+
+	vg := vgrid{g: g, v: geom.NewView(g.N(), dir)}
+	rect := vg.rect(active)
+	if rect.IsEmpty() || rect.Height() < 2 {
+		// Nothing to clean, or no rows below the edge to receive elements.
+		return Result{}, false
+	}
+
+	// Snapshot the invariant inputs.
+	vocBefore := g.VoC()
+	activeRectBefore := g.EnclosingRect(active)
+
+	top := rect.Top
+	var undo undoLog
+	moved := 0
+	dirtied := 0
+
+	// Three monotone placement cursors, in the spirit of the paper's
+	// findTypeOne pseudocode (the search resumes from the last accepted
+	// slot, making a whole Push O(area of the enclosing rectangle)).
+	// Tiers, tried in order per edge element:
+	//
+	//   A (strict)  — the active processor lands where it dirties nothing
+	//     and the displaced processor already occupies both the cleaned
+	//     line and the receiving line: a Type-One-legal elementary swap
+	//     that can never raise VoC.
+	//   B (amortised) — the displaced processor occupies the receiving
+	//     line but perhaps not the cleaned line. The first such swap
+	//     dirties the cleaned line once; because legality is evaluated on
+	//     the evolving grid, every later swap displacing the same
+	//     processor is tier-A. Only meaningful for the relaxed-owner
+	//     types (3, 4, 6).
+	//   C (typed)   — this type's literal rules.
+	//
+	// Preferring cheaper tiers keeps the relaxed types from squandering
+	// their ΔVoC budget on placements a clean slot could have served,
+	// which is what lets the search condense speckled regions instead of
+	// declaring them stuck.
+	curA := newCursor(rect)
+	curB := newCursor(rect)
+	curC := newCursor(rect)
+
+	const (
+		tierStrict = iota
+		tierAmortised
+		tierTyped
+	)
+
+	place := func(j int, cur *cursor, tier int) bool {
+		for cur.valid() {
+			cg, ch := cur.g, cur.h
+			owner := vg.at(cg, ch)
+			if owner == active {
+				cur.advance()
+				continue
+			}
+			// Count the rows/columns this placement would open for the
+			// active processor — the paper's l bookkeeping. (The paper's
+			// findTypeOne pseudocode tests row OR column, but its prose
+			// and the VoC arithmetic require both: a placement into a
+			// row with the active processor but a column without it
+			// still dirties that column.)
+			willDirty := 0
+			if !vg.rowHas(cg, active) {
+				willDirty++
+			}
+			if !vg.colHas(ch, active) {
+				willDirty++
+			}
+			ok := true
+			switch tier {
+			case tierStrict:
+				ok = willDirty == 0 && vg.rowHas(top, owner) && vg.colHas(j, owner)
+			case tierAmortised:
+				ok = willDirty == 0 && vg.colHas(j, owner)
+			default: // tierTyped
+				if dirtyLimit >= 0 && dirtied+willDirty > dirtyLimit {
+					ok = false
+				}
+				if ok && ownerStrict && (!vg.rowHas(top, owner) || !vg.colHas(j, owner)) {
+					ok = false
+				}
+			}
+			if ok {
+				undo.record(top, j, active)
+				undo.record(cg, ch, owner)
+				vg.set(top, j, owner)
+				vg.set(cg, ch, active)
+				dirtied += willDirty
+				moved++
+				cur.advance()
+				return true
+			}
+			cur.advance()
+		}
+		return false
+	}
+
+	for j := rect.Left; j < rect.Right; j++ {
+		if vg.at(top, j) != active {
+			continue
+		}
+		if place(j, &curA, tierStrict) {
+			continue
+		}
+		if !ownerStrict && place(j, &curB, tierAmortised) {
+			continue
+		}
+		if !place(j, &curC, tierTyped) {
+			tracef("%v %v %v: no slot for edge element at logical (%d,%d)", active, dir, t, top, j)
+			undo.rollback(vg)
+			return Result{}, false
+		}
+	}
+
+	if moved == 0 {
+		// Edge row held no elements of the active processor: the
+		// enclosing rectangle metadata would say otherwise, so this can
+		// only happen for height-1 rectangles already excluded; treat as
+		// no-op failure for safety.
+		return Result{}, false
+	}
+
+	// Contract checks on the committed state.
+	delta := g.VoC() - vocBefore
+	if delta > 0 || (strictDecrease && delta >= 0) {
+		tracef("%v %v %v: contract violated, delta=%d moved=%d", active, dir, t, delta, moved)
+		undo.rollback(vg)
+		return Result{}, false
+	}
+	// "A Push may not enlarge the enclosing rectangle of any processor"
+	// (Section IV-A). For the active processor this is enforced
+	// structurally — all placements stay inside its rectangle — and
+	// checked here. For the displaced processors Types 3/4/6 explicitly
+	// allow occupying previously-clean rows/columns (which can stretch
+	// their rectangles) as long as more rows/columns are cleaned than
+	// dirtied; that net effect is exactly the ΔVoC contract above, so no
+	// separate geometric veto is applied to them.
+	if !activeRectBefore.ContainsRect(g.EnclosingRect(active)) {
+		undo.rollback(vg)
+		return Result{}, false
+	}
+	if accept != nil && !accept(g) {
+		undo.rollback(vg)
+		return Result{}, false
+	}
+	return Result{Active: active, Dir: dir, Type: t, Moved: moved, DeltaVoC: delta}, true
+}
+
+// AttemptAny tries the types in order on (active, dir) and commits the
+// first legal Push.
+func AttemptAny(g *partition.Grid, active partition.Proc, dir geom.Direction, types []Type, accept AcceptFunc) (Result, bool) {
+	if len(types) == 0 {
+		types = AllTypes
+	}
+	for _, t := range types {
+		if res, ok := Attempt(g, active, dir, t, accept); ok {
+			return res, true
+		}
+	}
+	return Result{}, false
+}

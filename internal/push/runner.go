@@ -1,0 +1,215 @@
+package push
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+)
+
+// Config parameterises one run of the search program — the DFA of
+// Section V whose states are partition shapes, whose alphabet is (active
+// processor, direction) pairs and whose transition function is the Push.
+type Config struct {
+	// N is the matrix dimension (the paper used 1000; the structure of
+	// the terminal shapes is scale-free).
+	N int
+	// Ratio is the processing-speed ratio Pr:Rr:Sr.
+	Ratio partition.Ratio
+	// Seed drives all randomisation (start state, direction sets, order).
+	Seed int64
+	// Start overrides the random q₀ when non-nil (the grid is cloned).
+	Start *partition.Grid
+	// Types restricts the Push types tried; nil means all six.
+	Types []Type
+	// MaxSteps bounds the number of committed Pushes (a backstop only —
+	// runs converge long before; 0 selects a generous default).
+	MaxSteps int
+	// Beautify applies the Theorem 8.3 cleanup after convergence: keep
+	// pushing with *all* directions enabled until fully condensed, which
+	// removes Archetype C interlocks left by restricted direction sets.
+	Beautify bool
+	// Clustered draws q₀ from the clustered random family instead of the
+	// paper's uniform one.
+	Clustered bool
+	// Snapshot, when non-nil, receives the partition after every
+	// committed Push (step counts from 1) plus once for the start state
+	// (step 0). Used to regenerate Fig 7.
+	Snapshot func(step int, g *partition.Grid)
+}
+
+// DirectionPlan is the randomised direction assignment of Section VI-A.1:
+// each slow processor is given a random non-empty subset of directions in
+// a random order.
+type DirectionPlan map[partition.Proc][]geom.Direction
+
+// newPlan draws the per-processor direction sets.
+func newPlan(rng *rand.Rand) DirectionPlan {
+	plan := make(DirectionPlan, 2)
+	for _, p := range [2]partition.Proc{partition.R, partition.S} {
+		k := 1 + rng.Intn(geom.NumDirections)
+		perm := rng.Perm(geom.NumDirections)
+		dirs := make([]geom.Direction, k)
+		for i := 0; i < k; i++ {
+			dirs[i] = geom.AllDirections[perm[i]]
+		}
+		plan[p] = dirs
+	}
+	return plan
+}
+
+// FullPlan gives both processors all four directions (used by Beautify and
+// by reduction proofs).
+func FullPlan() DirectionPlan {
+	all := append([]geom.Direction(nil), geom.AllDirections[:]...)
+	return DirectionPlan{
+		partition.R: all,
+		partition.S: append([]geom.Direction(nil), all...),
+	}
+}
+
+// RunResult reports a completed run.
+type RunResult struct {
+	// Final is the condensed terminal partition (an accept state of the
+	// DFA).
+	Final *partition.Grid
+	// Steps is the number of committed Pushes.
+	Steps int
+	// InitialVoC and FinalVoC bracket the communication improvement.
+	InitialVoC, FinalVoC int64
+	// Plan records the randomised direction sets used.
+	Plan DirectionPlan
+	// Converged is false only if MaxSteps was exhausted first.
+	Converged bool
+}
+
+// Run executes the DFA from a random (or supplied) start state until no
+// legal Push remains for either slow processor within its direction set —
+// the end condition of Section VI-C.
+func Run(cfg Config) (*RunResult, error) {
+	if cfg.N <= 1 {
+		return nil, fmt.Errorf("push: N must be at least 2, got %d", cfg.N)
+	}
+	if err := cfg.Ratio.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var g *partition.Grid
+	switch {
+	case cfg.Start != nil:
+		if cfg.Start.N() != cfg.N {
+			return nil, fmt.Errorf("push: start grid is %d×%d, config wants %d", cfg.Start.N(), cfg.Start.N(), cfg.N)
+		}
+		g = cfg.Start.Clone()
+	case cfg.Clustered:
+		g = partition.NewRandomClustered(cfg.N, cfg.Ratio, rng)
+	default:
+		g = partition.NewRandom(cfg.N, cfg.Ratio, rng)
+	}
+
+	plan := newPlan(rng)
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 40 * cfg.N // far beyond observed convergence (~2N)
+	}
+
+	res := &RunResult{Plan: plan, InitialVoC: g.VoC()}
+	if cfg.Snapshot != nil {
+		cfg.Snapshot(0, g)
+	}
+
+	steps, converged := condense(g, plan, cfg.Types, maxSteps, rng, cfg.Snapshot)
+	res.Steps = steps
+	res.Converged = converged
+	if cfg.Beautify && converged {
+		extra, conv2 := condense(g, FullPlan(), cfg.Types, maxSteps, rng, cfg.Snapshot)
+		res.Steps += extra
+		res.Converged = conv2
+	}
+	res.Final = g
+	res.FinalVoC = g.VoC()
+	return res, nil
+}
+
+// Condense applies Pushes from the plan until none is legal, returning
+// the number of committed Pushes and whether a fixed point was reached
+// within maxSteps (0 selects 40·N). It is the convergence loop the DFA
+// runner uses, exposed for the Section VIII reductions and the beautify
+// cleanup. The grid is mutated in place.
+//
+// Plateau cycles (sequences of Type 5/6 Pushes that leave VoC unchanged)
+// are broken by fingerprinting: a Push that recreates a state already
+// visited since the last VoC decrease is vetoed.
+func Condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int) (int, bool) {
+	if maxSteps <= 0 {
+		maxSteps = 40 * g.N()
+	}
+	return condense(g, plan, types, maxSteps, nil, nil)
+}
+
+func condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int, rng *rand.Rand, snapshot func(int, *partition.Grid)) (int, bool) {
+	plateau := map[uint64]bool{g.Fingerprint(): true}
+	lastVoC := g.VoC()
+	accept := func(t *partition.Grid) bool {
+		v := t.VoC()
+		if v < lastVoC {
+			return true
+		}
+		fp := t.Fingerprint()
+		if plateau[fp] {
+			return false
+		}
+		plateau[fp] = true
+		return true
+	}
+
+	procs := [2]partition.Proc{partition.R, partition.S}
+	steps := 0
+	for steps < maxSteps {
+		progressed := false
+		// Random processor order each sweep, per the randomised search.
+		order := procs
+		if rng != nil && rng.Intn(2) == 1 {
+			order[0], order[1] = order[1], order[0]
+		}
+		for _, p := range order {
+			for _, d := range plan[p] {
+				if res, ok := AttemptAny(g, p, d, types, accept); ok {
+					steps++
+					progressed = true
+					if res.DeltaVoC < 0 {
+						lastVoC = g.VoC()
+						plateau = map[uint64]bool{g.Fingerprint(): true}
+					}
+					if snapshot != nil {
+						snapshot(steps, g)
+					}
+					if steps >= maxSteps {
+						return steps, false
+					}
+				}
+			}
+		}
+		if !progressed {
+			return steps, true
+		}
+	}
+	return steps, false
+}
+
+// Condensed reports whether no legal Push remains for either slow
+// processor in any of the plan's directions — the paper's definition of a
+// fully condensed partition.
+func Condensed(g *partition.Grid, plan DirectionPlan, types []Type) bool {
+	for _, p := range [2]partition.Proc{partition.R, partition.S} {
+		for _, d := range plan[p] {
+			c := g.Clone()
+			if _, ok := AttemptAny(c, p, d, types, nil); ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,26 @@
+package push
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestSmokeRun(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		res, err := Run(Config{N: 40, Ratio: partition.MustRatio(2, 1, 1), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Fatalf("seed %d: did not converge after %d steps", seed, res.Steps)
+		}
+		if res.FinalVoC > res.InitialVoC {
+			t.Fatalf("seed %d: VoC increased %d -> %d", seed, res.InitialVoC, res.FinalVoC)
+		}
+		if err := res.Final.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("seed %d: steps=%d voc %d -> %d plan=%v", seed, res.Steps, res.InitialVoC, res.FinalVoC, res.Plan)
+	}
+}

@@ -1,0 +1,74 @@
+package push_test
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+	"repro/internal/push"
+	"repro/internal/shape"
+)
+
+// drain applies pushes with the full direction plan until none remains.
+func drain(t *testing.T, g *partition.Grid) {
+	t.Helper()
+	for {
+		moved := false
+		for _, p := range [2]partition.Proc{partition.R, partition.S} {
+			for _, d := range geom.AllDirections {
+				if _, ok := push.AttemptAny(g, p, d, nil, nil); ok {
+					moved = true
+				}
+			}
+		}
+		if !moved {
+			return
+		}
+	}
+}
+
+// TestSpeckleRegression pins the historical failure modes of the Push
+// legality search. Early versions of the engine got stuck in heavily
+// speckled states because (a) a single greedy cursor spent the ΔVoC
+// budget on displaced processors that dirtied fresh lines, and (b) the
+// dirtying count treated "row OR column occupied" as free, letting a
+// placement silently dirty one line. These seeds reproduced both bugs;
+// the condensed states must now classify into the paper's archetypes.
+func TestSpeckleRegression(t *testing.T) {
+	cases := []struct {
+		n     int
+		ratio partition.Ratio
+		seed  int64
+	}{
+		{60, partition.MustRatio(2, 1, 1), 3},                    // cursor-tier bug
+		{44, partition.MustRatio(10, 1, 1), 7980776588851220643}, // OR-dirtying bug
+		{44, partition.MustRatio(5, 2, 1), 1185658667067195305},  // thin-strip speckle
+	}
+	for _, c := range cases {
+		res, err := push.Run(push.Config{N: c.n, Ratio: c.ratio, Seed: c.seed, Beautify: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Converged {
+			t.Errorf("ratio %v seed %d: did not converge", c.ratio, c.seed)
+		}
+		g := res.Final.Clone()
+		drain(t, g)
+		if a := shape.Classify(g); a == shape.ArchetypeUnknown {
+			t.Errorf("ratio %v seed %d: condensed state unclassifiable\n%s",
+				c.ratio, c.seed, g.RenderASCII(22))
+		}
+		// A fully drained state admits no decreasing push at all.
+		for _, p := range [2]partition.Proc{partition.R, partition.S} {
+			for _, d := range geom.AllDirections {
+				for _, ty := range []push.Type{push.TypeOne, push.TypeTwo, push.TypeThree, push.TypeFour} {
+					cl := g.Clone()
+					if r, ok := push.Attempt(cl, p, d, ty, nil); ok {
+						t.Errorf("ratio %v seed %d: drained state still improvable: %+v",
+							c.ratio, c.seed, r)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package push
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+)
+
+// transposeDir maps a direction to its transpose-conjugate: pushing Down
+// on q is pushing Right on qᵀ, and so on.
+func transposeDir(d geom.Direction) geom.Direction {
+	switch d {
+	case geom.Down:
+		return geom.Right
+	case geom.Up:
+		return geom.Left
+	case geom.Right:
+		return geom.Down
+	case geom.Left:
+		return geom.Up
+	}
+	panic("bad direction")
+}
+
+// TestPushTransposeSymmetry validates the direction-view machinery end to
+// end: a Push in direction d on grid q must be exactly the transpose of a
+// Push in the conjugate direction on qᵀ — same ΔVoC, transposed cells.
+func TestPushTransposeSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		g := partition.NewRandom(18, partition.MustRatio(3, 2, 1), rng)
+		gt := g.Transpose()
+		if g.VoC() != gt.VoC() {
+			t.Fatal("VoC must be transpose-invariant")
+		}
+		p := partition.Procs[rng.Intn(2)]
+		d := geom.AllDirections[rng.Intn(4)]
+		ty := AllTypes[rng.Intn(len(AllTypes))]
+
+		r1, ok1 := Attempt(g, p, d, ty, nil)
+		r2, ok2 := Attempt(gt, p, transposeDir(d), ty, nil)
+		if ok1 != ok2 {
+			t.Fatalf("trial %d: %v %v %v legal=%v but transposed legal=%v", trial, p, d, ty, ok1, ok2)
+		}
+		if !ok1 {
+			continue
+		}
+		if r1.DeltaVoC != r2.DeltaVoC || r1.Moved != r2.Moved {
+			t.Fatalf("trial %d: results differ: %+v vs %+v", trial, r1, r2)
+		}
+		if !g.Transpose().Equal(gt) {
+			t.Fatalf("trial %d: post-push grids are not transposes", trial)
+		}
+	}
+}
+
+// TestVoCTransposeInvariant is the standalone Eq 1 symmetry property.
+func TestVoCTransposeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		g := partition.NewRandom(15, partition.PaperRatios[trial%11], rng)
+		if g.VoC() != g.Transpose().VoC() {
+			t.Fatalf("trial %d: VoC changed under transpose", trial)
+		}
+		if !g.Transpose().Transpose().Equal(g) {
+			t.Fatalf("trial %d: double transpose is not identity", trial)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package shape
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+)
+
+// Exemplar constructs a clean representative partition of the requested
+// archetype on an n×n grid (Fig 5). Exemplars are used by tests, by the
+// reduction benchmarks, and by the shape-atlas example; they are exact
+// (no ragged lines).
+func Exemplar(a Archetype, n int) (*partition.Grid, error) {
+	if n < 12 {
+		return nil, fmt.Errorf("shape: exemplar needs n ≥ 12, got %d", n)
+	}
+	g := partition.NewGrid(n)
+	q := n / 4
+	switch a {
+	case ArchetypeA:
+		// Two disjoint rectangles: R bottom-left, S top-right.
+		g.FillRect(geom.NewRect(2*q, 0, 4*q, q), partition.R)
+		g.FillRect(geom.NewRect(0, 3*q, q, 4*q), partition.S)
+	case ArchetypeB:
+		// S rectangular; R a six-corner L wrapped around S's left and
+		// bottom, enclosing rectangles partially overlapping.
+		g.FillRect(geom.NewRect(q, 2*q, 2*q, 3*q), partition.S)
+		g.FillRect(geom.NewRect(q, q, 2*q, 2*q), partition.R)   // vertical bar left of S
+		g.FillRect(geom.NewRect(2*q, q, 3*q, 3*q), partition.R) // horizontal bar under both
+	case ArchetypeC:
+		// Interlock: R∪S is one rectangle split by a step; neither R nor
+		// S alone is rectangular, each has six corners.
+		// Combined rect rows [q,3q) cols [q,3q); step at (2q, 2q).
+		g.FillRect(geom.NewRect(q, q, 2*q, 3*q), partition.R)     // top band
+		g.FillRect(geom.NewRect(2*q, q, 3*q, 2*q), partition.R)   // lower-left block
+		g.FillRect(geom.NewRect(2*q, 2*q, 3*q, 3*q), partition.S) // lower-right block
+		// Give S a matching upper tongue so both interlock (6 corners each).
+		g.FillRect(geom.NewRect(q, 3*q, 3*q, 3*q+q/2), partition.S)
+	case ArchetypeD:
+		// Surround: R is a rectangle with a rectangular hole holding S
+		// (eight corners for R, four for S).
+		g.FillRect(geom.NewRect(q, q, 3*q, 3*q), partition.R)
+		g.FillRect(geom.NewRect(q+q/2, q+q/2, 2*q, 2*q), partition.S)
+	default:
+		return nil, fmt.Errorf("shape: no exemplar for %v", a)
+	}
+	return g, nil
+}

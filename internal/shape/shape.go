@@ -1,0 +1,335 @@
+// Package shape implements the geometric analysis of Sections VII–VIII:
+// the corner taxonomy of partition shapes, classification of condensed
+// partitions into the four archetypes the search program discovered
+// (Fig 5), and the reduction of Archetypes B, C and D to Archetype A
+// (Theorems 8.1–8.4) without increasing the Volume of Communication.
+package shape
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+)
+
+// Archetype is one of the four general partition-shape families the DFA
+// search produced (Section VII-C), plus Unknown for arrangements matching
+// none — a would-be counterexample to Postulate 1.
+type Archetype uint8
+
+const (
+	// ArchetypeA — enclosing rectangles of R and S do not overlap and
+	// both processors are (asymptotically) rectangular with the minimum
+	// four corners. Includes all traditional rectangular partitions.
+	ArchetypeA Archetype = iota
+	// ArchetypeB — the rectangles partially overlap; one processor is
+	// rectangular, the other forms a six-corner "L" around it.
+	ArchetypeB
+	// ArchetypeC — the rectangles partially overlap and neither
+	// processor is rectangular (interlock); each has at least six
+	// corners. In every observed instance R∪S is itself rectangular.
+	ArchetypeC
+	// ArchetypeD — one processor's enclosing rectangle entirely
+	// surrounds the other's.
+	ArchetypeD
+	// ArchetypeUnknown — none of the above; a potential counterexample
+	// to the paper's postulate.
+	ArchetypeUnknown
+)
+
+func (a Archetype) String() string {
+	switch a {
+	case ArchetypeA:
+		return "A"
+	case ArchetypeB:
+		return "B"
+	case ArchetypeC:
+		return "C"
+	case ArchetypeD:
+		return "D"
+	case ArchetypeUnknown:
+		return "Unknown"
+	}
+	return fmt.Sprintf("Archetype(%d)", uint8(a))
+}
+
+// CornerCount returns the number of corners (interior-angle vertices,
+// Section VIII-A) of processor p's region, counted with the 2×2
+// vertex-window method: a lattice vertex is a corner when an odd number of
+// its four surrounding cells belong to p, and counts twice when exactly
+// the two diagonal cells do. A rectangle has four corners; the paper's
+// "L" has six; an Archetype D surround has eight.
+func CornerCount(g *partition.Grid, p partition.Proc) int {
+	n := g.N()
+	has := func(i, j int) bool {
+		if i < 0 || i >= n || j < 0 || j >= n {
+			return false
+		}
+		return g.At(i, j) == p
+	}
+	corners := 0
+	for i := 0; i <= n; i++ {
+		for j := 0; j <= n; j++ {
+			a := has(i-1, j-1)
+			b := has(i-1, j)
+			c := has(i, j-1)
+			d := has(i, j)
+			switch count4(a, b, c, d) {
+			case 1, 3:
+				corners++
+			case 2:
+				if (a && d && !b && !c) || (b && c && !a && !d) {
+					corners += 2
+				}
+			}
+		}
+	}
+	return corners
+}
+
+func count4(vals ...bool) int {
+	n := 0
+	for _, v := range vals {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+// Components returns the number of 4-connected components of p's region.
+func Components(g *partition.Grid, p partition.Proc) int {
+	n := g.N()
+	seen := make([]bool, n*n)
+	var stack []int
+	comps := 0
+	for idx := 0; idx < n*n; idx++ {
+		if seen[idx] || g.At(idx/n, idx%n) != p {
+			continue
+		}
+		comps++
+		stack = append(stack[:0], idx)
+		seen[idx] = true
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			i, j := cur/n, cur%n
+			for _, d := range [4][2]int{{-1, 0}, {1, 0}, {0, -1}, {0, 1}} {
+				ni, nj := i+d[0], j+d[1]
+				if ni < 0 || ni >= n || nj < 0 || nj >= n {
+					continue
+				}
+				nidx := ni*n + nj
+				if !seen[nidx] && g.At(ni, nj) == p {
+					seen[nidx] = true
+					stack = append(stack, nidx)
+				}
+			}
+		}
+	}
+	return comps
+}
+
+// IsAsymptoticallyRectangular reports whether p's region satisfies the
+// paper's rectangularity definition (Fig 3): the region fills its
+// enclosing rectangle except for at most a single edge row or edge column
+// that may be only partially filled. The partial line may contain holes —
+// the Volume of Communication cannot distinguish hole positions within
+// one line, so the paper's analysis treats them identically.
+func IsAsymptoticallyRectangular(g *partition.Grid, p partition.Proc) bool {
+	if g.Count(p) == 0 {
+		return false
+	}
+	r := g.EnclosingRect(p)
+	// Two sufficient conditions, either of which makes the region
+	// indistinguishable from a full rectangle to the Volume of
+	// Communication (every row and column of the enclosing rectangle
+	// still contains p — that is what makes it the enclosing rectangle):
+	//
+	//  1. All missing cells lie on the rectangle's boundary ring (the
+	//     paper's Fig 3 "single shorter row or column", generalised to
+	//     the hole positions VoC cannot observe); or
+	//  2. The total slack is below one full edge length — Fig 3's area
+	//     budget — wherever the holes sit.
+	interiorClean := true
+	for i := r.Top + 1; i < r.Bottom-1 && interiorClean; i++ {
+		for j := r.Left + 1; j < r.Right-1; j++ {
+			if g.At(i, j) != p {
+				interiorClean = false
+				break
+			}
+		}
+	}
+	if interiorClean {
+		return true
+	}
+	slack := r.Area() - g.Count(p)
+	maxEdge := r.Width()
+	if r.Height() > maxEdge {
+		maxEdge = r.Height()
+	}
+	return slack >= 0 && slack < maxEdge
+}
+
+// Analysis is the geometric digest Classify works from.
+type Analysis struct {
+	RectR, RectS             geom.Rect
+	CornersR, CornersS       int
+	RectangularR             bool
+	RectangularS             bool
+	Overlap                  geom.Rect
+	CombinedRectangularRS    bool
+	ComponentsR, ComponentsS int
+}
+
+// Analyze computes the corner/rectangle digest of a partition.
+func Analyze(g *partition.Grid) Analysis {
+	an := Analysis{
+		RectR:        g.EnclosingRect(partition.R),
+		RectS:        g.EnclosingRect(partition.S),
+		CornersR:     CornerCount(g, partition.R),
+		CornersS:     CornerCount(g, partition.S),
+		RectangularR: IsAsymptoticallyRectangular(g, partition.R),
+		RectangularS: IsAsymptoticallyRectangular(g, partition.S),
+		ComponentsR:  Components(g, partition.R),
+		ComponentsS:  Components(g, partition.S),
+	}
+	an.Overlap = an.RectR.Intersect(an.RectS)
+	an.CombinedRectangularRS = combinedRectangular(g)
+	return an
+}
+
+// combinedRectangular reports whether R∪S viewed as one processor is
+// asymptotically rectangular (the paper's observation about Archetype C).
+func combinedRectangular(g *partition.Grid) bool {
+	union := g.EnclosingRect(partition.R).Union(g.EnclosingRect(partition.S))
+	if union.IsEmpty() {
+		return false
+	}
+	count := g.Count(partition.R) + g.Count(partition.S)
+	slack := union.Area() - count
+	if slack < 0 {
+		return false
+	}
+	maxEdge := union.Width()
+	if union.Height() > maxEdge {
+		maxEdge = union.Height()
+	}
+	return slack < maxEdge
+}
+
+// thinOverlap reports whether the rectangles' intersection is at most one
+// row or one column — the raggedness allowance of asymptotically
+// rectangular shapes whose partial lines may interleave.
+func thinOverlap(ov geom.Rect) bool {
+	return ov.IsEmpty() || ov.Width() <= 1 || ov.Height() <= 1
+}
+
+// CoarseBoxes is the default downsampling resolution Classify falls back
+// to, mirroring the paper's 1/100-granularity presentation of N=1000
+// partitions (Fig 7).
+const CoarseBoxes = 25
+
+// Classify maps a condensed partition onto the paper's archetypes.
+//
+// The exact-geometry classification runs first. Condensed partitions can
+// carry isolated stray cells in rows/columns their processor already
+// occupies — arrangements the Volume of Communication cannot distinguish
+// from the clean shape and the Push operation therefore has no gradient to
+// remove. When the exact pass reports Unknown on a grid large enough to
+// downsample, the partition is re-classified at the paper's coarse
+// majority granularity, exactly how the paper's own figures present (and
+// the authors eyeballed) their terminal states.
+func Classify(g *partition.Grid) Archetype {
+	a := ClassifyAnalysis(Analyze(g))
+	if a != ArchetypeUnknown {
+		return a
+	}
+	boxes := CoarseBoxes
+	if g.N()/2 < boxes {
+		boxes = g.N() / 2
+	}
+	if boxes >= 10 {
+		coarse := g.Downsample(boxes)
+		return ClassifyAnalysis(Analyze(coarse))
+	}
+	return a
+}
+
+// ClassifyExact runs only the exact-geometry classification with no
+// coarse fallback.
+func ClassifyExact(g *partition.Grid) Archetype {
+	return ClassifyAnalysis(Analyze(g))
+}
+
+// ClassifyAnalysis classifies a precomputed Analysis.
+func ClassifyAnalysis(an Analysis) Archetype {
+	if an.RectR.IsEmpty() || an.RectS.IsEmpty() {
+		return ArchetypeUnknown
+	}
+	if thinOverlap(an.Overlap) {
+		// No (material) overlap of enclosing rectangles.
+		if an.RectangularR && an.RectangularS {
+			return ArchetypeA
+		}
+		return ArchetypeUnknown
+	}
+	if an.RectangularR && an.RectangularS {
+		// Overlapping rectangles of two cell-disjoint rectangular regions
+		// can only come from ragged partial lines; geometrically this is
+		// still Archetype A.
+		return ArchetypeA
+	}
+	// One enclosing rectangle containing the other distinguishes the
+	// "wrapped" shapes: strictly inside on all four sides is the closed
+	// surround of Archetype D (the outer processor needs all eight
+	// corners); touching the outer boundary leaves the wrap open — the
+	// six-corner "L" of Archetype B when the inner processor is
+	// rectangular.
+	if inner, outer, ok := containment(an); ok {
+		if strictlyInside(outerRect(an, inner), outerRect(an, outer)) {
+			return ArchetypeD
+		}
+		if innerRectangular(an, inner) {
+			return ArchetypeB
+		}
+		return ArchetypeC
+	}
+	if an.RectangularR != an.RectangularS {
+		return ArchetypeB
+	}
+	return ArchetypeC
+}
+
+// containment reports which processor's enclosing rectangle is contained
+// in the other's ("inner", "outer").
+func containment(an Analysis) (inner, outer partition.Proc, ok bool) {
+	switch {
+	case an.RectR.ContainsRect(an.RectS):
+		return partition.S, partition.R, true
+	case an.RectS.ContainsRect(an.RectR):
+		return partition.R, partition.S, true
+	}
+	return 0, 0, false
+}
+
+func outerRect(an Analysis, outer partition.Proc) geom.Rect {
+	if outer == partition.R {
+		return an.RectR
+	}
+	return an.RectS
+}
+
+func innerRectangular(an Analysis, inner partition.Proc) bool {
+	if inner == partition.R {
+		return an.RectangularR
+	}
+	return an.RectangularS
+}
+
+// strictlyInside reports whether the inner rectangle touches none of the
+// outer rectangle's four edges.
+func strictlyInside(inner, outer geom.Rect) bool {
+	return inner.Top > outer.Top && inner.Bottom < outer.Bottom &&
+		inner.Left > outer.Left && inner.Right < outer.Right
+}

@@ -1,0 +1,349 @@
+package shape
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+	"repro/internal/push"
+)
+
+func TestCornerTaxonomyRectangle(t *testing.T) {
+	g := partition.NewGrid(20)
+	g.FillRect(geom.NewRect(3, 4, 9, 15), partition.R)
+	if got := CornerCount(g, partition.R); got != 4 {
+		t.Errorf("rectangle corners = %d, want 4", got)
+	}
+	// The complement (P) has the matrix's 4 corners plus 4 around the hole.
+	if got := CornerCount(g, partition.P); got != 8 {
+		t.Errorf("P-with-hole corners = %d, want 8", got)
+	}
+}
+
+func TestCornerTaxonomyLShape(t *testing.T) {
+	g := partition.NewGrid(20)
+	g.FillRect(geom.NewRect(2, 2, 10, 6), partition.R)   // vertical bar
+	g.FillRect(geom.NewRect(10, 2, 14, 14), partition.R) // horizontal bar
+	if got := CornerCount(g, partition.R); got != 6 {
+		t.Errorf("L corners = %d, want 6", got)
+	}
+}
+
+func TestCornerTaxonomySurround(t *testing.T) {
+	g, err := Exemplar(ArchetypeD, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CornerCount(g, partition.R); got != 8 {
+		t.Errorf("surround corners = %d, want 8", got)
+	}
+	if got := CornerCount(g, partition.S); got != 4 {
+		t.Errorf("inner square corners = %d, want 4", got)
+	}
+}
+
+func TestCornerTaxonomyDiagonalTouch(t *testing.T) {
+	// Two cells touching only at a vertex produce 2 corners at that
+	// vertex (the pinch), 8 in total.
+	g := partition.NewGrid(6)
+	g.Set(1, 1, partition.S)
+	g.Set(2, 2, partition.S)
+	if got := CornerCount(g, partition.S); got != 8 {
+		t.Errorf("diagonal pinch corners = %d, want 8", got)
+	}
+}
+
+func TestCornerCountSingleCell(t *testing.T) {
+	g := partition.NewGrid(5)
+	g.Set(2, 2, partition.R)
+	if got := CornerCount(g, partition.R); got != 4 {
+		t.Errorf("single cell corners = %d, want 4", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := partition.NewGrid(10)
+	if got := Components(g, partition.R); got != 0 {
+		t.Errorf("empty processor components = %d", got)
+	}
+	g.FillRect(geom.NewRect(0, 0, 2, 2), partition.R)
+	g.FillRect(geom.NewRect(5, 5, 7, 7), partition.R)
+	if got := Components(g, partition.R); got != 2 {
+		t.Errorf("components = %d, want 2", got)
+	}
+	g.FillRect(geom.NewRect(2, 0, 5, 6), partition.R) // bridge them
+	if got := Components(g, partition.R); got != 1 {
+		t.Errorf("bridged components = %d, want 1", got)
+	}
+}
+
+func TestIsAsymptoticallyRectangular(t *testing.T) {
+	// Perfect rectangle.
+	g := partition.NewGrid(16)
+	g.FillRect(geom.NewRect(2, 2, 8, 10), partition.R)
+	if !IsAsymptoticallyRectangular(g, partition.R) {
+		t.Error("perfect rectangle must qualify")
+	}
+	// One shorter top row (paper's Fig 3, left).
+	g2 := partition.NewGrid(16)
+	g2.FillRect(geom.NewRect(3, 2, 8, 10), partition.R)
+	for j := 2; j < 6; j++ {
+		g2.Set(2, j, partition.R)
+	}
+	if !IsAsymptoticallyRectangular(g2, partition.R) {
+		t.Error("single partial edge row must qualify")
+	}
+	// A two-step staircase with deep steps (Fig 3, right) must fail.
+	g3 := partition.NewGrid(16)
+	g3.FillRect(geom.NewRect(0, 0, 4, 4), partition.R)
+	g3.FillRect(geom.NewRect(4, 0, 12, 12), partition.R)
+	if IsAsymptoticallyRectangular(g3, partition.R) {
+		t.Error("deep staircase must not qualify")
+	}
+	// Empty processor.
+	if IsAsymptoticallyRectangular(partition.NewGrid(8), partition.R) {
+		t.Error("empty processor must not qualify")
+	}
+	// Holes confined to the boundary ring qualify.
+	g4 := partition.NewGrid(16)
+	g4.FillRect(geom.NewRect(2, 2, 10, 10), partition.R)
+	g4.Set(2, 4, partition.P)
+	g4.Set(5, 2, partition.P)
+	if !IsAsymptoticallyRectangular(g4, partition.R) {
+		t.Error("boundary-ring holes must qualify")
+	}
+}
+
+func TestExemplarsClassify(t *testing.T) {
+	for _, a := range []Archetype{ArchetypeA, ArchetypeB, ArchetypeC, ArchetypeD} {
+		g, err := Exemplar(a, 32)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if got := Classify(g); got != a {
+			an := Analyze(g)
+			t.Errorf("Exemplar(%v) classified as %v (%+v)", a, got, an)
+		}
+	}
+}
+
+func TestExemplarErrors(t *testing.T) {
+	if _, err := Exemplar(ArchetypeA, 4); err == nil {
+		t.Error("tiny grid should error")
+	}
+	if _, err := Exemplar(ArchetypeUnknown, 32); err == nil {
+		t.Error("unknown archetype should error")
+	}
+}
+
+func TestClassifyCanonicalCandidatesAreA(t *testing.T) {
+	// Every Section IX candidate shape is Archetype A by construction.
+	ratio := partition.MustRatio(5, 2, 1)
+	for _, s := range partition.AllShapes {
+		g, err := partition.Build(s, 120, ratio)
+		if err != nil {
+			continue
+		}
+		if got := Classify(g); got != ArchetypeA {
+			t.Errorf("candidate %v classified as %v", s, got)
+		}
+	}
+}
+
+func TestClassifyEmptyProcessors(t *testing.T) {
+	if got := Classify(partition.NewGrid(20)); got != ArchetypeUnknown {
+		t.Errorf("all-P grid classified as %v", got)
+	}
+}
+
+func TestArchetypeStrings(t *testing.T) {
+	want := map[Archetype]string{
+		ArchetypeA: "A", ArchetypeB: "B", ArchetypeC: "C",
+		ArchetypeD: "D", ArchetypeUnknown: "Unknown",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), s)
+		}
+	}
+}
+
+func TestTranslateCombinedPreservesVoC(t *testing.T) {
+	// Theorem 8.1: moving the combined R∪S shape leaves VoC unchanged.
+	g, err := Exemplar(ArchetypeB, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voc := g.VoC()
+	counts := [3]int{g.Count(partition.R), g.Count(partition.S), g.Count(partition.P)}
+	if err := TranslateCombined(g, 3, 5); err != nil {
+		t.Fatal(err)
+	}
+	if g.VoC() != voc {
+		t.Fatalf("VoC changed %d -> %d", voc, g.VoC())
+	}
+	if g.Count(partition.R) != counts[0] || g.Count(partition.S) != counts[1] {
+		t.Fatal("counts changed")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslateCombinedRejectsOutOfBounds(t *testing.T) {
+	g, err := Exemplar(ArchetypeA, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := g.Fingerprint()
+	if err := TranslateCombined(g, 100, 0); err == nil {
+		t.Fatal("out-of-bounds translation must fail")
+	}
+	if g.Fingerprint() != before {
+		t.Fatal("failed translation mutated the grid")
+	}
+}
+
+func TestTranslateCombinedNoOp(t *testing.T) {
+	g := partition.NewGrid(16) // no R or S at all
+	if err := TranslateCombined(g, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslateCombinedOverlappingMove(t *testing.T) {
+	// Small shift where source and target regions overlap.
+	g, err := Exemplar(ArchetypeD, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	voc := g.VoC()
+	if err := TranslateCombined(g, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.VoC() != voc {
+		t.Fatalf("VoC changed %d -> %d", voc, g.VoC())
+	}
+}
+
+func TestReduceExemplarsToA(t *testing.T) {
+	// Theorems 8.2–8.4: every archetype reduces to A without raising VoC.
+	for _, a := range []Archetype{ArchetypeB, ArchetypeC, ArchetypeD} {
+		g, err := Exemplar(a, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ReduceToA(g)
+		if err != nil {
+			t.Fatalf("%v: %v", a, err)
+		}
+		if res.To != ArchetypeA {
+			t.Errorf("%v reduced to %v, want A", a, res.To)
+		}
+		if res.VoCAfter > res.VoCBefore {
+			t.Errorf("%v: VoC rose %d -> %d", a, res.VoCBefore, res.VoCAfter)
+		}
+		for _, p := range partition.Procs {
+			if res.Grid.Count(p) != g.Count(p) {
+				t.Errorf("%v: count(%v) changed", a, p)
+			}
+		}
+		if err := res.Grid.Validate(); err != nil {
+			t.Errorf("%v: %v", a, err)
+		}
+	}
+}
+
+func TestReduceDoesNotMutateInput(t *testing.T) {
+	g, err := Exemplar(ArchetypeC, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := g.Clone()
+	if _, err := ReduceToA(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(orig) {
+		t.Fatal("ReduceToA mutated its input")
+	}
+}
+
+func TestReduceDFATerminalStates(t *testing.T) {
+	// End-to-end: DFA terminal states of every paper ratio reduce to A
+	// with non-increasing VoC — the full Section VIII pipeline.
+	for i, ratio := range partition.PaperRatios {
+		res, err := push.Run(push.Config{N: 40, Ratio: ratio, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		red, err := ReduceToA(res.Final)
+		if err != nil {
+			t.Fatalf("ratio %v: %v", ratio, err)
+		}
+		if red.To != ArchetypeA {
+			t.Errorf("ratio %v: reduced to %v (from %v)", ratio, red.To, red.From)
+		}
+		if red.VoCAfter > red.VoCBefore {
+			t.Errorf("ratio %v: VoC rose", ratio)
+		}
+	}
+}
+
+func TestPostulateOneCensus(t *testing.T) {
+	// Postulate 1 at test scale: no DFA terminal state falls outside the
+	// four archetypes.
+	rng := rand.New(rand.NewSource(99))
+	for run := 0; run < 30; run++ {
+		ratio := partition.PaperRatios[rng.Intn(len(partition.PaperRatios))]
+		res, err := push.Run(push.Config{N: 44, Ratio: ratio, Seed: rng.Int63()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a := Classify(res.Final); a == ArchetypeUnknown {
+			t.Errorf("run %d (ratio %v): counterexample to Postulate 1?\n%s",
+				run, ratio, res.Final.RenderASCII(22))
+		}
+	}
+}
+
+func TestDownsampleMajority(t *testing.T) {
+	g, err := Exemplar(ArchetypeA, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse := g.Downsample(10)
+	if coarse.N() != 10 {
+		t.Fatalf("coarse N = %d", coarse.N())
+	}
+	if got := Classify(coarse); got != ArchetypeA {
+		t.Errorf("coarse classification = %v", got)
+	}
+}
+
+func BenchmarkClassify(b *testing.B) {
+	res, err := push.Run(push.Config{N: 100, Ratio: partition.MustRatio(2, 1, 1), Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Classify(res.Final)
+	}
+}
+
+func BenchmarkReduceToA(b *testing.B) {
+	g, err := Exemplar(ArchetypeD, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReduceToA(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// Package throttle provides a token-bucket rate limiter for simulated
+// processor heterogeneity. The paper controlled processor speed ratios
+// with a /proc-based CPU limiter that let a process run until it consumed
+// its CPU-time fraction and then put it to sleep (Section X-B); Limiter
+// reproduces that behaviour for goroutine "processors": work is metered
+// in abstract operations and the goroutine sleeps whenever it runs ahead
+// of its allotted rate.
+package throttle
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Limiter meters operations at a fixed rate. The zero value is unusable;
+// use New.
+type Limiter struct {
+	mu      sync.Mutex
+	rate    float64 // operations per second
+	started time.Time
+	used    float64 // operations consumed so far
+	now     func() time.Time
+	sleep   func(time.Duration)
+}
+
+// New returns a limiter admitting rate operations per second.
+func New(rate float64) (*Limiter, error) {
+	if rate <= 0 {
+		return nil, errors.New("throttle: rate must be positive")
+	}
+	return &Limiter{
+		rate:  rate,
+		now:   time.Now,
+		sleep: time.Sleep,
+	}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(rate float64) *Limiter {
+	l, err := New(rate)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Rate returns the configured operations per second.
+func (l *Limiter) Rate() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rate
+}
+
+// Acquire consumes n operations, sleeping as needed so that consumption
+// never runs ahead of the configured rate. The first call starts the
+// clock.
+func (l *Limiter) Acquire(n int64) {
+	if n <= 0 {
+		return
+	}
+	l.mu.Lock()
+	if l.started.IsZero() {
+		l.started = l.now()
+	}
+	l.used += float64(n)
+	due := l.started.Add(time.Duration(l.used / l.rate * float64(time.Second)))
+	wait := due.Sub(l.now())
+	l.mu.Unlock()
+	if wait > 0 {
+		l.sleep(wait)
+	}
+}
+
+// Used returns the operations consumed so far.
+func (l *Limiter) Used() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// VirtualClock meters the same token-bucket arithmetic without real
+// sleeping: Acquire advances a virtual time instead. It lets the executor
+// report the timings a paced run would produce while running at full
+// machine speed.
+type VirtualClock struct {
+	mu   sync.Mutex
+	rate float64
+	t    float64 // virtual seconds elapsed
+}
+
+// NewVirtual returns a virtual clock at the given operation rate.
+func NewVirtual(rate float64) (*VirtualClock, error) {
+	if rate <= 0 {
+		return nil, errors.New("throttle: rate must be positive")
+	}
+	return &VirtualClock{rate: rate}, nil
+}
+
+// Acquire accounts n operations and returns the virtual time at which
+// they complete.
+func (v *VirtualClock) Acquire(n int64) float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if n > 0 {
+		v.t += float64(n) / v.rate
+	}
+	return v.t
+}
+
+// Elapsed returns the current virtual time in seconds.
+func (v *VirtualClock) Elapsed() float64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.t
+}

@@ -1,0 +1,129 @@
+package throttle
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero rate should error")
+	}
+	if _, err := New(-5); err == nil {
+		t.Error("negative rate should error")
+	}
+	l, err := New(100)
+	if err != nil || l.Rate() != 100 {
+		t.Fatalf("New(100): %v %v", l, err)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0) should panic")
+		}
+	}()
+	MustNew(0)
+}
+
+func TestAcquirePacing(t *testing.T) {
+	// Fake clock: capture sleeps instead of waiting.
+	l := MustNew(1000)             // 1000 ops/s
+	now := time.Unix(1_000_000, 0) // nonzero: the zero Time is the "not started" sentinel
+	var slept time.Duration
+	l.now = func() time.Time { return now }
+	l.sleep = func(d time.Duration) { slept += d; now = now.Add(d) }
+
+	l.Acquire(500) // 0.5s worth
+	if slept < 450*time.Millisecond || slept > 550*time.Millisecond {
+		t.Fatalf("slept %v, want ≈ 500ms", slept)
+	}
+	l.Acquire(500)
+	if slept < 950*time.Millisecond || slept > 1050*time.Millisecond {
+		t.Fatalf("after 1000 ops slept %v, want ≈ 1s", slept)
+	}
+	if l.Used() != 1000 {
+		t.Fatalf("Used = %v", l.Used())
+	}
+}
+
+func TestAcquireZeroNoop(t *testing.T) {
+	l := MustNew(10)
+	l.Acquire(0)
+	l.Acquire(-3)
+	if l.Used() != 0 {
+		t.Fatal("non-positive acquire should not consume")
+	}
+}
+
+func TestAcquireNoSleepWhenBehind(t *testing.T) {
+	l := MustNew(1e12) // effectively unlimited
+	slept := false
+	l.sleep = func(time.Duration) { slept = true }
+	l.Acquire(1000)
+	if slept {
+		t.Fatal("should not sleep at an unlimited rate")
+	}
+}
+
+func TestAcquireConcurrent(t *testing.T) {
+	l := MustNew(1e9)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Acquire(10)
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Used() != 8000 {
+		t.Fatalf("Used = %v, want 8000", l.Used())
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	v, err := NewVirtual(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Acquire(50); got != 0.5 {
+		t.Fatalf("Acquire(50) = %v, want 0.5", got)
+	}
+	if got := v.Acquire(50); got != 1.0 {
+		t.Fatalf("second Acquire = %v, want 1.0", got)
+	}
+	if v.Elapsed() != 1.0 {
+		t.Fatalf("Elapsed = %v", v.Elapsed())
+	}
+	v.Acquire(-1)
+	if v.Elapsed() != 1.0 {
+		t.Fatal("negative acquire must not advance the clock")
+	}
+}
+
+func TestNewVirtualValidation(t *testing.T) {
+	if _, err := NewVirtual(0); err == nil {
+		t.Error("zero rate should error")
+	}
+}
+
+func TestRealPacingSmoke(t *testing.T) {
+	// A small real-time smoke test: 2e6 ops at 1e7 ops/s ≈ 200ms.
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	l := MustNew(1e7)
+	start := time.Now()
+	for i := 0; i < 20; i++ {
+		l.Acquire(1e5)
+	}
+	elapsed := time.Since(start)
+	if elapsed < 150*time.Millisecond || elapsed > 800*time.Millisecond {
+		t.Errorf("paced run took %v, want ≈ 200ms", elapsed)
+	}
+}

@@ -1,0 +1,190 @@
+// Package twoproc implements the two-processor baseline of the authors'
+// prior work [8] ("Partitioning for parallel matrix-matrix multiplication
+// with heterogeneous processors: The optimal solution", HCW 2012), which
+// this paper extends to three processors. It provides the two-processor
+// candidate shapes (Straight-Line, Square-Corner, Rectangle-Corner), their
+// closed-form communication volumes, and the prior work's optimality rule:
+//
+//   - under the bulk-overlap algorithms (SCO, PCO) the Square-Corner is
+//     optimal for all ratios;
+//   - under the barrier and interleaved algorithms (SCB, PCB, PIO) the
+//     Square-Corner is optimal exactly when the speed ratio exceeds 3:1,
+//     the Straight-Line otherwise.
+//
+// Two-processor partitions are represented on the same grid type with the
+// fast processor P and the slow processor R (S owns nothing), so all the
+// three-processor machinery (Push, models, simulator, executor) applies
+// unchanged.
+package twoproc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+// Shape identifies a two-processor candidate partition.
+type Shape uint8
+
+const (
+	// StraightLine splits the matrix into two full-height vertical
+	// strips — the traditional rectangular partition.
+	StraightLine Shape = iota
+	// SquareCorner gives the slow processor a square in a corner; the
+	// fast processor computes the non-rectangular remainder.
+	SquareCorner
+	// RectangleCorner gives the slow processor a non-square corner
+	// rectangle (dominated by the other two; kept as the baseline the
+	// prior work eliminated).
+	RectangleCorner
+	numShapes
+)
+
+// NumShapes is the number of two-processor candidate shapes.
+const NumShapes = int(numShapes)
+
+// AllShapes lists the candidates.
+var AllShapes = [NumShapes]Shape{StraightLine, SquareCorner, RectangleCorner}
+
+func (s Shape) String() string {
+	switch s {
+	case StraightLine:
+		return "Straight-Line"
+	case SquareCorner:
+		return "Square-Corner"
+	case RectangleCorner:
+		return "Rectangle-Corner"
+	}
+	return fmt.Sprintf("Shape(%d)", uint8(s))
+}
+
+// Ratio is the two-processor speed ratio fast:slow (slow normalised to 1).
+type Ratio struct {
+	Fast float64
+}
+
+// NewRatio validates a two-processor ratio.
+func NewRatio(fast float64) (Ratio, error) {
+	if fast < 1 {
+		return Ratio{}, fmt.Errorf("twoproc: fast ratio %v must be ≥ 1", fast)
+	}
+	return Ratio{Fast: fast}, nil
+}
+
+// SlowFraction is the slow processor's share of the matrix.
+func (r Ratio) SlowFraction() float64 { return 1 / (1 + r.Fast) }
+
+// counts apportions n² cells between fast (P) and slow (R).
+func (r Ratio) counts(n int) (fast, slow int) {
+	slow = int(math.Round(float64(n*n) * r.SlowFraction()))
+	if slow < 1 {
+		slow = 1
+	}
+	if slow > n*n-1 {
+		slow = n*n - 1
+	}
+	return n*n - slow, slow
+}
+
+// Build constructs the canonical two-processor shape on an n×n grid with
+// the slow processor as R and the fast processor as P.
+func Build(s Shape, n int, ratio Ratio) (*partition.Grid, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("twoproc: n must be ≥ 2, got %d", n)
+	}
+	if _, err := NewRatio(ratio.Fast); err != nil {
+		return nil, err
+	}
+	_, slow := ratio.counts(n)
+	g := partition.NewGrid(n)
+	switch s {
+	case StraightLine:
+		// Slow processor: left vertical strip, column by column.
+		fillColumns(g, slow)
+	case SquareCorner:
+		side := int(math.Ceil(math.Sqrt(float64(slow))))
+		if side > n {
+			return nil, fmt.Errorf("twoproc: square side %d exceeds N=%d", side, n)
+		}
+		// Bottom-left near-square.
+		fillBlock(g, slow, side)
+	case RectangleCorner:
+		// A deliberately elongated corner rectangle: twice as wide as
+		// tall (the shape the prior work proved dominated).
+		w := int(math.Ceil(math.Sqrt(2 * float64(slow))))
+		if w > n {
+			w = n
+		}
+		fillBlock(g, slow, w)
+	default:
+		return nil, fmt.Errorf("twoproc: unknown shape %v", s)
+	}
+	return g, nil
+}
+
+// fillColumns assigns the first count cells column-major to R.
+func fillColumns(g *partition.Grid, count int) {
+	n := g.N()
+	for c := 0; c < count; c++ {
+		g.Set(c%n, c/n, partition.R)
+	}
+}
+
+// fillBlock assigns count cells to R in a bottom-left block of the given
+// width, row by row from the bottom.
+func fillBlock(g *partition.Grid, count, width int) {
+	n := g.N()
+	for c := 0; c < count; c++ {
+		g.Set(n-1-c/width, c%width, partition.R)
+	}
+}
+
+// NormalizedVoC returns the closed-form communication volume of shape s,
+// normalised by N² (prior work [8]):
+//
+//	Straight-Line:    1           (every row hosts both processors)
+//	Square-Corner:    2·√f        (f = slow fraction; rows+cols crossing the square)
+//	Rectangle-Corner: w + f/w     (w = rectangle width fraction)
+func NormalizedVoC(s Shape, ratio Ratio) float64 {
+	f := ratio.SlowFraction()
+	switch s {
+	case StraightLine:
+		return 1
+	case SquareCorner:
+		return 2 * math.Sqrt(f)
+	case RectangleCorner:
+		w := math.Sqrt(2 * f)
+		if w >= 1 {
+			// The 2:1 rectangle no longer fits: it degenerates to a
+			// full-width band, i.e. a Straight-Line.
+			return 1
+		}
+		return w + f/w
+	}
+	panic("twoproc: unknown shape")
+}
+
+// Optimal returns the optimal two-processor shape for the given algorithm
+// and ratio per the prior work's result.
+func Optimal(a model.Algorithm, ratio Ratio) Shape {
+	switch a {
+	case model.SCO, model.PCO:
+		// Bulk overlap: the Square-Corner wins for all ratios (its
+		// corner square leaves the fast processor a fully-owned region
+		// to overlap with communication).
+		return SquareCorner
+	default:
+		// Barrier / interleaved: Square-Corner wins iff 2√f < 1, i.e.
+		// f < 1/4, i.e. fast > 3.
+		if ratio.Fast > 3 {
+			return SquareCorner
+		}
+		return StraightLine
+	}
+}
+
+// CrossoverRatio is the fast:slow ratio above which the Square-Corner
+// beats the Straight-Line under the barrier algorithms (2√(1/(1+r)) < 1).
+const CrossoverRatio = 3.0

@@ -1,0 +1,228 @@
+package twoproc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/push"
+)
+
+func TestNewRatioValidation(t *testing.T) {
+	if _, err := NewRatio(0.5); err == nil {
+		t.Error("ratio < 1 should error")
+	}
+	r, err := NewRatio(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.SlowFraction(); got != 0.25 {
+		t.Errorf("SlowFraction = %v, want 0.25", got)
+	}
+}
+
+func TestBuildShapes(t *testing.T) {
+	const n = 60
+	ratio := Ratio{Fast: 3}
+	for _, s := range AllShapes {
+		g, err := Build(s, n, ratio)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if g.Count(partition.S) != 0 {
+			t.Errorf("%v: two-processor build must leave S empty", s)
+		}
+		wantSlow := int(math.Round(float64(n*n) * ratio.SlowFraction()))
+		if g.Count(partition.R) != wantSlow {
+			t.Errorf("%v: slow count %d, want %d", s, g.Count(partition.R), wantSlow)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(StraightLine, 1, Ratio{Fast: 2}); err == nil {
+		t.Error("n=1 should error")
+	}
+	if _, err := Build(StraightLine, 10, Ratio{Fast: 0.1}); err == nil {
+		t.Error("bad ratio should error")
+	}
+	if _, err := Build(Shape(9), 10, Ratio{Fast: 2}); err == nil {
+		t.Error("unknown shape should error")
+	}
+}
+
+func TestStraightLineGeometry(t *testing.T) {
+	g, err := Build(StraightLine, 40, Ratio{Fast: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow strip: 400 cells = 10 full columns.
+	r := g.EnclosingRect(partition.R)
+	if r.Top != 0 || r.Bottom != 40 || r.Left != 0 {
+		t.Errorf("strip rect %v", r)
+	}
+	if r.Width() != 10 {
+		t.Errorf("strip width %d, want 10", r.Width())
+	}
+}
+
+func TestSquareCornerGeometry(t *testing.T) {
+	g, err := Build(SquareCorner, 40, Ratio{Fast: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := g.EnclosingRect(partition.R)
+	if r.Bottom != 40 || r.Left != 0 {
+		t.Errorf("corner square should anchor bottom-left: %v", r)
+	}
+	if skew := r.Width() - r.Height(); skew < -1 || skew > 1 {
+		t.Errorf("not square-ish: %v", r)
+	}
+}
+
+func TestNormalizedVoCMatchesGrids(t *testing.T) {
+	const n = 400
+	for _, fast := range []float64{1, 2, 3, 5, 10, 24} {
+		ratio := Ratio{Fast: fast}
+		for _, s := range AllShapes {
+			g, err := Build(s, n, ratio)
+			if err != nil {
+				t.Fatalf("%v fast=%v: %v", s, fast, err)
+			}
+			exact := float64(g.VoC()) / float64(n*n)
+			closed := NormalizedVoC(s, ratio)
+			if math.Abs(exact-closed) > 0.03 {
+				t.Errorf("%v fast=%v: closed %.4f vs exact %.4f", s, fast, closed, exact)
+			}
+		}
+	}
+}
+
+func TestRectangleCornerDominated(t *testing.T) {
+	// Prior work: the Straight-Line and Square-Corner are always superior
+	// to the Rectangle-Corner (min of the two never loses to it).
+	for fast := 1.0; fast <= 25; fast += 0.5 {
+		ratio := Ratio{Fast: fast}
+		best := math.Min(NormalizedVoC(SquareCorner, ratio), NormalizedVoC(StraightLine, ratio))
+		if best > NormalizedVoC(RectangleCorner, ratio)+1e-12 {
+			t.Errorf("fast=%v: RC should be dominated", fast)
+		}
+	}
+}
+
+func TestOptimalRule(t *testing.T) {
+	cases := []struct {
+		alg  model.Algorithm
+		fast float64
+		want Shape
+	}{
+		{model.SCB, 2, StraightLine},
+		{model.SCB, 3, StraightLine}, // boundary: strictly greater than 3
+		{model.SCB, 3.5, SquareCorner},
+		{model.PCB, 10, SquareCorner},
+		{model.PIO, 2, StraightLine},
+		{model.PIO, 5, SquareCorner},
+		{model.SCO, 1, SquareCorner},
+		{model.SCO, 2, SquareCorner},
+		{model.PCO, 25, SquareCorner},
+	}
+	for _, c := range cases {
+		if got := Optimal(c.alg, Ratio{Fast: c.fast}); got != c.want {
+			t.Errorf("Optimal(%v, %v) = %v, want %v", c.alg, c.fast, got, c.want)
+		}
+	}
+}
+
+func TestOptimalRuleMatchesClosedForms(t *testing.T) {
+	// The rule must agree with the closed forms: under barrier
+	// algorithms, SC wins exactly when its VoC is lower.
+	for fast := 1.0; fast <= 25; fast += 0.25 {
+		ratio := Ratio{Fast: fast}
+		ruleSC := Optimal(model.SCB, ratio) == SquareCorner
+		formSC := NormalizedVoC(SquareCorner, ratio) < NormalizedVoC(StraightLine, ratio)
+		if ruleSC != formSC && math.Abs(fast-CrossoverRatio) > 0.26 {
+			t.Errorf("fast=%v: rule says SC=%v, closed forms say %v", fast, ruleSC, formSC)
+		}
+	}
+}
+
+func TestCrossoverRatioExact(t *testing.T) {
+	// 2√(1/(1+r)) = 1 ⟺ r = 3 exactly.
+	ratio := Ratio{Fast: CrossoverRatio}
+	if d := NormalizedVoC(SquareCorner, ratio) - NormalizedVoC(StraightLine, ratio); math.Abs(d) > 1e-12 {
+		t.Errorf("at the crossover the forms should tie, diff %g", d)
+	}
+}
+
+func TestModelsApplyToTwoProcGrids(t *testing.T) {
+	// The three-processor models work unchanged on two-processor grids
+	// and reproduce the prior work's ordering.
+	n := 120
+	fast := 10.0
+	m := model.DefaultMachine(partition.MustRatio(fast, 1, 1))
+	// Use the real 2-proc machine: S's speed never matters (it owns 0).
+	sc, err := Build(SquareCorner, n, Ratio{Fast: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sl, err := Build(StraightLine, n, Ratio{Fast: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scT := model.EvaluateGrid(model.SCB, m, sc)
+	slT := model.EvaluateGrid(model.SCB, m, sl)
+	if scT.Comm >= slT.Comm {
+		t.Errorf("at 10:1 Square-Corner comm %g should beat Straight-Line %g", scT.Comm, slT.Comm)
+	}
+}
+
+func TestShapeStrings(t *testing.T) {
+	if StraightLine.String() != "Straight-Line" ||
+		SquareCorner.String() != "Square-Corner" ||
+		RectangleCorner.String() != "Rectangle-Corner" {
+		t.Error("shape names")
+	}
+}
+
+func TestPushSearchReducesTwoProcPartitions(t *testing.T) {
+	// The three-processor Push engine, run on a two-processor partition
+	// (S empty), is the prior work's two-processor Push: random R cells
+	// condense into a compact region whose VoC approaches the better of
+	// the two-processor candidates.
+	const n = 40
+	fast := 10.0
+	rng := rand.New(rand.NewSource(6))
+	start := partition.NewGrid(n)
+	slow := int(float64(n*n) / (1 + fast))
+	for placed := 0; placed < slow; {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if start.At(i, j) == partition.P {
+			start.Set(i, j, partition.R)
+			placed++
+		}
+	}
+	res, err := push.Run(push.Config{
+		N: n, Ratio: partition.MustRatio(fast, 1, 1), Seed: 2,
+		Start: start, Beautify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("two-proc push search did not converge")
+	}
+	if res.FinalVoC >= res.InitialVoC {
+		t.Fatal("expected VoC reduction")
+	}
+	// The best 2-processor candidate VoC at 10:1 is the Square-Corner's
+	// 2√f·N² ≈ 0.603·N². The condensed state should be within 2× of it.
+	best := NormalizedVoC(Optimal(model.SCB, Ratio{Fast: fast}), Ratio{Fast: fast}) * float64(n*n)
+	if float64(res.FinalVoC) > 2*best {
+		t.Errorf("condensed VoC %d far above candidate floor %.0f", res.FinalVoC, best)
+	}
+}

@@ -1,0 +1,112 @@
+package heteropart
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+// ProcPlan summarises one processor's share of a Plan.
+type ProcPlan struct {
+	Processor string  `json:"processor"`
+	Speed     float64 `json:"speed"`
+	Elements  int     `json:"elements"`
+	// Rect is the enclosing rectangle [top, left, bottom, right)
+	// (absent for the remainder processor P, whose region may span the
+	// whole matrix).
+	Rect [4]int `json:"rect"`
+	// SendElements is the number of elements this processor must send.
+	SendElements int64 `json:"sendElements"`
+}
+
+// Plan is a complete, serialisable partitioning decision for a platform:
+// the chosen shape, the concrete assignment, and the expected costs. It
+// is what a downstream runtime would persist and ship to the workers.
+type Plan struct {
+	N         int        `json:"n"`
+	Ratio     string     `json:"ratio"`
+	Algorithm string     `json:"algorithm"`
+	Topology  string     `json:"topology"`
+	Shape     string     `json:"shape"`
+	VoC       int64      `json:"voc"`
+	Expected  Breakdown  `json:"expected"`
+	Procs     []ProcPlan `json:"procs"`
+	// Grid is the base64-encoded cell assignment (see Partition.Encode).
+	Grid string `json:"grid"`
+
+	partition *Partition
+}
+
+// NewPlan picks the optimal candidate shape for the machine and algorithm
+// and packages the full decision.
+func NewPlan(a Algorithm, m Machine, n int) (*Plan, error) {
+	best, _, err := Optimal(a, m, n)
+	if err != nil {
+		return nil, err
+	}
+	g, err := BuildShape(best, n, m.Ratio)
+	if err != nil {
+		return nil, err
+	}
+	snap := g.Snapshot()
+	p := &Plan{
+		N:         n,
+		Ratio:     m.Ratio.String(),
+		Algorithm: a.String(),
+		Topology:  m.Topology.String(),
+		Shape:     best.String(),
+		VoC:       g.VoC(),
+		Expected:  Evaluate(a, m, g),
+		Grid:      base64.StdEncoding.EncodeToString(g.Encode()),
+		partition: g,
+	}
+	for _, proc := range partition.Procs {
+		r := g.EnclosingRect(proc)
+		p.Procs = append(p.Procs, ProcPlan{
+			Processor:    proc.String(),
+			Speed:        m.Ratio.Speed(proc),
+			Elements:     g.Count(proc),
+			Rect:         [4]int{r.Top, r.Left, r.Bottom, r.Right},
+			SendElements: model.SendVolume(snap, proc),
+		})
+	}
+	return p, nil
+}
+
+// Partition returns the plan's concrete partition, decoding it if the
+// plan was loaded from JSON.
+func (p *Plan) Partition() (*Partition, error) {
+	if p.partition != nil {
+		return p.partition, nil
+	}
+	raw, err := base64.StdEncoding.DecodeString(p.Grid)
+	if err != nil {
+		return nil, fmt.Errorf("heteropart: plan grid: %w", err)
+	}
+	g, err := partition.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	p.partition = g
+	return g, nil
+}
+
+// WriteJSON serialises the plan.
+func (p *Plan) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// ReadPlan parses a JSON plan.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	var p Plan
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("heteropart: plan decode: %w", err)
+	}
+	return &p, nil
+}

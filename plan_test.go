@@ -1,0 +1,131 @@
+package heteropart
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNewPlanRoundTrip(t *testing.T) {
+	m := DefaultMachine(MustRatio(10, 1, 1))
+	p, err := NewPlan(SCB, m, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shape != "Square-Corner" {
+		t.Errorf("plan shape %q, want Square-Corner at 10:1:1", p.Shape)
+	}
+	if len(p.Procs) != 3 {
+		t.Fatalf("procs = %d", len(p.Procs))
+	}
+	var sendSum int64
+	elements := 0
+	for _, pp := range p.Procs {
+		elements += pp.Elements
+		sendSum += pp.SendElements
+	}
+	if elements != 96*96 {
+		t.Errorf("plan elements sum %d", elements)
+	}
+	if sendSum != p.VoC {
+		t.Errorf("Σ sends %d != VoC %d", sendSum, p.VoC)
+	}
+
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"shape": "Square-Corner"`) {
+		t.Errorf("JSON missing shape:\n%s", buf.String())
+	}
+	back, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := p.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := back.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g1.Equal(g2) {
+		t.Error("plan partition did not survive the JSON round trip")
+	}
+	if back.VoC != p.VoC || back.Expected.Total != p.Expected.Total {
+		t.Error("plan scalars did not survive the round trip")
+	}
+}
+
+func TestPlanExecutable(t *testing.T) {
+	// A deserialised plan drives a real execution.
+	m := DefaultMachine(MustRatio(4, 2, 1))
+	p, err := NewPlan(PCB, m, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadPlan(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := loaded.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	a := NewMatrix(40)
+	b := NewMatrix(40)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	_, stats, err := Multiply(ExecConfig{Machine: m, Algorithm: PCB}, g, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalVolume != loaded.VoC {
+		t.Errorf("executed volume %d != planned VoC %d", stats.TotalVolume, loaded.VoC)
+	}
+}
+
+func TestReadPlanErrors(t *testing.T) {
+	if _, err := ReadPlan(strings.NewReader("{not json")); err == nil {
+		t.Error("bad JSON should error")
+	}
+	p := &Plan{Grid: "!!!not-base64!!!"}
+	if _, err := p.Partition(); err == nil {
+		t.Error("bad base64 should error")
+	}
+	p2 := &Plan{Grid: "AAAA"}
+	if _, err := p2.Partition(); err == nil {
+		t.Error("truncated grid should error")
+	}
+}
+
+func TestMultiplyPIOPublicAPI(t *testing.T) {
+	const n = 24
+	ratio := MustRatio(3, 1, 1)
+	g, err := BuildShape(SquareCorner, n, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	a := NewMatrix(n)
+	b := NewMatrix(n)
+	a.FillRandom(rng)
+	b.FillRandom(rng)
+	c, stats, err := MultiplyPIO(ExecConfig{Machine: DefaultMachine(ratio)}, g, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalVolume != g.VoC() {
+		t.Errorf("volume %d != VoC %d", stats.TotalVolume, g.VoC())
+	}
+	if c.N() != n {
+		t.Error("dimension")
+	}
+}
