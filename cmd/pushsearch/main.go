@@ -6,6 +6,11 @@
 // Usage:
 //
 //	pushsearch [-n 100] [-runs 50] [-ratios 2:1:1,5:2:1] [-seed 1] [-beautify]
+//	           [-workers 0] [-cpuprofile search.pprof] [-memprofile heap.pprof]
+//
+// The profile flags write pprof data covering the census (use
+// `go tool pprof` to inspect); the heap profile is taken after a final GC
+// so it reflects live memory, not garbage.
 package main
 
 import (
@@ -13,6 +18,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/experiment"
@@ -22,15 +29,50 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pushsearch: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run carries the whole program so deferred profile writers fire on every
+// exit path (log.Fatal in main would skip them).
+func run() error {
 	var (
-		n        = flag.Int("n", 100, "matrix dimension N (paper: 1000)")
-		runs     = flag.Int("runs", 50, "DFA runs per ratio (paper: ~10000)")
-		ratios   = flag.String("ratios", "", "comma-separated Pr:Rr:Sr list (default: the paper's eleven)")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		beautify = flag.Bool("beautify", true, "apply the Thm 8.3 cleanup before classification")
-		workers  = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		n          = flag.Int("n", 100, "matrix dimension N (paper: 1000)")
+		runs       = flag.Int("runs", 50, "DFA runs per ratio (paper: ~10000)")
+		ratios     = flag.String("ratios", "", "comma-separated Pr:Rr:Sr list (default: the paper's eleven)")
+		seed       = flag.Int64("seed", 1, "base random seed")
+		beautify   = flag.Bool("beautify", true, "apply the Thm 8.3 cleanup before classification")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // measure live objects, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+			f.Close()
+		}()
+	}
 
 	cfg := experiment.CensusConfig{
 		N:            *n,
@@ -43,21 +85,21 @@ func main() {
 		for _, s := range strings.Split(*ratios, ",") {
 			r, err := partition.ParseRatio(s)
 			if err != nil {
-				log.Fatal(err)
+				return err
 			}
 			cfg.Ratios = append(cfg.Ratios, r)
 		}
 	}
 	rows, err := experiment.Census(cfg)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if err := experiment.WriteCensusTable(os.Stdout, rows); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if cx := experiment.CensusCounterexamples(rows); cx > 0 {
-		fmt.Printf("\nWARNING: %d terminal state(s) outside archetypes A–D (Postulate 1 counterexample?)\n", cx)
-		os.Exit(1)
+		return fmt.Errorf("%d terminal state(s) outside archetypes A–D (Postulate 1 counterexample?)", cx)
 	}
 	fmt.Printf("\nAll terminal states fall into archetypes A–D (Postulate 1 holds on this sample).\n")
+	return nil
 }

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/partition"
@@ -47,8 +48,29 @@ type CensusRow struct {
 	MeanVoCDrop float64
 }
 
+// censusOutcome is what one DFA run contributes to its ratio's row.
+type censusOutcome struct {
+	arch  shape.Archetype
+	steps int
+	drop  float64
+}
+
 // Census runs the DFA many times per ratio and classifies every terminal
 // state — the experimental support for Postulate 1 (Fig 5, §VII).
+//
+// The harness is a fixed pool of worker goroutines (cfg.Workers, default
+// GOMAXPROCS) pulling run indices from an atomic counter, not a goroutine
+// per run: each worker owns one pooled scratch grid that every run it
+// executes condenses in place (push.Config.Scratch), so a census allocates
+// O(workers) grids instead of O(runs). Outcomes stream to the aggregator
+// over a channel and are reduced to counts and running sums as they
+// arrive; no per-run slice is materialised. The first run error cancels
+// the census: no further runs are dispatched for this or any later ratio.
+//
+// Results are deterministic in cfg.Seed: run r of ratio i is seeded with
+// Seed + i·1_000_003 + r regardless of which worker executes it, archetype
+// counts are order-independent, and the mean aggregation is over the same
+// multiset of outcomes whatever the completion order.
 func Census(cfg CensusConfig) ([]CensusRow, error) {
 	if cfg.N < 10 {
 		return nil, fmt.Errorf("experiment: census N must be ≥ 10, got %d", cfg.N)
@@ -64,60 +86,89 @@ func Census(cfg CensusConfig) ([]CensusRow, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	workers = min(workers, cfg.RunsPerRatio)
+
+	// Scratch grids, one held per live worker, reused across every run and
+	// every ratio. push.Run re-randomises them in place.
+	gridPool := sync.Pool{New: func() any { return partition.NewGrid(cfg.N) }}
+
+	var (
+		cancel   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel.Store(true)
+	}
 
 	rows := make([]CensusRow, len(ratios))
 	for ri, ratio := range ratios {
+		if cancel.Load() {
+			break
+		}
 		row := CensusRow{Ratio: ratio, Counts: make(map[shape.Archetype]int)}
-		type outcome struct {
-			arch  shape.Archetype
-			steps int
-			drop  float64
-		}
-		outcomes := make([]outcome, cfg.RunsPerRatio)
+		results := make(chan censusOutcome, workers)
+		var next atomic.Int64
 		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		var firstErr error
-		var errMu sync.Mutex
-		for run := 0; run < cfg.RunsPerRatio; run++ {
+		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			sem <- struct{}{}
-			go func(run int) {
+			go func() {
 				defer wg.Done()
-				defer func() { <-sem }()
-				res, err := push.Run(push.Config{
-					N:        cfg.N,
-					Ratio:    ratio,
-					Seed:     cfg.Seed + int64(ri)*1_000_003 + int64(run),
-					Beautify: cfg.Beautify,
-				})
-				if err != nil {
-					errMu.Lock()
-					if firstErr == nil {
-						firstErr = err
+				scratch := gridPool.Get().(*partition.Grid)
+				defer gridPool.Put(scratch)
+				for {
+					run := int(next.Add(1)) - 1
+					// Check cancellation before every dispatch so an error
+					// stops the census instead of draining the backlog.
+					if run >= cfg.RunsPerRatio || cancel.Load() {
+						return
 					}
-					errMu.Unlock()
-					return
+					res, err := push.Run(push.Config{
+						N:        cfg.N,
+						Ratio:    ratio,
+						Seed:     cfg.Seed + int64(ri)*1_000_003 + int64(run),
+						Beautify: cfg.Beautify,
+						Scratch:  scratch,
+					})
+					if err != nil {
+						fail(err)
+						return
+					}
+					drop := 0.0
+					if res.InitialVoC > 0 {
+						drop = 1 - float64(res.FinalVoC)/float64(res.InitialVoC)
+					}
+					// Classify before looping: res.Final aliases scratch,
+					// which the next run overwrites.
+					results <- censusOutcome{shape.Classify(res.Final), res.Steps, drop}
 				}
-				drop := 0.0
-				if res.InitialVoC > 0 {
-					drop = 1 - float64(res.FinalVoC)/float64(res.InitialVoC)
-				}
-				outcomes[run] = outcome{shape.Classify(res.Final), res.Steps, drop}
-			}(run)
+			}()
 		}
-		wg.Wait()
-		if firstErr != nil {
-			return nil, firstErr
-		}
+		go func() {
+			wg.Wait()
+			close(results)
+		}()
 		var steps, drop float64
-		for _, o := range outcomes {
+		count := 0
+		for o := range results {
 			row.Counts[o.arch]++
 			steps += float64(o.steps)
 			drop += o.drop
+			count++
 		}
-		row.MeanSteps = steps / float64(cfg.RunsPerRatio)
-		row.MeanVoCDrop = drop / float64(cfg.RunsPerRatio)
+		if count > 0 {
+			row.MeanSteps = steps / float64(count)
+			row.MeanVoCDrop = drop / float64(count)
+		}
 		rows[ri] = row
+	}
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return rows, nil
 }

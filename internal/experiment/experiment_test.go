@@ -303,3 +303,52 @@ func TestSparklineEdgeCases(t *testing.T) {
 		t.Errorf("flat sparkline %q", s)
 	}
 }
+
+// TestCensusStopsOnError: the first failing run cancels the census — the
+// error surfaces instead of the harness grinding through the remaining
+// runs and ratios.
+func TestCensusStopsOnError(t *testing.T) {
+	bad := partition.Ratio{Pr: -1, Rr: 1, Sr: 1} // rejected by push.Run
+	_, err := Census(CensusConfig{
+		N:            16,
+		RunsPerRatio: 4,
+		Ratios:       []partition.Ratio{bad, partition.MustRatio(2, 1, 1)},
+		Seed:         1,
+	})
+	if err == nil {
+		t.Fatal("census swallowed the run error")
+	}
+	if !strings.Contains(err.Error(), "positive") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestCensusWorkerCountInvariance: the worker-pool size is a throughput
+// knob only — archetype counts are identical for any worker count.
+func TestCensusWorkerCountInvariance(t *testing.T) {
+	base := CensusConfig{
+		N:            24,
+		RunsPerRatio: 10,
+		Ratios:       []partition.Ratio{partition.MustRatio(3, 2, 1)},
+		Seed:         9,
+		Beautify:     true,
+	}
+	var want map[shape.Archetype]int
+	for _, workers := range []int{1, 2, 7, 32} {
+		cfg := base
+		cfg.Workers = workers
+		rows, err := Census(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = rows[0].Counts
+			continue
+		}
+		for a, c := range want {
+			if rows[0].Counts[a] != c {
+				t.Fatalf("workers=%d: counts diverge: %v vs %v", workers, rows[0].Counts, want)
+			}
+		}
+	}
+}

@@ -68,6 +68,28 @@ type Grid struct {
 	colsWith [NumProcs]int
 	// voc is Eq 1 divided by N: Σ_i (c_i − 1) + Σ_j (c_j − 1).
 	voc int
+	// fp is the incrementally maintained Zobrist fingerprint: the XOR of
+	// zobristKey(idx, cells[idx]) over every cell, updated in O(1) by Set.
+	fp uint64
+	// baseFP is fp for the all-P start state, cached so Reset is alloc- and
+	// hash-free.
+	baseFP uint64
+}
+
+// zobristKey returns the 64-bit Zobrist key for (cell index, processor).
+// Rather than storing an n²×NumProcs key table per grid size, keys are
+// computed on demand with the splitmix64 finalizer over the pair's ordinal
+// — a few arithmetic ops, no memory, and identical keys for every grid of
+// every size, so fingerprints of equal-size grids with equal assignments
+// always agree.
+func zobristKey(idx int, p Proc) uint64 {
+	x := (uint64(idx)*NumProcs + uint64(p) + 1) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // NewGrid returns an n×n grid entirely assigned to processor P — the start
@@ -86,6 +108,7 @@ func NewGrid(n int) *Grid {
 	}
 	for i := range g.cells {
 		g.cells[i] = P
+		g.baseFP ^= zobristKey(i, P)
 	}
 	for i := 0; i < n; i++ {
 		g.rowCnt[i*NumProcs+int(P)] = int32(n)
@@ -96,7 +119,53 @@ func NewGrid(n int) *Grid {
 	g.total[P] = n * n
 	g.rowsWith[P] = n
 	g.colsWith[P] = n
+	g.fp = g.baseFP
 	return g
+}
+
+// Reset returns the grid to the all-P start state of NewGrid without
+// allocating, so pooled grids can be reused across search runs.
+func (g *Grid) Reset() {
+	n := g.n
+	for i := range g.cells {
+		g.cells[i] = P
+	}
+	for i := range g.rowCnt {
+		g.rowCnt[i] = 0
+		g.colCnt[i] = 0
+	}
+	for i := 0; i < n; i++ {
+		g.rowCnt[i*NumProcs+int(P)] = int32(n)
+		g.colCnt[i*NumProcs+int(P)] = int32(n)
+		g.rowOcc[i] = 1
+		g.colOcc[i] = 1
+	}
+	g.total = [NumProcs]int{}
+	g.rowsWith = [NumProcs]int{}
+	g.colsWith = [NumProcs]int{}
+	g.total[P] = n * n
+	g.rowsWith[P] = n
+	g.colsWith[P] = n
+	g.voc = 0
+	g.fp = g.baseFP
+}
+
+// CopyFrom overwrites g with src's assignment and counters without
+// allocating. The two grids must have the same dimension.
+func (g *Grid) CopyFrom(src *Grid) {
+	if g.n != src.n {
+		panic(fmt.Sprintf("partition: CopyFrom dimension mismatch %d vs %d", g.n, src.n))
+	}
+	copy(g.cells, src.cells)
+	copy(g.rowCnt, src.rowCnt)
+	copy(g.colCnt, src.colCnt)
+	copy(g.rowOcc, src.rowOcc)
+	copy(g.colOcc, src.colOcc)
+	g.total = src.total
+	g.rowsWith = src.rowsWith
+	g.colsWith = src.colsWith
+	g.voc = src.voc
+	g.fp = src.fp
 }
 
 // N returns the matrix dimension.
@@ -104,6 +173,22 @@ func (g *Grid) N() int { return g.n }
 
 // At returns the processor assigned to cell (i, j).
 func (g *Grid) At(i, j int) Proc { return g.cells[i*g.n+j] }
+
+// AtIndex returns the processor assigned to the cell with row-major index
+// idx = i·N + j. It exists for hot loops (the Push engine's placement
+// scans) that precompute affine index maps instead of paying a coordinate
+// transform per cell.
+func (g *Grid) AtIndex(idx int) Proc { return g.cells[idx] }
+
+// Raw exposes the grid's internal cell and counter slices for READ-ONLY
+// use by hot loops: cells is row-major (idx = i·N + j) and the counters
+// are indexed [line·NumProcs + proc] as documented on Grid. All mutation
+// must still go through Set — writing these slices directly desynchronises
+// every derived counter and the fingerprint. The slices stay valid (same
+// backing arrays) across Set/Reset/CopyFrom.
+func (g *Grid) Raw() (cells []Proc, rowCnt, colCnt []int32) {
+	return g.cells, g.rowCnt, g.colCnt
+}
 
 // Set assigns cell (i, j) to processor p, updating all occupancy counters
 // in O(1).
@@ -117,6 +202,7 @@ func (g *Grid) Set(i, j int, p Proc) {
 		return
 	}
 	g.cells[idx] = p
+	g.fp ^= zobristKey(idx, old) ^ zobristKey(idx, p)
 	g.total[old]--
 	g.total[p]++
 
@@ -254,6 +340,8 @@ func (g *Grid) Clone() *Grid {
 		rowsWith: g.rowsWith,
 		colsWith: g.colsWith,
 		voc:      g.voc,
+		fp:       g.fp,
+		baseFP:   g.baseFP,
 	}
 	return c
 }
@@ -271,9 +359,26 @@ func (g *Grid) Equal(o *Grid) bool {
 	return true
 }
 
-// Fingerprint returns a 64-bit FNV-1a hash of the cell assignment, used by
-// the DFA runner to detect cycles among VoC-plateau states.
-func (g *Grid) Fingerprint() uint64 {
+// Fingerprint returns the 64-bit Zobrist hash of the cell assignment, used
+// by the DFA runner to detect cycles among VoC-plateau states. The hash is
+// maintained incrementally by Set, so this is O(1) — no cell scan.
+func (g *Grid) Fingerprint() uint64 { return g.fp }
+
+// FingerprintRescan recomputes the Zobrist hash from the raw cells in
+// O(N²). It is the slow oracle the property tests compare the incremental
+// Fingerprint against after random mutation/rollback sequences.
+func (g *Grid) FingerprintRescan() uint64 {
+	var fp uint64
+	for i, p := range g.cells {
+		fp ^= zobristKey(i, p)
+	}
+	return fp
+}
+
+// FingerprintFNV is the pre-Zobrist content hash (FNV-1a over the cell
+// bytes), kept as an independent slow reference: two grids with equal
+// assignments must agree under both hash families.
+func (g *Grid) FingerprintFNV() uint64 {
 	h := fnv.New64a()
 	buf := make([]byte, len(g.cells))
 	for i, p := range g.cells {
@@ -411,6 +516,9 @@ func (g *Grid) Validate() error {
 	}
 	if colsWith != g.colsWith {
 		return fmt.Errorf("colsWith drifted: cached %v, actual %v", g.colsWith, colsWith)
+	}
+	if fp := g.FingerprintRescan(); fp != g.fp {
+		return fmt.Errorf("fingerprint drifted: cached %#x, rescan %#x", g.fp, fp)
 	}
 	return nil
 }

@@ -12,6 +12,18 @@ import "math/rand"
 // counts match the processing-speed ratio exactly.
 func NewRandom(n int, ratio Ratio, rng *rand.Rand) *Grid {
 	g := NewGrid(n)
+	RandomizeInto(g, ratio, rng)
+	return g
+}
+
+// RandomizeInto resets g to the all-P state and redraws the paper's uniform
+// random start in place — the allocation-free form of NewRandom that lets
+// the census reuse pooled grids instead of allocating N² cells per run. It
+// consumes rng identically to NewRandom, so seeded runs are reproducible
+// whichever entry point built the grid.
+func RandomizeInto(g *Grid, ratio Ratio, rng *rand.Rand) {
+	g.Reset()
+	n := g.N()
 	counts := ratio.Counts(n)
 	for _, x := range [2]Proc{R, S} {
 		remaining := counts[x]
@@ -24,7 +36,6 @@ func NewRandom(n int, ratio Ratio, rng *rand.Rand) *Grid {
 			}
 		}
 	}
-	return g
 }
 
 // NewRandomClustered builds a random start state whose R and S cells are
@@ -33,6 +44,15 @@ func NewRandom(n int, ratio Ratio, rng *rand.Rand) *Grid {
 // widen coverage of start states beyond the paper's uniform sampling.
 func NewRandomClustered(n int, ratio Ratio, rng *rand.Rand) *Grid {
 	g := NewGrid(n)
+	RandomizeClusteredInto(g, ratio, rng)
+	return g
+}
+
+// RandomizeClusteredInto is the in-place, allocation-free form of
+// NewRandomClustered, mirroring RandomizeInto.
+func RandomizeClusteredInto(g *Grid, ratio Ratio, rng *rand.Rand) {
+	g.Reset()
+	n := g.N()
 	counts := ratio.Counts(n)
 	for _, x := range [2]Proc{R, S} {
 		remaining := counts[x]
@@ -52,5 +72,4 @@ func NewRandomClustered(n int, ratio Ratio, rng *rand.Rand) *Grid {
 			}
 		}
 	}
-	return g
 }

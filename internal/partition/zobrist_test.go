@@ -1,0 +1,109 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// TestFingerprintIncrementalMatchesRescan is the equivalence property for
+// the O(1) fingerprint: after any sequence of random mutations, the
+// incrementally maintained Zobrist hash equals the full-rescan oracle.
+func TestFingerprintIncrementalMatchesRescan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{2, 3, 16, 40} {
+		g := NewRandom(n, MustRatio(2, 1, 1), rng)
+		if got, want := g.Fingerprint(), g.FingerprintRescan(); got != want {
+			t.Fatalf("n=%d: fresh random grid fp %#x, rescan %#x", n, got, want)
+		}
+		for step := 0; step < 2000; step++ {
+			switch rng.Intn(10) {
+			case 0:
+				g.Swap(rng.Intn(n), rng.Intn(n), rng.Intn(n), rng.Intn(n))
+			default:
+				g.Set(rng.Intn(n), rng.Intn(n), Proc(rng.Intn(NumProcs)))
+			}
+			if got, want := g.Fingerprint(), g.FingerprintRescan(); got != want {
+				t.Fatalf("n=%d step %d: incremental fp %#x, rescan %#x", n, step, got, want)
+			}
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestFingerprintSurvivesLifecycle checks the fingerprint across every
+// non-Set mutation path: Reset, CopyFrom, Clone, Decode and FillRect must
+// all leave the incremental hash equal to the rescan oracle, and equal
+// grids must agree on it however they were produced.
+func TestFingerprintSurvivesLifecycle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 24
+	g := NewRandomClustered(n, MustRatio(3, 2, 1), rng)
+
+	clone := g.Clone()
+	if clone.Fingerprint() != g.Fingerprint() {
+		t.Fatal("clone changed the fingerprint")
+	}
+
+	dec, err := Decode(g.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Fingerprint() != g.Fingerprint() {
+		t.Fatalf("decode round-trip fp %#x, want %#x", dec.Fingerprint(), g.Fingerprint())
+	}
+
+	fresh := NewGrid(n)
+	base := fresh.Fingerprint()
+	clone.Reset()
+	if clone.Fingerprint() != base {
+		t.Fatalf("reset fp %#x, want the all-P fingerprint %#x", clone.Fingerprint(), base)
+	}
+	if clone.Fingerprint() != clone.FingerprintRescan() {
+		t.Fatal("reset fingerprint diverges from rescan")
+	}
+
+	clone.CopyFrom(g)
+	if clone.Fingerprint() != g.Fingerprint() || !clone.Equal(g) {
+		t.Fatal("CopyFrom did not reproduce the source grid and fingerprint")
+	}
+
+	tr := g.Transpose()
+	if tr.Fingerprint() != tr.FingerprintRescan() {
+		t.Fatal("transpose fingerprint diverges from rescan")
+	}
+
+	g.FillRect(geom.Rect{Top: 2, Left: 3, Bottom: 9, Right: 14}, S)
+	if g.Fingerprint() != g.FingerprintRescan() {
+		t.Fatal("FillRect fingerprint diverges from rescan")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFingerprintDiscriminates sanity-checks that the hash actually
+// separates nearby states: flipping any single cell changes it, and
+// flipping it back restores it.
+func TestFingerprintDiscriminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 12
+	g := NewRandom(n, MustRatio(2, 1, 1), rng)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			before := g.Fingerprint()
+			old := g.At(i, j)
+			g.Set(i, j, (old+1)%NumProcs)
+			if g.Fingerprint() == before {
+				t.Fatalf("fingerprint blind to cell (%d,%d)", i, j)
+			}
+			g.Set(i, j, old)
+			if g.Fingerprint() != before {
+				t.Fatalf("fingerprint not restored at (%d,%d)", i, j)
+			}
+		}
+	}
+}

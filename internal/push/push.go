@@ -17,6 +17,7 @@ package push
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/partition"
@@ -106,28 +107,9 @@ type vgrid struct {
 	v geom.View
 }
 
-func (vg vgrid) at(i, j int) partition.Proc {
-	pi, pj := vg.v.Apply(i, j)
-	return vg.g.At(pi, pj)
-}
-
 func (vg vgrid) set(i, j int, p partition.Proc) {
 	pi, pj := vg.v.Apply(i, j)
 	vg.g.Set(pi, pj, p)
-}
-
-func (vg vgrid) rowHas(i int, p partition.Proc) bool {
-	if vg.v.Transposed() {
-		return vg.g.ColHas(vg.v.FlipIndex(i), p)
-	}
-	return vg.g.RowHas(vg.v.FlipIndex(i), p)
-}
-
-func (vg vgrid) colHas(j int, p partition.Proc) bool {
-	if vg.v.Transposed() {
-		return vg.g.RowHas(j, p)
-	}
-	return vg.g.ColHas(j, p)
 }
 
 func (vg vgrid) rect(p partition.Proc) geom.Rect {
@@ -167,16 +149,6 @@ func newCursor(rect geom.Rect) cursor {
 	return cursor{g: rect.Top + 1, h: rect.Left, bounds: rect}
 }
 
-func (c *cursor) valid() bool { return c.g < c.bounds.Bottom }
-
-func (c *cursor) advance() {
-	c.h++
-	if c.h >= c.bounds.Right {
-		c.h = c.bounds.Left
-		c.g++
-	}
-}
-
 // traceFn, when set by tests, receives diagnostic messages about why
 // Attempt rejected a Push.
 var traceFn func(format string, args ...any)
@@ -186,6 +158,11 @@ func tracef(format string, args ...any) {
 		traceFn(format, args...)
 	}
 }
+
+// undoPool recycles undo logs across Attempt calls: the log's backing
+// array survives between attempts, so the hot path stops allocating per
+// probe.
+var undoPool = sync.Pool{New: func() any { return new(undoLog) }}
 
 // Attempt tries a single Push of the given type on the active processor in
 // the given direction. On success the grid is mutated and the Result
@@ -201,19 +178,67 @@ func Attempt(g *partition.Grid, active partition.Proc, dir geom.Direction, t Typ
 	}
 	dirtyLimit, ownerStrict, strictDecrease := t.params()
 
-	vg := vgrid{g: g, v: geom.NewView(g.N(), dir)}
-	rect := vg.rect(active)
+	n := g.N()
+	v := geom.NewView(n, dir)
+	activeRectBefore := g.EnclosingRect(active)
+	rect := v.InvertRect(activeRectBefore)
 	if rect.IsEmpty() || rect.Height() < 2 {
 		// Nothing to clean, or no rows below the edge to receive elements.
 		return Result{}, false
 	}
 
-	// Snapshot the invariant inputs.
-	vocBefore := g.VoC()
-	activeRectBefore := g.EnclosingRect(active)
+	// Resolve the view once into affine coefficients: the physical line of
+	// logical row i is fa·i + fb, and the physical row-major cell index of
+	// logical (i, j) is ci·i + cj·j + cb. The placement scan below touches
+	// O(rectangle area) cells per attempt; paying a geom.View transform per
+	// cell dominated the whole search engine before this.
+	fa, fb := 1, 0
+	if v.Flipped() {
+		fa, fb = -1, n-1
+	}
+	var ci, cj, cb int
+	if v.Transposed() {
+		ci, cj, cb = fa, n, fb
+	} else {
+		ci, cj, cb = n*fa, 1, n*fb
+	}
+
+	// Raw counter slices, pre-swapped into logical orientation: lrc answers
+	// "count of p in logical row i" at lrc[(fa·i+fb)·NumProcs + p], lcc
+	// answers the column question at lcc[j·NumProcs + p]. (A transpose swaps
+	// the roles of the physical row/column counters; a flip only remaps row
+	// indices, which fa/fb already encode. Columns are never flipped —
+	// geom.View composes at most one transpose with one vertical flip.)
+	cells, rawRowCnt, rawColCnt := g.Raw()
+	lrc, lcc := rawRowCnt, rawColCnt
+	if v.Transposed() {
+		lrc, lcc = rawColCnt, rawRowCnt
+	}
+	const np = partition.NumProcs
+	ai := int(active)
 
 	top := rect.Top
-	var undo undoLog
+	topBase := (fa*top + fb) * np
+
+	// O(1) rejection: every cell the active processor owns lies inside its
+	// enclosing rectangle, so interior slots exist only if the interior
+	// holds cells of other processors. A fully condensed (solid-rectangle)
+	// region has none, and every Push type fails without any scan — this is
+	// the common case once the search nears a fixed point.
+	edgeActive := int(lrc[topBase+ai])
+	interior := (rect.Height() - 1) * rect.Width()
+	if interior == g.Count(active)-edgeActive {
+		return Result{}, false
+	}
+
+	// Snapshot the invariant inputs.
+	vocBefore := g.VoC()
+	vg := vgrid{g: g, v: v}
+	undo := undoPool.Get().(*undoLog)
+	defer func() {
+		undo.cells = undo.cells[:0]
+		undoPool.Put(undo)
+	}()
 	moved := 0
 	dirtied := 0
 
@@ -248,58 +273,144 @@ func Attempt(g *partition.Grid, active partition.Proc, dir geom.Direction, t Typ
 		tierTyped
 	)
 
+	// The two processors the active one can displace.
+	var o1, o2 partition.Proc
+	if active == partition.R {
+		o1, o2 = partition.S, partition.P
+	} else {
+		o1, o2 = partition.R, partition.P
+	}
+	o1i, o2i := int(o1), int(o2)
+	width := rect.Width()
+
 	place := func(j int, cur *cursor, tier int) bool {
-		for cur.valid() {
-			cg, ch := cur.g, cur.h
-			owner := vg.at(cg, ch)
-			if owner == active {
-				cur.advance()
+		jBase := j * np
+
+		// qual[p] answers "may processor p be displaced from the slot?" for
+		// this tier and edge column j — the owner-side legality collapsed
+		// into one table lookup per scanned cell. qual[active] stays false,
+		// which also handles the skip-own-cells test. Sized 256 and indexed
+		// by the raw Proc byte so the compiler drops the bounds check in the
+		// scan loops. The table is stable for the whole call: placements
+		// mutate the grid only on success, which returns immediately.
+		var qual [256]bool
+		switch tier {
+		case tierStrict:
+			qual[o1] = lrc[topBase+o1i] > 0 && lcc[jBase+o1i] > 0
+			qual[o2] = lrc[topBase+o2i] > 0 && lcc[jBase+o2i] > 0
+		case tierAmortised:
+			qual[o1] = lcc[jBase+o1i] > 0
+			qual[o2] = lcc[jBase+o2i] > 0
+		default: // tierTyped
+			if ownerStrict {
+				qual[o1] = lrc[topBase+o1i] > 0 && lcc[jBase+o1i] > 0
+				qual[o2] = lrc[topBase+o2i] > 0 && lcc[jBase+o2i] > 0
+			} else {
+				qual[o1], qual[o2] = true, true
+			}
+		}
+		// No displaceable processor qualifies: the scan would reject every
+		// remaining cell one by one, so exhausting the cursor in O(1) is
+		// observationally identical.
+		if !qual[o1] && !qual[o2] {
+			cur.g, cur.h = cur.bounds.Bottom, cur.bounds.Left
+			return false
+		}
+
+		// needClean: this tier only accepts placements with willDirty == 0
+		// (tiers A and B always; tier C when the type's dirty budget is 0).
+		needClean := tier != tierTyped || dirtyLimit == 0
+		// Rows the active processor does not occupy cost at least one fresh
+		// line; when the budget cannot absorb that, skip them whole. dirtied
+		// is frozen for the duration of one place call (a successful
+		// placement returns immediately).
+		skipEmptyRows := needClean || (dirtyLimit >= 0 && dirtied+1 > dirtyLimit)
+
+		cg, ch := cur.g, cur.h
+		bottom, left, right := cur.bounds.Bottom, cur.bounds.Left, cur.bounds.Right
+		var owner partition.Proc
+		willDirty := 0
+		found := false
+	scan:
+		for cg < bottom {
+			// A row whose every in-rectangle cell is already active has no
+			// slot; skip it whole. (All of the active processor's cells lie
+			// inside its enclosing rectangle, so the line count equals the
+			// in-rectangle count.)
+			rowActive := int(lrc[(fa*cg+fb)*np+ai])
+			if rowActive == width || (rowActive == 0 && skipEmptyRows) {
+				cg, ch = cg+1, left
 				continue
 			}
-			// Count the rows/columns this placement would open for the
-			// active processor — the paper's l bookkeeping. (The paper's
-			// findTypeOne pseudocode tests row OR column, but its prose
-			// and the VoC arithmetic require both: a placement into a
-			// row with the active processor but a column without it
-			// still dirties that column.)
-			willDirty := 0
-			if !vg.rowHas(cg, active) {
-				willDirty++
-			}
-			if !vg.colHas(ch, active) {
-				willDirty++
-			}
-			ok := true
-			switch tier {
-			case tierStrict:
-				ok = willDirty == 0 && vg.rowHas(top, owner) && vg.colHas(j, owner)
-			case tierAmortised:
-				ok = willDirty == 0 && vg.colHas(j, owner)
-			default: // tierTyped
-				if dirtyLimit >= 0 && dirtied+willDirty > dirtyLimit {
-					ok = false
+			rowHasActive := rowActive > 0
+			idx := ci*cg + cb + cj*ch
+			colIdx := ch*np + ai
+			switch {
+			case needClean:
+				// rowHasActive holds (empty rows were skipped), so
+				// willDirty == 0 reduces to "column ch has active".
+				for ; ch < right; ch, idx, colIdx = ch+1, idx+cj, colIdx+np {
+					if qual[cells[idx]] && lcc[colIdx] > 0 {
+						owner, willDirty, found = cells[idx], 0, true
+						break scan
+					}
 				}
-				if ok && ownerStrict && (!vg.rowHas(top, owner) || !vg.colHas(j, owner)) {
-					ok = false
+			case dirtyLimit < 0:
+				// Unlimited dirt: owner qualification is the whole test.
+				for ; ch < right; ch, idx, colIdx = ch+1, idx+cj, colIdx+np {
+					if qual[cells[idx]] {
+						owner, found = cells[idx], true
+						willDirty = 0
+						if !rowHasActive {
+							willDirty++
+						}
+						if lcc[colIdx] == 0 {
+							willDirty++
+						}
+						break scan
+					}
+				}
+			default: // 0 < dirtyLimit: count dirt per cell against the budget
+				for ; ch < right; ch, idx, colIdx = ch+1, idx+cj, colIdx+np {
+					if !qual[cells[idx]] {
+						continue
+					}
+					wd := 0
+					if !rowHasActive {
+						wd++
+					}
+					if lcc[colIdx] == 0 {
+						wd++
+					}
+					if dirtied+wd > dirtyLimit {
+						continue
+					}
+					owner, willDirty, found = cells[idx], wd, true
+					break scan
 				}
 			}
-			if ok {
-				undo.record(top, j, active)
-				undo.record(cg, ch, owner)
-				vg.set(top, j, owner)
-				vg.set(cg, ch, active)
-				dirtied += willDirty
-				moved++
-				cur.advance()
-				return true
-			}
-			cur.advance()
+			cg, ch = cg+1, left
 		}
-		return false
+		if !found {
+			cur.g, cur.h = cg, ch
+			return false
+		}
+		undo.record(top, j, active)
+		undo.record(cg, ch, owner)
+		vg.set(top, j, owner)
+		vg.set(cg, ch, active)
+		dirtied += willDirty
+		moved++
+		if ch+1 < right {
+			cur.g, cur.h = cg, ch+1
+		} else {
+			cur.g, cur.h = cg+1, left
+		}
+		return true
 	}
 
 	for j := rect.Left; j < rect.Right; j++ {
-		if vg.at(top, j) != active {
+		if cells[ci*top+cj*j+cb] != active {
 			continue
 		}
 		if place(j, &curA, tierStrict) {

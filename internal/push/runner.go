@@ -3,6 +3,7 @@ package push
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/partition"
@@ -33,6 +34,12 @@ type Config struct {
 	// Clustered draws q₀ from the clustered random family instead of the
 	// paper's uniform one.
 	Clustered bool
+	// Scratch, when non-nil, is used as the run's working grid instead of
+	// allocating a fresh N² grid: it is reset and re-randomised (or
+	// overwritten from Start) in place, and RunResult.Final aliases it.
+	// Callers pooling grids must finish with Final before reusing Scratch.
+	// Seeded runs produce identical results with or without a Scratch.
+	Scratch *partition.Grid
 	// Snapshot, when non-nil, receives the partition after every
 	// committed Push (step counts from 1) plus once for the start state
 	// (step 0). Used to regenerate Fig 7.
@@ -96,17 +103,35 @@ func Run(cfg Config) (*RunResult, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	if cfg.Scratch != nil && cfg.Scratch.N() != cfg.N {
+		return nil, fmt.Errorf("push: scratch grid is %d×%d, config wants %d", cfg.Scratch.N(), cfg.Scratch.N(), cfg.N)
+	}
 	var g *partition.Grid
 	switch {
 	case cfg.Start != nil:
 		if cfg.Start.N() != cfg.N {
 			return nil, fmt.Errorf("push: start grid is %d×%d, config wants %d", cfg.Start.N(), cfg.Start.N(), cfg.N)
 		}
-		g = cfg.Start.Clone()
+		if cfg.Scratch != nil {
+			cfg.Scratch.CopyFrom(cfg.Start)
+			g = cfg.Scratch
+		} else {
+			g = cfg.Start.Clone()
+		}
 	case cfg.Clustered:
-		g = partition.NewRandomClustered(cfg.N, cfg.Ratio, rng)
+		if cfg.Scratch != nil {
+			partition.RandomizeClusteredInto(cfg.Scratch, cfg.Ratio, rng)
+			g = cfg.Scratch
+		} else {
+			g = partition.NewRandomClustered(cfg.N, cfg.Ratio, rng)
+		}
 	default:
-		g = partition.NewRandom(cfg.N, cfg.Ratio, rng)
+		if cfg.Scratch != nil {
+			partition.RandomizeInto(cfg.Scratch, cfg.Ratio, rng)
+			g = cfg.Scratch
+		} else {
+			g = partition.NewRandom(cfg.N, cfg.Ratio, rng)
+		}
 	}
 
 	plan := newPlan(rng)
@@ -149,8 +174,23 @@ func Condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int)
 	return condense(g, plan, types, maxSteps, nil, nil)
 }
 
+// condenseScratch is the reusable working state of one condensation loop.
+// Pooling it means the plateau set is cleared — not reallocated — on every
+// VoC drop, and its buckets survive across runs.
+type condenseScratch struct {
+	plateau map[uint64]struct{}
+}
+
+var condensePool = sync.Pool{
+	New: func() any { return &condenseScratch{plateau: make(map[uint64]struct{}, 64)} },
+}
+
 func condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int, rng *rand.Rand, snapshot func(int, *partition.Grid)) (int, bool) {
-	plateau := map[uint64]bool{g.Fingerprint(): true}
+	sc := condensePool.Get().(*condenseScratch)
+	defer condensePool.Put(sc)
+	plateau := sc.plateau
+	clear(plateau)
+	plateau[g.Fingerprint()] = struct{}{}
 	lastVoC := g.VoC()
 	accept := func(t *partition.Grid) bool {
 		v := t.VoC()
@@ -158,12 +198,23 @@ func condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int,
 			return true
 		}
 		fp := t.Fingerprint()
-		if plateau[fp] {
+		if _, seen := plateau[fp]; seen {
 			return false
 		}
-		plateau[fp] = true
+		plateau[fp] = struct{}{}
 		return true
 	}
+
+	// Failed-probe memo. A failing AttemptAny has no side effects, and its
+	// outcome is a function of the grid plus the plateau state: VoC never
+	// increases, so revisiting a fingerprint means VoC never dropped in
+	// between, which means lastVoC is unchanged and the plateau set only
+	// grew — every structural failure still fails and every vetoed push is
+	// still vetoed. Skipping the re-probe is therefore exactly equivalent,
+	// and it eliminates the full verification sweep a fixed point otherwise
+	// pays per (processor, direction) pair.
+	var failFP [2][geom.NumDirections]uint64
+	var failKnown [2][geom.NumDirections]bool
 
 	procs := [2]partition.Proc{partition.R, partition.S}
 	steps := 0
@@ -175,13 +226,18 @@ func condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int,
 			order[0], order[1] = order[1], order[0]
 		}
 		for _, p := range order {
+			pi := int(p)
 			for _, d := range plan[p] {
+				if failKnown[pi][d] && failFP[pi][d] == g.Fingerprint() {
+					continue
+				}
 				if res, ok := AttemptAny(g, p, d, types, accept); ok {
 					steps++
 					progressed = true
 					if res.DeltaVoC < 0 {
 						lastVoC = g.VoC()
-						plateau = map[uint64]bool{g.Fingerprint(): true}
+						clear(plateau)
+						plateau[g.Fingerprint()] = struct{}{}
 					}
 					if snapshot != nil {
 						snapshot(steps, g)
@@ -189,6 +245,9 @@ func condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int,
 					if steps >= maxSteps {
 						return steps, false
 					}
+				} else {
+					failKnown[pi][d] = true
+					failFP[pi][d] = g.Fingerprint()
 				}
 			}
 		}
@@ -202,12 +261,27 @@ func condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int,
 // Condensed reports whether no legal Push remains for either slow
 // processor in any of the plan's directions — the paper's definition of a
 // fully condensed partition.
+//
+// Legality is probed in place with an always-reject accept callback:
+// Attempt only consults the callback once a fully-formed, contract-clean
+// Push is about to commit, so "the callback fired" is exactly "a legal Push
+// exists", and the veto's rollback restores the grid (fingerprint included)
+// bit-exactly. No clone of the N² cells is ever taken.
 func Condensed(g *partition.Grid, plan DirectionPlan, types []Type) bool {
+	if len(types) == 0 {
+		types = AllTypes
+	}
+	legal := false
+	probe := func(*partition.Grid) bool {
+		legal = true
+		return false
+	}
 	for _, p := range [2]partition.Proc{partition.R, partition.S} {
 		for _, d := range plan[p] {
-			c := g.Clone()
-			if _, ok := AttemptAny(c, p, d, types, nil); ok {
-				return false
+			for _, t := range types {
+				if _, ok := Attempt(g, p, d, t, probe); ok || legal {
+					return false
+				}
 			}
 		}
 	}

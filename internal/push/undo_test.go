@@ -1,0 +1,95 @@
+package push
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/partition"
+)
+
+// snapshotCounters captures every piece of derived state a rollback must
+// restore alongside the raw cells.
+type counterSnapshot struct {
+	fp       uint64
+	voc      int64
+	total    [partition.NumProcs]int
+	rowsWith [partition.NumProcs]int
+	colsWith [partition.NumProcs]int
+	rects    [partition.NumProcs]geom.Rect
+}
+
+func snapshot(g *partition.Grid) counterSnapshot {
+	var s counterSnapshot
+	s.fp = g.Fingerprint()
+	s.voc = g.VoC()
+	for _, p := range partition.Procs {
+		s.total[p] = g.Count(p)
+		s.rowsWith[p] = g.RowsWith(p)
+		s.colsWith[p] = g.ColsWith(p)
+		s.rects[p] = g.EnclosingRect(p)
+	}
+	return s
+}
+
+// TestUndoLogRestoresEverything is the rollback property: after an
+// arbitrary sequence of recorded logical-coordinate mutations through any
+// view, rollback restores the cells, the fingerprint, and every occupancy
+// counter bit-exactly.
+func TestUndoLogRestoresEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	const n = 32
+	for trial := 0; trial < 200; trial++ {
+		g := partition.NewRandom(n, partition.MustRatio(3, 2, 1), rng)
+		ref := g.Clone()
+		before := snapshot(g)
+
+		dir := geom.AllDirections[rng.Intn(geom.NumDirections)]
+		vg := vgrid{g: g, v: geom.NewView(n, dir)}
+		var undo undoLog
+		muts := 1 + rng.Intn(60)
+		for m := 0; m < muts; m++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			pi, pj := vg.v.Apply(i, j)
+			undo.record(i, j, g.At(pi, pj))
+			vg.set(i, j, partition.Proc(rng.Intn(partition.NumProcs)))
+		}
+		undo.rollback(vg)
+
+		if !g.Equal(ref) {
+			t.Fatalf("trial %d: rollback left different cells", trial)
+		}
+		if after := snapshot(g); after != before {
+			t.Fatalf("trial %d: rollback left different counters:\nbefore %+v\nafter  %+v", trial, before, after)
+		}
+		if g.Fingerprint() != g.FingerprintRescan() {
+			t.Fatalf("trial %d: fingerprint drifted from rescan after rollback", trial)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+// TestFailedAttemptRestoresFingerprint drives the real Attempt machinery:
+// a vetoed or structurally failing Push must leave the fingerprint (and
+// hence the condense loop's plateau bookkeeping) exactly as it was.
+func TestFailedAttemptRestoresFingerprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const n = 40
+	g := partition.NewRandom(n, partition.MustRatio(2, 1, 1), rng)
+	veto := func(*partition.Grid) bool { return false }
+	for i := 0; i < 400; i++ {
+		before := snapshot(g)
+		p := partition.Procs[rng.Intn(2)]
+		d := geom.AllDirections[rng.Intn(geom.NumDirections)]
+		tp := AllTypes[rng.Intn(len(AllTypes))]
+		if _, ok := Attempt(g, p, d, tp, veto); ok {
+			t.Fatal("vetoing accept must fail the attempt")
+		}
+		if after := snapshot(g); after != before {
+			t.Fatalf("attempt %d (%v %v %v): failed push changed state:\nbefore %+v\nafter  %+v",
+				i, p, d, tp, before, after)
+		}
+	}
+}
