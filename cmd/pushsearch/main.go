@@ -6,21 +6,33 @@
 // Usage:
 //
 //	pushsearch [-n 100] [-runs 50] [-ratios 2:1:1,5:2:1] [-seed 1] [-beautify]
-//	           [-workers 0] [-cpuprofile search.pprof] [-memprofile heap.pprof]
+//	           [-workers 0] [-journal census.jsonl] [-resume]
+//	           [-cpuprofile search.pprof] [-memprofile heap.pprof]
 //
 // The profile flags write pprof data covering the census (use
 // `go tool pprof` to inspect); the heap profile is taken after a final GC
 // so it reflects live memory, not garbage.
+//
+// -journal checkpoints every completed DFA run to an append-only
+// CRC-checked JSONL file; SIGINT/SIGTERM (or SIGKILL) mid-census loses at
+// most the in-flight runs. Re-running with -resume replays the journal
+// and finishes only the remaining work — the output is bit-identical to
+// an uninterrupted run. An interrupted census still flushes the rows it
+// completed and exits non-zero.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"repro/internal/experiment"
 	"repro/internal/partition"
@@ -44,10 +56,15 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "base random seed")
 		beautify   = flag.Bool("beautify", true, "apply the Thm 8.3 cleanup before classification")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		journal    = flag.String("journal", "", "checkpoint completed runs to this JSONL file")
+		resume     = flag.Bool("resume", false, "replay an existing -journal and finish the remaining runs")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -80,6 +97,8 @@ func run() error {
 		Seed:         *seed,
 		Beautify:     *beautify,
 		Workers:      *workers,
+		Journal:      *journal,
+		Resume:       *resume,
 	}
 	if *ratios != "" {
 		for _, s := range strings.Split(*ratios, ",") {
@@ -90,12 +109,41 @@ func run() error {
 			cfg.Ratios = append(cfg.Ratios, r)
 		}
 	}
-	rows, err := experiment.Census(cfg)
-	if err != nil {
+	rows, err := experiment.CensusContext(ctx, cfg)
+
+	var quarantined *experiment.QuarantineError
+	switch {
+	case err == nil:
+	case errors.As(err, &quarantined):
+		// The census completed around the quarantined runs; report them
+		// below but still print the table.
+	default:
+		// Interrupted or failed: flush whatever completed, then exit
+		// non-zero through main.
+		if len(rows) > 0 {
+			total := len(cfg.Ratios)
+			if total == 0 {
+				total = len(partition.PaperRatios)
+			}
+			fmt.Printf("(partial census: %d of %d ratio rows completed before the error)\n\n",
+				len(rows), total)
+			if werr := experiment.WriteCensusTable(os.Stdout, rows); werr != nil {
+				log.Printf("flushing partial table: %v", werr)
+			}
+		}
 		return err
 	}
+
 	if err := experiment.WriteCensusTable(os.Stdout, rows); err != nil {
 		return err
+	}
+	if quarantined != nil {
+		fmt.Printf("\n%d run(s) quarantined after repeated failures:\n", len(quarantined.Failures))
+		for _, f := range quarantined.Failures {
+			fmt.Printf("  ratio %s run %d (seed %d, %d attempts): %v\n",
+				f.Ratio, f.Run, f.Seed, f.Attempts, f.Err)
+		}
+		return fmt.Errorf("census completed with %d quarantined run(s)", len(quarantined.Failures))
 	}
 	if cx := experiment.CensusCounterexamples(rows); cx > 0 {
 		return fmt.Errorf("%d terminal state(s) outside archetypes A–D (Postulate 1 counterexample?)", cx)

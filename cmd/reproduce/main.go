@@ -1,19 +1,30 @@
 // Command reproduce runs the complete reproduction suite in one shot and
 // writes a markdown report: the §VII census, the Fig 13/14 comparisons,
-// the §X optimal-shape tables, the engine ablation, the latency sweep and
-// the optimal-shape phase diagram. It is the non-benchmark twin of
-// `go test -bench=.` for generating EXPERIMENTS.md-style reports.
+// the §X optimal-shape tables, the engine ablation, the latency sweep,
+// the optimal-shape phase diagram and the fault-injection study. It is
+// the non-benchmark twin of `go test -bench=.` for generating
+// EXPERIMENTS.md-style reports.
 //
 // Usage:
 //
 //	reproduce [-n 80] [-runs 20] [-seed 1] > report.md
+//
+// A failing section is reported inside the markdown and the remaining
+// sections still run; the command exits non-zero if any section failed.
+// SIGINT/SIGTERM stops the current section, flushes what was generated,
+// and skips the rest (also a non-zero exit).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/experiment"
@@ -30,75 +41,127 @@ func main() {
 		seed = flag.Int64("seed", 1, "base seed")
 	)
 	flag.Parse()
-	out := os.Stdout
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if err := report(ctx, os.Stdout, *n, *runs, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// section is one report chapter: its body writes markdown to w and may
+// fail without sinking the whole report.
+type section struct {
+	title string
+	body  func(ctx context.Context, w io.Writer) error
+}
+
+// report runs every section, embedding failures in the markdown, and
+// returns an error if any section failed or the run was interrupted.
+func report(ctx context.Context, out io.Writer, n, runs int, seed int64) error {
 	start := time.Now()
+	fmt.Fprintf(out, "# Reproduction report (N=%d, %d runs/ratio, seed %d)\n\n", n, runs, seed)
 
-	fmt.Fprintf(out, "# Reproduction report (N=%d, %d runs/ratio, seed %d)\n\n", *n, *runs, *seed)
+	sections := []section{
+		{"§VII archetype census (Postulate 1)", func(ctx context.Context, w io.Writer) error {
+			census, err := experiment.CensusContext(ctx, experiment.CensusConfig{
+				N: n, RunsPerRatio: runs, Seed: seed, Beautify: true,
+			})
+			// A quarantine means the census still completed around the
+			// failed runs: print the table, then surface the error.
+			var qe *experiment.QuarantineError
+			if err != nil && !errors.As(err, &qe) {
+				return err
+			}
+			if werr := experiment.WriteCensusTable(w, census); werr != nil {
+				return werr
+			}
+			fmt.Fprintf(w, "\ncounterexamples: %d\n", experiment.CensusCounterexamples(census))
+			return err
+		}},
+		{fmt.Sprintf("Fig 14 sweep (SCB, fully connected, N=5000 model / N=%d sim)", n), func(ctx context.Context, w io.Writer) error {
+			fig14, err := experiment.Fig14SweepContext(ctx, nil, 5000, n)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteFig14Table(w, fig14); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\ncrossover: x = %.0f (theory ≈ 9.7)\n", experiment.Crossover(fig14))
+			return nil
+		}},
+		{"§X optimal shape per ratio × algorithm", func(ctx context.Context, w io.Writer) error {
+			fmt.Fprintf(w, "### fully connected\n\n")
+			full, err := experiment.OptimalShapesContext(ctx, n, nil, model.FullyConnected)
+			if err != nil {
+				return err
+			}
+			if err := experiment.WriteOptimalTable(w, full); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "\n### star topology\n\n")
+			star, err := experiment.OptimalShapesContext(ctx, n, nil, model.Star)
+			if err != nil {
+				return err
+			}
+			return experiment.WriteOptimalTable(w, star)
+		}},
+		{"Optimal-shape phase diagram (SCB)", func(ctx context.Context, w io.Writer) error {
+			wm, err := experiment.ComputeWinnerMapContext(ctx, model.SCB, model.FullyConnected, 6, 20, 1, n)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "```\n")
+			if err := wm.Write(w); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "```\n")
+			return nil
+		}},
+		{"Push-engine ablation (3:1:1)", func(ctx context.Context, w io.Writer) error {
+			abl, err := experiment.PushAblationContext(ctx, n, partition.MustRatio(3, 1, 1), min(runs, 8), seed)
+			if err != nil {
+				return err
+			}
+			return experiment.WriteAblationTable(w, abl)
+		}},
+		{"Latency sensitivity (Block-Rectangle, 5:2:1)", func(ctx context.Context, w io.Writer) error {
+			lat, err := experiment.LatencySweep(nil, partition.MustRatio(5, 2, 1), n)
+			if err != nil {
+				return err
+			}
+			return experiment.WriteLatencyTable(w, lat)
+		}},
+		{"Fault-injection study (SCB, 5:2:1, canonical plan)", func(ctx context.Context, w io.Writer) error {
+			rows, err := experiment.FaultStudy(ctx, model.SCB, model.FullyConnected, n,
+				partition.MustRatio(5, 2, 1), experiment.CanonicalFaultPlan)
+			if err != nil {
+				return err
+			}
+			return experiment.WriteFaultTable(w, rows)
+		}},
+	}
 
-	fmt.Fprintf(out, "## §VII archetype census (Postulate 1)\n\n")
-	census, err := experiment.Census(experiment.CensusConfig{
-		N: *n, RunsPerRatio: *runs, Seed: *seed, Beautify: true,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := experiment.WriteCensusTable(out, census); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(out, "\ncounterexamples: %d\n\n", experiment.CensusCounterexamples(census))
-
-	fmt.Fprintf(out, "## Fig 14 sweep (SCB, fully connected, N=5000 model / N=%d sim)\n\n", *n)
-	fig14, err := experiment.Fig14Sweep(nil, 5000, *n)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := experiment.WriteFig14Table(out, fig14); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(out, "\ncrossover: x = %.0f (theory ≈ 9.7)\n\n", experiment.Crossover(fig14))
-
-	fmt.Fprintf(out, "## §X optimal shape per ratio × algorithm\n\n### fully connected\n\n")
-	full, err := experiment.OptimalShapes(*n, nil, model.FullyConnected)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := experiment.WriteOptimalTable(out, full); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(out, "\n### star topology\n\n")
-	star, err := experiment.OptimalShapes(*n, nil, model.Star)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := experiment.WriteOptimalTable(out, star); err != nil {
-		log.Fatal(err)
+	var failed []string
+	for _, s := range sections {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(out, "## %s\n\n**skipped: %v**\n\n", s.title, err)
+			failed = append(failed, s.title)
+			continue
+		}
+		fmt.Fprintf(out, "## %s\n\n", s.title)
+		if err := s.body(ctx, out); err != nil {
+			fmt.Fprintf(out, "\n**section failed: %v**\n", err)
+			failed = append(failed, s.title)
+			log.Printf("section %q: %v", s.title, err)
+		}
+		fmt.Fprintf(out, "\n")
 	}
 
-	fmt.Fprintf(out, "\n## Optimal-shape phase diagram (SCB)\n\n```\n")
-	wm, err := experiment.ComputeWinnerMap(model.SCB, model.FullyConnected, 6, 20, 1, *n)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Fprintf(out, "_generated in %v_\n", time.Since(start).Round(time.Millisecond))
+	if len(failed) > 0 {
+		return fmt.Errorf("%d of %d sections failed: %v", len(failed), len(sections), failed)
 	}
-	if err := wm.Write(out); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Fprintf(out, "```\n\n## Push-engine ablation (3:1:1)\n\n")
-	abl, err := experiment.PushAblation(*n, partition.MustRatio(3, 1, 1), min(*runs, 8), *seed)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := experiment.WriteAblationTable(out, abl); err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Fprintf(out, "\n## Latency sensitivity (Block-Rectangle, 5:2:1)\n\n")
-	lat, err := experiment.LatencySweep(nil, partition.MustRatio(5, 2, 1), *n)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := experiment.WriteLatencyTable(out, lat); err != nil {
-		log.Fatal(err)
-	}
-
-	fmt.Fprintf(out, "\n_generated in %v_\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -5,12 +5,20 @@
 // Usage:
 //
 //	study -ratio 5:2:1 [-n 100] [-runs 50] [-topology star]
+//	      [-journal study.jsonl] [-resume]
+//
+// SIGINT/SIGTERM interrupts the pipeline cleanly (non-zero exit). With
+// -journal the census phase checkpoints every completed DFA run, and
+// -resume replays the journal so a restarted study repeats no work.
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/model"
@@ -26,8 +34,13 @@ func main() {
 		runs     = flag.Int("runs", 30, "DFA runs")
 		seed     = flag.Int64("seed", 1, "base seed")
 		topoStr  = flag.String("topology", "full", "full or star")
+		journal  = flag.String("journal", "", "checkpoint census runs to this JSONL file")
+		resume   = flag.Bool("resume", false, "replay an existing -journal and finish the remaining runs")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	ratio, err := partition.ParseRatio(*ratioStr)
 	if err != nil {
@@ -37,12 +50,14 @@ func main() {
 	if *topoStr == "star" {
 		topo = model.Star
 	}
-	st, err := core.Run(core.StudyConfig{
+	st, err := core.RunContext(ctx, core.StudyConfig{
 		N:        *n,
 		Ratio:    ratio,
 		Runs:     *runs,
 		Seed:     *seed,
 		Topology: topo,
+		Journal:  *journal,
+		Resume:   *resume,
 	})
 	if err != nil {
 		log.Fatal(err)

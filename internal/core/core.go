@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -37,6 +38,12 @@ type StudyConfig struct {
 	Seed int64
 	// Topology for the Section X comparison.
 	Topology model.Topology
+	// Journal, when set, checkpoints the census phase to this JSONL file
+	// so an interrupted study can resume. Resume replays a prior journal
+	// before running the remaining work; the resumed study is bit-identical
+	// to an uninterrupted one.
+	Journal string
+	Resume  bool
 }
 
 // Study is the outcome of the full pipeline for one ratio.
@@ -62,6 +69,13 @@ type Study struct {
 
 // Run executes the full pipeline.
 func Run(cfg StudyConfig) (*Study, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cooperative cancellation: the census, the
+// best-terminal re-run and the candidate sweeps all stop promptly when
+// ctx is cancelled, returning the context's error.
+func RunContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	if cfg.N < 10 {
 		return nil, fmt.Errorf("core: N must be ≥ 10, got %d", cfg.N)
 	}
@@ -79,12 +93,14 @@ func Run(cfg StudyConfig) (*Study, error) {
 	}
 
 	// Phase 1+2: DFA census.
-	rows, err := experiment.Census(experiment.CensusConfig{
+	rows, err := experiment.CensusContext(ctx, experiment.CensusConfig{
 		N:            cfg.N,
 		RunsPerRatio: cfg.Runs,
 		Ratios:       []partition.Ratio{cfg.Ratio},
 		Seed:         cfg.Seed,
 		Beautify:     true,
+		Journal:      cfg.Journal,
+		Resume:       cfg.Resume,
 	})
 	if err != nil {
 		return nil, err
@@ -95,7 +111,7 @@ func Run(cfg StudyConfig) (*Study, error) {
 
 	// Phase 3: reduce the best terminal state to Archetype A. Re-run the
 	// single best seed (census is deterministic in cfg.Seed).
-	best, err := bestTerminal(cfg)
+	best, err := bestTerminal(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +134,9 @@ func Run(cfg StudyConfig) (*Study, error) {
 		st.CandidateVoC[s] = g.VoC()
 	}
 	for _, a := range model.AllAlgorithms {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: study interrupted: %w", err)
+		}
 		bestShape := partition.Shape(0)
 		bestTotal := -1.0
 		for _, s := range partition.AllShapes {
@@ -141,10 +160,10 @@ func Run(cfg StudyConfig) (*Study, error) {
 
 // bestTerminal re-runs the census seeds and returns the terminal state
 // with the lowest VoC.
-func bestTerminal(cfg StudyConfig) (*partition.Grid, error) {
+func bestTerminal(ctx context.Context, cfg StudyConfig) (*partition.Grid, error) {
 	var best *partition.Grid
 	for run := 0; run < cfg.Runs; run++ {
-		res, err := push.Run(push.Config{
+		res, err := push.RunContext(ctx, push.Config{
 			N:        cfg.N,
 			Ratio:    cfg.Ratio,
 			Seed:     cfg.Seed + int64(run),

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -34,8 +35,16 @@ type AblationRow struct {
 // Lower mean terminal VoC = better condensation. The plateau types and
 // the beautify pass are the design choices the ablation isolates.
 func PushAblation(n int, ratio partition.Ratio, runs int, seed int64) ([]AblationRow, error) {
+	return PushAblationContext(context.Background(), n, ratio, runs, seed)
+}
+
+// PushAblationContext is PushAblation with cancellation between runs.
+func PushAblationContext(ctx context.Context, n int, ratio partition.Ratio, runs int, seed int64) ([]AblationRow, error) {
 	if runs <= 0 {
-		return nil, fmt.Errorf("experiment: ablation needs runs > 0")
+		return nil, &ConfigError{Field: "runs", Reason: fmt.Sprintf("ablation needs runs > 0, got %d", runs)}
+	}
+	if err := ratio.Validate(); err != nil {
+		return nil, &ConfigError{Field: "ratio", Reason: err.Error()}
 	}
 	configs := []struct {
 		name      string
@@ -53,7 +62,7 @@ func PushAblation(n int, ratio partition.Ratio, runs int, seed int64) ([]Ablatio
 	for _, cfg := range configs {
 		row := AblationRow{Name: cfg.name, Runs: runs}
 		for run := 0; run < runs; run++ {
-			res, err := push.Run(push.Config{
+			res, err := push.RunContext(ctx, push.Config{
 				N:         n,
 				Ratio:     ratio,
 				Seed:      seed + int64(run),

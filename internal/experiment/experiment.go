@@ -6,6 +6,8 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -13,7 +15,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/journal"
 	"repro/internal/model"
 	"repro/internal/partition"
 	"repro/internal/push"
@@ -36,6 +40,47 @@ type CensusConfig struct {
 	Beautify bool
 	// Workers bounds parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Journal, when non-empty, is the path of an append-only run journal
+	// (internal/journal): every completed run is flushed to it as workers
+	// finish, so an interrupted census loses at most the runs in flight.
+	Journal string
+	// Resume allows Journal to point at an existing journal from an
+	// interrupted census with the same configuration: its completed runs
+	// are replayed and only the remainder is dispatched. Because run
+	// seeds derive from (Seed, ratio, run), the resumed census is
+	// bit-identical to an uninterrupted one.
+	Resume bool
+	// MaxRetries is the per-run retry budget after a worker panic
+	// (default 1 retry; negative means no retries). A run that panics on
+	// every attempt is quarantined — recorded as a structured failure,
+	// excluded from the aggregates — and the census keeps going.
+	MaxRetries int
+	// RetryBackoff is the base of the exponential backoff between retry
+	// attempts (default 10ms; negative disables the sleep).
+	RetryBackoff time.Duration
+
+	// runHook, when set (by tests), runs before every DFA attempt; a
+	// panic inside it simulates a worker crash.
+	runHook func(ratioIndex, run, attempt int)
+}
+
+// validate rejects malformed configurations with typed errors.
+func (cfg CensusConfig) validate() error {
+	if cfg.N < 10 {
+		return &ConfigError{Field: "N", Reason: fmt.Sprintf("census N must be ≥ 10, got %d", cfg.N)}
+	}
+	if cfg.RunsPerRatio <= 0 {
+		return &ConfigError{Field: "RunsPerRatio", Reason: fmt.Sprintf("must be positive, got %d", cfg.RunsPerRatio)}
+	}
+	for i, r := range cfg.Ratios {
+		if err := r.Validate(); err != nil {
+			return &ConfigError{Field: fmt.Sprintf("Ratios[%d]", i), Reason: err.Error()}
+		}
+	}
+	if cfg.Resume && cfg.Journal == "" {
+		return &ConfigError{Field: "Resume", Reason: "requires Journal to be set"}
+	}
+	return nil
 }
 
 // CensusRow is the outcome for one ratio.
@@ -46,37 +91,53 @@ type CensusRow struct {
 	MeanSteps float64
 	// MeanVoCDrop is the average fractional VoC reduction start→end.
 	MeanVoCDrop float64
-}
-
-// censusOutcome is what one DFA run contributes to its ratio's row.
-type censusOutcome struct {
-	arch  shape.Archetype
-	steps int
-	drop  float64
+	// Completed is the number of runs aggregated into this row (equals
+	// the configured runs unless the census was interrupted).
+	Completed int
+	// Failed counts quarantined runs (panicked on every attempt); they
+	// are excluded from Counts and the means.
+	Failed int
 }
 
 // Census runs the DFA many times per ratio and classifies every terminal
-// state — the experimental support for Postulate 1 (Fig 5, §VII).
+// state — the experimental support for Postulate 1 (Fig 5, §VII). It is
+// CensusContext with a background context.
+func Census(cfg CensusConfig) ([]CensusRow, error) {
+	return CensusContext(context.Background(), cfg)
+}
+
+// CensusContext runs the census under ctx.
 //
 // The harness is a fixed pool of worker goroutines (cfg.Workers, default
 // GOMAXPROCS) pulling run indices from an atomic counter, not a goroutine
 // per run: each worker owns one pooled scratch grid that every run it
 // executes condenses in place (push.Config.Scratch), so a census allocates
 // O(workers) grids instead of O(runs). Outcomes stream to the aggregator
-// over a channel and are reduced to counts and running sums as they
-// arrive; no per-run slice is materialised. The first run error cancels
-// the census: no further runs are dispatched for this or any later ratio.
+// as workers finish; the aggregator journals each one (when cfg.Journal is
+// set) and stores it into a per-run table that is summed in run-index
+// order once the ratio completes. The first run error cancels the census:
+// no further runs are dispatched for this or any later ratio.
 //
 // Results are deterministic in cfg.Seed: run r of ratio i is seeded with
-// Seed + i·1_000_003 + r regardless of which worker executes it, archetype
-// counts are order-independent, and the mean aggregation is over the same
-// multiset of outcomes whatever the completion order.
-func Census(cfg CensusConfig) ([]CensusRow, error) {
-	if cfg.N < 10 {
-		return nil, fmt.Errorf("experiment: census N must be ≥ 10, got %d", cfg.N)
-	}
-	if cfg.RunsPerRatio <= 0 {
-		return nil, fmt.Errorf("experiment: RunsPerRatio must be positive")
+// Seed + i·1_000_003 + r regardless of which worker executes it, and the
+// run-order aggregation makes even the float means independent of worker
+// count, completion order, and interruption/resume.
+//
+// Resilience:
+//
+//   - Cancelling ctx stops the census promptly (workers check between
+//     runs and inside the DFA step loop). The rows aggregated so far —
+//     including a partial row for the interrupted ratio — are returned
+//     alongside the wrapped context error, so hours of completed work
+//     survive a SIGINT.
+//   - A worker panic is recovered, retried up to cfg.MaxRetries times
+//     with exponential backoff, then quarantined: the run is journaled as
+//     a structured failure, counted in CensusRow.Failed, and the census
+//     continues. A completed census with quarantined runs returns its
+//     rows plus a *QuarantineError.
+func CensusContext(ctx context.Context, cfg CensusConfig) ([]CensusRow, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	ratios := cfg.Ratios
 	if len(ratios) == 0 {
@@ -87,6 +148,32 @@ func Census(cfg CensusConfig) ([]CensusRow, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	workers = min(workers, cfg.RunsPerRatio)
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 1
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	backoff := cfg.RetryBackoff
+	if backoff == 0 {
+		backoff = 10 * time.Millisecond
+	}
+
+	// The per-run outcome table; completed journal records replay into it
+	// and finished runs land in it, keyed by (ratio, run).
+	table := make([][]censusSlot, len(ratios))
+	for i := range table {
+		table[i] = make([]censusSlot, cfg.RunsPerRatio)
+	}
+	var jw *journal.Writer
+	if cfg.Journal != "" {
+		w, err := openCensusJournal(cfg, ratios, table)
+		if err != nil {
+			return nil, err
+		}
+		jw = w
+		defer jw.Close()
+	}
 
 	// Scratch grids, one held per live worker, reused across every run and
 	// every ratio. push.Run re-randomises them in place.
@@ -106,71 +193,165 @@ func Census(cfg CensusConfig) ([]CensusRow, error) {
 		cancel.Store(true)
 	}
 
+	seedOf := func(ri, run int) int64 {
+		return cfg.Seed + int64(ri)*1_000_003 + int64(run)
+	}
+
+	type indexedOutcome struct {
+		run  int
+		slot censusSlot
+	}
+
+	var failures []RunFailure
 	rows := make([]CensusRow, len(ratios))
+	done := 0
 	for ri, ratio := range ratios {
 		if cancel.Load() {
 			break
 		}
-		row := CensusRow{Ratio: ratio, Counts: make(map[shape.Archetype]int)}
-		results := make(chan censusOutcome, workers)
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
+		// Dispatch only the runs the journal has not already replayed.
+		var pending []int
+		for run := 0; run < cfg.RunsPerRatio; run++ {
+			if !table[ri][run].seen {
+				pending = append(pending, run)
+			}
+		}
+		if len(pending) > 0 {
+			results := make(chan indexedOutcome, workers)
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < min(workers, len(pending)); w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					scratch := gridPool.Get().(*partition.Grid)
+					defer gridPool.Put(scratch)
+					for {
+						k := int(next.Add(1)) - 1
+						// Check cancellation before every dispatch so an
+						// error or interrupt stops the census instead of
+						// draining the backlog.
+						if k >= len(pending) || cancel.Load() {
+							return
+						}
+						if err := ctx.Err(); err != nil {
+							fail(fmt.Errorf("experiment: census interrupted: %w", err))
+							return
+						}
+						run := pending[k]
+						slot, err := censusRun(ctx, cfg, ratio, ri, run, seedOf(ri, run), scratch, maxRetries, backoff)
+						if err != nil {
+							fail(err)
+							return
+						}
+						results <- indexedOutcome{run: run, slot: slot}
+					}
+				}()
+			}
 			go func() {
-				defer wg.Done()
-				scratch := gridPool.Get().(*partition.Grid)
-				defer gridPool.Put(scratch)
-				for {
-					run := int(next.Add(1)) - 1
-					// Check cancellation before every dispatch so an error
-					// stops the census instead of draining the backlog.
-					if run >= cfg.RunsPerRatio || cancel.Load() {
-						return
-					}
-					res, err := push.Run(push.Config{
-						N:        cfg.N,
-						Ratio:    ratio,
-						Seed:     cfg.Seed + int64(ri)*1_000_003 + int64(run),
-						Beautify: cfg.Beautify,
-						Scratch:  scratch,
-					})
-					if err != nil {
-						fail(err)
-						return
-					}
-					drop := 0.0
-					if res.InitialVoC > 0 {
-						drop = 1 - float64(res.FinalVoC)/float64(res.InitialVoC)
-					}
-					// Classify before looping: res.Final aliases scratch,
-					// which the next run overwrites.
-					results <- censusOutcome{shape.Classify(res.Final), res.Steps, drop}
-				}
+				wg.Wait()
+				close(results)
 			}()
+			// Aggregate on the census goroutine: it owns the table and the
+			// journal, so appends need no locking and happen as each run
+			// completes — an interrupted census has already flushed every
+			// finished run.
+			for o := range results {
+				table[ri][o.run] = o.slot
+				if jw != nil {
+					if err := jw.AppendRecord(slotRecord(ri, o.run, seedOf(ri, o.run), o.slot)); err != nil {
+						fail(err)
+					}
+				}
+			}
 		}
-		go func() {
-			wg.Wait()
-			close(results)
-		}()
+
+		// Sum in run-index order for bit-identical means on any schedule.
+		row := CensusRow{Ratio: ratio, Counts: make(map[shape.Archetype]int)}
 		var steps, drop float64
-		count := 0
-		for o := range results {
-			row.Counts[o.arch]++
-			steps += float64(o.steps)
-			drop += o.drop
-			count++
+		for run := 0; run < cfg.RunsPerRatio; run++ {
+			s := table[ri][run]
+			if !s.seen {
+				continue
+			}
+			if s.failed {
+				row.Failed++
+				failures = append(failures, RunFailure{
+					Ratio: ratio, RatioIndex: ri, Run: run,
+					Seed: seedOf(ri, run), Err: s.errMsg, Attempts: s.attempts,
+				})
+				continue
+			}
+			row.Counts[s.arch]++
+			steps += float64(s.steps)
+			drop += s.drop
 		}
-		if count > 0 {
-			row.MeanSteps = steps / float64(count)
-			row.MeanVoCDrop = drop / float64(count)
+		row.Completed = row.Failed
+		for _, c := range row.Counts {
+			row.Completed += c
+		}
+		if n := row.Completed - row.Failed; n > 0 {
+			row.MeanSteps = steps / float64(n)
+			row.MeanVoCDrop = drop / float64(n)
 		}
 		rows[ri] = row
+		done = ri + 1
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		// Interruption and run errors still surface the completed rows so
+		// partial results can be flushed by the caller.
+		return rows[:done], firstErr
+	}
+	if len(failures) > 0 {
+		return rows, &QuarantineError{Failures: failures}
 	}
 	return rows, nil
+}
+
+// censusRun executes one (ratio, run) cell with panic isolation: each
+// attempt that panics is retried after an exponential backoff until the
+// retry budget is spent, at which point the run is quarantined as a
+// structured failure. Run errors other than panics are returned as-is
+// (they are deterministic configuration failures, not worker crashes).
+func censusRun(ctx context.Context, cfg CensusConfig, ratio partition.Ratio, ri, run int, seed int64, scratch *partition.Grid, maxRetries int, backoff time.Duration) (censusSlot, error) {
+	var lastPanic *PanicError
+	for attempt := 0; attempt <= maxRetries; attempt++ {
+		if attempt > 0 {
+			if err := retrySleep(ctx, backoff, attempt-1); err != nil {
+				return censusSlot{}, fmt.Errorf("experiment: census interrupted: %w", err)
+			}
+		}
+		var hook func()
+		if cfg.runHook != nil {
+			hook = func() { cfg.runHook(ri, run, attempt) }
+		}
+		res, err := runDFAOnce(ctx, push.Config{
+			N:        cfg.N,
+			Ratio:    ratio,
+			Seed:     seed,
+			Beautify: cfg.Beautify,
+			Scratch:  scratch,
+		}, hook)
+		if err == nil {
+			drop := 0.0
+			if res.InitialVoC > 0 {
+				drop = 1 - float64(res.FinalVoC)/float64(res.InitialVoC)
+			}
+			// Classify before returning: res.Final aliases scratch, which
+			// the worker's next run overwrites.
+			return censusSlot{seen: true, arch: shape.Classify(res.Final), steps: res.Steps, drop: drop}, nil
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			return censusSlot{}, err
+		}
+		lastPanic = pe
+	}
+	return censusSlot{
+		seen: true, failed: true,
+		errMsg:   lastPanic.Value,
+		attempts: maxRetries + 1,
+	}, nil
 }
 
 // CensusCounterexamples returns the total number of terminal states that
@@ -269,6 +450,12 @@ type Fig14Row struct {
 // (ratio x:1:1) grows. n is the matrix dimension used for the simulated
 // series (the closed forms use nModel, the paper's 5000).
 func Fig14Sweep(xs []float64, nModel, nSim int) ([]Fig14Row, error) {
+	return Fig14SweepContext(context.Background(), xs, nModel, nSim)
+}
+
+// Fig14SweepContext is Fig14Sweep with cancellation between sample
+// points.
+func Fig14SweepContext(ctx context.Context, xs []float64, nModel, nSim int) ([]Fig14Row, error) {
 	if len(xs) == 0 {
 		for x := 2.0; x <= 25; x++ {
 			xs = append(xs, x)
@@ -276,6 +463,9 @@ func Fig14Sweep(xs []float64, nModel, nSim int) ([]Fig14Row, error) {
 	}
 	rows := make([]Fig14Row, 0, len(xs))
 	for _, x := range xs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: Fig 14 sweep interrupted: %w", err)
+		}
 		ratio := partition.MustRatio(x, 1, 1)
 		m := model.DefaultMachine(ratio)
 		row := Fig14Row{X: x}
@@ -385,11 +575,19 @@ type OptimalRow struct {
 // under the given topology, using both the analytic models and the
 // simulator, and reports the winner by modelled execution time.
 func OptimalShapes(n int, ratios []partition.Ratio, topo model.Topology) ([]OptimalRow, error) {
+	return OptimalShapesContext(context.Background(), n, ratios, topo)
+}
+
+// OptimalShapesContext is OptimalShapes with cancellation between ratios.
+func OptimalShapesContext(ctx context.Context, n int, ratios []partition.Ratio, topo model.Topology) ([]OptimalRow, error) {
 	if len(ratios) == 0 {
 		ratios = partition.PaperRatios
 	}
 	var rows []OptimalRow
 	for _, ratio := range ratios {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: optimal-shape sweep interrupted: %w", err)
+		}
 		m := model.DefaultMachine(ratio)
 		m.Topology = topo
 		for _, alg := range model.AllAlgorithms {

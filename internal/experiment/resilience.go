@@ -1,0 +1,180 @@
+package experiment
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/partition"
+	"repro/internal/push"
+	"repro/internal/shape"
+)
+
+// ConfigError reports an invalid study-configuration field with a typed
+// error instead of a panic or an endless loop.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("experiment: invalid %s: %s", e.Field, e.Reason)
+}
+
+// PanicError wraps a panic recovered from a study worker, preserving the
+// stack for the quarantine report.
+type PanicError struct {
+	Value string
+	Stack string
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("worker panic: %s", e.Value)
+}
+
+// RunFailure identifies one quarantined run: every attempt panicked, so
+// the run was excluded from the study's aggregates and recorded as a
+// structured failure.
+type RunFailure struct {
+	Ratio      partition.Ratio
+	RatioIndex int
+	Run        int
+	Seed       int64
+	Err        string
+	Attempts   int
+}
+
+// QuarantineError is the typed aggregate error a census returns when it
+// completed but had to quarantine runs. The returned rows are still
+// valid: they aggregate every non-quarantined run.
+type QuarantineError struct {
+	Failures []RunFailure
+}
+
+func (e *QuarantineError) Error() string {
+	f := e.Failures[0]
+	return fmt.Sprintf("experiment: %d run(s) quarantined after repeated worker panics; first: ratio %s run %d (seed %d, %d attempts): %s",
+		len(e.Failures), f.Ratio, f.Run, f.Seed, f.Attempts, f.Err)
+}
+
+// ErrJournalMismatch marks a resume attempt against a journal written by
+// a differently-configured study.
+var ErrJournalMismatch = errors.New("experiment: journal header does not match this census configuration")
+
+// censusSlot is the per-run cell of the deterministic aggregation table.
+// Rows are summed in run-index order over these slots, which is what
+// makes an interrupted-then-resumed census bit-identical to an
+// uninterrupted one regardless of worker count or completion order.
+type censusSlot struct {
+	seen     bool
+	failed   bool
+	arch     shape.Archetype
+	steps    int
+	drop     float64
+	errMsg   string
+	attempts int
+}
+
+// censusHeader derives the journal identity of a census configuration.
+func censusHeader(cfg CensusConfig, ratios []partition.Ratio) journal.Header {
+	rs := make([]string, len(ratios))
+	for i, r := range ratios {
+		rs[i] = r.String()
+	}
+	return journal.Header{
+		Kind:     "census",
+		N:        cfg.N,
+		Runs:     cfg.RunsPerRatio,
+		Seed:     cfg.Seed,
+		Beautify: cfg.Beautify,
+		Ratios:   rs,
+	}
+}
+
+// openCensusJournal creates or resumes the journal at cfg.Journal and
+// replays any completed records into table. It returns the open writer.
+func openCensusJournal(cfg CensusConfig, ratios []partition.Ratio, table [][]censusSlot) (*journal.Writer, error) {
+	hdr := censusHeader(cfg, ratios)
+	if !cfg.Resume {
+		w, err := journal.Create(cfg.Journal, hdr)
+		if err != nil && errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("%w (set Resume to continue it, or remove the file)", err)
+		}
+		return w, err
+	}
+	prev, recs, err := journal.Recover(cfg.Journal)
+	if errors.Is(err, os.ErrNotExist) {
+		return journal.Create(cfg.Journal, hdr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !journal.HeaderMatches(prev, hdr) {
+		return nil, fmt.Errorf("%w: journal %+v vs config %+v", ErrJournalMismatch, prev, hdr)
+	}
+	for _, rec := range recs {
+		if rec.RatioIndex < 0 || rec.RatioIndex >= len(ratios) || rec.Run < 0 || rec.Run >= cfg.RunsPerRatio {
+			return nil, fmt.Errorf("experiment: journal record (%d,%d) out of range", rec.RatioIndex, rec.Run)
+		}
+		table[rec.RatioIndex][rec.Run] = censusSlot{
+			seen:     true,
+			failed:   rec.Failed,
+			arch:     shape.Archetype(rec.Archetype),
+			steps:    rec.Steps,
+			drop:     rec.VoCDrop,
+			errMsg:   rec.Error,
+			attempts: rec.Attempts,
+		}
+	}
+	return journal.Append(cfg.Journal)
+}
+
+// slotRecord converts a completed slot back to its journal record.
+func slotRecord(ri, run int, seed int64, s censusSlot) journal.Record {
+	return journal.Record{
+		RatioIndex: ri,
+		Run:        run,
+		Seed:       seed,
+		Archetype:  int(s.arch),
+		Steps:      s.steps,
+		VoCDrop:    s.drop,
+		Failed:     s.failed,
+		Error:      s.errMsg,
+		Attempts:   s.attempts,
+	}
+}
+
+// runDFAOnce executes a single DFA run, converting a worker panic into a
+// *PanicError instead of killing the whole study.
+func runDFAOnce(ctx context.Context, cfg push.Config, hook func()) (res *push.RunResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: fmt.Sprint(r), Stack: string(debug.Stack())}
+		}
+	}()
+	if hook != nil {
+		hook()
+	}
+	return push.RunContext(ctx, cfg)
+}
+
+// retrySleep waits for the exponential-backoff delay of the given attempt
+// (base, 2·base, 4·base, …), returning early if ctx is cancelled.
+func retrySleep(ctx context.Context, base time.Duration, attempt int) error {
+	if base <= 0 {
+		return ctx.Err()
+	}
+	d := base << attempt
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}

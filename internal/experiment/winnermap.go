@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,11 +26,17 @@ type WinnerMap struct {
 // ComputeWinnerMap samples the ratio plane on an n-cell grid basis (the
 // shapes are constructed concretely so integral effects are included).
 func ComputeWinnerMap(a model.Algorithm, topo model.Topology, rrMax, prMax, step float64, n int) (*WinnerMap, error) {
+	return ComputeWinnerMapContext(context.Background(), a, topo, rrMax, prMax, step, n)
+}
+
+// ComputeWinnerMapContext is ComputeWinnerMap with cancellation between
+// sampled rows of the ratio plane.
+func ComputeWinnerMapContext(ctx context.Context, a model.Algorithm, topo model.Topology, rrMax, prMax, step float64, n int) (*WinnerMap, error) {
 	if step <= 0 {
 		step = 1
 	}
 	if n < 10 {
-		return nil, fmt.Errorf("experiment: winner map needs n ≥ 10")
+		return nil, &ConfigError{Field: "n", Reason: fmt.Sprintf("winner map needs n ≥ 10, got %d", n)}
 	}
 	wm := &WinnerMap{
 		Algorithm: a, Topology: topo,
@@ -37,6 +44,9 @@ func ComputeWinnerMap(a model.Algorithm, topo model.Topology, rrMax, prMax, step
 		Cells: make(map[[2]float64]partition.Shape),
 	}
 	for rr := 1.0; rr <= rrMax+1e-9; rr += step {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("experiment: winner map interrupted: %w", err)
+		}
 		for pr := rr; pr <= prMax+1e-9; pr += step {
 			ratio := partition.MustRatio(pr, rr, 1)
 			m := model.DefaultMachine(ratio)

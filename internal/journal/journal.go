@@ -1,0 +1,291 @@
+// Package journal implements an append-only, CRC-checked JSONL run
+// journal for long studies. Each line is a small JSON envelope
+// {"c":<crc32>,"p":{...}} whose checksum covers the payload bytes exactly
+// as written, so a record torn by SIGKILL or a full disk is detected on
+// the next open instead of silently corrupting a resumed study. Recovery
+// rewrites the valid prefix through a tempfile+rename, so the journal on
+// disk is always either the old file or a fully valid one — never a
+// half-truncated in-between.
+//
+// The journal's unit of durability is one record: every Append is flushed
+// to the operating system before it returns, so a killed process loses at
+// most the record being written when the signal landed (which recovery
+// then drops). Completed work recorded before the kill is never lost.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Header identifies the study a journal belongs to. Resume logic compares
+// the header of an existing journal against the study's own configuration
+// and refuses to mix runs from different studies.
+type Header struct {
+	// Kind names the study family (e.g. "census").
+	Kind string `json:"kind"`
+	// N is the matrix dimension.
+	N int `json:"n"`
+	// Runs is the per-ratio run count.
+	Runs int `json:"runs"`
+	// Seed is the study's base seed.
+	Seed int64 `json:"seed"`
+	// Beautify records whether the Thm 8.3 cleanup pass was enabled.
+	Beautify bool `json:"beautify"`
+	// Ratios lists the ratios in study order, formatted Pr:Rr:Sr.
+	Ratios []string `json:"ratios"`
+}
+
+// Record is one completed or quarantined run, keyed by its position in
+// the study. Outcomes are stored raw (archetype ordinal, exact float
+// bits via JSON's shortest-round-trip encoding) so a replayed record
+// reproduces the in-memory outcome bit-for-bit.
+type Record struct {
+	// RatioIndex and Run key the record: run Run of ratio RatioIndex.
+	RatioIndex int `json:"ri"`
+	Run        int `json:"run"`
+	// Seed is the derived per-run seed, recorded for auditability.
+	Seed int64 `json:"seed"`
+	// Archetype is the terminal archetype ordinal (valid when !Failed).
+	Archetype int `json:"arch"`
+	// Steps is the committed-Push count of the run.
+	Steps int `json:"steps"`
+	// VoCDrop is the fractional VoC reduction of the run.
+	VoCDrop float64 `json:"drop"`
+	// Failed marks a quarantined run: the worker panicked on every
+	// attempt and the run was excluded from the study's aggregates.
+	Failed bool `json:"failed,omitempty"`
+	// Error is the recovered panic value for a quarantined run.
+	Error string `json:"error,omitempty"`
+	// Attempts is how many times the run was tried before quarantine.
+	Attempts int `json:"attempts,omitempty"`
+}
+
+// CorruptError reports a journal whose damage recovery cannot repair:
+// an invalid record followed by further valid ones (mid-file corruption,
+// not a torn tail).
+type CorruptError struct {
+	Path string
+	Line int // 1-based line number of the first bad record
+	Why  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("journal: %s: line %d corrupt (%s) with valid records after it", e.Path, e.Line, e.Why)
+}
+
+// envelope is the on-disk line format.
+type envelope struct {
+	C uint32          `json:"c"`
+	P json.RawMessage `json:"p"`
+}
+
+// Writer appends CRC-framed records to a journal file.
+type Writer struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+// Create starts a fresh journal at path, writing the header record. It
+// fails if the file already exists (use Recover + Append to resume).
+func Create(path string, h Header) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create: %w", err)
+	}
+	w := &Writer{f: f, bw: bufio.NewWriter(f)}
+	if err := w.appendJSON(h); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return w, nil
+}
+
+// Append opens an existing journal for appending. The caller is expected
+// to have validated the file via Recover first.
+func Append(path string) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: append: %w", err)
+	}
+	return &Writer{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+// AppendRecord writes one record and flushes it to the OS, so a
+// subsequently killed process cannot lose it.
+func (w *Writer) AppendRecord(rec Record) error {
+	return w.appendJSON(rec)
+}
+
+func (w *Writer) appendJSON(payload any) error {
+	body, err := json.Marshal(payload)
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	line, err := json.Marshal(envelope{C: crc32.ChecksumIEEE(body), P: body})
+	if err != nil {
+		return fmt.Errorf("journal: marshal: %w", err)
+	}
+	if _, err := w.bw.Write(line); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		return fmt.Errorf("journal: write: %w", err)
+	}
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and closes the journal file.
+func (w *Writer) Close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("journal: flush: %w", err)
+	}
+	return w.f.Close()
+}
+
+// decodeLine validates one journal line and unmarshals its payload into
+// out. It reports (reason, false) when the line is damaged.
+func decodeLine(line []byte, out any) (string, bool) {
+	var env envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return "unparseable envelope", false
+	}
+	if crc32.ChecksumIEEE(env.P) != env.C {
+		return "CRC mismatch", false
+	}
+	if err := json.Unmarshal(env.P, out); err != nil {
+		return "unparseable payload", false
+	}
+	return "", true
+}
+
+// Recover reads a journal, validating every record's CRC. A damaged tail
+// — the torn record of a SIGKILLed writer — is detected and the file is
+// atomically rewritten (tempfile+rename) to the valid prefix, so the
+// caller can Append to it safely. Damage in the middle of the file (a
+// bad record followed by valid ones) is not repairable and returns a
+// *CorruptError. A missing file returns an error satisfying
+// errors.Is(err, os.ErrNotExist).
+func Recover(path string) (Header, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Header{}, nil, fmt.Errorf("journal: recover: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed journal ends in '\n', leaving one empty trailing
+	// element; keep empties in place so line numbers stay meaningful.
+	var (
+		hdr     Header
+		recs    []Record
+		goodLen int // byte length of the valid prefix
+		badLine int // 1-based, 0 = none
+		badWhy  string
+	)
+	offset := 0
+	for i, line := range lines {
+		lineLen := len(line) + 1 // +'\n'; the last element has no newline but is then the tail anyway
+		if len(bytes.TrimSpace(line)) == 0 {
+			offset += lineLen
+			continue
+		}
+		if badLine != 0 {
+			// A valid record after the damage point means mid-file
+			// corruption — check and refuse rather than silently dropping
+			// completed work.
+			var probe Record
+			if _, ok := decodeLine(line, &probe); ok {
+				return Header{}, nil, &CorruptError{Path: path, Line: badLine, Why: badWhy}
+			}
+			offset += lineLen
+			continue
+		}
+		if i == 0 {
+			if why, ok := decodeLine(line, &hdr); !ok {
+				return Header{}, nil, fmt.Errorf("journal: %s: header %s", path, why)
+			}
+		} else {
+			var rec Record
+			if why, ok := decodeLine(line, &rec); !ok {
+				badLine, badWhy = i+1, why
+				offset += lineLen
+				continue
+			}
+			recs = append(recs, rec)
+		}
+		offset += lineLen
+		goodLen = offset
+	}
+	switch {
+	case badLine != 0:
+		if err := rewritePrefix(path, data[:min(goodLen, len(data))]); err != nil {
+			return Header{}, nil, err
+		}
+	case len(data) > 0 && data[len(data)-1] != '\n':
+		// The writer died after the record bytes but before the newline:
+		// the record is intact, but a later Append would glue onto the
+		// same line. Restore the newline atomically.
+		if err := rewritePrefix(path, append(append([]byte(nil), data...), '\n')); err != nil {
+			return Header{}, nil, err
+		}
+	}
+	return hdr, recs, nil
+}
+
+// rewritePrefix atomically replaces path with its valid prefix.
+func rewritePrefix(path string, prefix []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".journal-recover-*")
+	if err != nil {
+		return fmt.Errorf("journal: recover rewrite: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(prefix); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: recover rewrite: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: recover rewrite: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: recover rewrite: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("journal: recover rewrite: %w", err)
+	}
+	return nil
+}
+
+// HeaderMatches reports whether two headers describe the same study.
+func HeaderMatches(a, b Header) bool {
+	if a.Kind != b.Kind || a.N != b.N || a.Runs != b.Runs || a.Seed != b.Seed || a.Beautify != b.Beautify {
+		return false
+	}
+	if len(a.Ratios) != len(b.Ratios) {
+		return false
+	}
+	for i := range a.Ratios {
+		if a.Ratios[i] != b.Ratios[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrExists is returned by callers that require a fresh journal path.
+var ErrExists = errors.New("journal: file already exists")

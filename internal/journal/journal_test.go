@@ -1,0 +1,228 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{Kind: "census", N: 40, Runs: 6, Seed: 7, Beautify: true, Ratios: []string{"3:1:1", "5:2:1"}}
+}
+
+func testRecords() []Record {
+	return []Record{
+		{RatioIndex: 0, Run: 0, Seed: 7, Archetype: 0, Steps: 81, VoCDrop: 0.512345678901234},
+		{RatioIndex: 0, Run: 1, Seed: 8, Archetype: 1, Steps: 92, VoCDrop: 0.25},
+		{RatioIndex: 1, Run: 0, Seed: 1000010, Failed: true, Error: "boom", Attempts: 2},
+	}
+}
+
+func writeAll(t *testing.T, path string) {
+	t.Helper()
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range testRecords() {
+		if err := w.AppendRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeAll(t, path)
+	hdr, recs, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !HeaderMatches(hdr, testHeader()) {
+		t.Fatalf("header mismatch: %+v", hdr)
+	}
+	if !reflect.DeepEqual(recs, testRecords()) {
+		t.Fatalf("records mismatch:\ngot  %+v\nwant %+v", recs, testRecords())
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeAll(t, path)
+	if _, err := Create(path, testHeader()); err == nil {
+		t.Fatal("Create over an existing journal should fail")
+	}
+}
+
+func TestRecoverMissingFile(t *testing.T) {
+	_, _, err := Recover(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want ErrNotExist, got %v", err)
+	}
+}
+
+// TestTornTailRecovery is the SIGKILL scenario: the last record is cut
+// mid-bytes. Recover must drop exactly that record, rewrite the file
+// atomically, and leave a journal that appends and re-recovers cleanly.
+func TestTornTailRecovery(t *testing.T) {
+	for _, chop := range []int{2, 5, 20} {
+		path := filepath.Join(t.TempDir(), "j.jsonl")
+		writeAll(t, path)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data[:len(data)-chop], 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		hdr, recs, err := Recover(path)
+		if err != nil {
+			t.Fatalf("chop %d: %v", chop, err)
+		}
+		want := testRecords()[:2]
+		if !HeaderMatches(hdr, testHeader()) || !reflect.DeepEqual(recs, want) {
+			t.Fatalf("chop %d: got %+v", chop, recs)
+		}
+
+		// The file must now be fully valid: append the lost record and
+		// recover again.
+		w, err := Append(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.AppendRecord(testRecords()[2]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, recs, err = Recover(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(recs, testRecords()) {
+			t.Fatalf("chop %d after re-append: got %+v", chop, recs)
+		}
+	}
+}
+
+// TestMissingFinalNewline covers a writer killed between the record
+// bytes and the newline: the record is intact and must be kept, and the
+// newline must be restored so later appends stay line-framed.
+func TestMissingFinalNewline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeAll(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, testRecords()) {
+		t.Fatalf("intact final record dropped: %+v", recs)
+	}
+	w, err := Append(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := Record{RatioIndex: 1, Run: 1, Seed: 11, Archetype: 2, Steps: 3}
+	if err := w.AppendRecord(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err = Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(recs, append(testRecords(), extra)) {
+		t.Fatalf("after re-append: %+v", recs)
+	}
+}
+
+// TestCorruptTailCRC flips a byte inside the last record's payload: the
+// CRC must catch it and recovery must drop the record.
+func TestCorruptTailCRC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeAll(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	last := []byte(lines[len(lines)-1])
+	// Flip a digit inside the payload without breaking JSON syntax.
+	i := strings.LastIndexAny(string(last), "0123456789")
+	last[i] ^= 1
+	lines[len(lines)-1] = string(last)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recs, err := Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("corrupted record not dropped: %+v", recs)
+	}
+}
+
+// TestMidFileCorruption damages a record that has valid records after it
+// — not a torn tail — and must be refused with a *CorruptError rather
+// than silently discarding completed work.
+func TestMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeAll(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	lines[1] = lines[1][:len(lines[1])/2] // tear record 1, records 2..3 intact
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = Recover(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+	if ce.Line != 2 {
+		t.Fatalf("corrupt line = %d, want 2", ce.Line)
+	}
+}
+
+func TestHeaderMatches(t *testing.T) {
+	a := testHeader()
+	if !HeaderMatches(a, testHeader()) {
+		t.Fatal("identical headers must match")
+	}
+	for _, mutate := range []func(*Header){
+		func(h *Header) { h.N = 41 },
+		func(h *Header) { h.Runs = 7 },
+		func(h *Header) { h.Seed = 8 },
+		func(h *Header) { h.Beautify = false },
+		func(h *Header) { h.Kind = "ablation" },
+		func(h *Header) { h.Ratios = h.Ratios[:1] },
+		func(h *Header) { h.Ratios = []string{"3:1:1", "5:3:1"} },
+	} {
+		b := testHeader()
+		mutate(&b)
+		if HeaderMatches(a, b) {
+			t.Fatalf("mutated header %+v must not match", b)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package push
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, Config{N: 60, Ratio: partition.MustRatio(3, 1, 1), Seed: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunConfigValidationTyped(t *testing.T) {
+	var ce *ConfigError
+	if _, err := Run(Config{N: 1, Ratio: partition.MustRatio(3, 1, 1)}); !errors.As(err, &ce) {
+		t.Fatalf("N=1: err = %v, want *ConfigError", err)
+	}
+	if ce.Field != "N" {
+		t.Fatalf("Field = %q, want N", ce.Field)
+	}
+	if _, err := Run(Config{N: 20, Ratio: partition.MustRatio(3, 1, 1), MaxSteps: -1}); !errors.As(err, &ce) {
+		t.Fatalf("MaxSteps=-1: err = %v, want *ConfigError", err)
+	}
+}
+
+// TestRunContextMatchesRun pins that the context plumbing did not perturb
+// the DFA: a background-context run equals the legacy entry point.
+func TestRunContextMatchesRun(t *testing.T) {
+	cfg := Config{N: 40, Ratio: partition.MustRatio(5, 2, 1), Seed: 9, Beautify: true}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.FinalVoC != b.FinalVoC || a.InitialVoC != b.InitialVoC {
+		t.Fatalf("Run and RunContext diverge: %+v vs %+v", a, b)
+	}
+}

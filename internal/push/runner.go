@@ -1,6 +1,7 @@
 package push
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -8,6 +9,18 @@ import (
 	"repro/internal/geom"
 	"repro/internal/partition"
 )
+
+// ConfigError reports an invalid Config field. It is returned (never
+// panicked) so a study harness can distinguish caller mistakes from run
+// failures.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("push: invalid %s: %s", e.Field, e.Reason)
+}
 
 // Config parameterises one run of the search program — the DFA of
 // Section V whose states are partition shapes, whose alphabet is (active
@@ -95,8 +108,19 @@ type RunResult struct {
 // legal Push remains for either slow processor within its direction set —
 // the end condition of Section VI-C.
 func Run(cfg Config) (*RunResult, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the step loop checks ctx between
+// Pushes, so a paper-scale run (minutes at N=1000) stops promptly when
+// the study around it is interrupted. A cancelled run returns ctx's
+// error; no partial RunResult is produced.
+func RunContext(ctx context.Context, cfg Config) (*RunResult, error) {
 	if cfg.N <= 1 {
-		return nil, fmt.Errorf("push: N must be at least 2, got %d", cfg.N)
+		return nil, &ConfigError{Field: "N", Reason: fmt.Sprintf("must be at least 2, got %d", cfg.N)}
+	}
+	if cfg.MaxSteps < 0 {
+		return nil, &ConfigError{Field: "MaxSteps", Reason: fmt.Sprintf("must be non-negative, got %d", cfg.MaxSteps)}
 	}
 	if err := cfg.Ratio.Validate(); err != nil {
 		return nil, err
@@ -145,11 +169,17 @@ func Run(cfg Config) (*RunResult, error) {
 		cfg.Snapshot(0, g)
 	}
 
-	steps, converged := condense(g, plan, cfg.Types, maxSteps, rng, cfg.Snapshot)
+	steps, converged, err := condense(ctx, g, plan, cfg.Types, maxSteps, rng, cfg.Snapshot)
+	if err != nil {
+		return nil, err
+	}
 	res.Steps = steps
 	res.Converged = converged
 	if cfg.Beautify && converged {
-		extra, conv2 := condense(g, FullPlan(), cfg.Types, maxSteps, rng, cfg.Snapshot)
+		extra, conv2, err := condense(ctx, g, FullPlan(), cfg.Types, maxSteps, rng, cfg.Snapshot)
+		if err != nil {
+			return nil, err
+		}
 		res.Steps += extra
 		res.Converged = conv2
 	}
@@ -171,7 +201,8 @@ func Condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int)
 	if maxSteps <= 0 {
 		maxSteps = 40 * g.N()
 	}
-	return condense(g, plan, types, maxSteps, nil, nil)
+	steps, converged, _ := condense(context.Background(), g, plan, types, maxSteps, nil, nil)
+	return steps, converged
 }
 
 // condenseScratch is the reusable working state of one condensation loop.
@@ -185,7 +216,7 @@ var condensePool = sync.Pool{
 	New: func() any { return &condenseScratch{plateau: make(map[uint64]struct{}, 64)} },
 }
 
-func condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int, rng *rand.Rand, snapshot func(int, *partition.Grid)) (int, bool) {
+func condense(ctx context.Context, g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int, rng *rand.Rand, snapshot func(int, *partition.Grid)) (int, bool, error) {
 	sc := condensePool.Get().(*condenseScratch)
 	defer condensePool.Put(sc)
 	plateau := sc.plateau
@@ -219,6 +250,12 @@ func condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int,
 	procs := [2]partition.Proc{partition.R, partition.S}
 	steps := 0
 	for steps < maxSteps {
+		// The cancellation point of the DFA's step loop: once per sweep
+		// plus once per committed Push below, so both fixed-point-probing
+		// and actively-condensing runs notice a cancel promptly.
+		if err := ctx.Err(); err != nil {
+			return steps, false, err
+		}
 		progressed := false
 		// Random processor order each sweep, per the randomised search.
 		order := procs
@@ -243,7 +280,10 @@ func condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int,
 						snapshot(steps, g)
 					}
 					if steps >= maxSteps {
-						return steps, false
+						return steps, false, nil
+					}
+					if err := ctx.Err(); err != nil {
+						return steps, false, err
 					}
 				} else {
 					failKnown[pi][d] = true
@@ -252,10 +292,10 @@ func condense(g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int,
 			}
 		}
 		if !progressed {
-			return steps, true
+			return steps, true, nil
 		}
 	}
-	return steps, false
+	return steps, false, nil
 }
 
 // Condensed reports whether no legal Push remains for either slow

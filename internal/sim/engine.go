@@ -40,7 +40,17 @@ type Task struct {
 	remainingDeps int
 	dependents    []*Task
 	seq           int
+
+	// stretch, when non-nil, maps (start time, nominal duration) to the
+	// wall-clock duration actually taken — the hook fault injection uses
+	// to model stragglers and degraded links (see fault.go). It must
+	// return a value ≥ 0 and is consulted exactly once, when the task is
+	// finally scheduled.
+	stretch func(start, nominal float64) float64
 }
+
+// SetStretch installs a time-varying duration hook on the task.
+func (t *Task) SetStretch(fn func(start, nominal float64) float64) { t.stretch = fn }
 
 // Engine is a deterministic discrete-event scheduler: ready tasks are
 // dispatched in order of earliest feasible start time, with insertion
@@ -106,7 +116,14 @@ func (e *Engine) Run() float64 {
 			continue
 		}
 		t.scheduled = true
-		t.Finish = start + t.Duration
+		dur := t.Duration
+		if t.stretch != nil {
+			dur = t.stretch(start, dur)
+			if dur < 0 || math.IsNaN(dur) {
+				panic(fmt.Sprintf("sim: stretch hook returned invalid duration %v for task %s", dur, t.Name))
+			}
+		}
+		t.Finish = start + dur
 		if t.Resource != nil {
 			t.Resource.freeAt = t.Finish
 		}

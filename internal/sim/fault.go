@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/partition"
+)
+
+// ConfigError reports an invalid fault-injection parameter with a typed
+// error instead of a panic.
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: invalid %s: %s", e.Field, e.Reason)
+}
+
+// Window is a time interval [From, Until) during which a resource is
+// degraded: work that would take d seconds at nominal speed takes
+// Factor·d seconds inside the window. Factor > 1 models a straggler CPU
+// or a bandwidth drop; Factor < 1 (a speedup) is also allowed.
+type Window struct {
+	From, Until float64
+	Factor      float64
+}
+
+// Spike adds Extra seconds of one-off latency to any message that starts
+// inside [From, Until) — a flapping link's retransmission stall.
+type Spike struct {
+	From, Until float64
+	Extra       float64
+}
+
+// FaultPlan describes injected platform faults for a simulation run:
+// straggler processors (compute-rate multipliers over time windows) and
+// degraded or flapping links (bandwidth drops, latency spikes). Real
+// heterogeneous platforms misbehave exactly this way — processor speeds
+// fluctuate and links degrade — and the paper's clean model cannot say
+// how the candidate shapes cope; SimulateFaults can.
+//
+// The zero-value plan (or a nil *FaultPlan) injects nothing.
+type FaultPlan struct {
+	cpu    map[partition.Proc][]Window
+	link   map[partition.Proc][]Window
+	spikes map[partition.Proc][]Spike
+}
+
+// NewFaultPlan returns an empty plan.
+func NewFaultPlan() *FaultPlan {
+	return &FaultPlan{
+		cpu:    make(map[partition.Proc][]Window),
+		link:   make(map[partition.Proc][]Window),
+		spikes: make(map[partition.Proc][]Spike),
+	}
+}
+
+func checkWindow(field string, factor, from, until float64) error {
+	if math.IsNaN(factor) || factor <= 0 {
+		return &ConfigError{Field: field, Reason: fmt.Sprintf("factor must be positive, got %v", factor)}
+	}
+	if math.IsNaN(from) || from < 0 {
+		return &ConfigError{Field: field, Reason: fmt.Sprintf("window start must be ≥ 0, got %v", from)}
+	}
+	if math.IsNaN(until) || until <= from {
+		return &ConfigError{Field: field, Reason: fmt.Sprintf("window [%v, %v) is empty or inverted", from, until)}
+	}
+	return nil
+}
+
+func insertWindow(field string, ws []Window, w Window) ([]Window, error) {
+	for _, x := range ws {
+		if w.From < x.Until && x.From < w.Until {
+			return nil, &ConfigError{Field: field, Reason: fmt.Sprintf("window [%v, %v) overlaps existing [%v, %v)", w.From, w.Until, x.From, x.Until)}
+		}
+	}
+	ws = append(ws, w)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].From < ws[j].From })
+	return ws, nil
+}
+
+// AddStraggler makes processor p compute Factor× slower during
+// [from, until). until may be math.Inf(1) for a persistent fault.
+// Windows for the same processor must not overlap.
+func (f *FaultPlan) AddStraggler(p partition.Proc, factor, from, until float64) error {
+	if !p.Valid() {
+		return &ConfigError{Field: "straggler", Reason: fmt.Sprintf("invalid processor %v", p)}
+	}
+	if err := checkWindow("straggler", factor, from, until); err != nil {
+		return err
+	}
+	ws, err := insertWindow("straggler", f.cpu[p], Window{From: from, Until: until, Factor: factor})
+	if err != nil {
+		return err
+	}
+	f.cpu[p] = ws
+	return nil
+}
+
+// AddLinkDegrade makes processor p's outgoing link Factor× slower
+// (bandwidth divided by Factor) during [from, until).
+func (f *FaultPlan) AddLinkDegrade(p partition.Proc, factor, from, until float64) error {
+	if !p.Valid() {
+		return &ConfigError{Field: "link", Reason: fmt.Sprintf("invalid processor %v", p)}
+	}
+	if err := checkWindow("link", factor, from, until); err != nil {
+		return err
+	}
+	ws, err := insertWindow("link", f.link[p], Window{From: from, Until: until, Factor: factor})
+	if err != nil {
+		return err
+	}
+	f.link[p] = ws
+	return nil
+}
+
+// AddLatencySpike adds extra seconds of stall to any message processor p
+// starts sending during [from, until).
+func (f *FaultPlan) AddLatencySpike(p partition.Proc, extra, from, until float64) error {
+	if !p.Valid() {
+		return &ConfigError{Field: "spike", Reason: fmt.Sprintf("invalid processor %v", p)}
+	}
+	if math.IsNaN(extra) || extra < 0 {
+		return &ConfigError{Field: "spike", Reason: fmt.Sprintf("extra latency must be ≥ 0, got %v", extra)}
+	}
+	if err := checkWindow("spike", 1, from, until); err != nil {
+		return err
+	}
+	f.spikes[p] = append(f.spikes[p], Spike{From: from, Until: until, Extra: extra})
+	sort.Slice(f.spikes[p], func(i, j int) bool { return f.spikes[p][i].From < f.spikes[p][j].From })
+	return nil
+}
+
+// empty reports whether the plan injects nothing for processor p's CPU.
+func (f *FaultPlan) hasCPU(p partition.Proc) bool {
+	return f != nil && len(f.cpu[p]) > 0
+}
+
+func (f *FaultPlan) hasLink(p partition.Proc) bool {
+	return f != nil && (len(f.link[p]) > 0 || len(f.spikes[p]) > 0)
+}
+
+// stretchOver integrates a piecewise-constant rate profile: work seconds
+// of nominal-speed work started at start take longer while inside a
+// degradation window (progress rate 1/Factor). Windows are sorted and
+// non-overlapping by construction.
+func stretchOver(start, work float64, ws []Window) float64 {
+	if work <= 0 {
+		return work
+	}
+	t := start
+	remaining := work
+	for remaining > 0 {
+		// Find the active window (if any) and the next boundary.
+		rate := 1.0
+		next := math.Inf(1)
+		for _, w := range ws {
+			if t >= w.From && t < w.Until {
+				rate = 1 / w.Factor
+				next = w.Until
+				break
+			}
+			if w.From > t {
+				next = w.From
+				break
+			}
+		}
+		if math.IsInf(next, 1) {
+			// Constant rate to the end of the work.
+			t += remaining / rate
+			break
+		}
+		span := next - t
+		if can := span * rate; can >= remaining {
+			t += remaining / rate
+			remaining = 0
+		} else {
+			remaining -= can
+			t = next
+		}
+	}
+	return t - start
+}
+
+// spikeExtra sums the stall of every spike window covering start.
+func spikeExtra(start float64, spikes []Spike) float64 {
+	extra := 0.0
+	for _, s := range spikes {
+		if start >= s.From && start < s.Until {
+			extra += s.Extra
+		}
+	}
+	return extra
+}
+
+// cpuStretch returns the stretch hook for compute tasks of processor p,
+// or nil when the plan leaves p alone.
+func (f *FaultPlan) cpuStretch(p partition.Proc) func(start, nominal float64) float64 {
+	if !f.hasCPU(p) {
+		return nil
+	}
+	ws := f.cpu[p]
+	return func(start, nominal float64) float64 {
+		return stretchOver(start, nominal, ws)
+	}
+}
+
+// linkStretch returns the stretch hook for send tasks of processor p:
+// bandwidth-degradation windows stretch the transfer and latency spikes
+// stall its start.
+func (f *FaultPlan) linkStretch(p partition.Proc) func(start, nominal float64) float64 {
+	if !f.hasLink(p) {
+		return nil
+	}
+	ws := f.link[p]
+	spikes := f.spikes[p]
+	return func(start, nominal float64) float64 {
+		stall := spikeExtra(start, spikes)
+		return stall + stretchOver(start+stall, nominal, ws)
+	}
+}

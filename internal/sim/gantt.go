@@ -25,9 +25,9 @@ func Gantt(a model.Algorithm, m model.Machine, g *partition.Grid, width int) (st
 	var e Engine
 	switch a {
 	case model.SCB, model.PCB:
-		buildBarrierTasks(&e, a, m, snap)
+		buildBarrierTasks(&e, a, m, snap, nil)
 	case model.SCO, model.PCO:
-		buildBulkOverlapTasks(&e, a, m, snap)
+		buildBulkOverlapTasks(&e, a, m, snap, nil)
 	case model.PIO:
 		return "", fmt.Errorf("sim: Gantt supports the barrier and bulk-overlap algorithms (PIO has O(N) rows)")
 	default:
@@ -70,7 +70,8 @@ func WriteGantt(w io.Writer, a model.Algorithm, m model.Machine, g *partition.Gr
 
 // buildBarrierTasks and buildBulkOverlapTasks extract the task-graph
 // construction shared with Simulate so the Gantt uses the same schedule.
-func buildBarrierTasks(e *Engine, a model.Algorithm, m model.Machine, snap partition.Metrics) {
+// fp, when non-nil, attaches the fault plan's duration-stretch hooks.
+func buildBarrierTasks(e *Engine, a model.Algorithm, m model.Machine, snap partition.Metrics, fp *FaultPlan) {
 	bus := &Resource{Name: "bus"}
 	var sends []*Task
 	for _, p := range partition.Procs {
@@ -83,19 +84,22 @@ func buildBarrierTasks(e *Engine, a model.Algorithm, m model.Machine, snap parti
 			d += m.Net.Time(starRelay(snap))
 		}
 		if d > 0 {
-			sends = append(sends, e.NewTask("send-"+p.String(), d, link))
+			t := e.NewTask("send-"+p.String(), d, link)
+			t.SetStretch(fp.linkStretch(p))
+			sends = append(sends, t)
 		}
 	}
 	procs := cpus()
 	for _, p := range partition.Procs {
 		d := compDuration(m, p, snap.Elements[p], snap.N)
 		if d > 0 {
-			e.NewTask("comp-"+p.String(), d, procs[p], sends...)
+			t := e.NewTask("comp-"+p.String(), d, procs[p], sends...)
+			t.SetStretch(fp.cpuStretch(p))
 		}
 	}
 }
 
-func buildBulkOverlapTasks(e *Engine, a model.Algorithm, m model.Machine, snap partition.Metrics) {
+func buildBulkOverlapTasks(e *Engine, a model.Algorithm, m model.Machine, snap partition.Metrics, fp *FaultPlan) {
 	bus := &Resource{Name: "bus"}
 	procs := cpus()
 	var phase1 []*Task
@@ -109,19 +113,24 @@ func buildBulkOverlapTasks(e *Engine, a model.Algorithm, m model.Machine, snap p
 			d += m.Net.Time(starRelay(snap))
 		}
 		if d > 0 {
-			phase1 = append(phase1, e.NewTask("send-"+p.String(), d, link))
+			t := e.NewTask("send-"+p.String(), d, link)
+			t.SetStretch(fp.linkStretch(p))
+			phase1 = append(phase1, t)
 		}
 	}
 	for _, p := range partition.Procs {
 		d := compDuration(m, p, snap.Overlap[p], snap.N)
 		if d > 0 {
-			phase1 = append(phase1, e.NewTask("overlap-"+p.String(), d, procs[p]))
+			t := e.NewTask("overlap-"+p.String(), d, procs[p])
+			t.SetStretch(fp.cpuStretch(p))
+			phase1 = append(phase1, t)
 		}
 	}
 	for _, p := range partition.Procs {
 		d := compDuration(m, p, snap.Elements[p]-snap.Overlap[p], snap.N)
 		if d > 0 {
-			e.NewTask("remainder-"+p.String(), d, procs[p], phase1...)
+			t := e.NewTask("remainder-"+p.String(), d, procs[p], phase1...)
+			t.SetStretch(fp.cpuStretch(p))
 		}
 	}
 }

@@ -29,17 +29,26 @@ type Result struct {
 // pipeline stages (each representing a contiguous block of pivots) to
 // bound task counts; pass steps ≤ 0 for the default.
 func Simulate(a model.Algorithm, m model.Machine, g *partition.Grid, pioSteps int) (Result, error) {
+	return SimulateFaults(a, m, g, pioSteps, nil)
+}
+
+// SimulateFaults is Simulate with platform faults injected: task
+// durations are stretched by the plan's straggler and link-degradation
+// windows, and messages starting inside a latency-spike window stall.
+// A nil plan is a clean run; the result is deterministic in (inputs,
+// plan).
+func SimulateFaults(a model.Algorithm, m model.Machine, g *partition.Grid, pioSteps int, fp *FaultPlan) (Result, error) {
 	if err := m.Ratio.Validate(); err != nil {
 		return Result{}, err
 	}
 	snap := g.Snapshot()
 	switch a {
 	case model.SCB, model.PCB:
-		return simBarrier(a, m, snap), nil
+		return simBarrier(a, m, snap, fp), nil
 	case model.SCO, model.PCO:
-		return simBulkOverlap(a, m, snap), nil
+		return simBulkOverlap(a, m, snap, fp), nil
 	case model.PIO:
-		return simPIO(m, snap, pioSteps), nil
+		return simPIO(m, snap, pioSteps, fp), nil
 	}
 	return Result{}, fmt.Errorf("sim: unknown algorithm %v", a)
 }
@@ -68,18 +77,18 @@ func sendDuration(m model.Machine, snap partition.Metrics, p partition.Proc) flo
 // simBarrier builds the SCB/PCB task graph: per-processor send tasks on a
 // shared bus (SCB) or private links (PCB); compute tasks gated on every
 // send. The construction is shared with the Gantt renderer.
-func simBarrier(a model.Algorithm, m model.Machine, snap partition.Metrics) Result {
+func simBarrier(a model.Algorithm, m model.Machine, snap partition.Metrics, fp *FaultPlan) Result {
 	var e Engine
-	buildBarrierTasks(&e, a, m, snap)
+	buildBarrierTasks(&e, a, m, snap, fp)
 	return finish(&e, a)
 }
 
 // simBulkOverlap builds the SCO/PCO task graph: sends as in the barrier
 // algorithms, overlap-compute tasks with no dependencies, remainder
 // computes gated on all sends and all overlaps (Eqs 7–8).
-func simBulkOverlap(a model.Algorithm, m model.Machine, snap partition.Metrics) Result {
+func simBulkOverlap(a model.Algorithm, m model.Machine, snap partition.Metrics, fp *FaultPlan) Result {
 	var e Engine
-	buildBulkOverlapTasks(&e, a, m, snap)
+	buildBulkOverlapTasks(&e, a, m, snap, fp)
 	return finish(&e, a)
 }
 
@@ -99,7 +108,7 @@ func finish(e *Engine, a model.Algorithm) Result {
 // grouped into `steps` stages; stage k's sends depend on stage k−1's
 // sends (links are serially reused anyway) and stage k's computes depend
 // on stage k's sends and stage k−1's computes.
-func simPIO(m model.Machine, snap partition.Metrics, steps int) Result {
+func simPIO(m model.Machine, snap partition.Metrics, steps int, fp *FaultPlan) Result {
 	n := snap.N
 	if steps <= 0 || steps > n {
 		steps = n
@@ -131,7 +140,9 @@ func simPIO(m model.Machine, snap partition.Metrics, steps int) Result {
 				// Latency is paid once per pipeline stage and sender —
 				// the cost of interleaving N small messages.
 				share := m.Net.Alpha*float64(pivots) + m.Net.Beta*stepVol
-				sends = append(sends, e.NewTask(fmt.Sprintf("send-%v-%d", p, k), share, links[p], prevSends...))
+				t := e.NewTask(fmt.Sprintf("send-%v-%d", p, k), share, links[p], prevSends...)
+				t.SetStretch(fp.linkStretch(p))
+				sends = append(sends, t)
 			}
 		}
 		var comps []*Task
@@ -139,7 +150,9 @@ func simPIO(m model.Machine, snap partition.Metrics, steps int) Result {
 			d := float64(snap.Elements[p]) * float64(pivots) * m.FlopTime / m.Ratio.Speed(p)
 			if d > 0 {
 				deps := append(append([]*Task(nil), sends...), prevComps...)
-				comps = append(comps, e.NewTask(fmt.Sprintf("comp-%v-%d", p, k), d, procs[p], deps...))
+				t := e.NewTask(fmt.Sprintf("comp-%v-%d", p, k), d, procs[p], deps...)
+				t.SetStretch(fp.cpuStretch(p))
+				comps = append(comps, t)
 			}
 		}
 		prevSends, prevComps = sends, comps

@@ -8,6 +8,7 @@
 package throttle
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"time"
@@ -21,7 +22,8 @@ type Limiter struct {
 	started time.Time
 	used    float64 // operations consumed so far
 	now     func() time.Time
-	sleep   func(time.Duration)
+	// sleep, when non-nil (tests), replaces the interruptible timer wait.
+	sleep func(time.Duration)
 }
 
 // New returns a limiter admitting rate operations per second.
@@ -30,9 +32,8 @@ func New(rate float64) (*Limiter, error) {
 		return nil, errors.New("throttle: rate must be positive")
 	}
 	return &Limiter{
-		rate:  rate,
-		now:   time.Now,
-		sleep: time.Sleep,
+		rate: rate,
+		now:  time.Now,
 	}, nil
 }
 
@@ -56,8 +57,20 @@ func (l *Limiter) Rate() float64 {
 // never runs ahead of the configured rate. The first call starts the
 // clock.
 func (l *Limiter) Acquire(n int64) {
+	l.AcquireContext(context.Background(), n)
+}
+
+// AcquireContext is Acquire with an interruptible sleep: a paced
+// goroutine parked mid-wait wakes immediately when ctx is cancelled and
+// returns ctx's error. The n operations stay consumed either way — a
+// cancelled waiter has already been admitted against the budget, and a
+// subsequent resume at the same rate accounts for them.
+func (l *Limiter) AcquireContext(ctx context.Context, n int64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if n <= 0 {
-		return
+		return nil
 	}
 	l.mu.Lock()
 	if l.started.IsZero() {
@@ -66,9 +79,23 @@ func (l *Limiter) Acquire(n int64) {
 	l.used += float64(n)
 	due := l.started.Add(time.Duration(l.used / l.rate * float64(time.Second)))
 	wait := due.Sub(l.now())
+	sleep := l.sleep
 	l.mu.Unlock()
-	if wait > 0 {
-		l.sleep(wait)
+	if wait <= 0 {
+		return nil
+	}
+	if sleep != nil {
+		// Test clock: not interruptible, but the fake never really parks.
+		sleep(wait)
+		return ctx.Err()
+	}
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
 	}
 }
 

@@ -1,13 +1,44 @@
 #!/bin/sh
 # verify.sh — the repo's full verification gate.
 #
-# Runs vet, a full build, the complete test suite, and the race detector
-# over the two packages with real concurrency (the push engine's pooled
-# scratch state and the census worker pool). CI and pre-commit hooks run
-# exactly this script; it exits non-zero on the first failure.
+# Runs vet, a full build, the complete test suite, the race detector over
+# the packages with real concurrency (the push engine's pooled scratch
+# state, the census worker pool, the journal writer, and the throttle
+# limiter), and a kill/resume smoke test: a journaled census is SIGKILLed
+# mid-flight and resumed, and its output must be byte-identical to an
+# uninterrupted run. CI and pre-commit hooks run exactly this script; it
+# exits non-zero on the first failure — no step may be skipped.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/push/... ./internal/experiment/...
+go test -race ./internal/push/... ./internal/experiment/... \
+    ./internal/journal/... ./internal/throttle/...
+
+# --- kill/resume smoke test (~10s) ------------------------------------
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/pushsearch" ./cmd/pushsearch
+
+# Sized so the census takes ~2s: the kill below reliably lands mid-census.
+flags="-n 120 -runs 300 -ratios 3:1:1 -seed 7 -workers 2"
+
+# Uninterrupted baseline (no journal).
+"$tmp/pushsearch" $flags > "$tmp/clean.out"
+
+# Journaled run, SIGKILLed mid-census. The kill may land before, during,
+# or after the census — every case must leave a resumable (or absent)
+# journal behind.
+"$tmp/pushsearch" $flags -journal "$tmp/census.jsonl" -resume \
+    > "$tmp/killed.out" 2>&1 &
+pid=$!
+sleep 0.4
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+# Resume (also creates the journal if the kill won the race) and compare:
+# the resumed output must be byte-identical to the uninterrupted run.
+"$tmp/pushsearch" $flags -journal "$tmp/census.jsonl" -resume \
+    > "$tmp/resumed.out"
+cmp "$tmp/clean.out" "$tmp/resumed.out"
