@@ -1,0 +1,183 @@
+// Command pland serves partition plans over HTTP — the paper's optimal
+// shape decision (Section V) behind a deadline-aware JSON API with
+// admission control, degraded-mode fallback, and graceful drain.
+//
+// Usage:
+//
+//	pland [-addr 127.0.0.1:0] [-addr-file pland.addr]
+//	      [-default-timeout 2s] [-max-timeout 30s]
+//	      [-max-concurrent 0] [-max-queue 0]
+//	      [-cache-ttl 5m] [-cache-journal plancache.jsonl]
+//	      [-breaker-threshold 3] [-breaker-cooldown 5s]
+//	      [-fault-straggler 0] [-fault-step 200us]
+//	      [-drain-timeout 10s] [-seed 1]
+//
+// Endpoints: POST (or GET with query params) /v1/plan, /v1/evaluate,
+// /v1/search; GET /v1/stats, /healthz. Clients bound the server's work
+// with a Request-Timeout header; past it the planner answers with the
+// canonical candidate shape marked Degraded instead of going silent.
+//
+// -addr-file writes the bound address (useful with -addr :0) after the
+// listener is live, so scripts can poll for it race-free.
+//
+// -fault-straggler N injects an N× CPU straggler into the search path via
+// the simulator's fault plan — a drill switch for verifying degraded-mode
+// behaviour end to end, not a production knob.
+//
+// On SIGTERM/SIGINT pland stops accepting work, finishes in-flight
+// requests, persists the plan cache to -cache-journal, and exits 0. If
+// the drain outlives -drain-timeout — or a second signal arrives — it
+// exits 1 immediately.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/partition"
+	serveimpl "repro/internal/serve"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pland: ")
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
+		defTimeout   = flag.Duration("default-timeout", 2*time.Second, "deadline when the client sends no Request-Timeout")
+		maxTimeout   = flag.Duration("max-timeout", 30*time.Second, "upper clamp on client-requested deadlines")
+		maxConc      = flag.Int("max-concurrent", 0, "in-flight planning bound (0 = GOMAXPROCS)")
+		maxQueue     = flag.Int("max-queue", 0, "admission queue bound (0 = 2×max-concurrent)")
+		cacheTTL     = flag.Duration("cache-ttl", 5*time.Minute, "plan cache freshness window")
+		cacheJournal = flag.String("cache-journal", "", "persist the plan cache to this CRC journal on drain (and warm from it on start)")
+		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive search failures that open the breaker (-1 disables)")
+		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open")
+		faultFactor  = flag.Float64("fault-straggler", 0, "inject an N× CPU straggler into the search path (0 = off; drill switch)")
+		faultStep    = flag.Duration("fault-step", 200*time.Microsecond, "nominal per-Push cost billed against the injected fault")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests")
+		seed         = flag.Int64("seed", 1, "default search seed for requests that omit one")
+	)
+	flag.Parse()
+
+	cfg := serveimpl.Config{
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		MaxConcurrent:    *maxConc,
+		MaxQueue:         *maxQueue,
+		CacheTTL:         *cacheTTL,
+		BreakerThreshold: *brkThreshold,
+		BreakerCooldown:  *brkCooldown,
+		SearchSeed:       *seed,
+		Logf:             log.Printf,
+	}
+	if *faultFactor > 0 {
+		fp := sim.NewFaultPlan()
+		if err := fp.AddStraggler(partition.P, *faultFactor, 0, 1e12); err != nil {
+			log.Printf("bad -fault-straggler: %v", err)
+			return 2
+		}
+		cfg.Fault = fp
+		cfg.FaultStepCost = *faultStep
+		log.Printf("fault injection armed: %.0f× straggler on processor P", *faultFactor)
+	}
+
+	srv, err := serveimpl.New(cfg)
+	if err != nil {
+		log.Printf("config: %v", err)
+		return 2
+	}
+	if *cacheJournal != "" {
+		n, err := srv.LoadCache(*cacheJournal)
+		if err != nil {
+			log.Printf("cache warm-up failed (continuing cold): %v", err)
+		} else if n > 0 {
+			log.Printf("warmed plan cache with %d entries from %s", n, *cacheJournal)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Printf("listen: %v", err)
+		return 2
+	}
+	if *addrFile != "" {
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Printf("write -addr-file: %v", err)
+			return 2
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Printf("write -addr-file: %v", err)
+			return 2
+		}
+	}
+	log.Printf("serving on http://%s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-serveErr:
+		log.Printf("serve: %v", err)
+		return 1
+	case sig := <-sigs:
+		log.Printf("%v: draining (timeout %v)", sig, *drainTimeout)
+	}
+
+	// Drain: refuse new work, let in-flight requests finish, then flush
+	// the cache journal. A second signal or an overrun drain aborts hard.
+	srv.BeginDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Shutdown(ctx) }()
+
+	select {
+	case sig := <-sigs:
+		log.Printf("%v during drain: aborting", sig)
+		httpSrv.Close()
+		return 1
+	case err := <-done:
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				log.Printf("drain timed out after %v with requests still in flight", *drainTimeout)
+			} else {
+				log.Printf("drain: %v", err)
+			}
+			httpSrv.Close()
+			return 1
+		}
+	}
+
+	if *cacheJournal != "" {
+		n, err := srv.SaveCache(*cacheJournal)
+		if err != nil {
+			log.Printf("cache flush failed: %v", err)
+			return 1
+		}
+		log.Printf("flushed %d cache entries to %s", n, *cacheJournal)
+	}
+	st := srv.Stats()
+	log.Printf("drained clean: %d requests (%d searched, %d degraded, %d shed)",
+		st.Requests, st.Searched, st.Degraded, st.Shed)
+	fmt.Fprintln(os.Stderr, "pland: bye")
+	return 0
+}

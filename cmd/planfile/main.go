@@ -6,12 +6,18 @@
 //	planfile -create -ratio 10:1:1 -alg SCB -n 500 -o plan.json
 //	planfile -show plan.json
 //	planfile -exec plan.json [-seed 1]      run the plan on goroutine processors
+//
+// A truncated, corrupt, or internally inconsistent plan file (fields out
+// of range, grid/VoC mismatch, tampered processor shares) is rejected
+// with a one-line diagnostic naming the offending field, and the process
+// exits non-zero — it is never silently executed.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math/rand"
 	"os"
 
@@ -19,30 +25,43 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("planfile: ")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main's testable core: parses args, performs one mode, and
+// returns the process exit code. Failures print a single diagnostic line
+// to stderr.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("planfile", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		create   = flag.Bool("create", false, "create a plan")
-		show     = flag.String("show", "", "print a plan file")
-		execPath = flag.String("exec", "", "execute a plan file")
-		ratioStr = flag.String("ratio", "5:2:1", "create: processor ratio")
-		algStr   = flag.String("alg", "SCB", "create: MMM algorithm")
-		n        = flag.Int("n", 200, "create: matrix dimension")
-		out      = flag.String("o", "", "create: output path (default stdout)")
-		star     = flag.Bool("star", false, "create: star topology")
-		seed     = flag.Int64("seed", 1, "exec: matrix seed")
+		create   = fs.Bool("create", false, "create a plan")
+		show     = fs.String("show", "", "print a plan file")
+		execPath = fs.String("exec", "", "execute a plan file")
+		ratioStr = fs.String("ratio", "5:2:1", "create: processor ratio")
+		algStr   = fs.String("alg", "SCB", "create: MMM algorithm")
+		n        = fs.Int("n", 200, "create: matrix dimension")
+		out      = fs.String("o", "", "create: output path (default stdout)")
+		star     = fs.Bool("star", false, "create: star topology")
+		seed     = fs.Int64("seed", 1, "exec: matrix seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "planfile: %v\n", err)
+		return 1
+	}
 
 	switch {
 	case *create:
 		ratio, err := heteropart.ParseRatio(*ratioStr)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		alg, err := heteropart.ParseAlgorithm(*algStr)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		m := heteropart.DefaultMachine(ratio)
 		if *star {
@@ -50,71 +69,63 @@ func main() {
 		}
 		plan, err := heteropart.NewPlan(alg, m, *n)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		w := os.Stdout
+		w := stdout
 		if *out != "" {
 			f, err := os.Create(*out)
 			if err != nil {
-				log.Fatal(err)
+				return fail(err)
 			}
 			defer f.Close()
 			w = f
 		}
 		if err := plan.WriteJSON(w); err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		if *out != "" {
-			fmt.Printf("wrote %s: %s for ratio %s (VoC %d, expected T_exe %.6fs)\n",
+			fmt.Fprintf(stdout, "wrote %s: %s for ratio %s (VoC %d, expected T_exe %.6fs)\n",
 				*out, plan.Shape, plan.Ratio, plan.VoC, plan.Expected.Total)
 		}
+		return 0
 
 	case *show != "":
-		f, err := os.Open(*show)
+		plan, err := readPlanFile(*show)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		defer f.Close()
-		plan, err := heteropart.ReadPlan(f)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("plan: %s, ratio %s, N=%d, %s on %s topology\n",
+		fmt.Fprintf(stdout, "plan: %s, ratio %s, N=%d, %s on %s topology\n",
 			plan.Shape, plan.Ratio, plan.N, plan.Algorithm, plan.Topology)
-		fmt.Printf("VoC %d elements; expected T_comm=%.6fs T_exe=%.6fs\n",
+		fmt.Fprintf(stdout, "VoC %d elements; expected T_comm=%.6fs T_exe=%.6fs\n",
 			plan.VoC, plan.Expected.Comm, plan.Expected.Total)
 		for _, pp := range plan.Procs {
-			fmt.Printf("  %s: speed %g, %d elements, sends %d, rect rows %d..%d cols %d..%d\n",
+			fmt.Fprintf(stdout, "  %s: speed %g, %d elements, sends %d, rect rows %d..%d cols %d..%d\n",
 				pp.Processor, pp.Speed, pp.Elements, pp.SendElements,
 				pp.Rect[0], pp.Rect[2]-1, pp.Rect[1], pp.Rect[3]-1)
 		}
 		g, err := plan.Partition()
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
-		fmt.Printf("\n%s", g.RenderASCII(32))
+		fmt.Fprintf(stdout, "\n%s", g.RenderASCII(32))
+		return 0
 
 	case *execPath != "":
-		f, err := os.Open(*execPath)
+		plan, err := readPlanFile(*execPath)
 		if err != nil {
-			log.Fatal(err)
-		}
-		plan, err := heteropart.ReadPlan(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		g, err := plan.Partition()
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		ratio, err := heteropart.ParseRatio(plan.Ratio)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		alg, err := heteropart.ParseAlgorithm(plan.Algorithm)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		if alg != heteropart.SCB && alg != heteropart.PCB {
 			alg = heteropart.SCB
@@ -127,17 +138,37 @@ func main() {
 		_, stats, err := heteropart.Multiply(
 			heteropart.ExecConfig{Machine: heteropart.DefaultMachine(ratio), Algorithm: alg}, g, a, b)
 		if err != nil {
-			log.Fatal(err)
+			return fail(err)
 		}
 		status := "volume matches plan"
 		if stats.TotalVolume != plan.VoC {
 			status = fmt.Sprintf("VOLUME MISMATCH: moved %d, planned %d", stats.TotalVolume, plan.VoC)
 		}
-		fmt.Printf("executed %s: moved %d elements, wall %v — %s\n",
+		fmt.Fprintf(stdout, "executed %s: moved %d elements, wall %v — %s\n",
 			plan.Shape, stats.TotalVolume, stats.Wall, status)
+		return 0
 
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+}
+
+// readPlanFile loads and validates a plan, prefixing the diagnostic with
+// the file path and, for validation failures, the offending field.
+func readPlanFile(path string) (*heteropart.Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	plan, err := heteropart.ReadPlan(f)
+	if err != nil {
+		var pe *heteropart.PlanError
+		if errors.As(err, &pe) {
+			return nil, fmt.Errorf("%s: corrupt plan (field %q): %s", path, pe.Field, pe.Reason)
+		}
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return plan, nil
 }

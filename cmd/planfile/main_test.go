@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestCreateShowRoundTrip: a created plan file shows cleanly.
+func TestCreateShowRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plan.json")
+	code, _, stderr := runCLI(t, "-create", "-ratio", "5:2:1", "-alg", "SCB", "-n", "24", "-o", path)
+	if code != 0 {
+		t.Fatalf("create exit %d: %s", code, stderr)
+	}
+	code, stdout, stderr := runCLI(t, "-show", path)
+	if code != 0 {
+		t.Fatalf("show exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "N=24") || !strings.Contains(stdout, "VoC") {
+		t.Fatalf("show output missing plan summary:\n%s", stdout)
+	}
+}
+
+// TestShowCorruptPlanFails: a tampered plan file must exit non-zero with
+// a one-line diagnostic naming the bad field, for -show and -exec alike.
+func TestShowCorruptPlanFails(t *testing.T) {
+	good := filepath.Join(t.TempDir(), "plan.json")
+	if code, _, stderr := runCLI(t, "-create", "-n", "24", "-o", good); code != 0 {
+		t.Fatalf("create exit %d: %s", code, stderr)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(string) string
+		wantMsg string
+	}{
+		{"truncated", func(s string) string { return s[:len(s)/2] }, ""},
+		{"negative n", func(s string) string { return strings.Replace(s, `"n": 24`, `"n": -24`, 1) }, `"n"`},
+		{"tampered voc", func(s string) string { return strings.Replace(s, `"voc"`, `"voc": 1, "ignored"`, 1) }, ""},
+		{"bad shape", func(s string) string { return strings.Replace(s, `"shape": "`, `"shape": "Mystery-`, 1) }, `"shape"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			bad := filepath.Join(t.TempDir(), "bad.json")
+			if err := os.WriteFile(bad, []byte(tc.mutate(string(raw))), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []string{"-show", "-exec"} {
+				code, _, stderr := runCLI(t, mode, bad)
+				if code == 0 {
+					t.Fatalf("%s accepted corrupt plan (%s)", mode, tc.name)
+				}
+				if !strings.HasPrefix(stderr, "planfile: ") || strings.Count(strings.TrimSpace(stderr), "\n") != 0 {
+					t.Fatalf("%s diagnostic not a single planfile: line:\n%s", mode, stderr)
+				}
+				if tc.wantMsg != "" && !strings.Contains(stderr, tc.wantMsg) {
+					t.Fatalf("%s diagnostic does not name field %s:\n%s", mode, tc.wantMsg, stderr)
+				}
+			}
+		})
+	}
+}
+
+// TestMissingFileFails: a nonexistent path is a non-zero exit with a
+// diagnostic, not a panic.
+func TestMissingFileFails(t *testing.T) {
+	code, _, stderr := runCLI(t, "-show", filepath.Join(t.TempDir(), "absent.json"))
+	if code == 0 || !strings.Contains(stderr, "absent.json") {
+		t.Fatalf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// TestBadFlagsExit2: unparseable flags and no-mode invocations exit 2.
+func TestBadFlagsExit2(t *testing.T) {
+	if code, _, _ := runCLI(t, "-n", "notanumber"); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Fatalf("no mode exit %d, want 2", code)
+	}
+}
+
+// TestCreateBadInputsFail: invalid creation parameters are rejected.
+func TestCreateBadInputsFail(t *testing.T) {
+	for _, args := range [][]string{
+		{"-create", "-ratio", "bogus"},
+		{"-create", "-alg", "nope"},
+		{"-create", "-n", "2"},
+	} {
+		code, _, stderr := runCLI(t, args...)
+		if code != 1 || !strings.HasPrefix(stderr, "planfile: ") {
+			t.Fatalf("args %v: exit %d, stderr %q", args, code, stderr)
+		}
+	}
+}

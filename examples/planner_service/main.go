@@ -1,0 +1,196 @@
+// planner_service exercises the partition-planning service end to end
+// with the robust client from package serve: hedged requests, jittered
+// retries with a retry budget, and graceful handling of degraded-mode
+// answers.
+//
+// With no flags it starts an in-process pland-equivalent server, fires a
+// small mixed workload at it (plans, evaluations, a deliberate duplicate
+// burst to show coalescing), and prints what came back and from where —
+// searched, cached, or degraded canonical.
+//
+// With -url it instead acts as a load client against an already-running
+// pland, which is how verify.sh drives the drain smoke test:
+//
+//	planner_service -url http://127.0.0.1:PORT \
+//	    -requests 20 -conc 4 -timeout 300ms -expect degraded
+//
+// -expect searched|degraded|any asserts on every response's mode; any
+// violation (or transport failure) exits non-zero.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	serveimpl "repro/internal/serve"
+	"repro/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("planner_service: ")
+	var (
+		url     = flag.String("url", "", "target an external pland instead of an in-process demo server")
+		reqs    = flag.Int("requests", 20, "load mode: total requests")
+		conc    = flag.Int("conc", 4, "load mode: concurrent workers")
+		timeout = flag.Duration("timeout", 2*time.Second, "load mode: per-request deadline")
+		expect  = flag.String("expect", "any", "load mode: assert every answer is searched|degraded|any")
+		wait    = flag.Duration("wait", 5*time.Second, "load mode: how long to wait for the server's /healthz")
+	)
+	flag.Parse()
+
+	if *url != "" {
+		os.Exit(loadMode(*url, *reqs, *conc, *timeout, *expect, *wait))
+	}
+	demo()
+}
+
+// demo runs the full client/server round trip in one process.
+func demo() {
+	srv, err := serveimpl.New(serveimpl.Config{CacheTTL: time.Minute})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	client := serve.NewClient(ts.URL, serve.ClientConfig{
+		Timeout: 10 * time.Second,
+		Hedge:   serve.HedgePolicy{Delay: 500 * time.Millisecond, MaxHedges: 1},
+	})
+	ctx := context.Background()
+
+	fmt.Println("== optimal plans for three scenarios ==")
+	for _, sc := range []serve.PlanRequest{
+		{N: 64, Ratio: "2:1:1", Algorithm: "SCB"},
+		{N: 64, Ratio: "5:2:1", Algorithm: "SCB"},
+		{N: 64, Ratio: "25:2:1", Algorithm: "PCB", Topology: "star"},
+	} {
+		resp, err := client.Plan(ctx, sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  ratio %-8s alg %-3s → %-21s VoC %-6d source=%s",
+			sc.Ratio, sc.Algorithm, resp.Plan.Shape, resp.Plan.VoC, resp.Source)
+		if resp.Search != nil {
+			fmt.Printf(" (search: %d steps, VoC %d→%d)", resp.Search.Steps,
+				resp.Search.InitialVoC, resp.Search.FinalVoC)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\n== duplicate burst: coalescing and caching ==")
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Plan(ctx, serve.PlanRequest{N: 96, Ratio: "3:2:1", Algorithm: "SCB"}); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+	wg.Wait()
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  server totals after the burst: %d searches, %d coalesced, %d cache hits\n",
+		stats.Searched, stats.Coalesced, stats.CacheHits)
+
+	fmt.Println("\n== evaluating a named shape ==")
+	ev, err := client.Evaluate(ctx, serve.EvaluateRequest{
+		N: 64, Ratio: "5:2:1", Algorithm: "SCB", Shape: "Square-Corner"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Square-Corner at 5:2:1: VoC %d, expected T_exe %.6fs\n",
+		ev.VoC, ev.Breakdown.Total)
+	for _, p := range ev.Procs {
+		fmt.Printf("    %s: %d elements\n", p.Processor, p.Elements)
+	}
+}
+
+// loadMode hammers an external pland and verifies the serving mode of
+// every answer. Exit codes: 0 all good, 1 assertion or transport failure.
+func loadMode(url string, reqs, conc int, timeout time.Duration, expect string, wait time.Duration) int {
+	if err := waitHealthy(url, wait); err != nil {
+		log.Printf("server never became healthy: %v", err)
+		return 1
+	}
+	client := serve.NewClient(url, serve.ClientConfig{
+		// The per-call ctx below carries the real deadline; the client
+		// forwards it to the server as the Request-Timeout header.
+		Timeout: timeout + 2*time.Second,
+		Retry:   serve.RetryPolicy{MaxAttempts: 3, BaseDelay: 20 * time.Millisecond, MaxDelay: 500 * time.Millisecond},
+	})
+
+	var failures, degraded, searched atomic.Int64
+	sem := make(chan struct{}, conc)
+	var wg sync.WaitGroup
+	for i := 0; i < reqs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			resp, err := client.Plan(ctx, serve.PlanRequest{
+				N: 24 + 4*(i%3), Ratio: "5:2:1", Algorithm: "SCB",
+			})
+			if err != nil {
+				log.Printf("request %d failed: %v", i, err)
+				failures.Add(1)
+				return
+			}
+			if resp.Degraded {
+				degraded.Add(1)
+			} else {
+				searched.Add(1)
+			}
+			mode := "searched"
+			if resp.Degraded {
+				mode = "degraded"
+			}
+			if expect != "any" && mode != expect {
+				log.Printf("request %d: got %s answer (source %s), want %s", i, mode, resp.Source, expect)
+				failures.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	log.Printf("%d requests: %d searched, %d degraded, %d failures",
+		reqs, searched.Load(), degraded.Load(), failures.Load())
+	if failures.Load() > 0 {
+		return 1
+	}
+	return 0
+}
+
+func waitHealthy(url string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	var last error
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+			last = fmt.Errorf("healthz status %d", resp.StatusCode)
+		} else {
+			last = err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return last
+}

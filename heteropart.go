@@ -94,6 +94,10 @@ const (
 // AllShapes lists the candidates in paper order.
 var AllShapes = partition.AllShapes
 
+// ParseShape parses a canonical shape name ("Square-Corner", ...),
+// case-insensitively.
+var ParseShape = partition.ParseShape
+
 // ErrInfeasible reports a shape that cannot be formed for a ratio
 // (Theorem 9.1).
 var ErrInfeasible = partition.ErrInfeasible
@@ -167,6 +171,10 @@ const (
 	FullyConnected = model.FullyConnected
 	Star           = model.Star
 )
+
+// ParseTopology parses a topology name ("fully-connected", "star"); the
+// empty string selects FullyConnected.
+var ParseTopology = model.ParseTopology
 
 // Machine describes the platform: ratio, Hockney network, flop time,
 // topology.

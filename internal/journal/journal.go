@@ -95,17 +95,7 @@ type Writer struct {
 // Create starts a fresh journal at path, writing the header record. It
 // fails if the file already exists (use Recover + Append to resume).
 func Create(path string, h Header) (*Writer, error) {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("journal: create: %w", err)
-	}
-	w := &Writer{f: f, bw: bufio.NewWriter(f)}
-	if err := w.appendJSON(h); err != nil {
-		f.Close()
-		os.Remove(path)
-		return nil, err
-	}
-	return w, nil
+	return CreateRaw(path, h)
 }
 
 // Append opens an existing journal for appending. The caller is expected
@@ -122,6 +112,30 @@ func Append(path string) (*Writer, error) {
 // subsequently killed process cannot lose it.
 func (w *Writer) AppendRecord(rec Record) error {
 	return w.appendJSON(rec)
+}
+
+// AppendPayload writes an arbitrary JSON-marshalable payload as one
+// CRC-framed record, with the same per-record durability as
+// AppendRecord. Journals written this way are read back with RecoverRaw.
+func (w *Writer) AppendPayload(payload any) error {
+	return w.appendJSON(payload)
+}
+
+// CreateRaw starts a fresh journal at path whose header is an arbitrary
+// JSON-marshalable value (read back raw by RecoverRaw). Like Create, it
+// fails if the file already exists.
+func CreateRaw(path string, header any) (*Writer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create: %w", err)
+	}
+	w := &Writer{f: f, bw: bufio.NewWriter(f)}
+	if err := w.appendJSON(header); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return w, nil
 }
 
 func (w *Writer) appendJSON(payload any) error {
@@ -178,16 +192,65 @@ func decodeLine(line []byte, out any) (string, bool) {
 // *CorruptError. A missing file returns an error satisfying
 // errors.Is(err, os.ErrNotExist).
 func Recover(path string) (Header, []Record, error) {
+	var (
+		hdr  Header
+		recs []Record
+	)
+	err := recoverScan(path,
+		func(line []byte) (string, bool) { return decodeLine(line, &hdr) },
+		func(line []byte, commit bool) (string, bool) {
+			var rec Record
+			why, ok := decodeLine(line, &rec)
+			if ok && commit {
+				recs = append(recs, rec)
+			}
+			return why, ok
+		})
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return hdr, recs, nil
+}
+
+// RecoverRaw is Recover for journals written with CreateRaw /
+// AppendPayload: it applies the same CRC validation and torn-tail repair
+// but returns the header and record payloads as raw JSON for the caller
+// to interpret. The serving layer's plan cache persists through this
+// path.
+func RecoverRaw(path string) (json.RawMessage, []json.RawMessage, error) {
+	var (
+		hdr  json.RawMessage
+		recs []json.RawMessage
+	)
+	err := recoverScan(path,
+		func(line []byte) (string, bool) { return decodeLine(line, &hdr) },
+		func(line []byte, commit bool) (string, bool) {
+			var rec json.RawMessage
+			why, ok := decodeLine(line, &rec)
+			if ok && commit {
+				recs = append(recs, rec)
+			}
+			return why, ok
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	return hdr, recs, nil
+}
+
+// recoverScan drives the validation and repair shared by Recover and
+// RecoverRaw. decodeHeader decodes the first line; decodeRecord decodes
+// every later one and retains the value only when commit is true (probe
+// calls distinguishing torn tails from mid-file corruption pass false).
+func recoverScan(path string, decodeHeader func([]byte) (string, bool), decodeRecord func(line []byte, commit bool) (string, bool)) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return Header{}, nil, fmt.Errorf("journal: recover: %w", err)
+		return fmt.Errorf("journal: recover: %w", err)
 	}
 	lines := bytes.Split(data, []byte("\n"))
 	// A well-formed journal ends in '\n', leaving one empty trailing
 	// element; keep empties in place so line numbers stay meaningful.
 	var (
-		hdr     Header
-		recs    []Record
 		goodLen int // byte length of the valid prefix
 		badLine int // 1-based, 0 = none
 		badWhy  string
@@ -203,43 +266,36 @@ func Recover(path string) (Header, []Record, error) {
 			// A valid record after the damage point means mid-file
 			// corruption — check and refuse rather than silently dropping
 			// completed work.
-			var probe Record
-			if _, ok := decodeLine(line, &probe); ok {
-				return Header{}, nil, &CorruptError{Path: path, Line: badLine, Why: badWhy}
+			if _, ok := decodeRecord(line, false); ok {
+				return &CorruptError{Path: path, Line: badLine, Why: badWhy}
 			}
 			offset += lineLen
 			continue
 		}
 		if i == 0 {
-			if why, ok := decodeLine(line, &hdr); !ok {
-				return Header{}, nil, fmt.Errorf("journal: %s: header %s", path, why)
+			if why, ok := decodeHeader(line); !ok {
+				return fmt.Errorf("journal: %s: header %s", path, why)
 			}
 		} else {
-			var rec Record
-			if why, ok := decodeLine(line, &rec); !ok {
+			if why, ok := decodeRecord(line, true); !ok {
 				badLine, badWhy = i+1, why
 				offset += lineLen
 				continue
 			}
-			recs = append(recs, rec)
 		}
 		offset += lineLen
 		goodLen = offset
 	}
 	switch {
 	case badLine != 0:
-		if err := rewritePrefix(path, data[:min(goodLen, len(data))]); err != nil {
-			return Header{}, nil, err
-		}
+		return rewritePrefix(path, data[:min(goodLen, len(data))])
 	case len(data) > 0 && data[len(data)-1] != '\n':
 		// The writer died after the record bytes but before the newline:
 		// the record is intact, but a later Append would glue onto the
 		// same line. Restore the newline atomically.
-		if err := rewritePrefix(path, append(append([]byte(nil), data...), '\n')); err != nil {
-			return Header{}, nil, err
-		}
+		return rewritePrefix(path, append(append([]byte(nil), data...), '\n'))
 	}
-	return hdr, recs, nil
+	return nil
 }
 
 // rewritePrefix atomically replaces path with its valid prefix.

@@ -1,6 +1,7 @@
 package journal
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -224,5 +225,104 @@ func TestHeaderMatches(t *testing.T) {
 		if HeaderMatches(a, b) {
 			t.Fatalf("mutated header %+v must not match", b)
 		}
+	}
+}
+
+// rawHeader / rawRecord are the arbitrary-payload types of the raw
+// journal tests (the shape the serving layer's plan cache uses).
+type rawHeader struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+}
+
+type rawRecord struct {
+	Key     string `json:"key"`
+	Expires int64  `json:"expires"`
+	Body    string `json:"body"`
+}
+
+func writeAllRaw(t *testing.T, path string) []rawRecord {
+	t.Helper()
+	recs := []rawRecord{
+		{Key: "4:1:1|SCB|200", Expires: 1700000000, Body: "plan-a"},
+		{Key: "25:5:1|PIO|500", Expires: 1700000300, Body: "plan-b"},
+	}
+	w, err := CreateRaw(path, rawHeader{Kind: "plancache", Version: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.AppendPayload(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestRawRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	want := writeAllRaw(t, path)
+	hdrRaw, recRaws, err := RecoverRaw(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr rawHeader
+	if err := json.Unmarshal(hdrRaw, &hdr); err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Kind != "plancache" || hdr.Version != 1 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if len(recRaws) != len(want) {
+		t.Fatalf("got %d records, want %d", len(recRaws), len(want))
+	}
+	for i, raw := range recRaws {
+		var rec rawRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rec, want[i]) {
+			t.Fatalf("record %d = %+v, want %+v", i, rec, want[i])
+		}
+	}
+}
+
+// TestRawTornTail proves the raw path gets the same SIGKILL repair as the
+// typed one: a record cut mid-bytes is dropped and the file rewritten to
+// the valid prefix.
+func TestRawTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.jsonl")
+	writeAllRaw(t, path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, recRaws, err := RecoverRaw(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recRaws) != 1 {
+		t.Fatalf("got %d records after torn tail, want 1", len(recRaws))
+	}
+	// The repaired file must be appendable and fully valid.
+	w, err := Append(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendPayload(rawRecord{Key: "again", Body: "plan-c"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, recRaws, err = RecoverRaw(path)
+	if err != nil || len(recRaws) != 2 {
+		t.Fatalf("after re-append: %d records, err %v", len(recRaws), err)
 	}
 }

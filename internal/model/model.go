@@ -91,6 +91,19 @@ func (t Topology) String() string {
 	return fmt.Sprintf("Topology(%d)", uint8(t))
 }
 
+// ParseTopology parses a topology name as printed by Topology.String.
+// The empty string selects FullyConnected (the zero value), so wire
+// formats may omit the field.
+func ParseTopology(s string) (Topology, error) {
+	switch s {
+	case "", FullyConnected.String():
+		return FullyConnected, nil
+	case Star.String():
+		return Star, nil
+	}
+	return 0, fmt.Errorf("model: unknown topology %q", s)
+}
+
 // Hockney is the linear communication model T_comm = α + β·M of Hockney
 // [12]: α seconds of latency per message plus β seconds per element.
 type Hockney struct {

@@ -359,3 +359,22 @@ func TestIdealTimeAndEfficiency(t *testing.T) {
 		t.Errorf("all-P efficiency %g, want Pr/T = %g", eff, want)
 	}
 }
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Topology
+		ok   bool
+	}{
+		{"", FullyConnected, true},
+		{"fully-connected", FullyConnected, true},
+		{"star", Star, true},
+		{"ring", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseTopology(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("ParseTopology(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 )
 
 // Shape identifies one of the six candidate canonical partition types of
@@ -59,6 +60,17 @@ func (s Shape) String() string {
 		return "Traditional-Rectangle"
 	}
 	return fmt.Sprintf("Shape(%d)", uint8(s))
+}
+
+// ParseShape parses a canonical shape name as printed by Shape.String
+// ("Square-Corner", ...). Matching is case-insensitive.
+func ParseShape(s string) (Shape, error) {
+	for _, c := range AllShapes {
+		if strings.EqualFold(c.String(), s) {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("partition: unknown shape %q", s)
 }
 
 // ErrInfeasible reports that a candidate shape cannot be formed for the

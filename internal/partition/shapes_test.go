@@ -366,3 +366,18 @@ func BenchmarkBuildShapes(b *testing.B) {
 		})
 	}
 }
+
+func TestParseShape(t *testing.T) {
+	for _, s := range AllShapes {
+		got, err := ParseShape(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseShape(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if got, err := ParseShape("square-corner"); err != nil || got != SquareCorner {
+		t.Fatalf("case-insensitive parse: %v, %v", got, err)
+	}
+	if _, err := ParseShape("Pentagon"); err == nil {
+		t.Fatal("unknown shape should error")
+	}
+}

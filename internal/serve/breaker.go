@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breaker is a consecutive-failure circuit breaker over the search path.
+// Closed: searches run normally. After threshold consecutive failures it
+// opens for cooldown, during which allow reports false and the server
+// answers from the canonical/stale-cache fallback without burning a
+// goroutine on a search that will miss its deadline anyway. After the
+// cooldown one trial search is admitted (half-open); its outcome closes
+// or re-opens the breaker.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	failures  int
+	openUntil time.Time
+	halfOpen  bool // a trial is in flight
+	trips     int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// allow reports whether a search may run now. In the half-open window it
+// admits exactly one trial at a time.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.threshold <= 0 {
+		return true // breaker disabled
+	}
+	if b.now().Before(b.openUntil) {
+		return false
+	}
+	if !b.openUntil.IsZero() {
+		// Cooldown elapsed: half-open. Admit one trial; others keep
+		// falling back until it reports.
+		if b.halfOpen {
+			return false
+		}
+		b.halfOpen = true
+	}
+	return true
+}
+
+// success records a completed search and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.openUntil = time.Time{}
+	b.halfOpen = false
+}
+
+// failure records a search that missed its deadline or errored; at
+// threshold consecutive failures the breaker opens.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.threshold <= 0 {
+		return
+	}
+	if b.halfOpen {
+		// The half-open trial failed: re-open immediately.
+		b.halfOpen = false
+		b.openUntil = b.now().Add(b.cooldown)
+		b.trips++
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.failures = 0
+		b.openUntil = b.now().Add(b.cooldown)
+		b.trips++
+	}
+}
+
+// tripCount returns how many times the breaker has opened.
+func (b *breaker) tripCount() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/journal"
+	wire "repro/serve"
+)
+
+// planCache is the TTL result cache of the serving layer. Fresh entries
+// short-circuit the whole plan path; expired entries are deliberately
+// kept, because a stale searched answer is still a better degraded
+// response than a bare canonical evaluation — the candidate shapes are
+// scale-free in the ratio, so yesterday's search for the same scenario
+// remains a principled fallback.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	ttl     time.Duration
+	max     int
+	now     func() time.Time
+}
+
+type cacheEntry struct {
+	resp    wire.PlanResponse
+	expires time.Time
+}
+
+func newPlanCache(ttl time.Duration, max int) *planCache {
+	return &planCache{
+		entries: make(map[string]cacheEntry),
+		ttl:     ttl,
+		max:     max,
+		now:     time.Now,
+	}
+}
+
+// get returns a copy of the cached response for key. fresh reports
+// whether it is within TTL; ok whether any entry (stale included) exists.
+func (c *planCache) get(key string) (resp wire.PlanResponse, fresh, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return wire.PlanResponse{}, false, false
+	}
+	return e.resp, c.now().Before(e.expires), true
+}
+
+// put stores a response under key, evicting the stalest entries when the
+// soft size cap is exceeded.
+func (c *planCache) put(key string, resp wire.PlanResponse) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = cacheEntry{resp: resp, expires: c.now().Add(c.ttl)}
+	if c.max > 0 && len(c.entries) > c.max {
+		type aged struct {
+			key     string
+			expires time.Time
+		}
+		all := make([]aged, 0, len(c.entries))
+		for k, e := range c.entries {
+			all = append(all, aged{k, e.expires})
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].expires.Before(all[j].expires) })
+		for _, a := range all[:len(all)-c.max] {
+			delete(c.entries, a.key)
+		}
+	}
+}
+
+func (c *planCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// cacheJournalHeader identifies a plan-cache journal file.
+type cacheJournalHeader struct {
+	Kind    string `json:"kind"`
+	Version int    `json:"version"`
+}
+
+// cacheJournalRecord is one persisted cache entry.
+type cacheJournalRecord struct {
+	Key string `json:"key"`
+	// Expires is the entry's expiry as Unix nanoseconds.
+	Expires  int64             `json:"expires"`
+	Response wire.PlanResponse `json:"response"`
+}
+
+const cacheJournalKind = "plancache"
+
+// save writes the cache to path as a CRC-framed journal, atomically: the
+// journal is built in a sibling tempfile and renamed over path, so a
+// crash mid-save leaves either the old cache or the new one. It returns
+// the number of entries written.
+func (c *planCache) save(path string) (int, error) {
+	c.mu.Lock()
+	recs := make([]cacheJournalRecord, 0, len(c.entries))
+	for k, e := range c.entries {
+		recs = append(recs, cacheJournalRecord{Key: k, Expires: e.expires.UnixNano(), Response: e.resp})
+	}
+	c.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+
+	tmp := path + ".tmp"
+	os.Remove(tmp)
+	w, err := journal.CreateRaw(tmp, cacheJournalHeader{Kind: cacheJournalKind, Version: 1})
+	if err != nil {
+		return 0, err
+	}
+	for _, r := range recs {
+		if err := w.AppendPayload(r); err != nil {
+			w.Close()
+			os.Remove(tmp)
+			return 0, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("serve: cache journal rename: %w", err)
+	}
+	return len(recs), nil
+}
+
+// load warms the cache from a journal written by save, tolerating a torn
+// tail (the journal layer repairs it). Entries already expired are still
+// loaded — they are the stale-serving inventory. A missing file is not
+// an error; a journal of the wrong kind is.
+func (c *planCache) load(path string) (int, error) {
+	hdrRaw, recRaws, err := journal.RecoverRaw(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var hdr cacheJournalHeader
+	if err := json.Unmarshal(hdrRaw, &hdr); err != nil || hdr.Kind != cacheJournalKind {
+		return 0, fmt.Errorf("serve: %s is not a plan-cache journal", path)
+	}
+	n := 0
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, raw := range recRaws {
+		var rec cacheJournalRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return n, fmt.Errorf("serve: cache journal record: %w", err)
+		}
+		if rec.Key == "" || rec.Response.Plan == nil {
+			continue
+		}
+		if err := rec.Response.Plan.Validate(); err != nil {
+			// A corrupt persisted plan must not be served; drop it.
+			continue
+		}
+		c.entries[rec.Key] = cacheEntry{resp: rec.Response, expires: time.Unix(0, rec.Expires)}
+		n++
+	}
+	return n, nil
+}

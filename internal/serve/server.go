@@ -1,0 +1,774 @@
+// Package serve implements the partition-planning service behind
+// cmd/pland: an HTTP JSON API over the heteropart planner wrapped in a
+// robustness stack —
+//
+//   - per-request deadlines propagated from the Request-Timeout header
+//     into context.Context and down to push.RunContext;
+//   - admission control with a bounded work queue (throttle.Gate) and
+//     load shedding (429 + Retry-After);
+//   - singleflight coalescing of identical plan requests;
+//   - a TTL result cache whose expired entries double as the degraded-
+//     mode inventory, persisted across restarts via internal/journal;
+//   - a circuit breaker over the Push-search path;
+//   - degraded-mode fallback: when the search cannot meet the deadline
+//     (or the breaker is open) the response is the canonical-candidate
+//     answer — the paper's six provably-strong shapes — marked Degraded;
+//   - panic-isolated handlers and a draining mode for graceful SIGTERM
+//     shutdown.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	heteropart "repro"
+	"repro/internal/partition"
+	"repro/internal/push"
+	"repro/internal/shape"
+	"repro/internal/sim"
+	"repro/internal/throttle"
+	wire "repro/serve"
+)
+
+// Config parameterises a Server. Zero fields select the documented
+// defaults.
+type Config struct {
+	// DefaultTimeout is the serving deadline when the client sends no
+	// Request-Timeout header (default 2s); MaxTimeout clamps what a
+	// client may ask for (default 30s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// ReplyMargin is reserved out of every deadline for encoding the
+	// response: the search budget is remaining − margin (default 10% of
+	// the deadline, capped at 50ms).
+	ReplyMargin time.Duration
+	// MinSearchBudget is the smallest remaining budget worth starting a
+	// search for; below it the request degrades immediately rather than
+	// starting work guaranteed to be abandoned (default 10ms).
+	MinSearchBudget time.Duration
+
+	// MaxConcurrent bounds in-flight planning work (default GOMAXPROCS);
+	// MaxQueue bounds callers waiting for a slot (default 2×MaxConcurrent).
+	// Callers beyond both are shed with 429.
+	MaxConcurrent int
+	MaxQueue      int
+
+	// MaxN bounds the accepted matrix dimension (default 2000): an
+	// unbounded N is an O(N²)-memory request from the network.
+	MaxN int
+	// MaxSearchSteps clamps a /v1/search request's step bound
+	// (default 1e6; 0 in a request selects the engine default of 40·N).
+	MaxSearchSteps int
+
+	// CacheTTL is the freshness window of the plan cache (default 5m);
+	// CacheMax soft-caps its entry count (default 4096).
+	CacheTTL time.Duration
+	CacheMax int
+
+	// BreakerThreshold consecutive search failures open the circuit
+	// breaker for BreakerCooldown (defaults 3 and 5s; threshold < 0
+	// disables the breaker).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// SearchSeed is the refinement seed used when a request omits one
+	// (default 1, so identical requests coalesce and cache).
+	SearchSeed int64
+
+	// Fault, when non-nil, injects a planner-CPU straggler: every
+	// committed Push is billed FaultStepCost of nominal work against the
+	// fault plan's processor-P windows and the handler sleeps out the
+	// stretch. This is the serving twin of sim.SimulateFaults — it makes
+	// deadline pressure reproducible for tests and drills.
+	Fault         *sim.FaultPlan
+	FaultStepCost time.Duration
+
+	// Machine builds the platform model for a ratio (default
+	// heteropart.DefaultMachine).
+	Machine func(ratio heteropart.Ratio) heteropart.Machine
+
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MinSearchBudget <= 0 {
+		c.MinSearchBudget = 10 * time.Millisecond
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 2 * c.MaxConcurrent
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 2000
+	}
+	if c.MaxSearchSteps <= 0 {
+		c.MaxSearchSteps = 1_000_000
+	}
+	if c.CacheTTL <= 0 {
+		c.CacheTTL = 5 * time.Minute
+	}
+	if c.CacheMax <= 0 {
+		c.CacheMax = 4096
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerThreshold < 0 {
+		c.BreakerThreshold = 0 // disabled
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.SearchSeed == 0 {
+		c.SearchSeed = 1
+	}
+	if c.Fault != nil && c.FaultStepCost <= 0 {
+		c.FaultStepCost = 200 * time.Microsecond
+	}
+	if c.Machine == nil {
+		c.Machine = heteropart.DefaultMachine
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// Server is the planning service. Create with New; serve via Handler.
+type Server struct {
+	cfg     Config
+	gate    *throttle.Gate
+	flights *flightGroup
+	cache   *planCache
+	brk     *breaker
+
+	draining atomic.Bool
+
+	requests    atomic.Int64
+	shed        atomic.Int64
+	degraded    atomic.Int64
+	searched    atomic.Int64
+	cacheHits   atomic.Int64
+	staleServed atomic.Int64
+	coalesced   atomic.Int64
+	panics      atomic.Int64
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	gate, err := throttle.NewGate(cfg.MaxConcurrent, cfg.MaxQueue)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		gate:    gate,
+		flights: newFlightGroup(),
+		cache:   newPlanCache(cfg.CacheTTL, cfg.CacheMax),
+		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+	}, nil
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/v1/plan", s.endpoint("plan", true, s.handlePlan))
+	mux.Handle("/v1/evaluate", s.endpoint("evaluate", true, s.handleEvaluate))
+	mux.Handle("/v1/search", s.endpoint("search", true, s.handleSearch))
+	mux.Handle("/v1/stats", s.endpoint("stats", false, s.handleStats))
+	mux.HandleFunc("/healthz", s.handleHealth)
+	return mux
+}
+
+// BeginDrain flips the server into draining mode: every new request is
+// refused with 503 while in-flight ones run to completion (the HTTP
+// server's Shutdown waits for them). Idempotent.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// LoadCache warms the plan cache from a journal written by SaveCache,
+// returning the number of entries loaded. A missing file loads nothing.
+func (s *Server) LoadCache(path string) (int, error) { return s.cache.load(path) }
+
+// SaveCache persists the plan cache (stale entries included — they are
+// the degraded-mode inventory) to an atomic CRC-framed journal.
+func (s *Server) SaveCache(path string) (int, error) { return s.cache.save(path) }
+
+// Stats snapshots the traffic counters.
+func (s *Server) Stats() wire.Stats {
+	return wire.Stats{
+		Requests:     s.requests.Load(),
+		Shed:         s.shed.Load(),
+		Degraded:     s.degraded.Load(),
+		Searched:     s.searched.Load(),
+		CacheHits:    s.cacheHits.Load(),
+		StaleServed:  s.staleServed.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Panics:       s.panics.Load(),
+		BreakerTrips: s.brk.tripCount(),
+	}
+}
+
+// httpError carries a status code and optional backpressure hint from a
+// handler to the endpoint wrapper.
+type httpError struct {
+	status     int
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// endpoint wraps a handler with the shared robustness stack: draining
+// refusal, panic isolation, deadline derivation, and (when admit is set)
+// admission control with load shedding.
+func (s *Server) endpoint(name string, admit bool, h func(ctx context.Context, w http.ResponseWriter, r *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Panic isolation: one poisoned request must not take down the
+		// process. The quarantine counter is the operator's signal.
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.cfg.Logf("serve: panic in %s handler quarantined: %v\n%s", name, rec, debug.Stack())
+				writeError(w, &httpError{status: http.StatusInternalServerError, msg: "internal error"})
+			}
+		}()
+		if s.draining.Load() {
+			w.Header().Set("Connection", "close")
+			writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: "draining", retryAfter: time.Second})
+			return
+		}
+		s.requests.Add(1)
+
+		timeout, err := requestTimeout(r, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
+		if err != nil {
+			writeError(w, badRequest("bad Request-Timeout: %v", err))
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		if admit {
+			switch err := s.gate.Acquire(ctx); {
+			case errors.Is(err, throttle.ErrSaturated):
+				s.shed.Add(1)
+				writeError(w, &httpError{status: http.StatusTooManyRequests, msg: "saturated: work queue full", retryAfter: time.Second})
+				return
+			case err != nil:
+				writeError(w, &httpError{status: http.StatusGatewayTimeout, msg: "deadline expired in admission queue"})
+				return
+			}
+			defer s.gate.Release()
+		}
+
+		if err := h(ctx, w, r); err != nil {
+			var he *httpError
+			if !errors.As(err, &he) {
+				he = &httpError{status: http.StatusInternalServerError, msg: err.Error()}
+			}
+			writeError(w, he)
+		}
+	})
+}
+
+func writeError(w http.ResponseWriter, e *httpError) {
+	body := wire.ErrorBody{Error: e.msg}
+	if e.retryAfter > 0 {
+		body.RetryAfterMS = e.retryAfter.Milliseconds()
+		secs := int(e.retryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeJSON(w, e.status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// requestTimeout derives the serving deadline from the Request-Timeout
+// header — a Go duration ("250ms") or an integer millisecond count —
+// clamped to [1ms, max]; absent means def.
+func requestTimeout(r *http.Request, def, max time.Duration) (time.Duration, error) {
+	h := r.Header.Get("Request-Timeout")
+	if h == "" {
+		return def, nil
+	}
+	d, err := time.ParseDuration(h)
+	if err != nil {
+		ms, merr := strconv.ParseInt(h, 10, 64)
+		if merr != nil {
+			return 0, err
+		}
+		d = time.Duration(ms) * time.Millisecond
+	}
+	if d <= 0 {
+		return 0, fmt.Errorf("non-positive timeout %q", h)
+	}
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	if d > max {
+		d = max
+	}
+	return d, nil
+}
+
+// ---------------------------------------------------------------------
+// /v1/plan
+
+// planInputs is a validated plan request plus its coalescing/cache key.
+type planInputs struct {
+	n     int
+	ratio heteropart.Ratio
+	alg   heteropart.Algorithm
+	m     heteropart.Machine
+	seed  int64
+	key   string
+}
+
+func (s *Server) parsePlan(r *http.Request) (planInputs, error) {
+	var req wire.PlanRequest
+	if err := decodeRequest(r, &req, func(q url.Values) {
+		req.N = atoiDefault(q.Get("n"), 0)
+		req.Ratio = q.Get("ratio")
+		req.Algorithm = firstOf(q.Get("algorithm"), q.Get("alg"))
+		req.Topology = q.Get("topology")
+		req.Seed = int64(atoiDefault(q.Get("seed"), 0))
+	}); err != nil {
+		return planInputs{}, err
+	}
+	if req.N < 4 || req.N > s.cfg.MaxN {
+		return planInputs{}, badRequest("n must be in [4, %d], got %d", s.cfg.MaxN, req.N)
+	}
+	ratio, err := heteropart.ParseRatio(req.Ratio)
+	if err != nil {
+		return planInputs{}, badRequest("%v", err)
+	}
+	alg, err := heteropart.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		return planInputs{}, badRequest("%v", err)
+	}
+	topo, err := heteropart.ParseTopology(req.Topology)
+	if err != nil {
+		return planInputs{}, badRequest("%v", err)
+	}
+	m := s.cfg.Machine(ratio)
+	m.Topology = topo
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.cfg.SearchSeed
+	}
+	return planInputs{
+		n:     req.N,
+		ratio: ratio,
+		alg:   alg,
+		m:     m,
+		seed:  seed,
+		key:   fmt.Sprintf("%d|%s|%s|%s|%d", req.N, ratio, alg, topo, seed),
+	}, nil
+}
+
+func (s *Server) handlePlan(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	in, err := s.parsePlan(r)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	// Waiters leave the coalesced flight early enough to still serve
+	// their degraded fallback inside their own deadline.
+	waitCtx, cancel := s.withReplyMargin(ctx)
+	defer cancel()
+	resp, shared, err := s.flights.do(waitCtx, in.key, func() (*wire.PlanResponse, error) {
+		return s.computePlan(ctx, in)
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
+	var wt *waiterTimeoutError
+	if errors.As(err, &wt) && ctx.Err() == nil {
+		// The flight leader is still grinding but our deadline is close:
+		// serve this caller the degraded fallback now.
+		resp, err = s.degradedPlan(in, "deadline", start)
+	}
+	if err != nil {
+		return err
+	}
+	out := *resp
+	out.ElapsedMS = msSince(start)
+	return s.writeResult(w, &out)
+}
+
+// computePlan is the flight leader's path: fresh cache, canonical
+// evaluation, then the deadline-bounded search refinement with breaker
+// and degraded fallback.
+func (s *Server) computePlan(ctx context.Context, in planInputs) (*wire.PlanResponse, error) {
+	if resp, fresh, ok := s.cache.get(in.key); ok && fresh {
+		s.cacheHits.Add(1)
+		resp.Source = wire.SourceCache
+		return &resp, nil
+	}
+
+	plan, err := heteropart.NewPlan(in.alg, in.m, in.n)
+	if err != nil {
+		if errors.Is(err, heteropart.ErrInfeasible) {
+			return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+		}
+		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
+	resp := &wire.PlanResponse{Plan: plan, Source: wire.SourceSearch}
+
+	reason := ""
+	switch {
+	case !s.brk.allow():
+		reason = "breaker-open"
+	default:
+		budget := s.searchBudget(ctx)
+		if budget < s.cfg.MinSearchBudget {
+			reason = "deadline"
+		} else {
+			sctx, cancel := context.WithTimeout(ctx, budget)
+			sum, serr := s.runSearch(sctx, in.n, in.ratio, in.seed, 0, true)
+			cancel()
+			switch {
+			case serr == nil:
+				s.brk.success()
+				s.searched.Add(1)
+				sum.Improved = sum.FinalVoC < plan.VoC
+				resp.Search = sum
+			case errors.Is(serr, context.DeadlineExceeded) || errors.Is(serr, context.Canceled):
+				s.brk.failure()
+				reason = "deadline"
+			default:
+				s.brk.failure()
+				s.cfg.Logf("serve: search refinement failed: %v", serr)
+				reason = "search-error"
+			}
+		}
+	}
+	if reason != "" {
+		return s.degradedPlanWith(resp, in, reason)
+	}
+	s.cache.put(in.key, *resp)
+	return resp, nil
+}
+
+// degradedPlan builds the degraded response from scratch (used by flight
+// waiters that abandoned the leader).
+func (s *Server) degradedPlan(in planInputs, reason string, start time.Time) (*wire.PlanResponse, error) {
+	plan, err := heteropart.NewPlan(in.alg, in.m, in.n)
+	if err != nil {
+		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
+	}
+	return s.degradedPlanWith(&wire.PlanResponse{Plan: plan}, in, reason)
+}
+
+// degradedPlanWith finalises a degraded answer, preferring a stale
+// cached search result over the bare canonical evaluation.
+func (s *Server) degradedPlanWith(resp *wire.PlanResponse, in planInputs, reason string) (*wire.PlanResponse, error) {
+	s.degraded.Add(1)
+	if stale, _, ok := s.cache.get(in.key); ok {
+		stale.Degraded = true
+		stale.DegradedReason = reason
+		stale.Source = wire.SourceStaleCache
+		s.staleServed.Add(1)
+		return &stale, nil
+	}
+	out := *resp
+	out.Degraded = true
+	out.DegradedReason = reason
+	out.Source = wire.SourceCanonical
+	out.Search = nil
+	return &out, nil
+}
+
+// searchBudget returns how much of ctx's deadline may be spent searching
+// while leaving the reply margin intact.
+func (s *Server) searchBudget(ctx context.Context) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return s.cfg.MaxTimeout
+	}
+	remain := time.Until(dl)
+	return remain - s.replyMargin(remain)
+}
+
+func (s *Server) replyMargin(remain time.Duration) time.Duration {
+	m := s.cfg.ReplyMargin
+	if m <= 0 {
+		m = remain / 10
+		if m > 50*time.Millisecond {
+			m = 50 * time.Millisecond
+		}
+	}
+	return m
+}
+
+// withReplyMargin derives the context a flight waiter may wait under:
+// the request deadline minus the reply margin.
+func (s *Server) withReplyMargin(ctx context.Context) (context.Context, context.CancelFunc) {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return context.WithCancel(ctx)
+	}
+	remain := time.Until(dl)
+	return context.WithDeadline(ctx, dl.Add(-s.replyMargin(remain)))
+}
+
+func (s *Server) writeResult(w http.ResponseWriter, resp *wire.PlanResponse) error {
+	if resp.Degraded {
+		w.Header().Set("Degraded", "true")
+	}
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// runSearch executes one deadline-bounded Push search, billing each
+// committed Push against the injected fault plan's straggler windows (the
+// serving twin of the simulator's CPU stretch).
+func (s *Server) runSearch(ctx context.Context, n int, ratio heteropart.Ratio, seed int64, maxSteps int, beautify bool) (*wire.SearchSummary, error) {
+	cfg := push.Config{N: n, Ratio: ratio, Seed: seed, MaxSteps: maxSteps, Beautify: beautify}
+	if s.cfg.Fault != nil {
+		var virtual float64 // wall-clock position inside the fault profile
+		nominal := s.cfg.FaultStepCost.Seconds()
+		cfg.Snapshot = func(step int, _ *partition.Grid) {
+			stretched := s.cfg.Fault.StretchCPU(partition.P, virtual, nominal)
+			virtual += stretched
+			if extra := stretched - nominal; extra > 0 {
+				sleepCtx(ctx, time.Duration(extra*float64(time.Second)))
+			}
+		}
+	}
+	start := time.Now()
+	res, err := push.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &wire.SearchSummary{
+		Steps:      res.Steps,
+		InitialVoC: res.InitialVoC,
+		FinalVoC:   res.FinalVoC,
+		Converged:  res.Converged,
+		Archetype:  shape.Classify(res.Final).String(),
+		ElapsedMS:  msSince(start),
+	}, nil
+}
+
+// ---------------------------------------------------------------------
+// /v1/evaluate
+
+func (s *Server) handleEvaluate(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req wire.EvaluateRequest
+	if err := decodeRequest(r, &req, func(q url.Values) {
+		req.N = atoiDefault(q.Get("n"), 0)
+		req.Ratio = q.Get("ratio")
+		req.Algorithm = firstOf(q.Get("algorithm"), q.Get("alg"))
+		req.Topology = q.Get("topology")
+		req.Shape = q.Get("shape")
+	}); err != nil {
+		return err
+	}
+	if req.N < 4 || req.N > s.cfg.MaxN {
+		return badRequest("n must be in [4, %d], got %d", s.cfg.MaxN, req.N)
+	}
+	ratio, err := heteropart.ParseRatio(req.Ratio)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	alg, err := heteropart.ParseAlgorithm(req.Algorithm)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	topo, err := heteropart.ParseTopology(req.Topology)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	sh, err := heteropart.ParseShape(req.Shape)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	start := time.Now()
+	m := s.cfg.Machine(ratio)
+	m.Topology = topo
+	resp := wire.EvaluateResponse{Shape: sh.String()}
+	g, err := heteropart.BuildShape(sh, req.N, ratio)
+	switch {
+	case errors.Is(err, heteropart.ErrInfeasible):
+		resp.Feasible = false
+	case err != nil:
+		return badRequest("%v", err)
+	default:
+		resp.Feasible = true
+		resp.VoC = g.VoC()
+		resp.Breakdown = heteropart.Evaluate(alg, m, g)
+		for _, proc := range []heteropart.Proc{heteropart.P, heteropart.R, heteropart.S} {
+			resp.Procs = append(resp.Procs, wire.ProcShare{Processor: proc.String(), Elements: g.Count(proc)})
+		}
+	}
+	resp.ElapsedMS = msSince(start)
+	writeJSON(w, http.StatusOK, resp)
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// /v1/search
+
+func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	var req wire.SearchRequest
+	if err := decodeRequest(r, &req, func(q url.Values) {
+		req.N = atoiDefault(q.Get("n"), 0)
+		req.Ratio = q.Get("ratio")
+		req.Seed = int64(atoiDefault(q.Get("seed"), 0))
+		req.MaxSteps = atoiDefault(q.Get("maxSteps"), 0)
+		req.Beautify = q.Get("beautify") == "true" || q.Get("beautify") == "1"
+	}); err != nil {
+		return err
+	}
+	if req.N < 2 || req.N > s.cfg.MaxN {
+		return badRequest("n must be in [2, %d], got %d", s.cfg.MaxN, req.N)
+	}
+	ratio, err := heteropart.ParseRatio(req.Ratio)
+	if err != nil {
+		return badRequest("%v", err)
+	}
+	if req.MaxSteps < 0 {
+		return badRequest("maxSteps must be non-negative, got %d", req.MaxSteps)
+	}
+	maxSteps := req.MaxSteps
+	if maxSteps == 0 || maxSteps > s.cfg.MaxSearchSteps {
+		maxSteps = min(40*req.N, s.cfg.MaxSearchSteps)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = s.cfg.SearchSeed
+	}
+	start := time.Now()
+	budget := s.searchBudget(ctx)
+	if budget <= 0 {
+		return &httpError{status: http.StatusGatewayTimeout, msg: "deadline too short for any search"}
+	}
+	sctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	sum, err := s.runSearch(sctx, req.N, ratio, seed, maxSteps, req.Beautify)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return &httpError{status: http.StatusGatewayTimeout, msg: "search exceeded the request deadline"}
+		}
+		return badRequest("%v", err)
+	}
+	writeJSON(w, http.StatusOK, wire.SearchResponse{
+		Steps:      sum.Steps,
+		InitialVoC: sum.InitialVoC,
+		FinalVoC:   sum.FinalVoC,
+		Converged:  sum.Converged,
+		Archetype:  sum.Archetype,
+		ElapsedMS:  msSince(start),
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------
+// /v1/stats and /healthz
+
+func (s *Server) handleStats(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+	writeJSON(w, http.StatusOK, s.Stats())
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Connection", "close")
+		writeJSON(w, http.StatusServiceUnavailable, wire.ErrorBody{Error: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// ---------------------------------------------------------------------
+// request plumbing
+
+// decodeRequest fills req from a POST JSON body or, for GET, via
+// fromQuery. Unknown JSON fields are rejected — a misspelled field in a
+// planning request should fail loudly, not silently default.
+func decodeRequest(r *http.Request, req any, fromQuery func(url.Values)) error {
+	switch r.Method {
+	case http.MethodGet:
+		fromQuery(r.URL.Query())
+		return nil
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(req); err != nil {
+			return badRequest("bad request body: %v", err)
+		}
+		return nil
+	default:
+		return &httpError{status: http.StatusMethodNotAllowed, msg: "use GET or POST"}
+	}
+}
+
+func atoiDefault(s string, def int) int {
+	if s == "" {
+		return def
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+func firstOf(vals ...string) string {
+	for _, v := range vals {
+		if v != "" {
+			return v
+		}
+	}
+	return ""
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start)) / float64(time.Millisecond)
+}
+
+// sleepCtx waits for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+	case <-timer.C:
+	}
+}

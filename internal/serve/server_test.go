@@ -1,0 +1,494 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/sim"
+	wire "repro/serve"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, timeout string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(string(buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if timeout != "" {
+		req.Header.Set("Request-Timeout", timeout)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out []byte
+	dec := json.NewDecoder(resp.Body)
+	var raw json.RawMessage
+	if err := dec.Decode(&raw); err == nil {
+		out = raw
+	}
+	return resp, out
+}
+
+func decodePlan(t *testing.T, body []byte) wire.PlanResponse {
+	t.Helper()
+	var pr wire.PlanResponse
+	if err := json.Unmarshal(body, &pr); err != nil {
+		t.Fatalf("decode plan response: %v\n%s", err, body)
+	}
+	return pr
+}
+
+// TestPlanSearchedWhenHealthy: with no faults and a generous deadline the
+// service returns the full searched answer, not a degraded one.
+func TestPlanSearchedWhenHealthy(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/plan", "10s",
+		wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	pr := decodePlan(t, body)
+	if pr.Degraded {
+		t.Fatalf("healthy request degraded: %+v", pr)
+	}
+	if pr.Source != wire.SourceSearch || pr.Search == nil {
+		t.Fatalf("want searched answer, got source=%q search=%v", pr.Source, pr.Search)
+	}
+	if pr.Plan == nil || pr.Plan.N != 24 {
+		t.Fatalf("bad plan payload: %+v", pr.Plan)
+	}
+	if err := pr.Plan.Validate(); err != nil {
+		t.Fatalf("served plan fails validation: %v", err)
+	}
+}
+
+// TestPlanDegradesUnderStragglerFault: a persistent 1000× straggler on
+// the planner CPU makes the search unable to finish inside a short
+// deadline; the service must still answer in time with the canonical
+// shape marked Degraded.
+func TestPlanDegradesUnderStragglerFault(t *testing.T) {
+	fp := sim.NewFaultPlan()
+	if err := fp.AddStraggler(partition.P, 1000, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{
+		Fault:         fp,
+		FaultStepCost: 2 * time.Millisecond,
+	})
+	start := time.Now()
+	resp, body := postJSON(t, ts.URL+"/v1/plan", "300ms",
+		wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB"})
+	elapsed := time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if elapsed > 900*time.Millisecond {
+		t.Fatalf("degraded answer took %v — deadline not honoured", elapsed)
+	}
+	pr := decodePlan(t, body)
+	if !pr.Degraded || pr.DegradedReason != "deadline" {
+		t.Fatalf("want Degraded deadline fallback, got %+v", pr)
+	}
+	if pr.Source != wire.SourceCanonical {
+		t.Fatalf("source = %q, want %q", pr.Source, wire.SourceCanonical)
+	}
+	if resp.Header.Get("Degraded") != "true" {
+		t.Fatal("Degraded response header missing")
+	}
+	if pr.Plan == nil || pr.Plan.Shape == "" {
+		t.Fatalf("degraded response must still carry the canonical plan: %+v", pr.Plan)
+	}
+}
+
+// TestPlanCacheHitAndStaleServing: the second identical request is a
+// cache hit; once the entry has expired and the search path is broken, the
+// stale entry is served marked Degraded rather than falling back to bare
+// canonical.
+func TestPlanCacheHitAndStaleServing(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheTTL: time.Hour})
+	req := wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB"}
+
+	_, body := postJSON(t, ts.URL+"/v1/plan", "10s", req)
+	first := decodePlan(t, body)
+	if first.Source != wire.SourceSearch {
+		t.Fatalf("first answer source %q", first.Source)
+	}
+
+	_, body = postJSON(t, ts.URL+"/v1/plan", "10s", req)
+	second := decodePlan(t, body)
+	if second.Source != wire.SourceCache || second.Degraded {
+		t.Fatalf("second answer should be a fresh cache hit: %+v", second)
+	}
+
+	// Expire the cache and break the search path, then ask again: the
+	// stale searched answer must be served, marked Degraded.
+	s.cache.mu.Lock()
+	for k, e := range s.cache.entries {
+		e.expires = time.Now().Add(-time.Minute)
+		s.cache.entries[k] = e
+	}
+	s.cache.mu.Unlock()
+	fp := sim.NewFaultPlan()
+	if err := fp.AddStraggler(partition.P, 1000, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	s.cfg.Fault = fp
+	s.cfg.FaultStepCost = 2 * time.Millisecond
+
+	_, body = postJSON(t, ts.URL+"/v1/plan", "150ms", req)
+	third := decodePlan(t, body)
+	if !third.Degraded || third.Source != wire.SourceStaleCache {
+		t.Fatalf("want stale-cache degraded answer, got %+v", third)
+	}
+	if third.Search == nil {
+		t.Fatal("stale answer should retain its original search summary")
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.StaleServed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestAdmissionControlSheds: with one slot, no queue, and a slow search,
+// concurrent requests beyond capacity are shed with 429 + Retry-After.
+func TestAdmissionControlSheds(t *testing.T) {
+	fp := sim.NewFaultPlan()
+	if err := fp.AddStraggler(partition.P, 1000, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{
+		MaxConcurrent: 1,
+		MaxQueue:      1,
+		Fault:         fp,
+		FaultStepCost: 2 * time.Millisecond,
+	})
+	const workers = 8
+	var shed, ok atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct seeds defeat coalescing so every request really
+			// contends for the gate.
+			resp, _ := postJSON(t, ts.URL+"/v1/plan", "400ms",
+				wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB", Seed: int64(i + 1)})
+			switch resp.StatusCode {
+			case http.StatusTooManyRequests:
+				if resp.Header.Get("Retry-After") == "" {
+					t.Error("429 without Retry-After header")
+				}
+				shed.Add(1)
+			case http.StatusOK:
+				ok.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if shed.Load() == 0 {
+		t.Fatalf("no request was shed (ok=%d)", ok.Load())
+	}
+	if ok.Load() == 0 {
+		t.Fatal("every request was shed — gate never admitted")
+	}
+	if s.Stats().Shed != shed.Load() {
+		t.Fatalf("stats.Shed = %d, observed %d", s.Stats().Shed, shed.Load())
+	}
+}
+
+// TestSingleflightCoalesces: concurrent identical requests share one
+// computation.
+func TestSingleflightCoalesces(t *testing.T) {
+	// The gate must admit all workers at once so coalescing (not
+	// admission control) is what bounds the search count.
+	s, ts := newTestServer(t, Config{MaxConcurrent: 8, MaxQueue: 16})
+	const workers = 6
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := postJSON(t, ts.URL+"/v1/plan", "10s",
+				wire.PlanRequest{N: 32, Ratio: "5:2:1", Algorithm: "SCB"})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+			}
+		}()
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Coalesced == 0 && st.CacheHits == 0 {
+		t.Fatalf("no request coalesced or hit cache: %+v", st)
+	}
+	if st.Searched > workers-1 {
+		t.Fatalf("searched %d times for %d identical requests", st.Searched, workers)
+	}
+}
+
+// TestBreakerOpensAfterConsecutiveFailures: repeated deadline misses trip
+// the breaker; subsequent requests degrade with reason breaker-open
+// without touching the search path.
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	fp := sim.NewFaultPlan()
+	if err := fp.AddStraggler(partition.P, 1000, 0, 1e9); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{
+		Fault:            fp,
+		FaultStepCost:    2 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Hour,
+	})
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/plan", "150ms",
+			wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB", Seed: int64(i + 1)})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("warm-up %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if s.Stats().BreakerTrips != 1 {
+		t.Fatalf("breaker trips = %d after threshold failures", s.Stats().BreakerTrips)
+	}
+	start := time.Now()
+	_, body := postJSON(t, ts.URL+"/v1/plan", "10s",
+		wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB", Seed: 99})
+	pr := decodePlan(t, body)
+	if !pr.Degraded || pr.DegradedReason != "breaker-open" {
+		t.Fatalf("want breaker-open degraded answer, got %+v", pr)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("breaker-open answer took %v — search was not skipped", elapsed)
+	}
+}
+
+// TestDrainRefusesNewWork: after BeginDrain, new requests get 503 and
+// /healthz flips unhealthy.
+func TestDrainRefusesNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+	resp, _ := postJSON(t, ts.URL+"/v1/plan", "1s",
+		wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining plan status = %d, want 503", resp.StatusCode)
+	}
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz status = %d, want 503", hr.StatusCode)
+	}
+}
+
+// TestPanicIsolation: a handler panic is quarantined into a 500, counted,
+// and the server keeps serving.
+func TestPanicIsolation(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/boom", s.endpoint("boom", true, func(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
+		panic("poisoned request")
+	}))
+	mux.Handle("/v1/plan", s.endpoint("plan", true, s.handlePlan))
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panic endpoint status = %d, want 500", resp.StatusCode)
+	}
+	if s.Stats().Panics != 1 {
+		t.Fatalf("panics = %d, want 1", s.Stats().Panics)
+	}
+	// The gate slot must have been released despite the panic.
+	resp2, body := postJSON(t, ts.URL+"/v1/plan", "10s",
+		wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB"})
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("server broken after panic: %d %s", resp2.StatusCode, body)
+	}
+}
+
+// TestValidationErrors: malformed inputs get 400 with a diagnostic, not a
+// search.
+func TestValidationErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []wire.PlanRequest{
+		{N: 0, Ratio: "5:2:1", Algorithm: "SCB"},
+		{N: 24, Ratio: "bogus", Algorithm: "SCB"},
+		{N: 24, Ratio: "5:2:1", Algorithm: "nope"},
+		{N: 24, Ratio: "5:2:1", Algorithm: "SCB", Topology: "ring"},
+		{N: 1 << 30, Ratio: "5:2:1", Algorithm: "SCB"},
+	}
+	for i, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/plan", "1s", c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: status %d (%s), want 400", i, resp.StatusCode, body)
+		}
+		var eb wire.ErrorBody
+		if err := json.Unmarshal(body, &eb); err != nil || eb.Error == "" {
+			t.Errorf("case %d: no diagnostic in body %s", i, body)
+		}
+	}
+}
+
+// TestEvaluateEndpoint: a named shape evaluates to its VoC and model
+// breakdown; an infeasible one reports Feasible=false.
+func TestEvaluateEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/evaluate", "5s",
+		wire.EvaluateRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB", Shape: "Square-Corner"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var er wire.EvaluateResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if !er.Feasible || er.VoC <= 0 || len(er.Procs) != 3 {
+		t.Fatalf("evaluate = %+v", er)
+	}
+	var total int
+	for _, p := range er.Procs {
+		total += p.Elements
+	}
+	if total != 24*24 {
+		t.Fatalf("proc shares sum to %d, want %d", total, 24*24)
+	}
+}
+
+// TestSearchEndpoint: a bounded search request completes and reports its
+// trajectory.
+func TestSearchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/search", "10s",
+		wire.SearchRequest{N: 20, Ratio: "3:2:1", MaxSteps: 2000, Beautify: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sr wire.SearchResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Steps <= 0 || sr.FinalVoC <= 0 || sr.FinalVoC > sr.InitialVoC {
+		t.Fatalf("search = %+v", sr)
+	}
+	if sr.Archetype == "" {
+		t.Fatal("search response missing archetype classification")
+	}
+}
+
+// TestCachePersistence: SaveCache/LoadCache round-trips entries through
+// the CRC journal, and a corrupted plan inside the journal is dropped
+// rather than served.
+func TestCachePersistence(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheTTL: time.Hour})
+	_, body := postJSON(t, ts.URL+"/v1/plan", "10s",
+		wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB"})
+	if pr := decodePlan(t, body); pr.Source != wire.SourceSearch {
+		t.Fatalf("seed request source %q", pr.Source)
+	}
+
+	path := filepath.Join(t.TempDir(), "plancache.journal")
+	saved, err := s.SaveCache(path)
+	if err != nil || saved != 1 {
+		t.Fatalf("SaveCache = (%d, %v), want (1, nil)", saved, err)
+	}
+
+	s2, err := New(Config{CacheTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := s2.LoadCache(path)
+	if err != nil || loaded != 1 {
+		t.Fatalf("LoadCache = (%d, %v), want (1, nil)", loaded, err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	_, body = postJSON(t, ts2.URL+"/v1/plan", "10s",
+		wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB"})
+	pr := decodePlan(t, body)
+	if pr.Source != wire.SourceCache {
+		t.Fatalf("warmed cache not used: %+v", pr)
+	}
+
+	// Loading a journal from a missing path warms nothing and is not an
+	// error.
+	s3, _ := New(Config{})
+	if n, err := s3.LoadCache(filepath.Join(t.TempDir(), "absent.journal")); n != 0 || err != nil {
+		t.Fatalf("missing journal load = (%d, %v)", n, err)
+	}
+}
+
+// TestRequestTimeoutHeaderForms: both duration and integer-millisecond
+// header forms parse; garbage is a 400.
+func TestRequestTimeoutHeaderForms(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, h := range []string{"2s", "2000"} {
+		resp, body := postJSON(t, ts.URL+"/v1/plan", h,
+			wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB"})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("Request-Timeout %q: status %d: %s", h, resp.StatusCode, body)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/plan", "soon",
+		wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage Request-Timeout: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestGetQueryForm: the GET query-parameter form of /v1/plan works for
+// quick curl-style probing.
+func TestGetQueryForm(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(fmt.Sprintf("%s/v1/plan?n=24&ratio=5:2:1&alg=SCB", ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET plan status %d", resp.StatusCode)
+	}
+	var pr wire.PlanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Plan == nil || pr.Plan.N != 24 {
+		t.Fatalf("GET plan = %+v", pr.Plan)
+	}
+}

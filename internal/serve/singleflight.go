@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"sync"
+
+	wire "repro/serve"
+)
+
+// flightGroup coalesces concurrent identical plan requests: the first
+// caller (the leader) computes, every other caller with the same key
+// waits for the leader's result instead of duplicating the search. A
+// waiter whose own deadline expires first abandons the flight and lets
+// the handler serve its degraded fallback.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done chan struct{}
+	resp *wire.PlanResponse
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flight)}
+}
+
+// errWaiterTimeout reports a waiter whose context expired while the
+// flight leader was still computing.
+type waiterTimeoutError struct{ cause error }
+
+func (e *waiterTimeoutError) Error() string {
+	return "serve: abandoned coalesced flight: " + e.cause.Error()
+}
+func (e *waiterTimeoutError) Unwrap() error { return e.cause }
+
+// do runs fn once per concurrently-requested key. The bool reports
+// whether the result was shared from another caller's flight.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*wire.PlanResponse, error)) (*wire.PlanResponse, bool, error) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.resp, true, f.err
+		case <-ctx.Done():
+			return nil, true, &waiterTimeoutError{cause: ctx.Err()}
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.resp, f.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.resp, false, f.err
+}

@@ -196,6 +196,19 @@ func spikeExtra(start float64, spikes []Spike) float64 {
 	return extra
 }
 
+// StretchCPU returns the wall-clock seconds that work seconds of
+// nominal-speed compute on processor p take when started at time start,
+// under the plan's straggler windows. It lets non-simulation callers —
+// the serving layer injects planner-CPU stragglers this way — reuse the
+// plan's piecewise-constant rate profile. A nil plan or an unaffected
+// processor returns work unchanged.
+func (f *FaultPlan) StretchCPU(p partition.Proc, start, work float64) float64 {
+	if !f.hasCPU(p) {
+		return work
+	}
+	return stretchOver(start, work, f.cpu[p])
+}
+
 // cpuStretch returns the stretch hook for compute tasks of processor p,
 // or nil when the plan leaves p alone.
 func (f *FaultPlan) cpuStretch(p partition.Proc) func(start, nominal float64) float64 {

@@ -189,3 +189,30 @@ func TestSimulateFaultsLinkDegradeAndSpike(t *testing.T) {
 		t.Fatalf("latency spike not applied: faulted %v, clean %v", faulted.TExe, clean.TExe)
 	}
 }
+
+func TestStretchCPUExported(t *testing.T) {
+	fp := NewFaultPlan()
+	if err := fp.AddStraggler(partition.P, 3, 0, math.Inf(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := fp.StretchCPU(partition.P, 0, 2); got != 6 {
+		t.Fatalf("StretchCPU(P, 0, 2) = %v, want 6 under a persistent 3× straggler", got)
+	}
+	// Unaffected processor and nil plan pass work through unchanged.
+	if got := fp.StretchCPU(partition.R, 0, 2); got != 2 {
+		t.Fatalf("StretchCPU(R) = %v, want 2", got)
+	}
+	var nilPlan *FaultPlan
+	if got := nilPlan.StretchCPU(partition.P, 0, 2); got != 2 {
+		t.Fatalf("nil plan StretchCPU = %v, want 2", got)
+	}
+	// A bounded window stretches only the covered span: 1s of work at
+	// factor 2 over [0, 1) takes 2s wall, the rest runs at full speed.
+	fp2 := NewFaultPlan()
+	if err := fp2.AddStraggler(partition.P, 2, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := fp2.StretchCPU(partition.P, 0, 3); got != 3.5 {
+		t.Fatalf("bounded window: got %v, want 3.5 (1s wall does 0.5 work in the window, 2.5 after)", got)
+	}
+}

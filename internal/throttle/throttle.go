@@ -1,10 +1,19 @@
-// Package throttle provides a token-bucket rate limiter for simulated
-// processor heterogeneity. The paper controlled processor speed ratios
-// with a /proc-based CPU limiter that let a process run until it consumed
-// its CPU-time fraction and then put it to sleep (Section X-B); Limiter
-// reproduces that behaviour for goroutine "processors": work is metered
-// in abstract operations and the goroutine sleeps whenever it runs ahead
-// of its allotted rate.
+// Package throttle provides flow-control primitives: a token-bucket rate
+// limiter for simulated processor heterogeneity and a bounded admission
+// gate for the serving layer.
+//
+// The paper controlled processor speed ratios with a /proc-based CPU
+// limiter that let a process run until it consumed its CPU-time fraction
+// and then put it to sleep (Section X-B); Limiter reproduces that
+// behaviour for goroutine "processors": work is metered in abstract
+// operations and the goroutine sleeps whenever it runs ahead of its
+// allotted rate.
+//
+// Gate is the admission-control counterpart: a fixed number of
+// concurrency slots plus a bounded wait queue. Callers beyond both
+// bounds are shed immediately with ErrSaturated instead of queueing
+// without limit — the load-shedding discipline pland uses to stay
+// responsive under overload.
 package throttle
 
 import (
@@ -104,6 +113,88 @@ func (l *Limiter) Used() float64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.used
+}
+
+// ErrSaturated reports an admission attempt against a Gate whose
+// concurrency slots and wait queue are both full. Callers translate it
+// into backpressure (HTTP 429 + Retry-After).
+var ErrSaturated = errors.New("throttle: gate saturated")
+
+// Gate is a bounded admission controller: at most Slots callers run
+// concurrently, at most Queue more wait for a slot, and any caller
+// beyond that is rejected immediately with ErrSaturated. The zero value
+// is unusable; use NewGate.
+type Gate struct {
+	mu      sync.Mutex
+	waiting int
+	queue   int
+	slots   chan struct{}
+}
+
+// NewGate returns a gate admitting slots concurrent holders with a wait
+// queue of queue callers. queue may be 0 (no waiting: full means shed).
+func NewGate(slots, queue int) (*Gate, error) {
+	if slots <= 0 {
+		return nil, errors.New("throttle: gate slots must be positive")
+	}
+	if queue < 0 {
+		return nil, errors.New("throttle: gate queue must be non-negative")
+	}
+	return &Gate{queue: queue, slots: make(chan struct{}, slots)}, nil
+}
+
+// Acquire claims a slot, waiting in the bounded queue if none is free.
+// It returns ErrSaturated without waiting when the queue is full, and
+// ctx's error if the context is cancelled first (a pre-cancelled context
+// never claims a slot). A nil return must be paired with Release.
+func (g *Gate) Acquire(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Fast path: free slot, no queueing.
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	g.mu.Lock()
+	if g.waiting >= g.queue {
+		g.mu.Unlock()
+		return ErrSaturated
+	}
+	g.waiting++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.waiting--
+		g.mu.Unlock()
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot claimed by a successful Acquire. Releasing more
+// than was acquired panics: it always indicates a caller bug.
+func (g *Gate) Release() {
+	select {
+	case <-g.slots:
+	default:
+		panic("throttle: Gate.Release without matching Acquire")
+	}
+}
+
+// InUse returns the number of currently held slots.
+func (g *Gate) InUse() int { return len(g.slots) }
+
+// Waiting returns the number of callers parked in the wait queue.
+func (g *Gate) Waiting() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waiting
 }
 
 // VirtualClock meters the same token-bucket arithmetic without real

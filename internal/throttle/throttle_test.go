@@ -173,6 +173,184 @@ func TestAcquireConcurrentFakeClock(t *testing.T) {
 	}
 }
 
+func TestGateValidation(t *testing.T) {
+	if _, err := NewGate(0, 1); err == nil {
+		t.Error("zero slots should error")
+	}
+	if _, err := NewGate(2, -1); err == nil {
+		t.Error("negative queue should error")
+	}
+	if g, err := NewGate(2, 0); err != nil || g == nil {
+		t.Fatalf("NewGate(2, 0): %v %v", g, err)
+	}
+}
+
+func TestGateShedsWhenSaturated(t *testing.T) {
+	g, err := NewGate(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Slot held, queue size 0: the next acquire must shed immediately,
+	// not block.
+	if err := g.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	g.Release()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	g.Release()
+}
+
+func TestGateQueueFullSheds(t *testing.T) {
+	g, err := NewGate(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := g.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Fill the one queue slot with a parked waiter.
+	waiterIn := make(chan error, 1)
+	go func() { waiterIn <- g.Acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full: the third caller is shed.
+	if err := g.Acquire(ctx); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("err = %v, want ErrSaturated", err)
+	}
+	// Releasing the slot admits the parked waiter.
+	g.Release()
+	select {
+	case err := <-waiterIn:
+		if err != nil {
+			t.Fatalf("queued waiter: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued waiter never admitted")
+	}
+	g.Release()
+}
+
+func TestGateAcquireCancelled(t *testing.T) {
+	g, err := NewGate(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-cancelled context: never claims a slot.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := g.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if g.InUse() != 0 {
+		t.Fatal("pre-cancelled acquire claimed a slot")
+	}
+	// A waiter cancelled mid-queue frees its queue position.
+	if err := g.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.Acquire(wctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for g.Waiting() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wcancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled waiter never returned")
+	}
+	deadline = time.Now().Add(2 * time.Second)
+	for g.Waiting() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("cancelled waiter still counted as queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	g.Release()
+}
+
+func TestGateReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unbalanced Release should panic")
+		}
+	}()
+	g, _ := NewGate(1, 0)
+	g.Release()
+}
+
+// TestGateConcurrent hammers the gate from many goroutines under the race
+// detector: the concurrency bound must never be exceeded, shed callers
+// must not leak slots, and everything admitted must complete.
+func TestGateConcurrent(t *testing.T) {
+	const slots, queue, workers, iters = 3, 4, 16, 50
+	g, err := NewGate(slots, queue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var inside, maxSeen, admitted, shed int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := g.Acquire(context.Background())
+				if errors.Is(err, ErrSaturated) {
+					atomic.AddInt64(&shed, 1)
+					continue
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				cur := atomic.AddInt64(&inside, 1)
+				for {
+					old := atomic.LoadInt64(&maxSeen)
+					if cur <= old || atomic.CompareAndSwapInt64(&maxSeen, old, cur) {
+						break
+					}
+				}
+				atomic.AddInt64(&admitted, 1)
+				time.Sleep(time.Duration(i%3) * 100 * time.Microsecond)
+				atomic.AddInt64(&inside, -1)
+				g.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if maxSeen > slots {
+		t.Fatalf("observed %d concurrent holders, bound is %d", maxSeen, slots)
+	}
+	if g.InUse() != 0 || g.Waiting() != 0 {
+		t.Fatalf("gate not drained: inUse=%d waiting=%d", g.InUse(), g.Waiting())
+	}
+	if admitted == 0 {
+		t.Fatal("nothing admitted")
+	}
+	t.Logf("admitted %d, shed %d, peak concurrency %d", admitted, shed, maxSeen)
+}
+
 func TestVirtualClock(t *testing.T) {
 	v, err := NewVirtual(100)
 	if err != nil {

@@ -102,11 +102,100 @@ func (p *Plan) WriteJSON(w io.Writer) error {
 	return enc.Encode(p)
 }
 
-// ReadPlan parses a JSON plan.
+// PlanError reports a plan file whose JSON parsed but whose content is
+// invalid or internally inconsistent — a truncated copy, a hand-edited
+// field, or bit rot that survived the transport layer.
+type PlanError struct {
+	Field  string
+	Reason string
+}
+
+func (e *PlanError) Error() string {
+	return fmt.Sprintf("heteropart: plan field %s: %s", e.Field, e.Reason)
+}
+
+// Validate checks a plan's fields for range and cross-field consistency:
+// parseable ratio/algorithm/topology/shape, a grid that decodes to the
+// declared dimension, per-processor element counts that cover the matrix,
+// and a VoC that matches the decoded grid. It returns a *PlanError on the
+// first violation, so a corrupt plan is rejected instead of propagating a
+// zero-valued decision into a runtime.
+func (p *Plan) Validate() error {
+	if p.N <= 0 {
+		return &PlanError{Field: "n", Reason: fmt.Sprintf("must be positive, got %d", p.N)}
+	}
+	if _, err := partition.ParseRatio(p.Ratio); err != nil {
+		return &PlanError{Field: "ratio", Reason: err.Error()}
+	}
+	if _, err := model.ParseAlgorithm(p.Algorithm); err != nil {
+		return &PlanError{Field: "algorithm", Reason: err.Error()}
+	}
+	if _, err := model.ParseTopology(p.Topology); err != nil {
+		return &PlanError{Field: "topology", Reason: err.Error()}
+	}
+	if _, err := partition.ParseShape(p.Shape); err != nil {
+		return &PlanError{Field: "shape", Reason: err.Error()}
+	}
+	if p.VoC < 0 {
+		return &PlanError{Field: "voc", Reason: fmt.Sprintf("must be non-negative, got %d", p.VoC)}
+	}
+	raw, err := base64.StdEncoding.DecodeString(p.Grid)
+	if err != nil {
+		return &PlanError{Field: "grid", Reason: fmt.Sprintf("bad base64: %v", err)}
+	}
+	g, err := partition.Decode(raw)
+	if err != nil {
+		return &PlanError{Field: "grid", Reason: err.Error()}
+	}
+	if g.N() != p.N {
+		return &PlanError{Field: "grid", Reason: fmt.Sprintf("decodes to %d×%d, plan says n=%d", g.N(), g.N(), p.N)}
+	}
+	if got := g.VoC(); got != p.VoC {
+		return &PlanError{Field: "voc", Reason: fmt.Sprintf("plan says %d, grid has %d", p.VoC, got)}
+	}
+	if len(p.Procs) > 0 {
+		total := 0
+		for _, pp := range p.Procs {
+			proc, perr := parseProc(pp.Processor)
+			if perr != nil {
+				return &PlanError{Field: "procs", Reason: perr.Error()}
+			}
+			if pp.Elements < 0 {
+				return &PlanError{Field: "procs", Reason: fmt.Sprintf("%s has negative element count %d", pp.Processor, pp.Elements)}
+			}
+			if got := g.Count(proc); got != pp.Elements {
+				return &PlanError{Field: "procs", Reason: fmt.Sprintf("%s claims %d elements, grid assigns %d", pp.Processor, pp.Elements, got)}
+			}
+			total += pp.Elements
+		}
+		if total != p.N*p.N {
+			return &PlanError{Field: "procs", Reason: fmt.Sprintf("element counts sum to %d, want n² = %d", total, p.N*p.N)}
+		}
+	}
+	p.partition = g
+	return nil
+}
+
+// parseProc maps a processor name ("P", "R", "S") back to its identifier.
+func parseProc(s string) (partition.Proc, error) {
+	for _, proc := range partition.Procs {
+		if proc.String() == s {
+			return proc, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown processor %q", s)
+}
+
+// ReadPlan parses and validates a JSON plan. Truncated or otherwise
+// unparseable input fails with a decode error; input that parses but
+// carries out-of-range or inconsistent fields fails with a *PlanError.
 func ReadPlan(r io.Reader) (*Plan, error) {
 	var p Plan
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("heteropart: plan decode: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	return &p, nil
 }

@@ -2,6 +2,7 @@ package heteropart
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -103,6 +104,80 @@ func TestReadPlanErrors(t *testing.T) {
 	p2 := &Plan{Grid: "AAAA"}
 	if _, err := p2.Partition(); err == nil {
 		t.Error("truncated grid should error")
+	}
+}
+
+// TestReadPlanRejectsCorrupt feeds ReadPlan plans that parse as JSON but
+// are truncated, hand-edited, or bit-rotted. Every one must fail with a
+// typed *PlanError naming the bad field — never return a zero-valued or
+// inconsistent plan.
+func TestReadPlanRejectsCorrupt(t *testing.T) {
+	goodJSON := func(t *testing.T) string {
+		t.Helper()
+		p, err := NewPlan(SCB, DefaultMachine(MustRatio(5, 2, 1)), 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	cases := []struct {
+		name    string
+		mutate  func(s string) string
+		field   string // expected PlanError field; "" = any decode error
+		wantErr bool
+	}{
+		{"pristine", func(s string) string { return s }, "", false},
+		{"truncated JSON", func(s string) string { return s[:len(s)/2] }, "", true},
+		{"empty input", func(string) string { return "" }, "", true},
+		{"zero n", func(s string) string { return strings.Replace(s, `"n": 24`, `"n": 0`, 1) }, "n", true},
+		{"negative n", func(s string) string { return strings.Replace(s, `"n": 24`, `"n": -8`, 1) }, "n", true},
+		{"bad ratio", func(s string) string { return strings.Replace(s, `"ratio": "5:2:1"`, `"ratio": "fast:slow"`, 1) }, "ratio", true},
+		{"inverted ratio", func(s string) string { return strings.Replace(s, `"ratio": "5:2:1"`, `"ratio": "1:2:5"`, 1) }, "ratio", true},
+		{"bad algorithm", func(s string) string { return strings.Replace(s, `"algorithm": "SCB"`, `"algorithm": "QUIC"`, 1) }, "algorithm", true},
+		{"bad topology", func(s string) string { return strings.Replace(s, `"topology": "fully-connected"`, `"topology": "mesh"`, 1) }, "topology", true},
+		{"bad shape", func(s string) string { return strings.Replace(s, `"shape": "`, `"shape": "Hexagon-`, 1) }, "shape", true},
+		{"negative voc", func(s string) string { return strings.Replace(s, `"voc": `, `"voc": -`, 1) }, "voc", true},
+		{"voc mismatch", func(s string) string { return strings.Replace(s, `"voc": `, `"voc": 1`, 1) }, "voc", true},
+		{"garbage grid", func(s string) string {
+			i := strings.Index(s, `"grid": "`)
+			j := strings.Index(s[i+9:], `"`)
+			return s[:i+9] + "AAAA" + s[i+9+j:]
+		}, "grid", true},
+		{"grid not base64", func(s string) string {
+			i := strings.Index(s, `"grid": "`)
+			j := strings.Index(s[i+9:], `"`)
+			return s[:i+9] + "@@@@" + s[i+9+j:]
+		}, "grid", true},
+		{"proc count tampered", func(s string) string { return strings.Replace(s, `"elements": `, `"elements": 9`, 1) }, "procs", true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			in := c.mutate(goodJSON(t))
+			p, err := ReadPlan(strings.NewReader(in))
+			if !c.wantErr {
+				if err != nil {
+					t.Fatalf("pristine plan rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("corrupt plan accepted: %+v", p)
+			}
+			if c.field != "" {
+				var pe *PlanError
+				if !errors.As(err, &pe) {
+					t.Fatalf("err = %v (%T), want *PlanError", err, err)
+				}
+				if pe.Field != c.field {
+					t.Fatalf("PlanError field = %q (%v), want %q", pe.Field, err, c.field)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,437 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RetryPolicy bounds the client's retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per call (first attempt
+	// included). 0 selects 4.
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (base, 2·base, 4·base, …,
+	// each fully jittered). 0 selects 50ms.
+	BaseDelay time.Duration
+	// MaxDelay caps one backoff sleep. 0 selects 2s.
+	MaxDelay time.Duration
+}
+
+// HedgePolicy enables hedged requests: when the primary attempt has not
+// answered within Delay, an identical second request is issued and the
+// first response wins. Hedging caps tail latency when a server instance
+// stalls; it must only be used against idempotent endpoints, which all
+// pland endpoints are.
+type HedgePolicy struct {
+	// Delay is how long to wait before hedging; 0 disables hedging.
+	Delay time.Duration
+	// MaxHedges bounds extra in-flight copies per attempt. 0 selects 1
+	// (when Delay > 0).
+	MaxHedges int
+}
+
+// ClientConfig tunes a Client. The zero value gives sane defaults.
+type ClientConfig struct {
+	// Timeout is the per-call deadline, propagated to the server via the
+	// Request-Timeout header. 0 selects 10s. A tighter deadline already
+	// on ctx wins.
+	Timeout time.Duration
+	Retry   RetryPolicy
+	Hedge   HedgePolicy
+	// RetryBudget is the token-bucket capacity shared by all calls: each
+	// retry (not first attempts) spends one token, and tokens refill at
+	// RetryRefillPerSec. When the bucket is dry the client fails fast
+	// instead of amplifying an outage with a retry storm. 0 selects 10.
+	RetryBudget float64
+	// RetryRefillPerSec is the budget refill rate. 0 selects 1.
+	RetryRefillPerSec float64
+	// HTTPClient overrides the transport (nil uses http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// APIError is a non-2xx response from the service.
+type APIError struct {
+	StatusCode int
+	Message    string
+	// RetryAfter is the server's requested backpressure delay (429/503).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serve: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// Temporary reports whether the error is worth retrying.
+func (e *APIError) Temporary() bool {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests, http.StatusInternalServerError,
+		http.StatusBadGateway, http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// ErrRetryBudgetExhausted wraps the last attempt's error when the shared
+// retry budget ran dry before the attempt limit.
+var ErrRetryBudgetExhausted = errors.New("serve: retry budget exhausted")
+
+// Client is a robust pland client. Create with NewClient; a Client is
+// safe for concurrent use.
+type Client struct {
+	base   string
+	http   *http.Client
+	cfg    ClientConfig
+	budget tokenBucket
+
+	mu     sync.Mutex
+	hedges int64 // hedged sub-requests issued (observability)
+}
+
+// NewClient returns a client for the service at baseURL
+// (e.g. "http://127.0.0.1:8080").
+func NewClient(baseURL string, cfg ClientConfig) *Client {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 10 * time.Second
+	}
+	if cfg.Retry.MaxAttempts <= 0 {
+		cfg.Retry.MaxAttempts = 4
+	}
+	if cfg.Retry.BaseDelay <= 0 {
+		cfg.Retry.BaseDelay = 50 * time.Millisecond
+	}
+	if cfg.Retry.MaxDelay <= 0 {
+		cfg.Retry.MaxDelay = 2 * time.Second
+	}
+	if cfg.Hedge.Delay > 0 && cfg.Hedge.MaxHedges <= 0 {
+		cfg.Hedge.MaxHedges = 1
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 10
+	}
+	if cfg.RetryRefillPerSec <= 0 {
+		cfg.RetryRefillPerSec = 1
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: hc,
+		cfg:  cfg,
+		budget: tokenBucket{
+			tokens:   cfg.RetryBudget,
+			capacity: cfg.RetryBudget,
+			refill:   cfg.RetryRefillPerSec,
+			now:      time.Now,
+		},
+	}
+}
+
+// Plan requests the optimal partitioning decision for a scenario.
+func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
+	var resp PlanResponse
+	if err := c.do(ctx, "/v1/plan", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Evaluate requests the cost of one named candidate shape.
+func (c *Client) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateResponse, error) {
+	var resp EvaluateResponse
+	if err := c.do(ctx, "/v1/evaluate", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Search requests one bounded Push-search run.
+func (c *Client) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
+	var resp SearchResponse
+	if err := c.do(ctx, "/v1/search", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Stats fetches the server's traffic counters.
+func (c *Client) Stats(ctx context.Context) (*Stats, error) {
+	var resp Stats
+	if err := c.do(ctx, "/v1/stats", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health probes /healthz once, without retries.
+func (c *Client) Health(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return &APIError{StatusCode: resp.StatusCode, Message: "unhealthy"}
+	}
+	return nil
+}
+
+// Hedges returns the number of hedged sub-requests issued so far.
+func (c *Client) Hedges() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hedges
+}
+
+// do runs the full robustness stack for one logical call: deadline,
+// hedged attempts, retry classification, budgeted jittered backoff.
+func (c *Client) do(ctx context.Context, path string, reqBody, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	var body []byte
+	if reqBody != nil {
+		var err error
+		if body, err = json.Marshal(reqBody); err != nil {
+			return fmt.Errorf("serve: marshal request: %w", err)
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.Retry.MaxAttempts; attempt++ {
+		raw, err := c.attempt(ctx, path, body)
+		if err == nil {
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(raw, out); err != nil {
+				return fmt.Errorf("serve: decode response: %w", err)
+			}
+			return nil
+		}
+		lastErr = err
+		if !retryable(err) || ctx.Err() != nil {
+			return err
+		}
+		if attempt+1 >= c.cfg.Retry.MaxAttempts {
+			break
+		}
+		if !c.budget.take(1) {
+			return fmt.Errorf("%w: %w", ErrRetryBudgetExhausted, err)
+		}
+		if err := sleepCtx(ctx, c.backoff(attempt, err)); err != nil {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// backoff computes the jittered exponential delay for a retry of the
+// given attempt, flooring it at the server's Retry-After request.
+func (c *Client) backoff(attempt int, cause error) time.Duration {
+	ceil := c.cfg.Retry.BaseDelay << uint(attempt)
+	if ceil > c.cfg.Retry.MaxDelay {
+		ceil = c.cfg.Retry.MaxDelay
+	}
+	// Full jitter: uniform in (0, ceil].
+	d := time.Duration(rand.Int63n(int64(ceil))) + 1
+	var apiErr *APIError
+	if errors.As(cause, &apiErr) && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+	}
+	return d
+}
+
+// attempt issues one logical attempt, hedging it with up to MaxHedges
+// identical copies when the primary is slow. The first success wins and
+// the losers are cancelled; if every copy fails, the primary's error is
+// returned.
+func (c *Client) attempt(parent context.Context, path string, body []byte) ([]byte, error) {
+	hedge := c.cfg.Hedge
+	if hedge.Delay <= 0 {
+		return c.send(parent, path, body)
+	}
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+
+	type result struct {
+		raw []byte
+		err error
+	}
+	results := make(chan result, 1+hedge.MaxHedges)
+	launch := func() {
+		go func() {
+			raw, err := c.send(ctx, path, body)
+			results <- result{raw, err}
+		}()
+	}
+	launch()
+	outstanding, hedged := 1, 0
+	timer := time.NewTimer(hedge.Delay)
+	defer timer.Stop()
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				return r.raw, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			outstanding--
+			if outstanding == 0 {
+				if hedged >= hedge.MaxHedges {
+					return nil, firstErr
+				}
+				// Everything in flight failed fast: hedge immediately
+				// rather than waiting out the timer.
+				launch()
+				outstanding++
+				hedged++
+				c.noteHedge()
+			}
+		case <-timer.C:
+			if hedged < hedge.MaxHedges {
+				launch()
+				outstanding++
+				hedged++
+				c.noteHedge()
+				timer.Reset(hedge.Delay)
+			}
+		case <-parent.Done():
+			return nil, parent.Err()
+		}
+	}
+}
+
+func (c *Client) noteHedge() {
+	c.mu.Lock()
+	c.hedges++
+	c.mu.Unlock()
+}
+
+// send performs one HTTP exchange and classifies the response.
+func (c *Client) send(ctx context.Context, path string, body []byte) ([]byte, error) {
+	method := http.MethodPost
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	} else {
+		method = http.MethodGet
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the effective deadline so the server degrades instead of
+	// wasting work past the point anyone is listening.
+	if dl, ok := ctx.Deadline(); ok {
+		if remain := time.Until(dl); remain > 0 {
+			req.Header.Set("Request-Timeout", remain.Round(time.Millisecond).String())
+		}
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return raw, nil
+	}
+	apiErr := &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(raw))}
+	var eb ErrorBody
+	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+		apiErr.Message = eb.Error
+		if eb.RetryAfterMS > 0 {
+			apiErr.RetryAfter = time.Duration(eb.RetryAfterMS) * time.Millisecond
+		}
+	}
+	if apiErr.RetryAfter == 0 {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return nil, apiErr
+}
+
+// retryable classifies an attempt error: temporary API statuses and
+// transport-level failures retry; everything else (4xx validation
+// errors, decode failures) fails fast.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Network-level errors (connection refused mid-restart, resets).
+	return true
+}
+
+// sleepCtx waits for d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// tokenBucket is the shared retry budget: take spends tokens that refill
+// over time, and a dry bucket vetoes further retries.
+type tokenBucket struct {
+	mu       sync.Mutex
+	tokens   float64
+	capacity float64
+	refill   float64 // tokens per second
+	last     time.Time
+	now      func() time.Time
+}
+
+func (b *tokenBucket) take(n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.refill
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+	}
+	b.last = now
+	if b.tokens < n {
+		return false
+	}
+	b.tokens -= n
+	return true
+}

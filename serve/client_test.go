@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"context"
+)
+
+func planOK() PlanResponse {
+	return PlanResponse{Source: SourceCanonical, Degraded: true, DegradedReason: "deadline"}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// TestClientRetriesOnShed: a server that sheds twice with 429 and then
+// answers. The client must retry with backoff, honour Retry-After, and
+// succeed on the third attempt.
+func TestClientRetriesOnShed(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt32(&calls, 1)
+		if n <= 2 {
+			writeJSON(w, http.StatusTooManyRequests, ErrorBody{Error: "saturated", RetryAfterMS: 5})
+			return
+		}
+		writeJSON(w, http.StatusOK, planOK())
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{
+		Timeout: 5 * time.Second,
+		Retry:   RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	})
+	resp, err := c.Plan(context.Background(), PlanRequest{N: 40, Ratio: "3:1:1", Algorithm: "SCB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded || resp.Source != SourceCanonical {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if got := atomic.LoadInt32(&calls); got != 3 {
+		t.Fatalf("server saw %d calls, want 3", got)
+	}
+}
+
+// TestClientNoRetryOn400: validation errors are permanent; the client
+// must fail fast without retrying.
+func TestClientNoRetryOn400(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: "n must be ≥ 4"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{Retry: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}})
+	_, err := c.Plan(context.Background(), PlanRequest{N: 1})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retries on 400)", got)
+	}
+}
+
+// TestClientRetryBudgetExhaustion: with a zero-refill one-token budget, a
+// persistently failing server gets exactly one retry before the client
+// fails fast with ErrRetryBudgetExhausted.
+func TestClientRetryBudgetExhaustion(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: "down"})
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL, ClientConfig{
+		Retry:             RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		RetryBudget:       1,
+		RetryRefillPerSec: 0.000001,
+	})
+	_, err := c.Plan(context.Background(), PlanRequest{N: 40, Ratio: "3:1:1", Algorithm: "SCB"})
+	if !errors.Is(err, ErrRetryBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrRetryBudgetExhausted", err)
+	}
+	// 1 first attempt + 1 budgeted retry + the attempt that found the
+	// bucket dry = 2 calls.
+	if got := atomic.LoadInt32(&calls); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+}
+
+// TestClientHedging: the first request stalls, the hedge answers
+// immediately — the call must return the hedge's response well before the
+// stall ends, and report a hedge was issued.
+func TestClientHedging(t *testing.T) {
+	var calls int32
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			select {
+			case <-release:
+			case <-r.Context().Done():
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, planOK())
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := NewClient(ts.URL, ClientConfig{
+		Timeout: 10 * time.Second,
+		Hedge:   HedgePolicy{Delay: 20 * time.Millisecond, MaxHedges: 1},
+	})
+	start := time.Now()
+	resp, err := c.Plan(context.Background(), PlanRequest{N: 40, Ratio: "3:1:1", Algorithm: "SCB"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Source != SourceCanonical {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hedged call took %v — hedge never won", elapsed)
+	}
+	if c.Hedges() != 1 {
+		t.Fatalf("Hedges() = %d, want 1", c.Hedges())
+	}
+}
+
+// TestClientNetworkErrorRetries: connection failures are retryable.
+func TestClientNetworkErrorRetries(t *testing.T) {
+	// A server that closes immediately: the port is then dead, every
+	// attempt fails at the transport level.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	c := NewClient(url, ClientConfig{
+		Timeout: 2 * time.Second,
+		Retry:   RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	_, err := c.Plan(context.Background(), PlanRequest{N: 40, Ratio: "3:1:1", Algorithm: "SCB"})
+	if err == nil {
+		t.Fatal("dead server should error")
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		t.Fatalf("expected transport error, got API error %v", err)
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := tokenBucket{tokens: 1, capacity: 2, refill: 1, now: func() time.Time { return now }}
+	if !b.take(1) {
+		t.Fatal("first take should succeed")
+	}
+	if b.take(1) {
+		t.Fatal("bucket should be dry")
+	}
+	now = now.Add(1500 * time.Millisecond)
+	if !b.take(1) {
+		t.Fatal("refilled bucket should admit")
+	}
+	// Refill is capped at capacity.
+	now = now.Add(time.Hour)
+	if !b.take(1) || !b.take(1) || b.take(1) {
+		t.Fatal("refill must cap at capacity 2")
+	}
+}

@@ -1,0 +1,161 @@
+// Package serve defines the wire protocol of the partition-planning
+// service (cmd/pland) and a robust Go client for it.
+//
+// The service turns the paper's planning pipeline into an online API:
+//
+//   - POST /v1/plan — the optimal candidate shape and full Plan for a
+//     scenario (N, ratio, algorithm, topology), refined by a bounded
+//     Push search when the request's deadline allows. When it does not —
+//     or when the search path's circuit breaker is open — the response
+//     carries the canonical-shape answer with Degraded set, which is the
+//     paper's own fallback: the six canonical candidates are provably
+//     strong shapes that are cheap to evaluate.
+//   - POST /v1/evaluate — VoC and modelled execution-time breakdown for
+//     one named candidate shape.
+//   - POST /v1/search — a bounded Push-search run (the Section VI DFA)
+//     under the request deadline.
+//
+// Every endpoint also accepts GET with the same fields as query
+// parameters, and honours a Request-Timeout header (a Go duration such
+// as "250ms", or an integer millisecond count) as the serving deadline.
+//
+// Client implements retries with jittered exponential backoff and a
+// retry budget, honours Retry-After on load-shed responses, and can
+// hedge slow requests against a second in-flight attempt.
+package serve
+
+import (
+	heteropart "repro"
+)
+
+// PlanRequest asks for the optimal partitioning decision for a scenario.
+type PlanRequest struct {
+	// N is the matrix dimension.
+	N int `json:"n"`
+	// Ratio is the processor speed ratio "Pr:Rr:Sr".
+	Ratio string `json:"ratio"`
+	// Algorithm names one of the five MMM algorithms (SCB, PCB, SCO,
+	// PCO, PIO).
+	Algorithm string `json:"algorithm"`
+	// Topology is "fully-connected" (default) or "star".
+	Topology string `json:"topology,omitempty"`
+	// Seed drives the Push-search refinement's randomisation; 0 selects
+	// the server default.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// SearchSummary reports the Push-search refinement attached to a
+// non-degraded plan response.
+type SearchSummary struct {
+	Steps      int   `json:"steps"`
+	InitialVoC int64 `json:"initialVoc"`
+	FinalVoC   int64 `json:"finalVoc"`
+	Converged  bool  `json:"converged"`
+	// Archetype is the terminal shape family (A–D) the search reached.
+	Archetype string `json:"archetype"`
+	// Improved reports whether the searched partition beat the canonical
+	// candidate's communication volume (it rarely does — that is the
+	// paper's point — but the search is the proof).
+	Improved  bool    `json:"improved"`
+	ElapsedMS float64 `json:"elapsedMs"`
+}
+
+// Plan response sources.
+const (
+	// SourceSearch marks a full-quality answer: canonical candidate
+	// comparison plus a completed Push-search refinement.
+	SourceSearch = "search"
+	// SourceCanonical marks a degraded answer served from the canonical
+	// candidate evaluation only.
+	SourceCanonical = "canonical"
+	// SourceCache marks a fresh cache hit of an earlier searched answer.
+	SourceCache = "cache"
+	// SourceStaleCache marks a degraded answer served from an expired
+	// cache entry — better than bare canonical, still marked Degraded.
+	SourceStaleCache = "stale-cache"
+)
+
+// PlanResponse is the service's partitioning decision.
+type PlanResponse struct {
+	Plan *heteropart.Plan `json:"plan"`
+	// Degraded is set when the search path was skipped or abandoned
+	// (deadline too short, circuit breaker open) and the answer is the
+	// canonical-shape fallback.
+	Degraded bool `json:"degraded"`
+	// DegradedReason explains a degraded answer: "deadline",
+	// "breaker-open", or "search-error".
+	DegradedReason string `json:"degradedReason,omitempty"`
+	// Source is one of the Source* constants.
+	Source string `json:"source"`
+	// Search is present on non-degraded responses.
+	Search    *SearchSummary `json:"search,omitempty"`
+	ElapsedMS float64        `json:"elapsedMs"`
+}
+
+// EvaluateRequest asks for the cost of one named candidate shape.
+type EvaluateRequest struct {
+	N         int    `json:"n"`
+	Ratio     string `json:"ratio"`
+	Algorithm string `json:"algorithm"`
+	Topology  string `json:"topology,omitempty"`
+	// Shape is a canonical shape name ("Square-Corner", ...).
+	Shape string `json:"shape"`
+}
+
+// ProcShare is one processor's share of an evaluated shape.
+type ProcShare struct {
+	Processor string `json:"processor"`
+	Elements  int    `json:"elements"`
+}
+
+// EvaluateResponse reports one candidate's cost model breakdown.
+type EvaluateResponse struct {
+	Shape    string `json:"shape"`
+	Feasible bool   `json:"feasible"`
+	// VoC is the communication volume in elements (valid when Feasible).
+	VoC       int64                `json:"voc"`
+	Breakdown heteropart.Breakdown `json:"breakdown"`
+	Procs     []ProcShare          `json:"procs,omitempty"`
+	ElapsedMS float64              `json:"elapsedMs"`
+}
+
+// SearchRequest asks for one bounded Push-search run.
+type SearchRequest struct {
+	N     int    `json:"n"`
+	Ratio string `json:"ratio"`
+	Seed  int64  `json:"seed,omitempty"`
+	// MaxSteps bounds the committed Pushes; 0 selects the engine default
+	// (clamped by the server's configured ceiling).
+	MaxSteps int  `json:"maxSteps,omitempty"`
+	Beautify bool `json:"beautify,omitempty"`
+}
+
+// SearchResponse reports a completed Push-search run.
+type SearchResponse struct {
+	Steps      int     `json:"steps"`
+	InitialVoC int64   `json:"initialVoc"`
+	FinalVoC   int64   `json:"finalVoc"`
+	Converged  bool    `json:"converged"`
+	Archetype  string  `json:"archetype"`
+	ElapsedMS  float64 `json:"elapsedMs"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response.
+type ErrorBody struct {
+	Error string `json:"error"`
+	// RetryAfterMS mirrors the Retry-After header on 429/503 responses.
+	RetryAfterMS int64 `json:"retryAfterMs,omitempty"`
+}
+
+// Stats is the served-traffic counter snapshot of /v1/stats.
+type Stats struct {
+	Requests     int64 `json:"requests"`
+	Shed         int64 `json:"shed"`
+	Degraded     int64 `json:"degraded"`
+	Searched     int64 `json:"searched"`
+	CacheHits    int64 `json:"cacheHits"`
+	StaleServed  int64 `json:"staleServed"`
+	Coalesced    int64 `json:"coalesced"`
+	Panics       int64 `json:"panics"`
+	BreakerTrips int64 `json:"breakerTrips"`
+}

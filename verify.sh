@@ -3,18 +3,23 @@
 #
 # Runs vet, a full build, the complete test suite, the race detector over
 # the packages with real concurrency (the push engine's pooled scratch
-# state, the census worker pool, the journal writer, and the throttle
-# limiter), and a kill/resume smoke test: a journaled census is SIGKILLed
-# mid-flight and resumed, and its output must be byte-identical to an
-# uninterrupted run. CI and pre-commit hooks run exactly this script; it
-# exits non-zero on the first failure — no step may be skipped.
+# state, the census worker pool, the journal writer, the throttle
+# limiter, and the planning service with its client), a kill/resume smoke
+# test (a journaled census is SIGKILLed mid-flight and resumed, and its
+# output must be byte-identical to an uninterrupted run), and a pland
+# drain smoke test (degraded serving under an injected straggler fault,
+# full-quality serving without it, clean SIGTERM drain, and a non-zero
+# exit when the drain window is forced shut). CI and pre-commit hooks run
+# exactly this script; it exits non-zero on the first failure — no step
+# may be skipped.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/push/... ./internal/experiment/... \
-    ./internal/journal/... ./internal/throttle/...
+    ./internal/journal/... ./internal/throttle/... \
+    ./internal/serve/... ./serve/...
 
 # --- kill/resume smoke test (~10s) ------------------------------------
 tmp=$(mktemp -d)
@@ -42,3 +47,70 @@ wait "$pid" 2>/dev/null || true
 "$tmp/pushsearch" $flags -journal "$tmp/census.jsonl" -resume \
     > "$tmp/resumed.out"
 cmp "$tmp/clean.out" "$tmp/resumed.out"
+
+# --- pland drain smoke test (~15s) ------------------------------------
+# Three scenarios against the planning service:
+#   1. injected straggler fault + short deadlines → every answer is the
+#      canonical fallback marked Degraded, inside the deadline, and a
+#      SIGTERM mid-burst drains clean (exit 0) with the cache flushed;
+#   2. healthy server → the same workload comes back full quality;
+#   3. a drain window too small for the in-flight request → exit non-zero.
+go build -o "$tmp/pland" ./cmd/pland
+go build -o "$tmp/loader" ./examples/planner_service
+
+wait_addr() {
+    for _ in $(seq 100); do
+        [ -s "$1" ] && return 0
+        sleep 0.1
+    done
+    echo "pland never wrote $1" >&2
+    return 1
+}
+
+# Scenario 1: faulted server, degraded serving, clean drain.
+"$tmp/pland" -addr 127.0.0.1:0 -addr-file "$tmp/a1" \
+    -fault-straggler 1000 -fault-step 2ms \
+    -max-concurrent 8 -max-queue 16 \
+    -cache-journal "$tmp/plancache.jsonl" 2> "$tmp/pland1.log" &
+p1=$!
+wait_addr "$tmp/a1"
+url1="http://$(cat "$tmp/a1")"
+"$tmp/loader" -url "$url1" -requests 12 -conc 4 -timeout 500ms -expect degraded
+
+"$tmp/loader" -url "$url1" -requests 30 -conc 4 -timeout 500ms \
+    > /dev/null 2>&1 &
+l1=$!
+sleep 0.3
+kill -TERM "$p1"
+wait "$p1" || { echo "pland dirty drain" >&2; cat "$tmp/pland1.log" >&2; exit 1; }
+wait "$l1" || true      # the burst's tail sees 503s once draining — expected
+[ -s "$tmp/plancache.jsonl" ]
+grep -q "drained clean" "$tmp/pland1.log"
+
+# Scenario 2: healthy server, full-quality serving, clean drain when idle.
+"$tmp/pland" -addr 127.0.0.1:0 -addr-file "$tmp/a2" \
+    -max-concurrent 8 -max-queue 16 2> "$tmp/pland2.log" &
+p2=$!
+wait_addr "$tmp/a2"
+"$tmp/loader" -url "http://$(cat "$tmp/a2")" -requests 6 -conc 2 \
+    -timeout 5s -expect searched
+kill -TERM "$p2"
+wait "$p2" || { echo "idle pland dirty drain" >&2; cat "$tmp/pland2.log" >&2; exit 1; }
+
+# Scenario 3: forced shutdown must be an honest failure, not a hang or a
+# fake success.
+"$tmp/pland" -addr 127.0.0.1:0 -addr-file "$tmp/a3" \
+    -fault-straggler 1000 -fault-step 2ms -drain-timeout 200ms \
+    2> "$tmp/pland3.log" &
+p3=$!
+wait_addr "$tmp/a3"
+"$tmp/loader" -url "http://$(cat "$tmp/a3")" -requests 1 -conc 1 -timeout 5s \
+    > /dev/null 2>&1 &
+l3=$!
+sleep 0.4
+kill -TERM "$p3"
+if wait "$p3"; then
+    echo "pland exited 0 despite a forced drain" >&2
+    exit 1
+fi
+wait "$l3" || true
