@@ -59,6 +59,16 @@ func (b *breaker) success() {
 	b.halfOpen = false
 }
 
+// release returns an admitted trial slot without recording a verdict —
+// used when an admitted search never completes normally (client abort,
+// panic in the search path). Without it a claimed half-open slot would
+// leak and allow would refuse every future trial until restart.
+func (b *breaker) release() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.halfOpen = false
+}
+
 // failure records a search that missed its deadline or errored; at
 // threshold consecutive failures the breaker opens.
 func (b *breaker) failure() {

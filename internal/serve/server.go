@@ -415,10 +415,17 @@ func (s *Server) handlePlan(ctx context.Context, w http.ResponseWriter, r *http.
 		s.coalesced.Add(1)
 	}
 	var wt *waiterTimeoutError
-	if errors.As(err, &wt) && ctx.Err() == nil {
-		// The flight leader is still grinding but our deadline is close:
-		// serve this caller the degraded fallback now.
-		resp, err = s.degradedPlan(in, "deadline", start)
+	if errors.As(err, &wt) {
+		if ctx.Err() == nil {
+			// The flight leader is still grinding but our deadline is close:
+			// serve this caller the degraded fallback now.
+			resp, err = s.degradedPlan(in, "deadline", start)
+		} else {
+			// The full request deadline — not just the reply-margin one —
+			// expired while coalesced. That is a deadline expiry, not a
+			// server fault; report 504, not 500.
+			err = &httpError{status: http.StatusGatewayTimeout, msg: "deadline expired while waiting on a coalesced flight"}
+		}
 	}
 	if err != nil {
 		return err
@@ -447,39 +454,66 @@ func (s *Server) computePlan(ctx context.Context, in planInputs) (*wire.PlanResp
 	}
 	resp := &wire.PlanResponse{Plan: plan, Source: wire.SourceSearch}
 
+	// The budget check runs before brk.allow(): a request destined to
+	// degrade on deadline must never claim the breaker's single half-open
+	// trial slot, since it has no search outcome to report.
 	reason := ""
+	budget := s.searchBudget(ctx)
 	switch {
+	case budget < s.cfg.MinSearchBudget:
+		reason = "deadline"
 	case !s.brk.allow():
 		reason = "breaker-open"
 	default:
-		budget := s.searchBudget(ctx)
-		if budget < s.cfg.MinSearchBudget {
-			reason = "deadline"
-		} else {
-			sctx, cancel := context.WithTimeout(ctx, budget)
-			sum, serr := s.runSearch(sctx, in.n, in.ratio, in.seed, 0, true)
-			cancel()
-			switch {
-			case serr == nil:
-				s.brk.success()
-				s.searched.Add(1)
-				sum.Improved = sum.FinalVoC < plan.VoC
-				resp.Search = sum
-			case errors.Is(serr, context.DeadlineExceeded) || errors.Is(serr, context.Canceled):
-				s.brk.failure()
-				reason = "deadline"
-			default:
-				s.brk.failure()
-				s.cfg.Logf("serve: search refinement failed: %v", serr)
-				reason = "search-error"
-			}
-		}
+		reason = s.refineSearch(ctx, budget, in, resp)
 	}
 	if reason != "" {
 		return s.degradedPlanWith(resp, in, reason)
 	}
 	s.cache.put(in.key, *resp)
 	return resp, nil
+}
+
+// refineSearch runs the breaker-admitted search refinement, reports the
+// outcome to the breaker, and returns the degraded reason ("" on
+// success). Every admitted trial must end in exactly one of success(),
+// failure(), or release(): the deferred release guarantees a half-open
+// trial slot is returned even when the search panics or is abandoned,
+// otherwise the slot would leak and the breaker would refuse every
+// future trial until restart.
+func (s *Server) refineSearch(ctx context.Context, budget time.Duration, in planInputs, resp *wire.PlanResponse) (reason string) {
+	reported := false
+	defer func() {
+		if !reported {
+			s.brk.release()
+		}
+	}()
+	sctx, cancel := context.WithTimeout(ctx, budget)
+	defer cancel()
+	sum, serr := s.runSearch(sctx, in.n, in.ratio, in.seed, 0, true)
+	switch {
+	case serr == nil:
+		s.brk.success()
+		reported = true
+		s.searched.Add(1)
+		sum.Improved = sum.FinalVoC < resp.Plan.VoC
+		resp.Search = sum
+		return ""
+	case errors.Is(serr, context.DeadlineExceeded):
+		s.brk.failure()
+		reported = true
+		return "deadline"
+	case errors.Is(serr, context.Canceled):
+		// The flight leader's client disconnected mid-search. That says
+		// nothing about backend health, so release the trial without a
+		// verdict — impatient clients must not trip the breaker.
+		return "cancelled"
+	default:
+		s.brk.failure()
+		reported = true
+		s.cfg.Logf("serve: search refinement failed: %v", serr)
+		return "search-error"
+	}
 }
 
 // degradedPlan builds the degraded response from scratch (used by flight
@@ -663,10 +697,7 @@ func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *htt
 	if req.MaxSteps < 0 {
 		return badRequest("maxSteps must be non-negative, got %d", req.MaxSteps)
 	}
-	maxSteps := req.MaxSteps
-	if maxSteps == 0 || maxSteps > s.cfg.MaxSearchSteps {
-		maxSteps = min(40*req.N, s.cfg.MaxSearchSteps)
-	}
+	maxSteps := searchStepBound(req.MaxSteps, req.N, s.cfg.MaxSearchSteps)
 	seed := req.Seed
 	if seed == 0 {
 		seed = s.cfg.SearchSeed
@@ -694,6 +725,20 @@ func (s *Server) handleSearch(ctx context.Context, w http.ResponseWriter, r *htt
 		ElapsedMS:  msSince(start),
 	})
 	return nil
+}
+
+// searchStepBound resolves a request's step bound against the configured
+// cap: 0 selects the engine default (40·N), oversized requests clamp to
+// the cap rather than silently resetting to the default.
+func searchStepBound(requested, n, limit int) int {
+	switch {
+	case requested <= 0:
+		return min(40*n, limit)
+	case requested > limit:
+		return limit
+	default:
+		return requested
+	}
 }
 
 // ---------------------------------------------------------------------

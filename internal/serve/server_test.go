@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -490,5 +491,53 @@ func TestGetQueryForm(t *testing.T) {
 	}
 	if pr.Plan == nil || pr.Plan.N != 24 {
 		t.Fatalf("GET plan = %+v", pr.Plan)
+	}
+}
+
+// TestSearchStepBound: 0 selects the engine default, in-range requests
+// pass through, and oversized requests clamp to the configured cap
+// instead of silently resetting to the default.
+func TestSearchStepBound(t *testing.T) {
+	const limit = 1_000_000
+	cases := []struct {
+		requested, n, want int
+	}{
+		{0, 100, 4_000},         // engine default 40·N
+		{0, 100_000, limit},     // default capped by the limit
+		{500, 100, 500},         // in range: pass through
+		{2_000_000, 100, limit}, // oversized: clamp to cap, not 40·N
+	}
+	for _, c := range cases {
+		if got := searchStepBound(c.requested, c.n, limit); got != c.want {
+			t.Errorf("searchStepBound(%d, %d, %d) = %d, want %d", c.requested, c.n, limit, got, c.want)
+		}
+	}
+}
+
+// TestCoalescedWaiterFullDeadlineExpiry504: a waiter whose entire request
+// deadline (not just the reply-margin slice) expires while coalesced on
+// another caller's flight is a client deadline expiry and must map to
+// 504, not be wrapped as a 500 server fault.
+func TestCoalescedWaiterFullDeadlineExpiry504(t *testing.T) {
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/v1/plan?n=24&ratio=5:2:1&algorithm=SCB", nil)
+	in, err := s.parsePlan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the flight so the request becomes a waiter, with an expired
+	// request context standing in for the full deadline having passed.
+	s.flights.mu.Lock()
+	s.flights.m[in.key] = &flight{done: make(chan struct{})}
+	s.flights.mu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	herr := s.handlePlan(ctx, httptest.NewRecorder(), req)
+	var he *httpError
+	if !errors.As(herr, &he) || he.status != http.StatusGatewayTimeout {
+		t.Fatalf("expired coalesced waiter returned %v, want httpError 504", herr)
 	}
 }

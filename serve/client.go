@@ -244,8 +244,14 @@ func (c *Client) do(ctx context.Context, path string, reqBody, out any) error {
 // backoff computes the jittered exponential delay for a retry of the
 // given attempt, flooring it at the server's Retry-After request.
 func (c *Client) backoff(attempt int, cause error) time.Duration {
-	ceil := c.cfg.Retry.BaseDelay << uint(attempt)
-	if ceil > c.cfg.Retry.MaxDelay {
+	// Double up from BaseDelay instead of shifting by attempt: a shift of
+	// 35+ overflows time.Duration to a non-positive value that would slip
+	// past the MaxDelay clamp and panic rand.Int63n below.
+	ceil := c.cfg.Retry.BaseDelay
+	for i := 0; i < attempt && 0 < ceil && ceil < c.cfg.Retry.MaxDelay; i++ {
+		ceil *= 2
+	}
+	if ceil <= 0 || ceil > c.cfg.Retry.MaxDelay {
 		ceil = c.cfg.Retry.MaxDelay
 	}
 	// Full jitter: uniform in (0, ceil].

@@ -181,3 +181,18 @@ func TestTokenBucketRefill(t *testing.T) {
 		t.Fatal("refill must cap at capacity 2")
 	}
 }
+
+// TestBackoffOverflowClamped: high attempt counts must clamp to MaxDelay
+// instead of overflowing the exponential ceiling to a non-positive value
+// (which would panic rand.Int63n).
+func TestBackoffOverflowClamped(t *testing.T) {
+	c := NewClient("http://example.invalid", ClientConfig{
+		Retry: RetryPolicy{MaxAttempts: 100, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second},
+	})
+	for attempt := 0; attempt < 100; attempt++ {
+		d := c.backoff(attempt, nil)
+		if d <= 0 || d > 2*time.Second {
+			t.Fatalf("backoff(%d) = %v, want in (0, 2s]", attempt, d)
+		}
+	}
+}

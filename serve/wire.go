@@ -83,7 +83,8 @@ type PlanResponse struct {
 	// canonical-shape fallback.
 	Degraded bool `json:"degraded"`
 	// DegradedReason explains a degraded answer: "deadline",
-	// "breaker-open", or "search-error".
+	// "breaker-open", "cancelled" (the coalesced flight leader's client
+	// disconnected mid-search), or "search-error".
 	DegradedReason string `json:"degradedReason,omitempty"`
 	// Source is one of the Source* constants.
 	Source string `json:"source"`
