@@ -1,0 +1,102 @@
+// Command chaosproxy runs the internal/chaos fault-injection TCP proxy
+// as a standalone process — a manual drill switch for chaos-testing a
+// pland replica (or any TCP upstream) without touching the server.
+//
+// Usage:
+//
+//	chaosproxy -upstream 127.0.0.1:8080 [-addr 127.0.0.1:0]
+//	    [-addr-file chaos.addr] [-seed 1]
+//	    [-latency 0] [-jitter 0] [-reset-prob 0] [-blackhole]
+//	    [-corrupt-prob 0] [-trickle-bytes 0] [-trickle-every 10ms]
+//	    [-cut-after 0]
+//
+// Point a serve.Client (or curl) at the proxy's address instead of the
+// replica's and the configured faults are injected on every connection:
+//
+//	chaosproxy -upstream 127.0.0.1:8080 -addr 127.0.0.1:9090 \
+//	    -latency 200ms -jitter 50ms          # a straggling replica
+//	chaosproxy -upstream 127.0.0.1:8080 -blackhole   # a partition
+//	chaosproxy -upstream 127.0.0.1:8080 -corrupt-prob 1  # corrupt VoCs
+//
+// -addr-file writes the bound address once listening (useful with
+// -addr :0), mirroring pland's flag. On SIGINT/SIGTERM the proxy closes
+// every connection, prints its fault counters, and exits 0.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("chaosproxy: ")
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:0", "listen address")
+		addrFile = flag.String("addr-file", "", "write the bound address to this file once listening")
+		upstream = flag.String("upstream", "", "upstream address to forward to (required)")
+		seed     = flag.Int64("seed", 1, "seed for the probabilistic faults")
+
+		latency     = flag.Duration("latency", 0, "added latency before the first response byte")
+		jitter      = flag.Duration("jitter", 0, "uniform random extra latency in [0, jitter)")
+		resetProb   = flag.Float64("reset-prob", 0, "per-connection probability of an abrupt reset")
+		blackhole   = flag.Bool("blackhole", false, "swallow every connection without answering (partition)")
+		corruptProb = flag.Float64("corrupt-prob", 0, "per-connection probability of rotating response voc digits")
+		trickle     = flag.Int("trickle-bytes", 0, "throttle responses to this many bytes per -trickle-every")
+		trickleTick = flag.Duration("trickle-every", 10*time.Millisecond, "trickle interval")
+		cutAfter    = flag.Int64("cut-after", 0, "cut the connection after this many response bytes")
+	)
+	flag.Parse()
+	if *upstream == "" {
+		log.Printf("-upstream is required")
+		flag.Usage()
+		return 2
+	}
+
+	p, err := chaos.New(*addr, *upstream, chaos.Faults{
+		Latency:       *latency,
+		Jitter:        *jitter,
+		ResetProb:     *resetProb,
+		Blackhole:     *blackhole,
+		CorruptProb:   *corruptProb,
+		TrickleBytes:  *trickle,
+		TrickleEvery:  *trickleTick,
+		CutAfterBytes: *cutAfter,
+	}, *seed)
+	if err != nil {
+		log.Printf("%v", err)
+		return 2
+	}
+	if *addrFile != "" {
+		tmp := *addrFile + ".tmp"
+		if err := os.WriteFile(tmp, []byte(p.Addr()+"\n"), 0o644); err != nil {
+			log.Printf("write -addr-file: %v", err)
+			return 2
+		}
+		if err := os.Rename(tmp, *addrFile); err != nil {
+			log.Printf("write -addr-file: %v", err)
+			return 2
+		}
+	}
+	log.Printf("proxying %s → %s (faults: %+v)", p.Addr(), *upstream, p.Faults())
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	<-sigs
+
+	p.Close()
+	st := p.Stats()
+	log.Printf("done: %d connections, %d reset, %d blackholed, %d corrupted, %d cut",
+		st.Connections, st.Resets, st.Blackholed, st.Corrupted, st.Cut)
+	return 0
+}

@@ -13,12 +13,20 @@
 //	      [-drain-timeout 10s] [-seed 1]
 //
 // Endpoints: POST (or GET with query params) /v1/plan, /v1/evaluate,
-// /v1/search; GET /v1/stats, /healthz. Clients bound the server's work
-// with a Request-Timeout header; past it the planner answers with the
-// canonical candidate shape marked Degraded instead of going silent.
+// /v1/search; GET /v1/stats, /healthz (liveness), /readyz (readiness:
+// breaker state, admission-gate occupancy, cache-journal health — what
+// a replica pool uses to eject a degraded replica). Clients bound the
+// server's work with a Request-Timeout header; past it the planner
+// answers with the canonical candidate shape marked Degraded instead of
+// going silent.
 //
 // -addr-file writes the bound address (useful with -addr :0) after the
 // listener is live, so scripts can poll for it race-free.
+//
+// At startup the -cache-journal file is integrity-scanned: a journal
+// with unrepairable damage is renamed aside (.corrupt) and pland starts
+// cold, reporting the quarantine via /readyz, instead of crashing or
+// serving from a torn file.
 //
 // -fault-straggler N injects an N× CPU straggler into the search path via
 // the simulator's fault plan — a drill switch for verifying degraded-mode
@@ -43,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/journal"
 	"repro/internal/partition"
 	serveimpl "repro/internal/serve"
 	"repro/internal/sim"
@@ -52,6 +61,43 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pland: ")
 	os.Exit(run())
+}
+
+// scrubCacheJournal warms the plan cache from path after an integrity
+// scan. A journal with unrepairable damage (mid-file corruption — a torn
+// tail is fine, the journal layer repairs that) is quarantined: renamed
+// aside for forensics, reported via /readyz, and the server starts cold.
+// Crashing would turn one bad file into an outage, and loading anyway
+// would serve from a file known to be lying.
+func scrubCacheJournal(srv *serveimpl.Server, path string) {
+	switch err := journal.Verify(path); {
+	case err == nil:
+		n, lerr := srv.LoadCache(path)
+		if lerr != nil {
+			// Verified clean but unloadable (e.g. wrong journal kind):
+			// quarantine rather than overwrite it on drain.
+			quarantine(srv, path, lerr)
+			return
+		}
+		if n > 0 {
+			log.Printf("warmed plan cache with %d entries from %s", n, path)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// First boot: nothing to warm from.
+	default:
+		quarantine(srv, path, err)
+	}
+}
+
+func quarantine(srv *serveimpl.Server, path string, cause error) {
+	q, qerr := journal.Quarantine(path)
+	if qerr != nil {
+		log.Printf("cache journal corrupt (%v) and quarantine failed (%v): starting cold, journal left in place", cause, qerr)
+		srv.SetJournalHealth(fmt.Errorf("corrupt (%v); quarantine failed: %v", cause, qerr))
+		return
+	}
+	log.Printf("cache journal corrupt: %v — quarantined to %s, starting cold", cause, q)
+	srv.SetJournalHealth(fmt.Errorf("corrupt journal quarantined to %s: %v", q, cause))
 }
 
 func run() int {
@@ -101,12 +147,7 @@ func run() int {
 		return 2
 	}
 	if *cacheJournal != "" {
-		n, err := srv.LoadCache(*cacheJournal)
-		if err != nil {
-			log.Printf("cache warm-up failed (continuing cold): %v", err)
-		} else if n > 0 {
-			log.Printf("warmed plan cache with %d entries from %s", n, *cacheJournal)
-		}
+		scrubCacheJournal(srv, *cacheJournal)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,404 @@
+// Package chaos implements an in-process fault-injection TCP proxy for
+// hardening the planning service against the conditions the paper treats
+// as normal: heterogeneous, unreliable peers. A Proxy sits between a
+// client and one upstream (a pland replica) and injects, per the active
+// Faults:
+//
+//   - added latency with uniform jitter (a straggling replica);
+//   - abrupt connection resets (a flapping peer or middlebox);
+//   - blackhole partitions (accept, swallow, never answer — the failure
+//     mode that distinguishes a dead peer from a silent one);
+//   - response corruption that rotates the digits of `"voc":` values in
+//     the upstream's JSON, producing syntactically valid but semantically
+//     corrupt plans that only end-to-end re-verification can catch;
+//   - slow-trickle response bodies (a congested link);
+//   - mid-body connection cuts (a peer dying while answering).
+//
+// Faults are read live by every forwarding loop, so SetFaults
+// re-configures in-flight connections too — a test can partition a
+// healthy replica mid-workload and heal it later. The zero Faults value
+// is a transparent proxy.
+//
+// The proxy is used by the chaos test suite (three real pland servers
+// behind three proxies) and by cmd/chaosproxy for manual drills.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Faults selects what the proxy injects. The zero value forwards
+// traffic untouched.
+type Faults struct {
+	// Latency is added once per connection before the first response
+	// byte is forwarded (with keep-alives disabled this is per-request
+	// latency). Jitter adds a uniform random extra in [0, Jitter).
+	Latency time.Duration
+	Jitter  time.Duration
+
+	// ResetProb is the per-connection probability of an abrupt reset:
+	// the proxy reads the start of the request and then closes the
+	// client side with a zero linger (RST where the platform allows).
+	ResetProb float64
+
+	// Blackhole, when set, simulates a network partition: connections
+	// are accepted and request bytes swallowed, but nothing is ever
+	// forwarded or answered. Existing connections stop forwarding too.
+	Blackhole bool
+
+	// CorruptProb is the per-connection probability of corrupting the
+	// response stream: every digit of every JSON `"voc":<number>` value
+	// is rotated (leading digit never to '0', so the JSON stays valid
+	// and the number always changes). Framing — headers, lengths, chunk
+	// sizes — is untouched, so the damage reaches the application layer
+	// and must be caught there.
+	CorruptProb float64
+
+	// TrickleBytes > 0 throttles the response stream to TrickleBytes
+	// per TrickleEvery (default 10ms) — a slow-trickle body that holds
+	// the client's reader hostage without tripping connect timeouts.
+	TrickleBytes int
+	TrickleEvery time.Duration
+
+	// CutAfterBytes > 0 kills the connection abruptly after that many
+	// response bytes have been forwarded — a mid-body cut.
+	CutAfterBytes int64
+}
+
+// Stats counts injected faults since the proxy started.
+type Stats struct {
+	// Connections is the number of accepted client connections.
+	Connections int64
+	// Resets, Blackholed, Corrupted, Cut count connections on which the
+	// respective fault was injected. Corrupted counts connections whose
+	// stream had at least one digit rotated, which for one-response-per-
+	// connection clients equals the number of corrupt responses.
+	Resets     int64
+	Blackholed int64
+	Corrupted  int64
+	Cut        int64
+}
+
+// Proxy is a fault-injecting TCP forwarder. Create with New, stop with
+// Close. Safe for concurrent use.
+type Proxy struct {
+	upstream string
+	ln       net.Listener
+
+	mu     sync.Mutex
+	faults Faults
+	rng    *rand.Rand
+
+	closed atomic.Bool
+	wg     sync.WaitGroup
+	conns  sync.Map // net.Conn → struct{}
+
+	connections atomic.Int64
+	resets      atomic.Int64
+	blackholed  atomic.Int64
+	corrupted   atomic.Int64
+	cut         atomic.Int64
+}
+
+// New starts a proxy on addr (use "127.0.0.1:0" for an ephemeral port)
+// forwarding to upstream, with the given initial faults. seed drives the
+// probabilistic faults deterministically.
+func New(addr, upstream string, f Faults, seed int64) (*Proxy, error) {
+	if upstream == "" {
+		return nil, errors.New("chaos: upstream address required")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: listen: %w", err)
+	}
+	p := &Proxy{
+		upstream: upstream,
+		ln:       ln,
+		faults:   f,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// URL returns "http://<addr>" for HTTP clients.
+func (p *Proxy) URL() string { return "http://" + p.Addr() }
+
+// SetFaults swaps the active fault set. Forwarding loops read the
+// faults live, so a newly-set Blackhole also stalls established
+// connections (their next forwarded chunk is swallowed).
+func (p *Proxy) SetFaults(f Faults) {
+	p.mu.Lock()
+	p.faults = f
+	p.mu.Unlock()
+}
+
+// Faults returns the active fault set.
+func (p *Proxy) Faults() Faults {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
+}
+
+// Stats snapshots the fault counters.
+func (p *Proxy) Stats() Stats {
+	return Stats{
+		Connections: p.connections.Load(),
+		Resets:      p.resets.Load(),
+		Blackholed:  p.blackholed.Load(),
+		Corrupted:   p.corrupted.Load(),
+		Cut:         p.cut.Load(),
+	}
+}
+
+// Close stops accepting, severs every open connection, and waits for
+// the forwarding goroutines to drain.
+func (p *Proxy) Close() error {
+	if p.closed.Swap(true) {
+		return nil
+	}
+	err := p.ln.Close()
+	p.conns.Range(func(k, _ any) bool {
+		k.(net.Conn).Close()
+		return true
+	})
+	p.wg.Wait()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // Close() shut the listener
+		}
+		p.connections.Add(1)
+		p.wg.Add(1)
+		go p.handle(conn)
+	}
+}
+
+// roll draws one uniform sample (the shared rng needs the proxy lock).
+func (p *Proxy) roll() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64()
+}
+
+func (p *Proxy) track(c net.Conn) func() {
+	p.conns.Store(c, struct{}{})
+	return func() {
+		p.conns.Delete(c)
+		c.Close()
+	}
+}
+
+func (p *Proxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	defer p.track(client)()
+
+	f := p.Faults()
+
+	if f.Blackhole {
+		p.blackholed.Add(1)
+		// Swallow the request and never answer; the connection stays
+		// open until the client gives up or the proxy closes.
+		io.Copy(io.Discard, client)
+		return
+	}
+	if f.ResetProb > 0 && p.roll() < f.ResetProb {
+		p.resets.Add(1)
+		// Read a little so the client is already committed, then slam
+		// the door: SetLinger(0) turns Close into an RST on TCP stacks
+		// that support it.
+		buf := make([]byte, 256)
+		client.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		client.Read(buf)
+		if tc, ok := client.(*net.TCPConn); ok {
+			tc.SetLinger(0)
+		}
+		return
+	}
+
+	upstream, err := net.DialTimeout("tcp", p.upstream, 5*time.Second)
+	if err != nil {
+		return
+	}
+	defer p.track(upstream)()
+
+	corrupt := f.CorruptProb > 0 && p.roll() < f.CorruptProb
+
+	// Client → upstream: verbatim. When it ends (client closed its write
+	// side), propagate the half-close so the upstream can finish.
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		io.Copy(upstream, client)
+		if tc, ok := upstream.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		} else {
+			upstream.Close()
+		}
+	}()
+
+	// Upstream → client: through the fault pipeline.
+	p.forwardResponse(client, upstream, corrupt)
+}
+
+// forwardResponse copies the upstream's response stream to the client,
+// applying latency, corruption, trickle, and cut per the live faults.
+func (p *Proxy) forwardResponse(client, upstream net.Conn, corrupt bool) {
+	var (
+		corruptor  vocCorruptor
+		didCorrupt bool
+		forwarded  int64
+		firstByte  = true
+		buf        = make([]byte, 32<<10)
+	)
+	for {
+		n, err := upstream.Read(buf)
+		if n > 0 {
+			f := p.Faults()
+			if f.Blackhole {
+				// Partition arrived mid-connection: stall forever (until
+				// the proxy or a peer closes the connection).
+				p.blackholed.Add(1)
+				io.Copy(io.Discard, upstream)
+				return
+			}
+			if firstByte {
+				firstByte = false
+				if d := p.delay(f); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			chunk := buf[:n]
+			if corrupt {
+				if corruptor.corrupt(chunk) > 0 && !didCorrupt {
+					didCorrupt = true
+					p.corrupted.Add(1)
+				}
+			}
+			if werr := p.writeChunk(client, chunk, f, &forwarded); werr != nil {
+				return
+			}
+			if f.CutAfterBytes > 0 && forwarded >= f.CutAfterBytes {
+				p.cut.Add(1)
+				if tc, ok := client.(*net.TCPConn); ok {
+					tc.SetLinger(0)
+				}
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// writeChunk writes chunk to client, trickling it when configured.
+func (p *Proxy) writeChunk(client net.Conn, chunk []byte, f Faults, forwarded *int64) error {
+	if f.TrickleBytes <= 0 {
+		n, err := client.Write(chunk)
+		*forwarded += int64(n)
+		return err
+	}
+	every := f.TrickleEvery
+	if every <= 0 {
+		every = 10 * time.Millisecond
+	}
+	for len(chunk) > 0 {
+		step := f.TrickleBytes
+		if step > len(chunk) {
+			step = len(chunk)
+		}
+		n, err := client.Write(chunk[:step])
+		*forwarded += int64(n)
+		if err != nil {
+			return err
+		}
+		chunk = chunk[step:]
+		if len(chunk) > 0 {
+			time.Sleep(every)
+		}
+	}
+	return nil
+}
+
+func (p *Proxy) delay(f Faults) time.Duration {
+	d := f.Latency
+	if f.Jitter > 0 {
+		p.mu.Lock()
+		d += time.Duration(p.rng.Int63n(int64(f.Jitter)))
+		p.mu.Unlock()
+	}
+	return d
+}
+
+// vocCorruptor is a streaming state machine that finds every JSON
+// `"voc":<digits>` occurrence in a byte stream — across arbitrary chunk
+// boundaries — and rotates the digits of the number. The leading digit
+// maps 1→2, …, 8→9, 9→1 (never to '0', which would make the JSON number
+// invalid); later digits rotate (d+1) mod 10. Every match therefore
+// yields a different, still-parseable number: corruption that survives
+// transport and JSON decoding and is only caught by semantic
+// re-verification of the plan.
+type vocCorruptor struct {
+	matched int  // bytes of the pattern matched so far
+	inRun   bool // currently rotating a digit run
+	first   bool // next digit is the leading digit of the run
+}
+
+var vocPattern = []byte(`"voc":`)
+
+// corrupt mutates chunk in place and returns how many bytes it changed.
+func (c *vocCorruptor) corrupt(chunk []byte) int {
+	changed := 0
+	for i, b := range chunk {
+		if c.inRun {
+			if b >= '0' && b <= '9' {
+				chunk[i] = rotateDigit(b, c.first)
+				c.first = false
+				changed++
+				continue
+			}
+			c.inRun = false
+		}
+		if b == vocPattern[c.matched] {
+			c.matched++
+			if c.matched == len(vocPattern) {
+				c.matched = 0
+				c.inRun = true
+				c.first = true
+			}
+		} else if b == vocPattern[0] {
+			c.matched = 1
+		} else {
+			c.matched = 0
+		}
+	}
+	return changed
+}
+
+func rotateDigit(b byte, leading bool) byte {
+	if leading {
+		// 0→1, 1→2, …, 8→9, 9→1: never '0' in the leading position.
+		if b == '9' || b == '0' {
+			return '1'
+		}
+		return b + 1
+	}
+	return '0' + (b-'0'+1)%10
+}

@@ -1,0 +1,294 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// upstreamServer starts a plain HTTP upstream returning body for every
+// request and a proxy in front of it with the given faults.
+func upstreamServer(t *testing.T, body string, f Faults) (*Proxy, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(ts.Close)
+	p, err := New("127.0.0.1:0", ts.Listener.Addr().String(), f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p, ts
+}
+
+// oneShotClient is an HTTP client that opens a fresh connection per
+// request, so per-connection faults map 1:1 onto requests.
+func oneShotClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout:   timeout,
+		Transport: &http.Transport{DisableKeepAlives: true},
+	}
+}
+
+func get(t *testing.T, c *http.Client, url string) (string, error) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+// TestTransparent: the zero fault set forwards requests untouched.
+func TestTransparent(t *testing.T) {
+	p, _ := upstreamServer(t, `{"ok":true,"voc":12345}`, Faults{})
+	body, err := get(t, oneShotClient(2*time.Second), p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != `{"ok":true,"voc":12345}` {
+		t.Fatalf("body = %q", body)
+	}
+	st := p.Stats()
+	if st.Connections == 0 || st.Corrupted != 0 || st.Resets != 0 || st.Blackholed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestLatency: injected latency delays the response by at least the
+// configured amount.
+func TestLatency(t *testing.T) {
+	const lat = 150 * time.Millisecond
+	p, _ := upstreamServer(t, `{}`, Faults{Latency: lat})
+	start := time.Now()
+	if _, err := get(t, oneShotClient(2*time.Second), p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < lat {
+		t.Fatalf("request took %v, want ≥ %v", took, lat)
+	}
+}
+
+// TestBlackhole: a blackholed proxy accepts the connection and never
+// answers; the client's deadline is the only way out.
+func TestBlackhole(t *testing.T) {
+	p, _ := upstreamServer(t, `{}`, Faults{Blackhole: true})
+	start := time.Now()
+	_, err := get(t, oneShotClient(200*time.Millisecond), p.URL())
+	if err == nil {
+		t.Fatal("blackholed request succeeded")
+	}
+	if took := time.Since(start); took < 150*time.Millisecond {
+		t.Fatalf("failed after %v, want the client timeout to be the trigger", took)
+	}
+	if p.Stats().Blackholed == 0 {
+		t.Fatal("no blackholed connection counted")
+	}
+}
+
+// TestReset: ResetProb 1 aborts every connection; the client sees a
+// transport error, not a slow timeout.
+func TestReset(t *testing.T) {
+	p, _ := upstreamServer(t, `{}`, Faults{ResetProb: 1})
+	_, err := get(t, oneShotClient(2*time.Second), p.URL())
+	if err == nil {
+		t.Fatal("reset connection yielded a response")
+	}
+	if p.Stats().Resets == 0 {
+		t.Fatal("no reset counted")
+	}
+}
+
+// TestCorruptVoC: corruption rotates exactly the digits of "voc" values,
+// leaves everything else (framing included) alone, and keeps the JSON
+// valid.
+func TestCorruptVoC(t *testing.T) {
+	orig := `{"plan":{"n":64,"voc":1998,"grid":"AAA1"},"voc":907,"elapsedMs":1.25}`
+	p, _ := upstreamServer(t, orig, Faults{CorruptProb: 1})
+	body, err := get(t, oneShotClient(2*time.Second), p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"plan":{"n":64,"voc":2009,"grid":"AAA1"},"voc":118,"elapsedMs":1.25}`
+	if body != want {
+		t.Fatalf("corrupted body = %q, want %q", body, want)
+	}
+	if p.Stats().Corrupted != 1 {
+		t.Fatalf("Corrupted = %d, want 1", p.Stats().Corrupted)
+	}
+}
+
+// TestCorruptorStraddlesChunks: the streaming matcher must catch a
+// pattern split across arbitrarily small writes.
+func TestCorruptorStraddlesChunks(t *testing.T) {
+	input := []byte(`xx"voc":949,"a":1,"voc":10`)
+	var c vocCorruptor
+	got := make([]byte, 0, len(input))
+	for i := range input { // one byte at a time: worst-case straddling
+		chunk := []byte{input[i]}
+		c.corrupt(chunk)
+		got = append(got, chunk...)
+	}
+	want := `xx"voc":150,"a":1,"voc":21`
+	if string(got) != want {
+		t.Fatalf("corrupted = %q, want %q", got, want)
+	}
+}
+
+// TestCorruptorNeverLeadingZero: every rotated leading digit stays
+// non-zero so the JSON number remains valid.
+func TestCorruptorNeverLeadingZero(t *testing.T) {
+	for d := byte('0'); d <= '9'; d++ {
+		in := []byte(fmt.Sprintf(`"voc":%c7`, d))
+		var c vocCorruptor
+		c.corrupt(in)
+		lead := in[len(in)-2]
+		if lead == '0' {
+			t.Fatalf("leading digit %c rotated to 0", d)
+		}
+		if lead == d {
+			t.Fatalf("leading digit %c unchanged", d)
+		}
+	}
+}
+
+// TestTrickle: a trickled body arrives complete but slowly.
+func TestTrickle(t *testing.T) {
+	body := strings.Repeat("x", 400)
+	p, _ := upstreamServer(t, body, Faults{TrickleBytes: 64, TrickleEvery: 20 * time.Millisecond})
+	start := time.Now()
+	got, err := get(t, oneShotClient(5*time.Second), p.URL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(got, body) {
+		t.Fatalf("trickled body truncated: %d bytes", len(got))
+	}
+	// Headers + 400 body bytes at 64B/20ms: at least ~6 sleeps.
+	if took := time.Since(start); took < 80*time.Millisecond {
+		t.Fatalf("trickled response arrived in %v, too fast", took)
+	}
+}
+
+// TestCutMidBody: the connection dies after the configured byte count;
+// the client must observe a truncated read, not a clean EOF with a full
+// body.
+func TestCutMidBody(t *testing.T) {
+	body := strings.Repeat("y", 64<<10)
+	p, _ := upstreamServer(t, body, Faults{CutAfterBytes: 1024})
+	resp, err := oneShotClient(2 * time.Second).Get(p.URL())
+	if err == nil {
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil && len(b) >= len(body) {
+			t.Fatal("cut connection delivered the full body")
+		}
+	}
+	if p.Stats().Cut == 0 {
+		t.Fatal("no cut counted")
+	}
+}
+
+// TestSetFaultsLive: a proxy healed mid-run starts forwarding again
+// without rebinding, and a healthy one can be partitioned live.
+func TestSetFaultsLive(t *testing.T) {
+	p, _ := upstreamServer(t, `{"voc":1}`, Faults{})
+	c := oneShotClient(300 * time.Millisecond)
+	if _, err := get(t, c, p.URL()); err != nil {
+		t.Fatal(err)
+	}
+	p.SetFaults(Faults{Blackhole: true})
+	if _, err := get(t, c, p.URL()); err == nil {
+		t.Fatal("partitioned proxy answered")
+	}
+	p.SetFaults(Faults{})
+	if _, err := get(t, c, p.URL()); err != nil {
+		t.Fatalf("healed proxy still failing: %v", err)
+	}
+}
+
+// TestProxyCloseSeversConnections: Close unblocks clients parked on a
+// blackholed connection instead of leaking goroutines.
+func TestProxyCloseSeversConnections(t *testing.T) {
+	p, _ := upstreamServer(t, `{}`, Faults{Blackhole: true})
+	errc := make(chan error, 1)
+	go func() {
+		_, err := get(t, oneShotClient(10*time.Second), p.URL())
+		errc <- err
+	}()
+	// Wait until the connection is parked in the blackhole.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Stats().Blackholed == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("blackholed request succeeded after Close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("client still blocked after proxy Close")
+	}
+}
+
+// TestDialFailure: a proxy whose upstream is gone drops the connection;
+// the client sees an error rather than a hang.
+func TestDialFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := ln.Addr().String()
+	ln.Close()
+	p, err := New("127.0.0.1:0", dead, Faults{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, p.URL(), nil)
+	if _, err := oneShotClient(2 * time.Second).Do(req); err == nil {
+		t.Fatal("proxy with dead upstream answered")
+	} else if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("dead upstream surfaced as a hang, want a prompt error")
+	}
+}
+
+// TestNewValidation: a proxy without an upstream is a configuration
+// error, not a runtime surprise.
+func TestNewValidation(t *testing.T) {
+	if _, err := New("127.0.0.1:0", "", Faults{}, 1); err == nil {
+		t.Fatal("New accepted an empty upstream")
+	}
+}
+
+// TestCorruptKeepsBytesCount: corruption must never change the stream
+// length — it would break Content-Length framing.
+func TestCorruptKeepsBytesCount(t *testing.T) {
+	in := []byte(`{"voc":90210,"pad":"voc"}`)
+	orig := len(in)
+	var c vocCorruptor
+	c.corrupt(in)
+	if len(in) != orig {
+		t.Fatalf("length changed: %d → %d", orig, len(in))
+	}
+	if bytes.Contains(in, []byte("90210")) {
+		t.Fatal("voc value not rotated")
+	}
+}

@@ -1,0 +1,326 @@
+package chaos_test
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	serveimpl "repro/internal/serve"
+	wire "repro/serve"
+)
+
+// These tests are the chaos suite: three REAL pland servers (full
+// handler stack — admission gate, deadline propagation, cache, breaker)
+// each behind its own fault-injection proxy, driven by the replica-pool
+// client. The invariants under test are the ones a paging rotation
+// cares about:
+//
+//   - availability: with one replica partitioned away and another
+//     straggling, every client request still completes within its
+//     deadline, and the vast majority at full (non-degraded) quality;
+//   - correctness: a replica whose responses are corrupted in flight
+//     never gets a plan accepted — the client's independent VoC
+//     re-verification catches every tampered payload;
+//   - failover: hard connection resets are retried onto healthy
+//     replicas without surfacing to the caller.
+
+// cluster is three pland replicas, each reachable only through its
+// chaos proxy.
+type cluster struct {
+	impls   []*serveimpl.Server
+	proxies []*chaos.Proxy
+}
+
+// startCluster boots len(faults) real servers on loopback TCP and wires
+// a chaos proxy with faults[i] in front of server i.
+func startCluster(t *testing.T, faults []chaos.Faults) *cluster {
+	t.Helper()
+	cl := &cluster{}
+	for i, f := range faults {
+		impl, err := serveimpl.New(serveimpl.Config{
+			DefaultTimeout: time.Second,
+			MaxTimeout:     5 * time.Second,
+			CacheTTL:       time.Minute,
+			SearchSeed:     int64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hs := &http.Server{Handler: impl.Handler()}
+		go hs.Serve(ln)
+		t.Cleanup(func() { hs.Close() })
+
+		proxy, err := chaos.New("127.0.0.1:0", ln.Addr().String(), f, int64(1000+i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { proxy.Close() })
+		cl.impls = append(cl.impls, impl)
+		cl.proxies = append(cl.proxies, proxy)
+	}
+	return cl
+}
+
+func (cl *cluster) urls() []string {
+	urls := make([]string, len(cl.proxies))
+	for i, p := range cl.proxies {
+		urls[i] = p.URL()
+	}
+	return urls
+}
+
+// oneShotTransport gives every request its own connection, so each
+// request rolls the proxy's per-connection fault dice independently.
+func oneShotTransport() *http.Client {
+	return &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+}
+
+// chaosPlanReq cycles scenarios so requests exercise the live search
+// path, not just the cache.
+func chaosPlanReq(i int) wire.PlanRequest {
+	ns := []int{24, 28, 32, 36}
+	return wire.PlanRequest{N: ns[i%len(ns)], Ratio: "3:1:1", Algorithm: "SCB"}
+}
+
+// TestChaosClusterPartitionAndStraggler: replica 0 is blackholed (a
+// network partition: connections open, bytes vanish) and replica 1
+// straggles 40ms on every response. Availability invariant: every
+// request completes well within its deadline, and at least 80% of
+// responses are full-quality.
+func TestChaosClusterPartitionAndStraggler(t *testing.T) {
+	cl := startCluster(t, []chaos.Faults{
+		{Blackhole: true},
+		{Latency: 40 * time.Millisecond},
+		{},
+	})
+	client, err := wire.NewPool(cl.urls(), wire.ClientConfig{
+		Timeout:           2 * time.Second,
+		Retry:             wire.RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		Hedge:             wire.HedgePolicy{Delay: 60 * time.Millisecond, MaxHedges: 1},
+		RetryBudget:       1000,
+		RetryRefillPerSec: 1000,
+		ProbeInterval:     25 * time.Millisecond,
+		EjectThreshold:    3,
+		EjectCooldown:     300 * time.Millisecond,
+		HTTPClient:        oneShotTransport(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const calls = 40
+	degraded := 0
+	for i := 0; i < calls; i++ {
+		start := time.Now()
+		resp, err := client.Plan(context.Background(), chaosPlanReq(i))
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatalf("request %d failed after %v: %v — one dead replica must not cost availability", i, elapsed, err)
+		}
+		if elapsed >= 2*time.Second {
+			t.Fatalf("request %d took %v, deadline was 2s", i, elapsed)
+		}
+		if resp.Degraded {
+			degraded++
+			if cause := resp.DegradedCause(); cause == wire.DegradedNone {
+				t.Fatalf("request %d: degraded response with no cause", i)
+			}
+		}
+	}
+	if degraded > calls/5 {
+		t.Fatalf("%d/%d responses degraded, budget is 20%%", degraded, calls)
+	}
+	if client.Ejections() == 0 {
+		t.Fatal("blackholed replica was never ejected")
+	}
+	if got := cl.proxies[0].Stats().Blackholed; got == 0 {
+		t.Fatal("blackhole fault never exercised — test proves nothing")
+	}
+	t.Logf("partition+straggler: %d calls, %d degraded, %d ejections, %d hedges",
+		calls, degraded, client.Ejections(), client.Hedges())
+}
+
+// TestChaosClusterCorruption: every response from replica 0 has its
+// "voc" digits rotated in flight — valid JSON, valid framing, wrong
+// answer. Correctness invariant: zero corrupt plans accepted, and the
+// client's rejection count exactly matches the proxy's corruption
+// count (every tampered payload was caught, none slipped through).
+func TestChaosClusterCorruption(t *testing.T) {
+	cl := startCluster(t, []chaos.Faults{
+		{CorruptProb: 1.0},
+		{},
+		{},
+	})
+	client, err := wire.NewPool(cl.urls(), wire.ClientConfig{
+		Timeout:           2 * time.Second,
+		Retry:             wire.RetryPolicy{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		RetryBudget:       1000,
+		RetryRefillPerSec: 1000,
+		ProbeInterval:     -1, // live rejections alone must evict the liar
+		EjectThreshold:    3,
+		EjectCooldown:     time.Hour,
+		HTTPClient:        oneShotTransport(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const calls = 30
+	for i := 0; i < calls; i++ {
+		req := chaosPlanReq(i)
+		resp, err := client.Plan(context.Background(), req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		// Re-verify what the client accepted, independently: the plan's
+		// VoC must match its own decoded grid and the requested scenario.
+		if verr := wire.VerifyPlanResponse(req, resp); verr != nil {
+			t.Fatalf("request %d: client ACCEPTED a corrupt plan: %v", i, verr)
+		}
+	}
+	rejected := client.CorruptRejected()
+	corrupted := cl.proxies[0].Stats().Corrupted
+	if corrupted == 0 {
+		t.Fatal("corruption fault never fired — test proves nothing")
+	}
+	if rejected != corrupted {
+		t.Fatalf("proxy corrupted %d responses, client rejected %d — every tampered payload must be caught", corrupted, rejected)
+	}
+	t.Logf("corruption: %d calls, %d tampered payloads, all rejected", calls, corrupted)
+}
+
+// TestChaosClusterResets: replica 0 RSTs every connection after reading
+// a little. Failover invariant: the caller never sees it.
+func TestChaosClusterResets(t *testing.T) {
+	cl := startCluster(t, []chaos.Faults{
+		{ResetProb: 1.0},
+		{},
+		{},
+	})
+	client, err := wire.NewPool(cl.urls(), wire.ClientConfig{
+		Timeout:           2 * time.Second,
+		Retry:             wire.RetryPolicy{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		RetryBudget:       1000,
+		RetryRefillPerSec: 1000,
+		ProbeInterval:     -1,
+		EjectThreshold:    3,
+		EjectCooldown:     time.Hour,
+		HTTPClient:        oneShotTransport(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for i := 0; i < 20; i++ {
+		if _, err := client.Plan(context.Background(), chaosPlanReq(i)); err != nil {
+			t.Fatalf("request %d: %v — resets must be retried onto healthy replicas", i, err)
+		}
+	}
+	if cl.proxies[0].Stats().Resets == 0 {
+		t.Fatal("reset fault never exercised — test proves nothing")
+	}
+}
+
+// TestChaosClusterRecovery: a replica is blackholed mid-run, gets
+// ejected, the partition heals, and readiness probes bring it back —
+// with traffic flowing the whole time.
+func TestChaosClusterRecovery(t *testing.T) {
+	cl := startCluster(t, []chaos.Faults{
+		{},
+		{},
+		{},
+	})
+	client, err := wire.NewPool(cl.urls(), wire.ClientConfig{
+		Timeout:           2 * time.Second,
+		Retry:             wire.RetryPolicy{MaxAttempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		Hedge:             wire.HedgePolicy{Delay: 60 * time.Millisecond, MaxHedges: 1},
+		RetryBudget:       1000,
+		RetryRefillPerSec: 1000,
+		ProbeInterval:     20 * time.Millisecond,
+		EjectThreshold:    2,
+		EjectCooldown:     50 * time.Millisecond,
+		HTTPClient:        oneShotTransport(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	load := func(n int) {
+		for i := 0; i < n; i++ {
+			if _, err := client.Plan(context.Background(), chaosPlanReq(i)); err != nil {
+				t.Fatalf("request %d: %v", i, err)
+			}
+		}
+	}
+	load(5) // warm EWMAs against the healthy cluster
+
+	// Partition replica 0.
+	cl.proxies[0].SetFaults(chaos.Faults{Blackhole: true})
+	waitFor(t, 3*time.Second, func() bool {
+		return client.Replicas()[0].State == wire.ReplicaEjected
+	}, "partitioned replica never ejected")
+	load(5)
+
+	// Heal. Probes must walk it back in: cooldown → probation → active.
+	cl.proxies[0].SetFaults(chaos.Faults{})
+	waitFor(t, 3*time.Second, func() bool {
+		return client.Replicas()[0].State == wire.ReplicaActive
+	}, "healed replica never re-admitted")
+	load(5)
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+// TestChaosClusterTrickleHedge: a slow-trickle replica (bytes dribble
+// out 64 at a time) must lose to a hedge against a fast replica, not
+// stall the caller.
+func TestChaosClusterTrickleHedge(t *testing.T) {
+	cl := startCluster(t, []chaos.Faults{
+		{TrickleBytes: 64, TrickleEvery: 15 * time.Millisecond},
+		{},
+	})
+	client, err := wire.NewPool(cl.urls(), wire.ClientConfig{
+		Timeout:       5 * time.Second,
+		Retry:         wire.RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		Hedge:         wire.HedgePolicy{Delay: 50 * time.Millisecond, MaxHedges: 1},
+		RetryBudget:   1000,
+		ProbeInterval: -1,
+		HTTPClient:    oneShotTransport(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	for i := 0; i < 6; i++ {
+		start := time.Now()
+		if _, err := client.Plan(context.Background(), chaosPlanReq(i)); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if elapsed := time.Since(start); elapsed > 3*time.Second {
+			t.Fatalf("request %d took %v with a hedge available", i, elapsed)
+		}
+	}
+}

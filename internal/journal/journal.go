@@ -327,6 +327,74 @@ func rewritePrefix(path string, prefix []byte) error {
 	return nil
 }
 
+// Verify performs a read-only integrity scan of a journal: the header
+// must parse and every record's CRC must check out. A torn tail — the
+// damaged final record of a SIGKILLed writer — is NOT an error (Recover
+// and RecoverRaw repair it losslessly), so Verify returns nil for it.
+// Mid-file corruption (a damaged record followed by valid ones) returns
+// a *CorruptError; a damaged header returns a plain error; a missing
+// file satisfies errors.Is(err, os.ErrNotExist). Unlike Recover, Verify
+// never rewrites the file, so it is safe to run on a journal another
+// process may still own.
+func Verify(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("journal: verify: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	var (
+		sawHeader bool
+		badLine   int // 1-based, 0 = none yet
+		badWhy    string
+	)
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var payload json.RawMessage
+		why, ok := decodeLine(line, &payload)
+		switch {
+		case !sawHeader:
+			if !ok {
+				return fmt.Errorf("journal: %s: header %s", path, why)
+			}
+			sawHeader = true
+		case badLine != 0 && ok:
+			// A valid record after the damage point: mid-file corruption,
+			// which no repair can distinguish from lost work.
+			return &CorruptError{Path: path, Line: badLine, Why: badWhy}
+		case !ok && badLine == 0:
+			badLine, badWhy = i+1, why
+		}
+	}
+	if !sawHeader && len(data) > 0 {
+		return fmt.Errorf("journal: %s: no header record", path)
+	}
+	return nil
+}
+
+// Quarantine renames a damaged journal aside — path becomes
+// path.corrupt (or path.corrupt.1, .2, … if earlier quarantines exist) —
+// so the writer can start cold without destroying the evidence. It
+// returns the quarantine path.
+func Quarantine(path string) (string, error) {
+	for i := 0; ; i++ {
+		q := path + ".corrupt"
+		if i > 0 {
+			q = fmt.Sprintf("%s.corrupt.%d", path, i)
+		}
+		if _, err := os.Lstat(q); err == nil {
+			continue
+		} else if !errors.Is(err, os.ErrNotExist) {
+			return "", fmt.Errorf("journal: quarantine: %w", err)
+		}
+		if err := os.Rename(path, q); err != nil {
+			return "", fmt.Errorf("journal: quarantine: %w", err)
+		}
+		return q, nil
+	}
+}
+
 // HeaderMatches reports whether two headers describe the same study.
 func HeaderMatches(a, b Header) bool {
 	if a.Kind != b.Kind || a.N != b.N || a.Runs != b.Runs || a.Seed != b.Seed || a.Beautify != b.Beautify {

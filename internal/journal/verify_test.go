@@ -1,0 +1,155 @@
+package journal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mutateLines rewrites the journal at path through fn over its
+// newline-split lines (trailing newline preserved).
+func mutateLines(t *testing.T, path string, fn func(lines []string) []string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	out := strings.Join(fn(lines), "\n") + "\n"
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerifyCleanJournal: a well-formed journal verifies with no error
+// and — critically — no mutation.
+func TestVerifyCleanJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeAll(t, path)
+	before, _ := os.ReadFile(path)
+	if err := Verify(path); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Fatal("Verify mutated the journal")
+	}
+}
+
+// TestVerifyMissingFile: absence maps to os.ErrNotExist so callers can
+// treat "no journal yet" as the cold-start case, not corruption.
+func TestVerifyMissingFile(t *testing.T) {
+	err := Verify(filepath.Join(t.TempDir(), "nope.jsonl"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestVerifyTornTail: a torn final record is the normal SIGKILL
+// signature — repairable, so Verify accepts it and leaves the repair to
+// Recover.
+func TestVerifyTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeAll(t, path)
+	mutateLines(t, path, func(lines []string) []string {
+		last := len(lines) - 1
+		lines[last] = lines[last][:len(lines[last])/2]
+		return lines
+	})
+	before, _ := os.ReadFile(path)
+	if err := Verify(path); err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Fatal("Verify repaired the tail; that is Recover's job")
+	}
+}
+
+// TestVerifyMidFileCorruption: damage followed by valid records is the
+// unrepairable case and must surface as *CorruptError.
+func TestVerifyMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeAll(t, path)
+	mutateLines(t, path, func(lines []string) []string {
+		lines[1] = lines[1][:len(lines[1])/2]
+		return lines
+	})
+	err := Verify(path)
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v, want *CorruptError", err)
+	}
+	if ce.Line != 2 {
+		t.Fatalf("corrupt line = %d, want 2", ce.Line)
+	}
+}
+
+// TestVerifyBadHeader: a journal whose header does not parse is
+// rejected outright.
+func TestVerifyBadHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(path); err == nil {
+		t.Fatal("garbage header verified")
+	}
+}
+
+// TestVerifyAgreesWithRecover: over a sweep of truncation points,
+// Verify must accept exactly the journals Recover can open (everything
+// except mid-file damage, which this sweep cannot produce).
+func TestVerifyAgreesWithRecover(t *testing.T) {
+	full := filepath.Join(t.TempDir(), "full.jsonl")
+	writeAll(t, full)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(data); cut += 7 {
+		path := filepath.Join(t.TempDir(), "cut.jsonl")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		verr := Verify(path)
+		_, _, rerr := Recover(path)
+		if (verr == nil) != (rerr == nil) {
+			t.Fatalf("cut=%d: Verify err %v, Recover err %v — they must agree", cut, verr, rerr)
+		}
+	}
+}
+
+// TestQuarantine: the damaged file moves aside (preserving evidence)
+// and repeated quarantines pick fresh names.
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.jsonl")
+	for i, want := range []string{path + ".corrupt", path + ".corrupt.1", path + ".corrupt.2"} {
+		if err := os.WriteFile(path, []byte("damaged\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		q, err := Quarantine(path)
+		if err != nil {
+			t.Fatalf("quarantine %d: %v", i, err)
+		}
+		if q != want {
+			t.Fatalf("quarantine %d: moved to %q, want %q", i, q, want)
+		}
+		if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+			t.Fatalf("quarantine %d: original still present", i)
+		}
+		if b, err := os.ReadFile(q); err != nil || string(b) != "damaged\n" {
+			t.Fatalf("quarantine %d: evidence lost: %q, %v", i, b, err)
+		}
+	}
+}
+
+// TestQuarantineMissing: quarantining a file that is not there fails.
+func TestQuarantineMissing(t *testing.T) {
+	if _, err := Quarantine(filepath.Join(t.TempDir(), "gone.jsonl")); err == nil {
+		t.Fatal("quarantined a missing file")
+	}
+}

@@ -92,6 +92,24 @@ func (b *breaker) failure() {
 	}
 }
 
+// state reports the breaker's position for readiness probes: "closed"
+// (searches run), "open" (cooling down, every search falls back), or
+// "half-open" (cooldown elapsed, a trial is or may be admitted).
+func (b *breaker) state() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.threshold <= 0:
+		return "closed" // disabled breakers never block
+	case b.now().Before(b.openUntil):
+		return "open"
+	case !b.openUntil.IsZero():
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
 // tripCount returns how many times the breaker has opened.
 func (b *breaker) tripCount() int64 {
 	b.mu.Lock()

@@ -1,0 +1,155 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+
+	wire "repro/serve"
+)
+
+func getReady(t *testing.T, url string) (int, wire.ReadyResponse) {
+	t.Helper()
+	resp, err := http.Get(url + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rr wire.ReadyResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, rr
+}
+
+// TestReadyHealthyServer: a fresh server is ready, with a closed breaker,
+// an empty gate, and a healthy journal.
+func TestReadyHealthyServer(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxConcurrent: 2, MaxQueue: 4})
+	code, rr := getReady(t, ts.URL)
+	if code != http.StatusOK || !rr.Ready {
+		t.Fatalf("readyz = %d %+v, want 200 ready", code, rr)
+	}
+	if rr.Breaker != "closed" || rr.MaxConcurrent != 2 || rr.MaxQueue != 4 || rr.InFlight != 0 {
+		t.Fatalf("readyz body = %+v", rr)
+	}
+	if !rr.JournalHealthy {
+		t.Fatalf("fresh server reports unhealthy journal: %+v", rr)
+	}
+}
+
+// TestReadyDraining: a draining server is alive but not ready.
+func TestReadyDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+	code, rr := getReady(t, ts.URL)
+	if code != http.StatusServiceUnavailable || rr.Ready {
+		t.Fatalf("draining readyz = %d %+v, want 503 not-ready", code, rr)
+	}
+	if len(rr.Reasons) == 0 || rr.Reasons[0] != "draining" {
+		t.Fatalf("reasons = %v", rr.Reasons)
+	}
+}
+
+// TestReadyBreakerOpen: an open search breaker flips readiness — the
+// replica still answers (degraded), but a pool should prefer replicas
+// that can search.
+func TestReadyBreakerOpen(t *testing.T) {
+	s, ts := newTestServer(t, Config{BreakerThreshold: 2, BreakerCooldown: time.Hour})
+	s.brk.failure()
+	s.brk.failure()
+	code, rr := getReady(t, ts.URL)
+	if code != http.StatusServiceUnavailable || rr.Ready {
+		t.Fatalf("breaker-open readyz = %d %+v, want 503 not-ready", code, rr)
+	}
+	if rr.Breaker != "open" {
+		t.Fatalf("breaker state = %q, want open", rr.Breaker)
+	}
+	// Liveness must be unaffected: the process is fine.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d while breaker open, want 200", hr.StatusCode)
+	}
+}
+
+// TestReadyBreakerHalfOpen: past the cooldown the breaker reports
+// half-open and the server is ready again (a trial will be admitted).
+func TestReadyBreakerHalfOpen(t *testing.T) {
+	s, ts := newTestServer(t, Config{BreakerThreshold: 1, BreakerCooldown: 10 * time.Millisecond})
+	s.brk.failure()
+	time.Sleep(20 * time.Millisecond)
+	code, rr := getReady(t, ts.URL)
+	if code != http.StatusOK || !rr.Ready {
+		t.Fatalf("half-open readyz = %d %+v, want 200 ready", code, rr)
+	}
+	if rr.Breaker != "half-open" {
+		t.Fatalf("breaker state = %q, want half-open", rr.Breaker)
+	}
+}
+
+// TestReadyGateSaturated: a full admission gate (slots and queue) means
+// new work would be shed — not ready.
+func TestReadyGateSaturated(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: 1})
+	if err := s.gate.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer s.gate.Release()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	queued := make(chan error, 1)
+	go func() { queued <- s.gate.Acquire(ctx) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for s.gate.Waiting() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+
+	code, rr := getReady(t, ts.URL)
+	if code != http.StatusServiceUnavailable || rr.Ready {
+		t.Fatalf("saturated readyz = %d %+v, want 503 not-ready", code, rr)
+	}
+	if rr.InFlight != 1 || rr.Queued != 1 {
+		t.Fatalf("occupancy = %d/%d inflight, %d/%d queued", rr.InFlight, rr.MaxConcurrent, rr.Queued, rr.MaxQueue)
+	}
+	cancel()
+	if err := <-queued; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued waiter returned %v", err)
+	}
+
+	// Gate drained → ready again.
+	s.gate.Release()
+	code, rr = getReady(t, ts.URL)
+	if code != http.StatusOK || !rr.Ready {
+		t.Fatalf("drained-gate readyz = %d %+v, want 200 ready", code, rr)
+	}
+	if err := s.gate.Acquire(context.Background()); err != nil { // rebalance the deferred Release
+		t.Fatal(err)
+	}
+}
+
+// TestReadyJournalUnhealthy: a quarantined cache journal is surfaced in
+// the body but does not flip readiness — a cold replica is still a
+// full-quality replica.
+func TestReadyJournalUnhealthy(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.SetJournalHealth(errors.New("quarantined: mid-file corruption at line 3"))
+	code, rr := getReady(t, ts.URL)
+	if code != http.StatusOK || !rr.Ready {
+		t.Fatalf("cold-journal readyz = %d %+v, want 200 ready", code, rr)
+	}
+	if rr.JournalHealthy || rr.JournalError == "" {
+		t.Fatalf("journal health not surfaced: %+v", rr)
+	}
+	s.SetJournalHealth(nil)
+	_, rr = getReady(t, ts.URL)
+	if !rr.JournalHealthy || rr.JournalError != "" {
+		t.Fatalf("journal health not cleared: %+v", rr)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -162,6 +163,9 @@ type Server struct {
 
 	draining atomic.Bool
 
+	journalMu  sync.Mutex
+	journalErr string // non-empty: the cache journal failed its startup scrub
+
 	requests    atomic.Int64
 	shed        atomic.Int64
 	degraded    atomic.Int64
@@ -196,6 +200,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/search", s.endpoint("search", true, s.handleSearch))
 	mux.Handle("/v1/stats", s.endpoint("stats", false, s.handleStats))
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	return mux
 }
 
@@ -419,7 +424,7 @@ func (s *Server) handlePlan(ctx context.Context, w http.ResponseWriter, r *http.
 		if ctx.Err() == nil {
 			// The flight leader is still grinding but our deadline is close:
 			// serve this caller the degraded fallback now.
-			resp, err = s.degradedPlan(in, "deadline", start)
+			resp, err = s.degradedPlan(in, wire.DegradedDeadline, start)
 		} else {
 			// The full request deadline — not just the reply-margin one —
 			// expired while coalesced. That is a deadline expiry, not a
@@ -457,13 +462,13 @@ func (s *Server) computePlan(ctx context.Context, in planInputs) (*wire.PlanResp
 	// The budget check runs before brk.allow(): a request destined to
 	// degrade on deadline must never claim the breaker's single half-open
 	// trial slot, since it has no search outcome to report.
-	reason := ""
+	var reason wire.DegradedReason
 	budget := s.searchBudget(ctx)
 	switch {
 	case budget < s.cfg.MinSearchBudget:
-		reason = "deadline"
+		reason = wire.DegradedDeadline
 	case !s.brk.allow():
-		reason = "breaker-open"
+		reason = wire.DegradedBreakerOpen
 	default:
 		reason = s.refineSearch(ctx, budget, in, resp)
 	}
@@ -481,7 +486,7 @@ func (s *Server) computePlan(ctx context.Context, in planInputs) (*wire.PlanResp
 // trial slot is returned even when the search panics or is abandoned,
 // otherwise the slot would leak and the breaker would refuse every
 // future trial until restart.
-func (s *Server) refineSearch(ctx context.Context, budget time.Duration, in planInputs, resp *wire.PlanResponse) (reason string) {
+func (s *Server) refineSearch(ctx context.Context, budget time.Duration, in planInputs, resp *wire.PlanResponse) (reason wire.DegradedReason) {
 	reported := false
 	defer func() {
 		if !reported {
@@ -502,23 +507,23 @@ func (s *Server) refineSearch(ctx context.Context, budget time.Duration, in plan
 	case errors.Is(serr, context.DeadlineExceeded):
 		s.brk.failure()
 		reported = true
-		return "deadline"
+		return wire.DegradedDeadline
 	case errors.Is(serr, context.Canceled):
 		// The flight leader's client disconnected mid-search. That says
 		// nothing about backend health, so release the trial without a
 		// verdict — impatient clients must not trip the breaker.
-		return "cancelled"
+		return wire.DegradedCancelled
 	default:
 		s.brk.failure()
 		reported = true
 		s.cfg.Logf("serve: search refinement failed: %v", serr)
-		return "search-error"
+		return wire.DegradedSearchError
 	}
 }
 
 // degradedPlan builds the degraded response from scratch (used by flight
 // waiters that abandoned the leader).
-func (s *Server) degradedPlan(in planInputs, reason string, start time.Time) (*wire.PlanResponse, error) {
+func (s *Server) degradedPlan(in planInputs, reason wire.DegradedReason, start time.Time) (*wire.PlanResponse, error) {
 	plan, err := heteropart.NewPlan(in.alg, in.m, in.n)
 	if err != nil {
 		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
@@ -528,7 +533,7 @@ func (s *Server) degradedPlan(in planInputs, reason string, start time.Time) (*w
 
 // degradedPlanWith finalises a degraded answer, preferring a stale
 // cached search result over the bare canonical evaluation.
-func (s *Server) degradedPlanWith(resp *wire.PlanResponse, in planInputs, reason string) (*wire.PlanResponse, error) {
+func (s *Server) degradedPlanWith(resp *wire.PlanResponse, in planInputs, reason wire.DegradedReason) (*wire.PlanResponse, error) {
 	s.degraded.Add(1)
 	if stale, _, ok := s.cache.get(in.key); ok {
 		stale.Degraded = true
@@ -756,6 +761,69 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// SetJournalHealth records the cache journal's startup-scrub outcome.
+// A nil error marks the journal healthy; a non-nil one is surfaced by
+// /readyz so operators see a replica running cold after a quarantine.
+func (s *Server) SetJournalHealth(err error) {
+	s.journalMu.Lock()
+	defer s.journalMu.Unlock()
+	if err == nil {
+		s.journalErr = ""
+	} else {
+		s.journalErr = err.Error()
+	}
+}
+
+// Ready reports whether the server can currently give full-quality
+// service, and why not. Liveness (/healthz) is "the process is up";
+// readiness additionally requires the search breaker to be closed (or
+// probing half-open) and the admission gate to have room — the signals
+// a replica pool uses to route around a degraded replica before its
+// requests turn into timeouts or shed load. A quarantined cache journal
+// is reported but does not flip readiness: a cold replica still serves
+// full-quality answers.
+func (s *Server) Ready() wire.ReadyResponse {
+	s.journalMu.Lock()
+	journalErr := s.journalErr
+	s.journalMu.Unlock()
+	resp := wire.ReadyResponse{
+		Ready:          true,
+		Breaker:        s.brk.state(),
+		InFlight:       s.gate.InUse(),
+		MaxConcurrent:  s.gate.Slots(),
+		Queued:         s.gate.Waiting(),
+		MaxQueue:       s.gate.Queue(),
+		JournalHealthy: journalErr == "",
+		JournalError:   journalErr,
+		Draining:       s.draining.Load(),
+	}
+	if resp.Draining {
+		resp.Ready = false
+		resp.Reasons = append(resp.Reasons, "draining")
+	}
+	if resp.Breaker == "open" {
+		resp.Ready = false
+		resp.Reasons = append(resp.Reasons, "search breaker open")
+	}
+	if resp.InFlight >= resp.MaxConcurrent && resp.Queued >= resp.MaxQueue {
+		resp.Ready = false
+		resp.Reasons = append(resp.Reasons, "admission gate saturated")
+	}
+	return resp
+}
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	resp := s.Ready()
+	status := http.StatusOK
+	if !resp.Ready {
+		status = http.StatusServiceUnavailable
+		if resp.Draining {
+			w.Header().Set("Connection", "close")
+		}
+	}
+	writeJSON(w, status, resp)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	wire "repro/serve"
+)
+
+// TestFlightGroupCoalesces: concurrent callers of one key share a
+// single execution.
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	var execs atomic.Int32
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+
+	go func() {
+		defer close(leaderDone)
+		_, shared, err := g.do(context.Background(), "k", func() (*wire.PlanResponse, error) {
+			close(started)
+			<-release
+			execs.Add(1)
+			return &wire.PlanResponse{Source: wire.SourceSearch}, nil
+		})
+		if err != nil || shared {
+			t.Errorf("leader: shared=%v err=%v", shared, err)
+		}
+	}()
+	<-started
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, shared, err := g.do(context.Background(), "k", func() (*wire.PlanResponse, error) {
+				t.Error("waiter executed fn")
+				return nil, nil
+			})
+			if err != nil || !shared || resp == nil || resp.Source != wire.SourceSearch {
+				t.Errorf("waiter: resp=%v shared=%v err=%v", resp, shared, err)
+			}
+		}()
+	}
+	// Give the waiters time to join the flight, then let the leader go.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+}
+
+// TestFlightGroupWaiterCancellation: a subset of waiters cancels while
+// the leader is still computing. The cancelled waiters must return
+// promptly with a waiterTimeoutError; the survivors and the leader must
+// be unaffected and still share the one result.
+func TestFlightGroupWaiterCancellation(t *testing.T) {
+	g := newFlightGroup()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+
+	go func() {
+		defer close(leaderDone)
+		g.do(context.Background(), "k", func() (*wire.PlanResponse, error) {
+			close(started)
+			<-release
+			return &wire.PlanResponse{Source: wire.SourceSearch}, nil
+		})
+	}()
+	<-started
+
+	const total = 12 // even waiters cancel, odd waiters stay
+	type outcome struct {
+		resp *wire.PlanResponse
+		err  error
+		took time.Duration
+	}
+	outcomes := make([]outcome, total)
+	var joined, cancelled sync.WaitGroup
+	cancels := make([]context.CancelFunc, total)
+	for i := 0; i < total; i++ {
+		ctx := context.Background()
+		if i%2 == 0 {
+			ctx, cancels[i] = context.WithCancel(ctx)
+			cancelled.Add(1)
+		}
+		joined.Add(1)
+		go func(i int, ctx context.Context) {
+			defer joined.Done()
+			if i%2 == 0 {
+				defer cancelled.Done()
+			}
+			start := time.Now()
+			resp, _, err := g.do(ctx, "k", func() (*wire.PlanResponse, error) {
+				t.Error("waiter executed fn")
+				return nil, nil
+			})
+			outcomes[i] = outcome{resp: resp, err: err, took: time.Since(start)}
+		}(i, ctx)
+	}
+	time.Sleep(50 * time.Millisecond) // let every waiter join the flight
+
+	// Cancel the even half, concurrently with each other.
+	for i := 0; i < total; i += 2 {
+		go cancels[i]()
+	}
+	cancelled.Wait() // cancelled waiters must return without the leader finishing
+
+	close(release)
+	joined.Wait()
+	<-leaderDone
+
+	for i, o := range outcomes {
+		if i%2 == 0 {
+			var wt *waiterTimeoutError
+			if !errors.As(o.err, &wt) || !errors.Is(o.err, context.Canceled) {
+				t.Fatalf("cancelled waiter %d: err = %v, want waiterTimeoutError wrapping context.Canceled", i, o.err)
+			}
+			if o.took > time.Second {
+				t.Fatalf("cancelled waiter %d took %v — must abandon promptly", i, o.took)
+			}
+		} else {
+			if o.err != nil || o.resp == nil || o.resp.Source != wire.SourceSearch {
+				t.Fatalf("surviving waiter %d: resp=%v err=%v", i, o.resp, o.err)
+			}
+		}
+	}
+}
+
+// TestFlightGroupChurn: many goroutines hammer overlapping keys with
+// short deadlines and random cancellation while leaders keep completing.
+// This is a race-detector workout: the invariant is simply that every
+// call returns either a real result or a waiterTimeoutError, and that
+// results are never torn.
+func TestFlightGroupChurn(t *testing.T) {
+	g := newFlightGroup()
+	var wg sync.WaitGroup
+	const workers = 16
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("k%d", (w+i)%4)
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(i%3)*time.Millisecond)
+				resp, _, err := g.do(ctx, key, func() (*wire.PlanResponse, error) {
+					time.Sleep(time.Duration(i%2) * time.Millisecond)
+					return &wire.PlanResponse{Source: key}, nil
+				})
+				cancel()
+				switch {
+				case err == nil:
+					if resp == nil || resp.Source != key {
+						t.Errorf("worker %d call %d: torn result %+v for %s", w, i, resp, key)
+						return
+					}
+				default:
+					var wt *waiterTimeoutError
+					if !errors.As(err, &wt) {
+						t.Errorf("worker %d call %d: unexpected error %v", w, i, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestFlightGroupLeaderErrorShared: a leader's error propagates to all
+// waiters, and the key is reusable afterwards.
+func TestFlightGroupLeaderErrorShared(t *testing.T) {
+	g := newFlightGroup()
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		g.do(context.Background(), "k", func() (*wire.PlanResponse, error) {
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, shared, err := g.do(context.Background(), "k", func() (*wire.PlanResponse, error) {
+			return nil, nil
+		})
+		if !shared {
+			waiterErr <- errors.New("waiter was not shared")
+			return
+		}
+		waiterErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(release)
+	if err := <-waiterErr; !errors.Is(err, boom) {
+		t.Fatalf("waiter err = %v, want leader's boom", err)
+	}
+	<-leaderDone
+
+	// The finished flight must not haunt the key.
+	resp, shared, err := g.do(context.Background(), "k", func() (*wire.PlanResponse, error) {
+		return &wire.PlanResponse{Source: wire.SourceCache}, nil
+	})
+	if err != nil || shared || resp.Source != wire.SourceCache {
+		t.Fatalf("fresh flight after error: resp=%+v shared=%v err=%v", resp, shared, err)
+	}
+}

@@ -190,6 +190,16 @@ func (g *Gate) Release() {
 // InUse returns the number of currently held slots.
 func (g *Gate) InUse() int { return len(g.slots) }
 
+// Slots returns the gate's concurrency capacity.
+func (g *Gate) Slots() int { return cap(g.slots) }
+
+// Queue returns the gate's wait-queue capacity.
+func (g *Gate) Queue() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queue
+}
+
 // Waiting returns the number of callers parked in the wait queue.
 func (g *Gate) Waiting() int {
 	g.mu.Lock()

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -28,10 +29,11 @@ type RetryPolicy struct {
 }
 
 // HedgePolicy enables hedged requests: when the primary attempt has not
-// answered within Delay, an identical second request is issued and the
-// first response wins. Hedging caps tail latency when a server instance
-// stalls; it must only be used against idempotent endpoints, which all
-// pland endpoints are.
+// answered within Delay, an identical second request is issued — against
+// a different replica whenever the pool has one to offer — and the first
+// verified response wins. Hedging caps tail latency when a server
+// instance stalls; it must only be used against idempotent endpoints,
+// which all pland endpoints are.
 type HedgePolicy struct {
 	// Delay is how long to wait before hedging; 0 disables hedging.
 	Delay time.Duration
@@ -55,6 +57,24 @@ type ClientConfig struct {
 	RetryBudget float64
 	// RetryRefillPerSec is the budget refill rate. 0 selects 1.
 	RetryRefillPerSec float64
+
+	// ProbeInterval is the background readiness-probe period. NewPool
+	// selects 500ms when 0; NewClient keeps probing off unless set.
+	// Negative disables probing for either constructor.
+	ProbeInterval time.Duration
+	// EjectThreshold is the consecutive-failure count (live calls and
+	// probes combined) that ejects a replica from rotation. 0 selects 3.
+	EjectThreshold int
+	// EjectCooldown is how long an ejected replica sits out before
+	// probation. 0 selects 5s.
+	EjectCooldown time.Duration
+	// DisableVerify turns off the client-side plan re-verification that
+	// independently recomputes each /v1/plan response's VoC from its
+	// grid and rejects corrupt payloads. Verification is on by default;
+	// disable it only when the transport is already integrity-checked
+	// and the decode cost matters.
+	DisableVerify bool
+
 	// HTTPClient overrides the transport (nil uses http.DefaultClient).
 	HTTPClient *http.Client
 }
@@ -86,21 +106,61 @@ func (e *APIError) Temporary() bool {
 // retry budget ran dry before the attempt limit.
 var ErrRetryBudgetExhausted = errors.New("serve: retry budget exhausted")
 
-// Client is a robust pland client. Create with NewClient; a Client is
-// safe for concurrent use.
+// Client is a robust pland client over one replica or a pool of them.
+// Create with NewClient or NewPool; a Client is safe for concurrent use.
+//
+// With more than one replica the client load-balances with
+// power-of-two-choices, retries and hedges against different replicas,
+// ejects outliers after consecutive failures (re-admitting them via
+// probation), and — when created by NewPool or with ProbeInterval set —
+// probes each replica's /readyz in the background so not-ready replicas
+// leave the rotation before they cost a live request.
 type Client struct {
-	base   string
-	http   *http.Client
-	cfg    ClientConfig
-	budget tokenBucket
+	replicas []*replica
+	http     *http.Client
+	cfg      ClientConfig
+	budget   tokenBucket
 
-	mu     sync.Mutex
-	hedges int64 // hedged sub-requests issued (observability)
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	hedges          atomic.Int64
+	ejections       atomic.Int64
+	corruptRejected atomic.Int64
+
+	now func() time.Time
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+	closeOnce sync.Once
 }
 
-// NewClient returns a client for the service at baseURL
-// (e.g. "http://127.0.0.1:8080").
+// NewClient returns a client for the single replica at baseURL
+// (e.g. "http://127.0.0.1:8080"). Background probing stays off unless
+// cfg.ProbeInterval is set, so existing single-server callers get no
+// new goroutine; Close is then a no-op.
 func NewClient(baseURL string, cfg ClientConfig) *Client {
+	c, err := newClient([]string{baseURL}, cfg)
+	if err != nil {
+		// Unreachable: one URL is always a valid pool.
+		panic(err)
+	}
+	return c
+}
+
+// NewPool returns a client balancing over every replica URL. Readiness
+// probing defaults on (500ms); stop it with Close when done.
+func NewPool(urls []string, cfg ClientConfig) (*Client, error) {
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	return newClient(urls, cfg)
+}
+
+func newClient(urls []string, cfg ClientConfig) (*Client, error) {
+	if len(urls) == 0 {
+		return nil, ErrNoReplicas
+	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 10 * time.Second
 	}
@@ -122,12 +182,17 @@ func NewClient(baseURL string, cfg ClientConfig) *Client {
 	if cfg.RetryRefillPerSec <= 0 {
 		cfg.RetryRefillPerSec = 1
 	}
+	if cfg.EjectThreshold <= 0 {
+		cfg.EjectThreshold = 3
+	}
+	if cfg.EjectCooldown <= 0 {
+		cfg.EjectCooldown = 5 * time.Second
+	}
 	hc := cfg.HTTPClient
 	if hc == nil {
 		hc = http.DefaultClient
 	}
-	return &Client{
-		base: strings.TrimRight(baseURL, "/"),
+	c := &Client{
 		http: hc,
 		cfg:  cfg,
 		budget: tokenBucket{
@@ -136,13 +201,34 @@ func NewClient(baseURL string, cfg ClientConfig) *Client {
 			refill:   cfg.RetryRefillPerSec,
 			now:      time.Now,
 		},
+		rng: rand.New(rand.NewSource(time.Now().UnixNano())),
+		now: time.Now,
 	}
+	seen := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		u = strings.TrimRight(u, "/")
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		c.replicas = append(c.replicas, &replica{url: u})
+	}
+	if cfg.ProbeInterval > 0 {
+		c.probeStop = make(chan struct{})
+		c.probeDone = make(chan struct{})
+		go c.probeLoop()
+	}
+	return c, nil
 }
 
-// Plan requests the optimal partitioning decision for a scenario.
+// Plan requests the optimal partitioning decision for a scenario. Unless
+// DisableVerify is set, every response copy is independently re-verified
+// (grid decoded, VoC recomputed, scenario cross-checked) before it may
+// win; a copy that fails counts as a replica failure and the call fails
+// over, so a corrupt payload is never returned.
 func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, error) {
 	var resp PlanResponse
-	if err := c.do(ctx, "/v1/plan", req, &resp); err != nil {
+	if err := c.do(ctx, "/v1/plan", req, &resp, c.planVerifier(req)); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -151,7 +237,7 @@ func (c *Client) Plan(ctx context.Context, req PlanRequest) (*PlanResponse, erro
 // Evaluate requests the cost of one named candidate shape.
 func (c *Client) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateResponse, error) {
 	var resp EvaluateResponse
-	if err := c.do(ctx, "/v1/evaluate", req, &resp); err != nil {
+	if err := c.do(ctx, "/v1/evaluate", req, &resp, nil); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -160,49 +246,48 @@ func (c *Client) Evaluate(ctx context.Context, req EvaluateRequest) (*EvaluateRe
 // Search requests one bounded Push-search run.
 func (c *Client) Search(ctx context.Context, req SearchRequest) (*SearchResponse, error) {
 	var resp SearchResponse
-	if err := c.do(ctx, "/v1/search", req, &resp); err != nil {
+	if err := c.do(ctx, "/v1/search", req, &resp, nil); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Stats fetches the server's traffic counters.
+// Stats fetches traffic counters from one replica (the pool pick).
 func (c *Client) Stats(ctx context.Context) (*Stats, error) {
 	var resp Stats
-	if err := c.do(ctx, "/v1/stats", nil, &resp); err != nil {
+	if err := c.do(ctx, "/v1/stats", nil, &resp, nil); err != nil {
 		return nil, err
 	}
 	return &resp, nil
 }
 
-// Health probes /healthz once, without retries.
+// Health probes /healthz without retries, succeeding if any replica
+// answers 200.
 func (c *Client) Health(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
-	if err != nil {
-		return err
+	var lastErr error
+	for _, r := range c.replicas {
+		code := c.probeStatus(ctx, r.url+"/healthz")
+		if code == http.StatusOK {
+			return nil
+		}
+		if code == 0 {
+			lastErr = fmt.Errorf("serve: %s unreachable", r.url)
+		} else {
+			lastErr = &APIError{StatusCode: code, Message: "unhealthy"}
+		}
 	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	io.Copy(io.Discard, resp.Body)
-	if resp.StatusCode != http.StatusOK {
-		return &APIError{StatusCode: resp.StatusCode, Message: "unhealthy"}
-	}
-	return nil
+	return lastErr
 }
 
 // Hedges returns the number of hedged sub-requests issued so far.
-func (c *Client) Hedges() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hedges
-}
+func (c *Client) Hedges() int64 { return c.hedges.Load() }
 
 // do runs the full robustness stack for one logical call: deadline,
-// hedged attempts, retry classification, budgeted jittered backoff.
-func (c *Client) do(ctx context.Context, path string, reqBody, out any) error {
+// replica selection, hedged attempts, response verification, retry
+// classification, budgeted jittered backoff. Attempts prefer replicas
+// the call has not used yet, so a retry after a failure is a failover,
+// not a replay against the same broken box.
+func (c *Client) do(ctx context.Context, path string, reqBody, out any, verify func([]byte) error) error {
 	ctx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	var body []byte
@@ -212,9 +297,10 @@ func (c *Client) do(ctx context.Context, path string, reqBody, out any) error {
 			return fmt.Errorf("serve: marshal request: %w", err)
 		}
 	}
+	tried := make(map[*replica]bool, len(c.replicas))
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.Retry.MaxAttempts; attempt++ {
-		raw, err := c.attempt(ctx, path, body)
+		raw, err := c.attempt(ctx, path, body, verify, tried)
 		if err == nil {
 			if out == nil {
 				return nil
@@ -264,13 +350,18 @@ func (c *Client) backoff(attempt int, cause error) time.Duration {
 }
 
 // attempt issues one logical attempt, hedging it with up to MaxHedges
-// identical copies when the primary is slow. The first success wins and
-// the losers are cancelled; if every copy fails, the primary's error is
-// returned.
-func (c *Client) attempt(parent context.Context, path string, body []byte) ([]byte, error) {
+// copies when the primary is slow. Each copy runs against its own pick
+// from the pool (marked in tried, so later copies and retries prefer
+// replicas this call has not burned yet), and each copy verifies its
+// response before it may win. The first verified success wins and the
+// losers are cancelled; if every copy fails, the first error is
+// returned. tried is only touched from this goroutine.
+func (c *Client) attempt(parent context.Context, path string, body []byte, verify func([]byte) error, tried map[*replica]bool) ([]byte, error) {
 	hedge := c.cfg.Hedge
 	if hedge.Delay <= 0 {
-		return c.send(parent, path, body)
+		rep := c.pick(tried)
+		tried[rep] = true
+		return c.call(parent, rep, path, body, verify)
 	}
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
@@ -281,8 +372,10 @@ func (c *Client) attempt(parent context.Context, path string, body []byte) ([]by
 	}
 	results := make(chan result, 1+hedge.MaxHedges)
 	launch := func() {
+		rep := c.pick(tried)
+		tried[rep] = true
 		go func() {
-			raw, err := c.send(ctx, path, body)
+			raw, err := c.call(ctx, rep, path, body, verify)
 			results <- result{raw, err}
 		}()
 	}
@@ -310,14 +403,14 @@ func (c *Client) attempt(parent context.Context, path string, body []byte) ([]by
 				launch()
 				outstanding++
 				hedged++
-				c.noteHedge()
+				c.hedges.Add(1)
 			}
 		case <-timer.C:
 			if hedged < hedge.MaxHedges {
 				launch()
 				outstanding++
 				hedged++
-				c.noteHedge()
+				c.hedges.Add(1)
 				timer.Reset(hedge.Delay)
 			}
 		case <-parent.Done():
@@ -326,14 +419,52 @@ func (c *Client) attempt(parent context.Context, path string, body []byte) ([]by
 	}
 }
 
-func (c *Client) noteHedge() {
-	c.mu.Lock()
-	c.hedges++
-	c.mu.Unlock()
+// call runs one request copy against one replica and settles the
+// replica's books: in-flight count around the exchange, then a success
+// (latency folded into the EWMA) or — for faults attributable to the
+// replica — a consecutive failure that may eject it.
+func (c *Client) call(ctx context.Context, rep *replica, path string, body []byte, verify func([]byte) error) ([]byte, error) {
+	rep.inflight.Add(1)
+	start := c.now()
+	raw, err := c.send(ctx, rep, path, body)
+	if err == nil && verify != nil {
+		if verr := verify(raw); verr != nil {
+			c.corruptRejected.Add(1)
+			err = &CorruptPlanError{Replica: rep.url, Err: verr}
+		}
+	}
+	latency := c.now().Sub(start)
+	rep.inflight.Add(-1)
+	switch {
+	case err == nil:
+		rep.recordSuccess(latency)
+	case replicaFault(err):
+		if rep.recordFailure(c.now(), c.cfg.EjectThreshold, c.cfg.EjectCooldown) {
+			c.ejections.Add(1)
+		}
+	}
+	return raw, err
 }
 
-// send performs one HTTP exchange and classifies the response.
-func (c *Client) send(ctx context.Context, path string, body []byte) ([]byte, error) {
+// replicaFault reports whether an error counts against the replica that
+// produced it. Cancellation does not: a hedge loser cancelled because a
+// sibling won is the client's doing. A non-temporary API status (a 4xx
+// validation error) does not either: the replica answered correctly.
+// Transport failures, timeouts, 5xx/429, and corrupt payloads all do.
+func replicaFault(err error) bool {
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary()
+	}
+	return true
+}
+
+// send performs one HTTP exchange against one replica and classifies
+// the response.
+func (c *Client) send(ctx context.Context, rep *replica, path string, body []byte) ([]byte, error) {
 	method := http.MethodPost
 	var rd io.Reader
 	if body != nil {
@@ -341,7 +472,7 @@ func (c *Client) send(ctx context.Context, path string, body []byte) ([]byte, er
 	} else {
 		method = http.MethodGet
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	req, err := http.NewRequestWithContext(ctx, method, rep.url+path, rd)
 	if err != nil {
 		return nil, err
 	}
@@ -383,10 +514,15 @@ func (c *Client) send(ctx context.Context, path string, body []byte) ([]byte, er
 	return nil, apiErr
 }
 
-// retryable classifies an attempt error: temporary API statuses and
-// transport-level failures retry; everything else (4xx validation
-// errors, decode failures) fails fast.
+// retryable classifies an attempt error: temporary API statuses,
+// transport-level failures, and corrupt payloads (another replica may
+// hold a clean copy) retry; everything else (4xx validation errors,
+// decode failures) fails fast.
 func retryable(err error) bool {
+	var corrupt *CorruptPlanError
+	if errors.As(err, &corrupt) {
+		return true
+	}
 	var apiErr *APIError
 	if errors.As(err, &apiErr) {
 		return apiErr.Temporary()

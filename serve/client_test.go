@@ -5,15 +5,35 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"context"
+
+	heteropart "repro"
 )
 
+// testPlan builds (once) a real, internally consistent plan for the
+// scenario the client tests request — the stub servers must pass the
+// client's independent re-verification, not just return valid JSON.
+var testPlan = sync.OnceValue(func() *heteropart.Plan {
+	ratio := heteropart.MustRatio(3, 1, 1)
+	p, err := heteropart.NewPlan(heteropart.SCB, heteropart.DefaultMachine(ratio), 40)
+	if err != nil {
+		panic(err)
+	}
+	return p
+})
+
 func planOK() PlanResponse {
-	return PlanResponse{Source: SourceCanonical, Degraded: true, DegradedReason: "deadline"}
+	return PlanResponse{
+		Plan:           testPlan(),
+		Source:         SourceCanonical,
+		Degraded:       true,
+		DegradedReason: "deadline",
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

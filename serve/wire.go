@@ -75,6 +75,36 @@ const (
 	SourceStaleCache = "stale-cache"
 )
 
+// DegradedReason is the typed cause of a degraded plan answer, so
+// callers branch on constants instead of string-matching wire JSON.
+type DegradedReason string
+
+// The degraded-mode causes a pland server reports.
+const (
+	// DegradedNone marks a full-quality answer.
+	DegradedNone DegradedReason = ""
+	// DegradedDeadline: the request deadline left no room for a search.
+	DegradedDeadline DegradedReason = "deadline"
+	// DegradedBreakerOpen: the search path's circuit breaker was open.
+	DegradedBreakerOpen DegradedReason = "breaker-open"
+	// DegradedCancelled: the coalesced flight leader's client
+	// disconnected mid-search.
+	DegradedCancelled DegradedReason = "cancelled"
+	// DegradedSearchError: the search itself failed.
+	DegradedSearchError DegradedReason = "search-error"
+)
+
+// Known reports whether the reason is one this client version models; a
+// newer server may introduce causes an older client should still treat
+// as generically degraded.
+func (r DegradedReason) Known() bool {
+	switch r {
+	case DegradedNone, DegradedDeadline, DegradedBreakerOpen, DegradedCancelled, DegradedSearchError:
+		return true
+	}
+	return false
+}
+
 // PlanResponse is the service's partitioning decision.
 type PlanResponse struct {
 	Plan *heteropart.Plan `json:"plan"`
@@ -82,15 +112,28 @@ type PlanResponse struct {
 	// (deadline too short, circuit breaker open) and the answer is the
 	// canonical-shape fallback.
 	Degraded bool `json:"degraded"`
-	// DegradedReason explains a degraded answer: "deadline",
-	// "breaker-open", "cancelled" (the coalesced flight leader's client
-	// disconnected mid-search), or "search-error".
-	DegradedReason string `json:"degradedReason,omitempty"`
+	// DegradedReason explains a degraded answer; see the DegradedReason
+	// constants.
+	DegradedReason DegradedReason `json:"degradedReason,omitempty"`
 	// Source is one of the Source* constants.
 	Source string `json:"source"`
 	// Search is present on non-degraded responses.
 	Search    *SearchSummary `json:"search,omitempty"`
 	ElapsedMS float64        `json:"elapsedMs"`
+}
+
+// DegradedCause returns the typed degraded reason of the response:
+// DegradedNone for full-quality answers, and never "" for degraded ones
+// (a degraded response from a server that omitted the reason maps to
+// DegradedSearchError, the most conservative cause).
+func (r *PlanResponse) DegradedCause() DegradedReason {
+	if !r.Degraded {
+		return DegradedNone
+	}
+	if r.DegradedReason == "" {
+		return DegradedSearchError
+	}
+	return r.DegradedReason
 }
 
 // EvaluateRequest asks for the cost of one named candidate shape.
@@ -146,6 +189,32 @@ type ErrorBody struct {
 	Error string `json:"error"`
 	// RetryAfterMS mirrors the Retry-After header on 429/503 responses.
 	RetryAfterMS int64 `json:"retryAfterMs,omitempty"`
+}
+
+// ReadyResponse is the body of /readyz: liveness (/healthz) says the
+// process is up, readiness says it can currently give full-quality
+// service. A replica pool uses it to eject not-ready replicas — a
+// draining server, an open search breaker, or a saturated admission
+// gate — before they turn into timeouts.
+type ReadyResponse struct {
+	Ready bool `json:"ready"`
+	// Reasons lists why the server is not ready (empty when Ready).
+	Reasons []string `json:"reasons,omitempty"`
+	// Breaker is the search circuit breaker's state: "closed", "open",
+	// or "half-open".
+	Breaker string `json:"breaker"`
+	// InFlight/MaxConcurrent and Queued/MaxQueue report admission-gate
+	// occupancy.
+	InFlight      int `json:"inFlight"`
+	MaxConcurrent int `json:"maxConcurrent"`
+	Queued        int `json:"queued"`
+	MaxQueue      int `json:"maxQueue"`
+	// JournalHealthy is false when the cache journal was quarantined at
+	// startup (the server runs, but cold and without its degraded-mode
+	// inventory); JournalError carries the scrub diagnosis.
+	JournalHealthy bool   `json:"journalHealthy"`
+	JournalError   string `json:"journalError,omitempty"`
+	Draining       bool   `json:"draining"`
 }
 
 // Stats is the served-traffic counter snapshot of /v1/stats.

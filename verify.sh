@@ -4,14 +4,17 @@
 # Runs vet, a full build, the complete test suite, the race detector over
 # the packages with real concurrency (the push engine's pooled scratch
 # state, the census worker pool, the journal writer, the throttle
-# limiter, and the planning service with its client), a kill/resume smoke
-# test (a journaled census is SIGKILLed mid-flight and resumed, and its
-# output must be byte-identical to an uninterrupted run), and a pland
-# drain smoke test (degraded serving under an injected straggler fault,
-# full-quality serving without it, clean SIGTERM drain, and a non-zero
-# exit when the drain window is forced shut). CI and pre-commit hooks run
-# exactly this script; it exits non-zero on the first failure — no step
-# may be skipped.
+# limiter, the planning service with its client, and the chaos proxy), a
+# kill/resume smoke test (a journaled census is SIGKILLed mid-flight and
+# resumed, and its output must be byte-identical to an uninterrupted
+# run), a pland drain smoke test (degraded serving under an injected
+# straggler fault, full-quality serving without it, clean SIGTERM drain,
+# and a non-zero exit when the drain window is forced shut), and a chaos
+# smoke test (three real pland replicas behind fault-injection proxies:
+# a partition plus a straggler must not cost availability, and in-flight
+# response corruption must never get a plan accepted). CI and pre-commit
+# hooks run exactly this script; it exits non-zero on the first failure —
+# no step may be skipped.
 set -eux
 
 go vet ./...
@@ -19,7 +22,15 @@ go build ./...
 go test ./...
 go test -race ./internal/push/... ./internal/experiment/... \
     ./internal/journal/... ./internal/throttle/... \
-    ./internal/serve/... ./serve/...
+    ./internal/serve/... ./internal/chaos/... ./serve/...
+
+# --- chaos smoke test (~5s) -------------------------------------------
+# The replicated-cluster invariants, under the race detector: with one
+# of three replicas blackholed and another straggling, every request
+# completes within its deadline and ≥80% at full quality; with one
+# replica's responses corrupted in flight, zero corrupt plans are
+# accepted (client-side VoC re-verification catches every one).
+go test -race -count=1 -run 'TestChaosCluster' ./internal/chaos/
 
 # --- kill/resume smoke test (~10s) ------------------------------------
 tmp=$(mktemp -d)
