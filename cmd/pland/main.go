@@ -10,15 +10,21 @@
 //	      [-cache-ttl 5m] [-cache-journal plancache.jsonl]
 //	      [-breaker-threshold 3] [-breaker-cooldown 5s]
 //	      [-fault-straggler 0] [-fault-step 200us]
-//	      [-drain-timeout 10s] [-seed 1]
+//	      [-drain-timeout 10s] [-seed 1] [-debug-addr ""]
 //
 // Endpoints: POST (or GET with query params) /v1/plan, /v1/evaluate,
 // /v1/search; GET /v1/stats, /healthz (liveness), /readyz (readiness:
 // breaker state, admission-gate occupancy, cache-journal health — what
-// a replica pool uses to eject a degraded replica). Clients bound the
-// server's work with a Request-Timeout header; past it the planner
-// answers with the canonical candidate shape marked Degraded instead of
-// going silent.
+// a replica pool uses to eject a degraded replica), and /metrics (a
+// Prometheus text scrape of the serving and search counters, which
+// stays up during a drain). Clients bound the server's work with a
+// Request-Timeout header; past it the planner answers with the
+// canonical candidate shape marked Degraded instead of going silent.
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/ plus the same /metrics scrape. Keep it on a loopback
+// or otherwise private address: profiles are not for the open
+// internet, which is why they do not ride on the main listener.
 //
 // -addr-file writes the bound address (useful with -addr :0) after the
 // listener is live, so scripts can poll for it race-free.
@@ -46,6 +52,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -116,6 +123,7 @@ func run() int {
 		faultStep    = flag.Duration("fault-step", 200*time.Microsecond, "nominal per-Push cost billed against the injected fault")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests")
 		seed         = flag.Int64("seed", 1, "default search seed for requests that omit one")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this private address (empty = off)")
 	)
 	flag.Parse()
 
@@ -167,6 +175,32 @@ func run() int {
 		}
 	}
 	log.Printf("serving on http://%s", ln.Addr())
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Printf("debug listen: %v", err)
+			return 2
+		}
+		mux := http.NewServeMux()
+		// The default pprof mux registrations, mounted explicitly so the
+		// profiles live on this private listener only — importing the
+		// package must not open them on the serving mux.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/metrics", srv.MetricsRegistry().Handler())
+		dbgSrv := &http.Server{Handler: mux}
+		go func() {
+			if err := dbgSrv.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug serve: %v", err)
+			}
+		}()
+		defer dbgSrv.Close()
+		log.Printf("debug (pprof + metrics) on http://%s", dln.Addr())
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	serveErr := make(chan error, 1)

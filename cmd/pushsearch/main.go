@@ -6,12 +6,17 @@
 // Usage:
 //
 //	pushsearch [-n 100] [-runs 50] [-ratios 2:1:1,5:2:1] [-seed 1] [-beautify]
-//	           [-workers 0] [-journal census.jsonl] [-resume]
+//	           [-workers 0] [-journal census.jsonl] [-resume] [-trace]
 //	           [-cpuprofile search.pprof] [-memprofile heap.pprof]
 //
 // The profile flags write pprof data covering the census (use
 // `go tool pprof` to inspect); the heap profile is taken after a final GC
 // so it reflects live memory, not garbage.
+//
+// -trace appends one instrumented DFA run per ratio after the census and
+// prints each run's span timeline (setup, condense, beautify) as an
+// ASCII chart — where a slow search's wall time went, without attaching
+// a profiler.
 //
 // -journal checkpoints every completed DFA run to an append-only
 // CRC-checked JSONL file; SIGINT/SIGTERM (or SIGKILL) mid-census loses at
@@ -26,6 +31,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
@@ -36,32 +42,40 @@ import (
 
 	"repro/internal/experiment"
 	"repro/internal/partition"
+	"repro/internal/push"
+	"repro/internal/trace"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("pushsearch: ")
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // run carries the whole program so deferred profile writers fire on every
-// exit path (log.Fatal in main would skip them).
-func run() error {
+// exit path (log.Fatal in main would skip them). It takes its argument
+// list and output stream explicitly so tests can drive it like a user
+// and golden-check stdout.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pushsearch", flag.ContinueOnError)
 	var (
-		n          = flag.Int("n", 100, "matrix dimension N (paper: 1000)")
-		runs       = flag.Int("runs", 50, "DFA runs per ratio (paper: ~10000)")
-		ratios     = flag.String("ratios", "", "comma-separated Pr:Rr:Sr list (default: the paper's eleven)")
-		seed       = flag.Int64("seed", 1, "base random seed")
-		beautify   = flag.Bool("beautify", true, "apply the Thm 8.3 cleanup before classification")
-		workers    = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
-		journal    = flag.String("journal", "", "checkpoint completed runs to this JSONL file")
-		resume     = flag.Bool("resume", false, "replay an existing -journal and finish the remaining runs")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		n          = fs.Int("n", 100, "matrix dimension N (paper: 1000)")
+		runs       = fs.Int("runs", 50, "DFA runs per ratio (paper: ~10000)")
+		ratios     = fs.String("ratios", "", "comma-separated Pr:Rr:Sr list (default: the paper's eleven)")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		beautify   = fs.Bool("beautify", true, "apply the Thm 8.3 cleanup before classification")
+		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		journal    = fs.String("journal", "", "checkpoint completed runs to this JSONL file")
+		resume     = fs.Bool("resume", false, "replay an existing -journal and finish the remaining runs")
+		traceRuns  = fs.Bool("trace", false, "run one instrumented DFA per ratio after the census and print its span timeline")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -125,22 +139,22 @@ func run() error {
 			if total == 0 {
 				total = len(partition.PaperRatios)
 			}
-			fmt.Printf("(partial census: %d of %d ratio rows completed before the error)\n\n",
+			fmt.Fprintf(stdout, "(partial census: %d of %d ratio rows completed before the error)\n\n",
 				len(rows), total)
-			if werr := experiment.WriteCensusTable(os.Stdout, rows); werr != nil {
+			if werr := experiment.WriteCensusTable(stdout, rows); werr != nil {
 				log.Printf("flushing partial table: %v", werr)
 			}
 		}
 		return err
 	}
 
-	if err := experiment.WriteCensusTable(os.Stdout, rows); err != nil {
+	if err := experiment.WriteCensusTable(stdout, rows); err != nil {
 		return err
 	}
 	if quarantined != nil {
-		fmt.Printf("\n%d run(s) quarantined after repeated failures:\n", len(quarantined.Failures))
+		fmt.Fprintf(stdout, "\n%d run(s) quarantined after repeated failures:\n", len(quarantined.Failures))
 		for _, f := range quarantined.Failures {
-			fmt.Printf("  ratio %s run %d (seed %d, %d attempts): %v\n",
+			fmt.Fprintf(stdout, "  ratio %s run %d (seed %d, %d attempts): %v\n",
 				f.Ratio, f.Run, f.Seed, f.Attempts, f.Err)
 		}
 		return fmt.Errorf("census completed with %d quarantined run(s)", len(quarantined.Failures))
@@ -148,6 +162,41 @@ func run() error {
 	if cx := experiment.CensusCounterexamples(rows); cx > 0 {
 		return fmt.Errorf("%d terminal state(s) outside archetypes A–D (Postulate 1 counterexample?)", cx)
 	}
-	fmt.Printf("\nAll terminal states fall into archetypes A–D (Postulate 1 holds on this sample).\n")
+	fmt.Fprintf(stdout, "\nAll terminal states fall into archetypes A–D (Postulate 1 holds on this sample).\n")
+
+	if *traceRuns {
+		if err := writeTraces(ctx, stdout, cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTraces runs one instrumented DFA per ratio and prints each run's
+// span timeline. The traced runs reuse the census base seed, so the
+// timeline explains a run of the same family the census just measured.
+func writeTraces(ctx context.Context, w io.Writer, cfg experiment.CensusConfig) error {
+	ratios := cfg.Ratios
+	if len(ratios) == 0 {
+		ratios = partition.PaperRatios
+	}
+	fmt.Fprintf(w, "\nPer-run span timelines (one traced run per ratio, seed %d):\n", cfg.Seed)
+	for _, r := range ratios {
+		tr := trace.New()
+		res, err := push.RunContext(ctx, push.Config{
+			N:        cfg.N,
+			Ratio:    r,
+			Seed:     cfg.Seed,
+			Beautify: cfg.Beautify,
+			Trace:    tr,
+		})
+		if err != nil {
+			return fmt.Errorf("traced run for %s: %w", r, err)
+		}
+		fmt.Fprintf(w, "\nratio %s: %d steps, VoC %d -> %d\n", r, res.Steps, res.InitialVoC, res.FinalVoC)
+		if err := tr.WriteTimeline(w, 48); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files with the current output")
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output differs from %s (re-run with -update if the change is intended)\n--- got ---\n%s--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestGoldenCensus pins the census table for a small seeded run: the
+// archetype counts, mean push counts, and VoC drops are a deterministic
+// function of (N, runs, seed), so any drift in the DFA, the plateau
+// logic, or the classifier shows up as a golden diff. The -trace
+// timeline is exercised separately (its durations are wall-clock).
+func TestGoldenCensus(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "32", "-runs", "4", "-ratios", "3:1:1,5:2:1",
+		"-seed", "7", "-workers", "1",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	checkGolden(t, "census_n32_seed7", out.Bytes())
+}
+
+// TestTraceTimelineShape checks the -trace output structurally instead of
+// byte for byte — span durations are wall-clock — but everything else is
+// pinned: one timeline per ratio, the three phases in order, and the
+// seeded search's step/VoC numbers embedded in the header lines.
+func TestTraceTimelineShape(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-n", "32", "-runs", "2", "-ratios", "4:1:1",
+		"-seed", "7", "-workers", "1", "-trace",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Per-run span timelines (one traced run per ratio, seed 7):") {
+		t.Errorf("missing timeline banner:\n%s", s)
+	}
+	if n := strings.Count(s, "ratio 4:1:1: "); n != 1 {
+		t.Errorf("want exactly 1 traced-run header, got %d:\n%s", n, s)
+	}
+	// Phases appear in execution order.
+	setup := strings.Index(s, "setup")
+	condense := strings.Index(s, "condense")
+	total := strings.LastIndex(s, "total")
+	if setup < 0 || condense < setup || total < condense {
+		t.Errorf("phases out of order (setup=%d condense=%d total=%d):\n%s", setup, condense, total, s)
+	}
+	// The traced run reuses the census seed, so its step count is pinned.
+	if !strings.Contains(s, "steps, VoC") {
+		t.Errorf("traced-run header missing step/VoC summary:\n%s", s)
+	}
+}
+
+// TestRunBadFlags: unparseable flags and ratios surface as errors from
+// run, not panics or os.Exit.
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-n", "notanumber"}, &out); err == nil {
+		t.Error("bad -n accepted")
+	}
+	if err := run([]string{"-ratios", "bogus"}, &out); err == nil {
+		t.Error("bad -ratios accepted")
+	}
+}

@@ -15,7 +15,10 @@
 //	    -requests 20 -conc 4 -timeout 300ms -expect degraded
 //
 // -expect searched|degraded|any asserts on every response's mode; any
-// violation (or transport failure) exits non-zero.
+// violation (or transport failure) exits non-zero. -scrape-metrics
+// additionally fetches the server's /metrics after the workload and
+// asserts the scrape parses and carries the serving families the
+// workload must have populated.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	serveimpl "repro/internal/serve"
 	"repro/serve"
 )
@@ -44,11 +48,12 @@ func main() {
 		timeout = flag.Duration("timeout", 2*time.Second, "load mode: per-request deadline")
 		expect  = flag.String("expect", "any", "load mode: assert every answer is searched|degraded|any")
 		wait    = flag.Duration("wait", 5*time.Second, "load mode: how long to wait for the server's /healthz")
+		scrape  = flag.Bool("scrape-metrics", false, "load mode: scrape and verify the server's /metrics after the workload")
 	)
 	flag.Parse()
 
 	if *url != "" {
-		os.Exit(loadMode(*url, *reqs, *conc, *timeout, *expect, *wait))
+		os.Exit(loadMode(*url, *reqs, *conc, *timeout, *expect, *wait, *scrape))
 	}
 	demo()
 }
@@ -121,7 +126,7 @@ func demo() {
 
 // loadMode hammers an external pland and verifies the serving mode of
 // every answer. Exit codes: 0 all good, 1 assertion or transport failure.
-func loadMode(url string, reqs, conc int, timeout time.Duration, expect string, wait time.Duration) int {
+func loadMode(url string, reqs, conc int, timeout time.Duration, expect string, wait time.Duration, scrape bool) int {
 	if err := waitHealthy(url, wait); err != nil {
 		log.Printf("server never became healthy: %v", err)
 		return 1
@@ -173,7 +178,53 @@ func loadMode(url string, reqs, conc int, timeout time.Duration, expect string, 
 	if failures.Load() > 0 {
 		return 1
 	}
+	if scrape {
+		if err := scrapeMetrics(url); err != nil {
+			log.Printf("metrics scrape failed: %v", err)
+			return 1
+		}
+		log.Printf("metrics scrape ok")
+	}
 	return 0
+}
+
+// scrapeMetrics fetches /metrics and asserts the exposition parses and
+// carries the families a just-completed plan workload must populate:
+// per-endpoint traffic and latency histograms, cache and breaker
+// state, and the in-process push-search counters.
+func scrapeMetrics(url string) error {
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	got, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scrape does not parse: %w", err)
+	}
+	required := []string{
+		`pland_requests_total{endpoint="plan"}`,
+		`pland_request_duration_seconds_bucket{endpoint="plan",le="+Inf"}`,
+		`pland_request_duration_seconds_count{endpoint="plan"}`,
+		"pland_cache_hits_total",
+		"pland_cache_misses_total",
+		"pland_cache_entries",
+		"pland_breaker_state",
+		"pland_gate_slots",
+		"push_runs_total",
+	}
+	for _, name := range required {
+		if _, ok := got[name]; !ok {
+			return fmt.Errorf("scrape missing %s", name)
+		}
+	}
+	if got[`pland_requests_total{endpoint="plan"}`] < 1 {
+		return fmt.Errorf("plan requests not counted in scrape")
+	}
+	return nil
 }
 
 func waitHealthy(url string, wait time.Duration) error {

@@ -1,0 +1,115 @@
+// Package metrics is a dependency-free instrumentation layer: atomic
+// counters, gauges, and fixed-bucket histograms, collected in a
+// Registry that renders the Prometheus text exposition format. It
+// exists so the planning stack (pland, the replica pool, the push
+// engine) can be measured in production without pulling a client
+// library into a repo whose roadmap is "no dependencies beyond the
+// standard library".
+//
+// The design is deliberately small:
+//
+//   - Instruments are lock-free on the hot path (sync/atomic), so a
+//     counter increment in the push engine's inner loop costs one
+//     atomic add.
+//   - The Registry owns naming: families are registered once with a
+//     name, help string, and kind, and duplicate registration with a
+//     conflicting kind panics at startup rather than corrupting a
+//     scrape at runtime.
+//   - Func-backed series let a component export state it already
+//     tracks (gate occupancy, cache size, breaker state) without
+//     double bookkeeping.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta. Negative deltas are ignored: counters only go up,
+// and silently absorbing a buggy negative add beats corrupting every
+// rate() computed over the series.
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (which may be negative) to the gauge.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets. Bucket upper
+// bounds are inclusive, matching Prometheus semantics: an observation
+// of exactly 0.01 lands in the le="0.01" bucket. Observations above
+// the last bound land in the implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    Gauge           // CAS float accumulator
+	count  atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Uint64, len(b)+1),
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// SearchFloat64s finds the first bound >= v only when v is exactly
+	// on a boundary; for v strictly between bounds it returns the
+	// insertion point, which is the first bound > v — exactly the
+	// inclusive-upper-bound bucket either way.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// DefBuckets are the default latency buckets in seconds: 1ms to 10s,
+// roughly logarithmic. They bracket the serving stack's range — cache
+// hits in the hundreds of microseconds, refine searches in the tens
+// of milliseconds to seconds, stragglers at the deadline.
+var DefBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}

@@ -1,0 +1,49 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText parses a Prometheus text scrape back into a map from
+// series (name plus rendered labels, exactly as exposed) to value.
+// It understands what WriteText emits — sample lines and # comments —
+// which is all the scrape smoke checks and round-trip tests need; it
+// is not a general exposition-format parser (no timestamps, no
+// exemplars).
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is everything after the last space; the series
+		// name (with its label block, which may itself contain spaces
+		// inside quoted values) is everything before it.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("metrics: line %d: no value in %q", lineNo, line)
+		}
+		name := strings.TrimSpace(line[:i])
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: line %d: bad value in %q: %v", lineNo, line, err)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("metrics: line %d: empty series name", lineNo)
+		}
+		out[name] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

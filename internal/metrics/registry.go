@@ -1,0 +1,361 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry collects metric families and renders them in the
+// Prometheus text exposition format. A zero Registry is not usable;
+// call NewRegistry. Each component that serves a /metrics endpoint
+// owns its own Registry, so tests never fight over global state.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family // registration order, preserved in output
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// family is one named metric with one or more labeled series.
+type family struct {
+	name    string
+	help    string
+	kind    string
+	buckets []float64 // histograms only
+
+	mu     sync.Mutex
+	series []*series
+	byKey  map[string]*series
+}
+
+// series is one (family, label-set) pair. Exactly one of the value
+// fields is set.
+type series struct {
+	labels string // rendered `key="value",...` without braces, "" for none
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() float64 // func-backed counter or gauge
+}
+
+// register returns the family for name, creating it on first use.
+// Re-registering a name with a different kind is a programming error
+// and panics immediately: a family that is a counter on one code path
+// and a gauge on another would corrupt every scrape.
+func (r *Registry) register(name, help, kind string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("metrics: %s re-registered as %s, was %s", name, kind, f.kind))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, byKey: make(map[string]*series)}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// addSeries inserts a series under key, panicking on duplicates —
+// two owners of the same (name, labels) pair would each see half the
+// traffic and neither would notice.
+func (f *family) addSeries(key string, s *series) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, dup := f.byKey[key]; dup {
+		panic(fmt.Sprintf("metrics: duplicate series %s{%s}", f.name, key))
+	}
+	s.labels = key
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+}
+
+// getOrAddSeries returns the series under key, creating it with mk on
+// first use. Used by the Vec types, where repeated With calls for the
+// same label values must return the same instrument.
+func (f *family) getOrAddSeries(key string, mk func() *series) *series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byKey[key]; ok {
+		return s
+	}
+	s := mk()
+	s.labels = key
+	f.byKey[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// ---------------------------------------------------------------------
+// plain instruments
+
+// Counter registers (or returns the existing) unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(name, help, kindCounter)
+	s := f.getOrAddSeries("", func() *series { return &series{c: &Counter{}} })
+	if s.c == nil {
+		panic(fmt.Sprintf("metrics: %s is not a plain counter", name))
+	}
+	return s.c
+}
+
+// Gauge registers (or returns the existing) unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(name, help, kindGauge)
+	s := f.getOrAddSeries("", func() *series { return &series{g: &Gauge{}} })
+	if s.g == nil {
+		panic(fmt.Sprintf("metrics: %s is not a plain gauge", name))
+	}
+	return s.g
+}
+
+// Histogram registers (or returns the existing) unlabeled histogram
+// with the given bucket upper bounds (DefBuckets if nil).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram)
+	f.buckets = buckets
+	s := f.getOrAddSeries("", func() *series { return &series{h: newHistogram(buckets)} })
+	if s.h == nil {
+		panic(fmt.Sprintf("metrics: %s is not a plain histogram", name))
+	}
+	return s.h
+}
+
+// ---------------------------------------------------------------------
+// func-backed series: export state a component already tracks, read
+// lazily at scrape time. The callback must be safe to call from any
+// goroutine.
+
+// CounterFunc registers a counter whose value is read from fn at
+// scrape time. fn must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindCounter)
+	f.addSeries("", &series{fn: fn})
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(name, help, kindGauge)
+	f.addSeries("", &series{fn: fn})
+}
+
+// LabeledCounterFunc registers one labeled series of a func-backed
+// counter family. Calling it again with the same name and a different
+// label value appends a sibling series (how the pool exports one
+// series per replica).
+func (r *Registry) LabeledCounterFunc(name, help, label, value string, fn func() float64) {
+	f := r.register(name, help, kindCounter)
+	f.addSeries(renderLabels([]string{label}, []string{value}), &series{fn: fn})
+}
+
+// LabeledGaugeFunc is LabeledCounterFunc for gauges.
+func (r *Registry) LabeledGaugeFunc(name, help, label, value string, fn func() float64) {
+	f := r.register(name, help, kindGauge)
+	f.addSeries(renderLabels([]string{label}, []string{value}), &series{fn: fn})
+}
+
+// ---------------------------------------------------------------------
+// vector instruments: one family, one series per label-value tuple.
+
+// CounterVec is a counter family partitioned by labels.
+type CounterVec struct {
+	f          *family
+	labelNames []string
+}
+
+// NewCounterVec registers a labeled counter family.
+func (r *Registry) NewCounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter), labelNames: labelNames}
+}
+
+// With returns the counter for the given label values (created on
+// first use). The number of values must match the label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d",
+			v.f.name, len(v.labelNames), len(values)))
+	}
+	key := renderLabels(v.labelNames, values)
+	s := v.f.getOrAddSeries(key, func() *series { return &series{c: &Counter{}} })
+	return s.c
+}
+
+// GaugeVec is a gauge family partitioned by labels.
+type GaugeVec struct {
+	f          *family
+	labelNames []string
+}
+
+// NewGaugeVec registers a labeled gauge family.
+func (r *Registry) NewGaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge), labelNames: labelNames}
+}
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d",
+			v.f.name, len(v.labelNames), len(values)))
+	}
+	key := renderLabels(v.labelNames, values)
+	s := v.f.getOrAddSeries(key, func() *series { return &series{g: &Gauge{}} })
+	return s.g
+}
+
+// HistogramVec is a histogram family partitioned by labels, all
+// series sharing one bucket layout.
+type HistogramVec struct {
+	f          *family
+	labelNames []string
+	buckets    []float64
+}
+
+// NewHistogramVec registers a labeled histogram family (DefBuckets if
+// buckets is nil).
+func (r *Registry) NewHistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	f := r.register(name, help, kindHistogram)
+	f.buckets = buckets
+	return &HistogramVec{f: f, labelNames: labelNames, buckets: buckets}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labelNames) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d",
+			v.f.name, len(v.labelNames), len(values)))
+	}
+	key := renderLabels(v.labelNames, values)
+	s := v.f.getOrAddSeries(key, func() *series { return &series{h: newHistogram(v.buckets)} })
+	return s.h
+}
+
+// ---------------------------------------------------------------------
+// exposition
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// renderLabels renders `k1="v1",k2="v2"` with Prometheus escaping.
+func renderLabels(names, values []string) string {
+	var b strings.Builder
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(labelEscaper.Replace(values[i]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// WriteText renders every family in the Prometheus text format.
+// Families appear in registration order; series within a family are
+// sorted by label string so output is deterministic for golden tests
+// and diffs.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+
+	bw := &errWriter{w: w}
+	for _, f := range fams {
+		f.mu.Lock()
+		series := append([]*series(nil), f.series...)
+		buckets := f.buckets
+		f.mu.Unlock()
+		sort.Slice(series, func(i, j int) bool { return series[i].labels < series[j].labels })
+
+		bw.printf("# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		bw.printf("# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range series {
+			switch {
+			case s.c != nil:
+				bw.printf("%s %d\n", seriesName(f.name, s.labels), s.c.Value())
+			case s.g != nil:
+				bw.printf("%s %s\n", seriesName(f.name, s.labels), formatFloat(s.g.Value()))
+			case s.fn != nil:
+				bw.printf("%s %s\n", seriesName(f.name, s.labels), formatFloat(s.fn()))
+			case s.h != nil:
+				writeHistogram(bw, f.name, s.labels, buckets, s.h)
+			}
+		}
+	}
+	return bw.err
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and
+// _count for one histogram series.
+func writeHistogram(bw *errWriter, name, labels string, bounds []float64, h *Histogram) {
+	var cum uint64
+	for i, b := range bounds {
+		cum += h.counts[i].Load()
+		bw.printf("%s %d\n", seriesName(name+"_bucket", joinLabels(labels, `le="`+formatFloat(b)+`"`)), cum)
+	}
+	cum += h.counts[len(bounds)].Load()
+	bw.printf("%s %d\n", seriesName(name+"_bucket", joinLabels(labels, `le="+Inf"`)), cum)
+	bw.printf("%s %s\n", seriesName(name+"_sum", labels), formatFloat(h.Sum()))
+	bw.printf("%s %d\n", seriesName(name+"_count", labels), h.Count())
+}
+
+func joinLabels(a, b string) string {
+	if a == "" {
+		return b
+	}
+	return a + "," + b
+}
+
+func seriesName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// Handler returns an http.Handler serving the registry as a
+// Prometheus text scrape.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}

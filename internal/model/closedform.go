@@ -35,7 +35,12 @@ func NormalizedVoC(s partition.Shape, ratio partition.Ratio) (v float64, ok bool
 		// crossing each rectangle cost its height; every column costs 1
 		// (each column meets exactly two processors)... in normalised
 		// terms VoC = (hR + hS) + 1 with hR = fR/x, hS = fS/(1−x),
-		// minimised over the split x.
+		// minimised over the split x. The row term saturates at 1: once
+		// the two rectangles jointly span every row (hR + hS ≥ 1) each
+		// row hosts exactly two processors — {R,P}, {R,S} or {S,P} — and
+		// costs 1 no matter how much the bands overlap, so VoC = 2. The
+		// canonical builder minimises hR + hS and lands in that regime
+		// whenever no unsaturated split exists (e.g. ratio 2:2:1).
 		best := math.Inf(1)
 		for x := 0.01; x < 0.995; x += 0.005 {
 			hR := fR / x
@@ -43,14 +48,14 @@ func NormalizedVoC(s partition.Shape, ratio partition.Ratio) (v float64, ok bool
 			if hR > 1 || hS > 1 {
 				continue
 			}
-			if c := hR + hS + 1; c < best {
+			if c := hR + hS; c < best {
 				best = c
 			}
 		}
 		if math.IsInf(best, 1) {
 			return 0, false
 		}
-		return best, true
+		return math.Min(best, 1) + 1, true
 
 	case partition.SquareRectangle:
 		// Full-height strip of width fR (columns crossing it cost... its

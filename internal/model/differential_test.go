@@ -1,0 +1,185 @@
+package model
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// This file is the differential harness for the Section X closed forms:
+// every formula in NormalizedVoC is checked against the exact Eq 1 VoC of
+// the grid the canonical builder actually constructs, across all six
+// shapes, all eleven paper ratios, and growing N. The closed forms and the
+// builders are independent implementations of the same geometry, so any
+// systematic disagreement is a bug in one of them — this suite caught two:
+// the Rectangle-Corner formula missing the saturated-rows regime (ratio
+// 2:2:1), and the L-Rectangle builder's ragged column creating O(1)-many
+// three-processor rows.
+
+// diffTolerance is the allowed |closed form − exact/N²| gap. Construction
+// raggedness is O(1/N) — at most a constant number of partial rows and
+// columns, each worth ≤ 2N of the N² total — so the budget shrinks
+// linearly in N. The constant is ~2.2× the worst deviation measured over
+// every feasible (shape, ratio) pair at N ∈ {64, 128, 256}.
+func diffTolerance(n int) float64 { return 6.0 / float64(n) }
+
+// TestDifferentialClosedFormsConverge sweeps shapes × paper ratios ×
+// N ∈ {64, 128, 256} and checks three things: the closed form and the
+// builder agree on feasibility in both directions, the exact grid VoC is
+// within diffTolerance(N) of the closed form, and — since the tolerance
+// halves as N doubles — the grids converge to the formulas.
+func TestDifferentialClosedFormsConverge(t *testing.T) {
+	sizes := []int{64, 128, 256}
+	feasible, infeasible := 0, 0
+	for _, s := range partition.AllShapes {
+		for _, ratio := range partition.PaperRatios {
+			v, ok := NormalizedVoC(s, ratio)
+			for _, n := range sizes {
+				g, err := partition.Build(s, n, ratio)
+				if !ok {
+					infeasible++
+					if err == nil {
+						t.Errorf("%v %v N=%d: closed form says infeasible but Build succeeded", s, ratio, n)
+					} else if !errors.Is(err, partition.ErrInfeasible) {
+						t.Errorf("%v %v N=%d: want ErrInfeasible, got %v", s, ratio, n, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Errorf("%v %v N=%d: closed form feasible but Build failed: %v", s, ratio, n, err)
+					continue
+				}
+				feasible++
+				exact := float64(g.VoC()) / float64(n*n)
+				if d := math.Abs(exact - v); d > diffTolerance(n) {
+					t.Errorf("%v %v N=%d: closed form %.5f vs exact %.5f (|d|=%.5f > %.5f)",
+						s, ratio, n, v, exact, d, diffTolerance(n))
+				}
+			}
+		}
+	}
+	// Guard the sweep itself: the paper's eleven ratios leave exactly one
+	// infeasible pair (Square-Corner at 2:2:1, Thm 9.1) and 65 feasible
+	// ones per size. A pruned loop passing vacuously should fail here.
+	if want := 65 * len(sizes); feasible != want {
+		t.Errorf("sweep covered %d feasible cases, want %d", feasible, want)
+	}
+	if want := 1 * len(sizes); infeasible != want {
+		t.Errorf("sweep covered %d infeasible cases, want %d", infeasible, want)
+	}
+}
+
+// TestDifferentialInfeasiblePairs pins the feasibility edges: ratios the
+// closed forms must reject (and the builders with them), the Thm 9.1
+// boundary case that is still feasible, and the unknown-shape fallback.
+func TestDifferentialInfeasiblePairs(t *testing.T) {
+	cases := []struct {
+		name  string
+		shape partition.Shape
+		ratio partition.Ratio
+		ok    bool
+	}{
+		// √fR + √fS > 1: two squares cannot fit (Thm 9.1).
+		{"square-corner 1:1:1", partition.SquareCorner, partition.MustRatio(1, 1, 1), false},
+		{"square-corner 2:2:1", partition.SquareCorner, partition.MustRatio(2, 2, 1), false},
+		{"square-corner 3:3:2", partition.SquareCorner, partition.MustRatio(3, 3, 2), false},
+		{"square-corner 5:5:3", partition.SquareCorner, partition.MustRatio(5, 5, 3), false},
+		// Exactly on the boundary: √(1/4) + √(1/4) = 1 still fits.
+		{"square-corner 2:1:1 boundary", partition.SquareCorner, partition.MustRatio(2, 1, 1), true},
+		// The always-feasible shapes stay feasible even at the most
+		// balanced ratio Validate admits.
+		{"block-rectangle 1:1:1", partition.BlockRectangle, partition.MustRatio(1, 1, 1), true},
+		{"traditional 1:1:1", partition.TraditionalRectangle, partition.MustRatio(1, 1, 1), true},
+		{"l-rectangle 1:1:1", partition.LRectangle, partition.MustRatio(1, 1, 1), true},
+		{"rectangle-corner 1:1:1", partition.RectangleCorner, partition.MustRatio(1, 1, 1), true},
+		{"square-rectangle 1:1:1", partition.SquareRectangle, partition.MustRatio(1, 1, 1), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			v, ok := NormalizedVoC(c.shape, c.ratio)
+			if ok != c.ok {
+				t.Fatalf("NormalizedVoC(%v, %v) ok=%v, want %v", c.shape, c.ratio, ok, c.ok)
+			}
+			if ok && (v <= 0 || v > 4) {
+				// Each cell costs at most (3−1)+(3−1): VoC/N² ≤ 4.
+				t.Errorf("normalised VoC %v out of (0, 4]", v)
+			}
+			// The builder must agree at a size big enough to dodge
+			// integer raggedness flipping feasibility.
+			_, err := partition.Build(c.shape, 128, c.ratio)
+			if c.ok && err != nil {
+				t.Errorf("closed form feasible but Build failed: %v", err)
+			}
+			if !c.ok && !errors.Is(err, partition.ErrInfeasible) {
+				t.Errorf("closed form infeasible but Build gave %v", err)
+			}
+		})
+	}
+	if _, ok := NormalizedVoC(partition.Shape(99), partition.MustRatio(2, 1, 1)); ok {
+		t.Error("unknown shape should have no closed form")
+	}
+}
+
+// TestDifferentialSaturatedRectangleCorner pins the regression the sweep
+// first caught: at 2:2:1 no split keeps the corner rectangles' heights
+// summing below 1, every row hosts two processors regardless of the
+// split, and the VoC saturates at exactly 2 — not the unsaturated
+// formula's 2.166. The builder's grids must approach 2 from above.
+func TestDifferentialSaturatedRectangleCorner(t *testing.T) {
+	ratio := partition.MustRatio(2, 2, 1)
+	v, ok := NormalizedVoC(partition.RectangleCorner, ratio)
+	if !ok {
+		t.Fatal("rectangle-corner must be feasible at 2:2:1")
+	}
+	if v != 2 {
+		t.Fatalf("saturated closed form = %v, want exactly 2", v)
+	}
+	prev := math.Inf(1)
+	for _, n := range []int{64, 128, 256, 512} {
+		g, err := partition.Build(partition.RectangleCorner, n, ratio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := float64(g.VoC()) / float64(n*n)
+		if exact < 2 {
+			t.Errorf("N=%d: exact VoC %.5f below the saturated floor 2", n, exact)
+		}
+		if exact > prev {
+			t.Errorf("N=%d: exact VoC %.5f not monotonically approaching 2 (prev %.5f)", n, exact, prev)
+		}
+		prev = exact
+	}
+}
+
+// TestDifferentialLRectangleNoTripleRows pins the other caught bug: the
+// L-Rectangle builder must not let S's band cross a P segment of R's
+// ragged column, which would turn every such row into a three-processor
+// row and push the grid VoC O(1) above the closed form (it measured
+// +0.14 at 2:2:1, N=128 with the bottom-filled ragged column).
+func TestDifferentialLRectangleNoTripleRows(t *testing.T) {
+	for _, tc := range []struct {
+		ratio partition.Ratio
+		n     int
+	}{
+		{partition.MustRatio(2, 2, 1), 128}, // hS ≫ rPart: the worst historical spike
+		{partition.MustRatio(3, 1, 1), 256},
+		{partition.MustRatio(4, 2, 1), 256},
+		{partition.MustRatio(5, 1, 1), 512},
+	} {
+		g, err := partition.Build(partition.LRectangle, tc.n, tc.ratio)
+		if err != nil {
+			t.Fatalf("%v N=%d: %v", tc.ratio, tc.n, err)
+		}
+		v, ok := NormalizedVoC(partition.LRectangle, tc.ratio)
+		if !ok {
+			t.Fatalf("%v: closed form infeasible", tc.ratio)
+		}
+		exact := float64(g.VoC()) / float64(tc.n*tc.n)
+		if d := math.Abs(exact - v); d > diffTolerance(tc.n) {
+			t.Errorf("%v N=%d: exact %.5f vs closed %.5f (|d|=%.5f > %.5f)",
+				tc.ratio, tc.n, exact, v, d, diffTolerance(tc.n))
+		}
+	}
+}

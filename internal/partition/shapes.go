@@ -362,13 +362,46 @@ func buildBlockRectangle(n int, counts [NumProcs]int) (*Grid, error) {
 // buildLRectangle places R as a full-height strip on the left and S as a
 // band across the bottom of the remaining columns; together they form an L
 // and P's remainder is a rectangle (Fig 12, Type 5).
+//
+// Integral bookkeeping: R's cells beyond its whole columns sit at the TOP
+// of one ragged column, and S's band runs underneath that column. Putting
+// the overflow at the bottom instead (the obvious fill) leaves a P segment
+// above it, and every band row crossing that segment would host {R,S,P} —
+// a three-processor row costing double, an O(1) VoC excess whenever the
+// band is taller than the overflow. With the overflow on top only the
+// ragged column itself (and S's one partial row) mixes three processors,
+// keeping the grid within O(1/N) of the closed form 1 + (1−fR).
 func buildLRectangle(n int, counts [NumProcs]int) (*Grid, error) {
-	wR := (counts[R] + n - 1) / n
-	rem := n - wR
+	wFull := counts[R] / n
+	rPart := counts[R] - wFull*n // R cells in the ragged column
+	rem := n - wFull             // band columns, ragged one included
 	if rem <= 0 {
 		return nil, ErrInfeasible
 	}
 	hS := (counts[S] + rem - 1) / rem
+	if rPart+hS <= n {
+		g := NewGrid(n)
+		if err := fillCount(g, R, wFull*n, scanCols(ascend(0, wFull), 0, n, false)); err != nil {
+			return nil, err
+		}
+		if err := fillCount(g, R, rPart, scanCols([]int{wFull}, 0, n, true)); err != nil {
+			return nil, err
+		}
+		// S fills bottom rows across all band columns, bottom row first.
+		if err := fillCount(g, S, counts[S], scanRows(descend(n-hS, n), wFull, n, false)); err != nil {
+			return nil, err
+		}
+		return g, nil
+	}
+	// The ragged column cannot hold both R's overflow and the band: fall
+	// back to ceding the whole column to R's strip (the band loses one
+	// column but the shape stays an L).
+	wR := wFull + 1
+	rem = n - wR
+	if rem <= 0 {
+		return nil, ErrInfeasible
+	}
+	hS = (counts[S] + rem - 1) / rem
 	if hS > n {
 		return nil, ErrInfeasible
 	}
@@ -376,7 +409,6 @@ func buildLRectangle(n int, counts [NumProcs]int) (*Grid, error) {
 	if err := fillCount(g, R, counts[R], scanCols(ascend(0, wR), 0, n, false)); err != nil {
 		return nil, err
 	}
-	// S fills bottom rows of the remaining columns, bottom row first.
 	if err := fillCount(g, S, counts[S], scanRows(descend(n-hS, n), wR, n, false)); err != nil {
 		return nil, err
 	}

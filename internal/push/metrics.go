@@ -1,0 +1,91 @@
+package push
+
+import (
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Package-wide search counters. They are process-global (not per
+// Config) because the interesting production question — "what is the
+// memo hit rate / plateau-escape rate across everything pland has
+// searched?" — spans runs, and the hot path can afford one atomic add
+// per run-phase but not a registry lookup per step. RegisterMetrics
+// exposes them on a caller's registry as func-backed series, so
+// multiple registries (a server's and a debug listener's) can read
+// the same tallies.
+var (
+	runsTotal      atomic.Int64 // completed RunContext calls
+	stepsTotal     atomic.Int64 // committed Pushes across all runs
+	plateauMoves   atomic.Int64 // committed Pushes with ΔVoC == 0
+	plateauEscapes atomic.Int64 // VoC drops that ended a plateau streak
+	memoProbes     atomic.Int64 // (proc, direction) probe opportunities
+	memoHits       atomic.Int64 // probes skipped by the failed-probe memo
+
+	// Cumulative wall time per phase, in nanoseconds.
+	setupNanos    atomic.Int64
+	condenseNanos atomic.Int64
+	beautifyNanos atomic.Int64
+)
+
+// searchTally is one condense loop's local counts, flushed to the
+// package counters in a single batch so the inner loop never touches
+// shared cache lines.
+type searchTally struct {
+	plateauMoves   int64
+	plateauEscapes int64
+	memoProbes     int64
+	memoHits       int64
+}
+
+func (t *searchTally) flush(steps int) {
+	stepsTotal.Add(int64(steps))
+	plateauMoves.Add(t.plateauMoves)
+	plateauEscapes.Add(t.plateauEscapes)
+	memoProbes.Add(t.memoProbes)
+	memoHits.Add(t.memoHits)
+}
+
+// RegisterMetrics exposes the push engine's counters on reg:
+//
+//	push_runs_total            completed search runs
+//	push_steps_total           committed Pushes
+//	push_plateau_moves_total   ΔVoC=0 Pushes (plateau wandering)
+//	push_plateau_escapes_total VoC drops that ended a plateau streak
+//	push_memo_probes_total     (proc, direction) probe opportunities
+//	push_memo_hits_total       probes skipped by the failed-probe memo
+//	push_phase_seconds_total{phase=...}  wall time per phase
+func RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("push_runs_total",
+		"Completed push-search runs.",
+		func() float64 { return float64(runsTotal.Load()) })
+	reg.CounterFunc("push_steps_total",
+		"Committed Pushes across all runs.",
+		func() float64 { return float64(stepsTotal.Load()) })
+	reg.CounterFunc("push_plateau_moves_total",
+		"Committed Pushes that left VoC unchanged.",
+		func() float64 { return float64(plateauMoves.Load()) })
+	reg.CounterFunc("push_plateau_escapes_total",
+		"VoC decreases that ended a plateau streak of one or more moves.",
+		func() float64 { return float64(plateauEscapes.Load()) })
+	reg.CounterFunc("push_memo_probes_total",
+		"Probe opportunities seen by the failed-probe memo.",
+		func() float64 { return float64(memoProbes.Load()) })
+	reg.CounterFunc("push_memo_hits_total",
+		"Probes skipped because the failed-probe memo matched.",
+		func() float64 { return float64(memoHits.Load()) })
+	for _, p := range []struct {
+		phase string
+		v     *atomic.Int64
+	}{
+		{"setup", &setupNanos},
+		{"condense", &condenseNanos},
+		{"beautify", &beautifyNanos},
+	} {
+		v := p.v
+		reg.LabeledCounterFunc("push_phase_seconds_total",
+			"Cumulative wall time spent in each run phase.",
+			"phase", p.phase,
+			func() float64 { return float64(v.Load()) / 1e9 })
+	}
+}

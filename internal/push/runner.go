@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/geom"
 	"repro/internal/partition"
+	"repro/internal/trace"
 )
 
 // ConfigError reports an invalid Config field. It is returned (never
@@ -57,6 +59,10 @@ type Config struct {
 	// committed Push (step counts from 1) plus once for the start state
 	// (step 0). Used to regenerate Fig 7.
 	Snapshot func(step int, g *partition.Grid)
+	// Trace, when non-nil, receives one span per run phase (setup,
+	// condense, beautify) with step/VoC annotations. Aggregate
+	// counters always flow to the package metrics regardless.
+	Trace *trace.Trace
 }
 
 // DirectionPlan is the randomised direction assignment of Section VI-A.1:
@@ -127,6 +133,12 @@ func RunContext(ctx context.Context, cfg Config) (*RunResult, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
+	setupStart := time.Now()
+	var setupSpan *trace.Active
+	if cfg.Trace != nil {
+		setupSpan = cfg.Trace.Start("setup")
+	}
+
 	if cfg.Scratch != nil && cfg.Scratch.N() != cfg.N {
 		return nil, fmt.Errorf("push: scratch grid is %d×%d, config wants %d", cfg.Scratch.N(), cfg.Scratch.N(), cfg.N)
 	}
@@ -168,15 +180,40 @@ func RunContext(ctx context.Context, cfg Config) (*RunResult, error) {
 	if cfg.Snapshot != nil {
 		cfg.Snapshot(0, g)
 	}
+	setupNanos.Add(time.Since(setupStart).Nanoseconds())
+	if setupSpan != nil {
+		setupSpan.SetDetail("n=%d voc0=%d", cfg.N, res.InitialVoC)
+		setupSpan.End()
+	}
 
+	condenseStart := time.Now()
+	var condenseSpan *trace.Active
+	if cfg.Trace != nil {
+		condenseSpan = cfg.Trace.Start("condense")
+	}
 	steps, converged, err := condense(ctx, g, plan, cfg.Types, maxSteps, rng, cfg.Snapshot)
+	condenseNanos.Add(time.Since(condenseStart).Nanoseconds())
+	if condenseSpan != nil {
+		condenseSpan.SetDetail("steps=%d voc=%d", steps, g.VoC())
+		condenseSpan.End()
+	}
 	if err != nil {
 		return nil, err
 	}
 	res.Steps = steps
 	res.Converged = converged
 	if cfg.Beautify && converged {
+		beautifyStart := time.Now()
+		var beautifySpan *trace.Active
+		if cfg.Trace != nil {
+			beautifySpan = cfg.Trace.Start("beautify")
+		}
 		extra, conv2, err := condense(ctx, g, FullPlan(), cfg.Types, maxSteps, rng, cfg.Snapshot)
+		beautifyNanos.Add(time.Since(beautifyStart).Nanoseconds())
+		if beautifySpan != nil {
+			beautifySpan.SetDetail("steps=%d voc=%d", extra, g.VoC())
+			beautifySpan.End()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -185,6 +222,7 @@ func RunContext(ctx context.Context, cfg Config) (*RunResult, error) {
 	}
 	res.Final = g
 	res.FinalVoC = g.VoC()
+	runsTotal.Add(1)
 	return res, nil
 }
 
@@ -216,9 +254,11 @@ var condensePool = sync.Pool{
 	New: func() any { return &condenseScratch{plateau: make(map[uint64]struct{}, 64)} },
 }
 
-func condense(ctx context.Context, g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int, rng *rand.Rand, snapshot func(int, *partition.Grid)) (int, bool, error) {
+func condense(ctx context.Context, g *partition.Grid, plan DirectionPlan, types []Type, maxSteps int, rng *rand.Rand, snapshot func(int, *partition.Grid)) (steps int, converged bool, err error) {
 	sc := condensePool.Get().(*condenseScratch)
 	defer condensePool.Put(sc)
+	var tally searchTally
+	defer func() { tally.flush(steps) }()
 	plateau := sc.plateau
 	clear(plateau)
 	plateau[g.Fingerprint()] = struct{}{}
@@ -248,7 +288,7 @@ func condense(ctx context.Context, g *partition.Grid, plan DirectionPlan, types 
 	var failKnown [2][geom.NumDirections]bool
 
 	procs := [2]partition.Proc{partition.R, partition.S}
-	steps := 0
+	plateauStreak := 0 // ΔVoC=0 commits since the last VoC drop
 	for steps < maxSteps {
 		// The cancellation point of the DFA's step loop: once per sweep
 		// plus once per committed Push below, so both fixed-point-probing
@@ -265,16 +305,25 @@ func condense(ctx context.Context, g *partition.Grid, plan DirectionPlan, types 
 		for _, p := range order {
 			pi := int(p)
 			for _, d := range plan[p] {
+				tally.memoProbes++
 				if failKnown[pi][d] && failFP[pi][d] == g.Fingerprint() {
+					tally.memoHits++
 					continue
 				}
 				if res, ok := AttemptAny(g, p, d, types, accept); ok {
 					steps++
 					progressed = true
 					if res.DeltaVoC < 0 {
+						if plateauStreak > 0 {
+							tally.plateauEscapes++
+							plateauStreak = 0
+						}
 						lastVoC = g.VoC()
 						clear(plateau)
 						plateau[g.Fingerprint()] = struct{}{}
+					} else {
+						tally.plateauMoves++
+						plateauStreak++
 					}
 					if snapshot != nil {
 						snapshot(steps, g)

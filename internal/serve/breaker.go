@@ -22,6 +22,13 @@ type breaker struct {
 	openUntil time.Time
 	halfOpen  bool // a trial is in flight
 	trips     int64
+
+	// State-transition tallies for the metrics exporter. toOpen counts
+	// trips (closed/half-open → open), toHalfOpen counts admitted
+	// trials, toClosed counts recoveries (a success while open or
+	// half-open).
+	toHalfOpen int64
+	toClosed   int64
 }
 
 func newBreaker(threshold int, cooldown time.Duration) *breaker {
@@ -46,6 +53,7 @@ func (b *breaker) allow() bool {
 			return false
 		}
 		b.halfOpen = true
+		b.toHalfOpen++
 	}
 	return true
 }
@@ -54,6 +62,9 @@ func (b *breaker) allow() bool {
 func (b *breaker) success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if b.halfOpen || !b.openUntil.IsZero() {
+		b.toClosed++
+	}
 	b.failures = 0
 	b.openUntil = time.Time{}
 	b.halfOpen = false
@@ -115,4 +126,24 @@ func (b *breaker) tripCount() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.trips
+}
+
+// transitions returns the cumulative state-transition counts
+// (→open, →half-open, →closed) for the metrics exporter.
+func (b *breaker) transitions() (open, halfOpen, closed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips, b.toHalfOpen, b.toClosed
+}
+
+// stateValue encodes state() as a gauge: 0 closed, 1 half-open, 2 open.
+func (b *breaker) stateValue() float64 {
+	switch b.state() {
+	case "open":
+		return 2
+	case "half-open":
+		return 1
+	default:
+		return 0
+	}
 }

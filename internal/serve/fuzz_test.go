@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// FuzzHandlerBodies throws arbitrary request bodies, paths, and
+// Request-Timeout headers at the full serving handler. The server's
+// endpoint wrapper converts handler panics into counted 500s, so the
+// acceptance condition is twofold: ServeHTTP itself never panics (the
+// fuzz harness catches that), and the panic counter stays at zero —
+// a malformed request must be rejected, not recovered from.
+func FuzzHandlerBodies(f *testing.F) {
+	srv, err := New(Config{
+		MaxN:           64, // keep accidental valid requests cheap
+		MaxSearchSteps: 200,
+		DefaultTimeout: 500 * time.Millisecond,
+		CacheTTL:       time.Minute,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	f.Add("/v1/plan", `{"n":24,"ratio":"5:2:1","algorithm":"SCB"}`, "1s")
+	f.Add("/v1/plan", `{"n":24,"ratio":"5:2:1","algorithm":"SCB","voc":12345}`, "")
+	f.Add("/v1/evaluate", `{"n":24,"ratio":"2:1:1","algorithm":"SCB","shape":"Square-Corner"}`, "250ms")
+	f.Add("/v1/search", `{"n":16,"ratio":"3:1:1","maxSteps":50}`, "100")
+	// The chaos proxy's voc-digit rotation pattern, applied to a request.
+	f.Add("/v1/plan", `{"n":24,"ratio":"5:2:1","algorithm":"SCB","voc":23456}`, "1s")
+	// Torn and hostile bodies.
+	f.Add("/v1/plan", `{"n":24,"ratio":"5:2`, "1s")
+	f.Add("/v1/plan", `{"n":-9223372036854775808,"ratio":"5:2:1","algorithm":"SCB"}`, "")
+	f.Add("/v1/search", `{"n":16,"maxSteps":-1}`, "not-a-duration")
+	f.Add("/v1/stats", ``, "")
+	f.Add("/readyz", ``, "0")
+	f.Add("/metrics", ``, "")
+
+	f.Fuzz(func(t *testing.T, path, body, timeoutHdr string) {
+		// Constrain to the served paths: fuzzing the mux's 404 space
+		// wastes the budget without touching decode code.
+		switch path {
+		case "/v1/plan", "/v1/evaluate", "/v1/search", "/v1/stats", "/healthz", "/readyz", "/metrics":
+		default:
+			path = "/v1/plan"
+		}
+		req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader([]byte(body)))
+		req.Header.Set("Content-Type", "application/json")
+		if timeoutHdr != "" {
+			req.Header.Set("Request-Timeout", timeoutHdr)
+		}
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code == 0 {
+			t.Fatal("handler wrote no status")
+		}
+		if n := srv.Stats().Panics; n != 0 {
+			t.Fatalf("request panicked the handler (panics=%d): POST %s %q hdr %q → %d",
+				n, path, body, timeoutHdr, rec.Code)
+		}
+	})
+}
+
+// FuzzQueryParams drives the GET parameter-decoding path (atoiDefault,
+// ratio/shape parsing from the query string) with arbitrary values.
+func FuzzQueryParams(f *testing.F) {
+	srv, err := New(Config{
+		MaxN:           64,
+		MaxSearchSteps: 200,
+		DefaultTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	f.Add("24", "5:2:1", "SCB", "Square-Corner", "7")
+	f.Add("-1", ":::", "XXX", "", "999999999999999999999")
+	f.Add("", "", "", "Shape(99)", "")
+	f.Fuzz(func(t *testing.T, n, ratio, alg, shape, seed string) {
+		for _, path := range []string{"/v1/plan", "/v1/evaluate", "/v1/search"} {
+			req := httptest.NewRequest(http.MethodGet, path, nil)
+			q := req.URL.Query()
+			q.Set("n", n)
+			q.Set("ratio", ratio)
+			q.Set("algorithm", alg)
+			q.Set("shape", shape)
+			q.Set("seed", seed)
+			req.URL.RawQuery = q.Encode()
+			rec := httptest.NewRecorder()
+			handler.ServeHTTP(rec, req)
+			if n := srv.Stats().Panics; n != 0 {
+				t.Fatalf("query panicked the handler: GET %s?%s → %d", path, req.URL.RawQuery, rec.Code)
+			}
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"runtime"
+
+	"repro/internal/metrics"
+	"repro/internal/push"
+)
+
+// serverMetrics is the server's instrumentation surface, exported at
+// /metrics in Prometheus text format. Two kinds of series live here:
+// vectors the request path writes directly (per-endpoint traffic and
+// latency), and func-backed series that read state the server already
+// tracks — the admission gate, breaker, cache, and traffic atomics —
+// so the serving path pays nothing extra for them.
+//
+// Families (all pland_-prefixed unless noted):
+//
+//	pland_requests_total{endpoint}            admitted requests
+//	pland_responses_total{endpoint,code}      responses by HTTP status
+//	pland_request_duration_seconds{endpoint}  latency histogram
+//	pland_shed_total                          429s from the admission gate
+//	pland_searched_total                      full-quality search answers
+//	pland_degraded_total{reason}              degraded answers by reason
+//	pland_coalesced_total                     requests served by another flight
+//	pland_panics_total                        quarantined handler panics
+//	pland_gate_in_flight / _queued / _slots / _queue_capacity
+//	pland_cache_hits_total / _misses_total / _stale_served_total / _entries
+//	pland_breaker_state                       0 closed, 1 half-open, 2 open
+//	pland_breaker_transitions_total{to}       state changes by destination
+//	pland_draining                            1 once BeginDrain has run
+//	go_goroutines                             scheduler pressure
+//
+// plus the push_* families (see push.RegisterMetrics), since pland's
+// search traffic drives the push engine in-process.
+type serverMetrics struct {
+	reg       *metrics.Registry
+	requests  *metrics.CounterVec   // by endpoint
+	responses *metrics.CounterVec   // by endpoint, status code
+	latency   *metrics.HistogramVec // by endpoint, seconds
+	degraded  *metrics.CounterVec   // by reason
+}
+
+func newServerMetrics(s *Server) *serverMetrics {
+	reg := metrics.NewRegistry()
+	m := &serverMetrics{
+		reg: reg,
+		requests: reg.NewCounterVec("pland_requests_total",
+			"Requests accepted per endpoint (drained refusals excluded).", "endpoint"),
+		responses: reg.NewCounterVec("pland_responses_total",
+			"Responses per endpoint and HTTP status code.", "endpoint", "code"),
+		latency: reg.NewHistogramVec("pland_request_duration_seconds",
+			"Request latency per endpoint, admission to response, in seconds.",
+			nil, "endpoint"),
+		degraded: reg.NewCounterVec("pland_degraded_total",
+			"Degraded answers by reason.", "reason"),
+	}
+
+	counterFuncs := []struct {
+		name, help string
+		fn         func() float64
+	}{
+		{"pland_shed_total", "Requests shed with 429 by the admission gate.",
+			func() float64 { return float64(s.shed.Load()) }},
+		{"pland_searched_total", "Full-quality answers produced by a completed search.",
+			func() float64 { return float64(s.searched.Load()) }},
+		{"pland_coalesced_total", "Requests that shared another request's in-flight computation.",
+			func() float64 { return float64(s.coalesced.Load()) }},
+		{"pland_panics_total", "Handler panics caught and quarantined.",
+			func() float64 { return float64(s.panics.Load()) }},
+		{"pland_cache_hits_total", "Plan requests answered from a fresh cache entry.",
+			func() float64 { return float64(s.cacheHits.Load()) }},
+		{"pland_cache_misses_total", "Plan computations that found no fresh cache entry.",
+			func() float64 { return float64(s.cacheMisses.Load()) }},
+		{"pland_cache_stale_served_total", "Degraded answers served from a stale cache entry.",
+			func() float64 { return float64(s.staleServed.Load()) }},
+	}
+	for _, c := range counterFuncs {
+		reg.CounterFunc(c.name, c.help, c.fn)
+	}
+
+	gaugeFuncs := []struct {
+		name, help string
+		fn         func() float64
+	}{
+		{"pland_gate_in_flight", "Planning requests currently holding an admission slot.",
+			func() float64 { return float64(s.gate.InUse()) }},
+		{"pland_gate_queued", "Requests waiting for an admission slot.",
+			func() float64 { return float64(s.gate.Waiting()) }},
+		{"pland_gate_slots", "Configured admission slots (MaxConcurrent).",
+			func() float64 { return float64(s.gate.Slots()) }},
+		{"pland_gate_queue_capacity", "Configured admission queue capacity (MaxQueue).",
+			func() float64 { return float64(s.gate.Queue()) }},
+		{"pland_cache_entries", "Entries in the plan cache, stale included.",
+			func() float64 { return float64(s.cache.len()) }},
+		{"pland_breaker_state", "Search breaker state: 0 closed, 1 half-open, 2 open.",
+			s.brk.stateValue},
+		{"pland_draining", "1 once the server has begun draining, else 0.",
+			func() float64 {
+				if s.draining.Load() {
+					return 1
+				}
+				return 0
+			}},
+		{"go_goroutines", "Goroutines in the process.",
+			func() float64 { return float64(runtime.NumGoroutine()) }},
+	}
+	for _, g := range gaugeFuncs {
+		reg.GaugeFunc(g.name, g.help, g.fn)
+	}
+
+	for _, t := range []struct {
+		to string
+		fn func() float64
+	}{
+		{"open", func() float64 { o, _, _ := s.brk.transitions(); return float64(o) }},
+		{"half-open", func() float64 { _, h, _ := s.brk.transitions(); return float64(h) }},
+		{"closed", func() float64 { _, _, c := s.brk.transitions(); return float64(c) }},
+	} {
+		reg.LabeledCounterFunc("pland_breaker_transitions_total",
+			"Breaker state transitions by destination state.", "to", t.to, t.fn)
+	}
+
+	// pland's searches run the push engine in-process, so its scrape
+	// carries the search-side counters too.
+	push.RegisterMetrics(reg)
+	return m
+}
+
+// MetricsRegistry exposes the server's metrics registry so an
+// operator binary can mount the same scrape on a debug listener.
+func (s *Server) MetricsRegistry() *metrics.Registry { return s.metrics.reg }

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	wire "repro/serve"
+)
+
+// TestMetricsEndpointScrape drives real traffic through the handler —
+// a computed plan, a cached replay, and a shed-free stats call — then
+// scrapes /metrics and checks the exposed numbers agree with what the
+// traffic did. This is the acceptance gate for "curl /metrics returns
+// parseable Prometheus text including request latency histograms,
+// cache, and breaker metrics".
+func TestMetricsEndpointScrape(t *testing.T) {
+	_, ts := newTestServer(t, Config{CacheTTL: time.Hour})
+
+	req := wire.PlanRequest{N: 40, Ratio: "3:1:1", Algorithm: "SCB"}
+	for i := 0; i < 2; i++ { // second call is a fresh cache hit
+		resp, _ := postJSON(t, ts.URL+"/v1/plan", "5s", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("plan call %d: HTTP %d", i, resp.StatusCode)
+		}
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/plan", "5s", struct {
+		Bogus string `json:"bogus"`
+	}{"x"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus plan: HTTP %d, want 400", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	got, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("scrape does not parse: %v", err)
+	}
+
+	checks := map[string]float64{
+		`pland_requests_total{endpoint="plan"}`:                 3,
+		`pland_responses_total{endpoint="plan",code="200"}`:     2,
+		`pland_responses_total{endpoint="plan",code="400"}`:     1,
+		`pland_request_duration_seconds_count{endpoint="plan"}`: 3,
+		"pland_cache_hits_total":        1,
+		"pland_cache_misses_total":      1,
+		"pland_cache_entries":           1,
+		"pland_searched_total":          1,
+		"pland_breaker_state":           0,
+		"pland_shed_total":              0,
+		"pland_panics_total":            0,
+		"pland_draining":                0,
+		`pland_breaker_transitions_total{to="open"}`: 0,
+	}
+	for k, want := range checks {
+		v, ok := got[k]
+		if !ok {
+			t.Errorf("scrape missing %s", k)
+			continue
+		}
+		if v != want {
+			t.Errorf("%s = %v, want %v", k, v, want)
+		}
+	}
+	// Histogram buckets are cumulative: the +Inf bucket equals _count.
+	if inf := got[`pland_request_duration_seconds_bucket{endpoint="plan",le="+Inf"}`]; inf != 3 {
+		t.Errorf("+Inf bucket = %v, want 3", inf)
+	}
+	// The in-process push engine's counters ride along on the scrape.
+	for _, name := range []string{"push_runs_total", "push_steps_total", "push_memo_probes_total"} {
+		if got[name] < 1 {
+			t.Errorf("%s = %v, want >= 1 after a searched plan", name, got[name])
+		}
+	}
+	if _, ok := got[`push_phase_seconds_total{phase="condense"}`]; !ok {
+		t.Error("scrape missing push_phase_seconds_total{phase=\"condense\"}")
+	}
+}
+
+// TestMetricsServedWhileDraining: the scrape must stay up during a
+// drain — that is when an operator most needs it — while the API
+// endpoints refuse.
+func TestMetricsServedWhileDraining(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.BeginDrain()
+
+	if resp, _ := postJSON(t, ts.URL+"/v1/plan", "", wire.PlanRequest{N: 40, Ratio: "2:1:1", Algorithm: "SCB"}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("plan while draining: HTTP %d, want 503", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics while draining: HTTP %d, want 200", resp.StatusCode)
+	}
+	got, err := metrics.ParseText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["pland_draining"] != 1 {
+		t.Errorf("pland_draining = %v, want 1", got["pland_draining"])
+	}
+	// Drained refusals are deliberately uncounted in the per-endpoint
+	// traffic series (the server refused admission, not served).
+	if got[`pland_requests_total{endpoint="plan"}`] != 0 {
+		t.Errorf("drained refusal counted as a request: %v", got[`pland_requests_total{endpoint="plan"}`])
+	}
+}

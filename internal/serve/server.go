@@ -171,9 +171,12 @@ type Server struct {
 	degraded    atomic.Int64
 	searched    atomic.Int64
 	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 	staleServed atomic.Int64
 	coalesced   atomic.Int64
 	panics      atomic.Int64
+
+	metrics *serverMetrics
 }
 
 // New builds a Server from cfg.
@@ -183,13 +186,15 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		gate:    gate,
 		flights: newFlightGroup(),
 		cache:   newPlanCache(cfg.CacheTTL, cfg.CacheMax),
 		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-	}, nil
+	}
+	s.metrics = newServerMetrics(s)
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -201,6 +206,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/v1/stats", s.endpoint("stats", false, s.handleStats))
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
+	// The scrape stays up while draining — the drain itself is the
+	// most interesting thing a dashboard will ever watch.
+	mux.Handle("/metrics", s.metrics.reg.Handler())
 	return mux
 }
 
@@ -228,6 +236,7 @@ func (s *Server) Stats() wire.Stats {
 		Degraded:     s.degraded.Load(),
 		Searched:     s.searched.Load(),
 		CacheHits:    s.cacheHits.Load(),
+		CacheMisses:  s.cacheMisses.Load(),
 		StaleServed:  s.staleServed.Load(),
 		Coalesced:    s.coalesced.Load(),
 		Panics:       s.panics.Load(),
@@ -254,25 +263,41 @@ func badRequest(format string, args ...any) *httpError {
 // admission control with load shedding.
 func (s *Server) endpoint(name string, admit bool, h func(ctx context.Context, w http.ResponseWriter, r *http.Request) error) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		// Latency/outcome flush. Registered before the recover below so
+		// it runs after it (LIFO): a quarantined panic's 500 is already
+		// written to sw and lands in pland_responses_total like any
+		// other outcome. started stays zero for drained refusals, which
+		// are counted nowhere else either.
+		var started time.Time
+		defer func() {
+			if started.IsZero() {
+				return
+			}
+			s.metrics.latency.With(name).Observe(time.Since(started).Seconds())
+			s.metrics.responses.With(name, strconv.Itoa(sw.statusOr(http.StatusOK))).Inc()
+		}()
 		// Panic isolation: one poisoned request must not take down the
 		// process. The quarantine counter is the operator's signal.
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.panics.Add(1)
 				s.cfg.Logf("serve: panic in %s handler quarantined: %v\n%s", name, rec, debug.Stack())
-				writeError(w, &httpError{status: http.StatusInternalServerError, msg: "internal error"})
+				writeError(sw, &httpError{status: http.StatusInternalServerError, msg: "internal error"})
 			}
 		}()
 		if s.draining.Load() {
-			w.Header().Set("Connection", "close")
-			writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: "draining", retryAfter: time.Second})
+			sw.Header().Set("Connection", "close")
+			writeError(sw, &httpError{status: http.StatusServiceUnavailable, msg: "draining", retryAfter: time.Second})
 			return
 		}
 		s.requests.Add(1)
+		s.metrics.requests.With(name).Inc()
+		started = time.Now()
 
 		timeout, err := requestTimeout(r, s.cfg.DefaultTimeout, s.cfg.MaxTimeout)
 		if err != nil {
-			writeError(w, badRequest("bad Request-Timeout: %v", err))
+			writeError(sw, badRequest("bad Request-Timeout: %v", err))
 			return
 		}
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
@@ -282,23 +307,51 @@ func (s *Server) endpoint(name string, admit bool, h func(ctx context.Context, w
 			switch err := s.gate.Acquire(ctx); {
 			case errors.Is(err, throttle.ErrSaturated):
 				s.shed.Add(1)
-				writeError(w, &httpError{status: http.StatusTooManyRequests, msg: "saturated: work queue full", retryAfter: time.Second})
+				writeError(sw, &httpError{status: http.StatusTooManyRequests, msg: "saturated: work queue full", retryAfter: time.Second})
 				return
 			case err != nil:
-				writeError(w, &httpError{status: http.StatusGatewayTimeout, msg: "deadline expired in admission queue"})
+				writeError(sw, &httpError{status: http.StatusGatewayTimeout, msg: "deadline expired in admission queue"})
 				return
 			}
 			defer s.gate.Release()
 		}
 
-		if err := h(ctx, w, r); err != nil {
+		if err := h(ctx, sw, r); err != nil {
 			var he *httpError
 			if !errors.As(err, &he) {
 				he = &httpError{status: http.StatusInternalServerError, msg: err.Error()}
 			}
-			writeError(w, he)
+			writeError(sw, he)
 		}
 	})
+}
+
+// statusWriter records the first status code written so the endpoint
+// wrapper can label the outcome counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) statusOr(def int) int {
+	if w.status == 0 {
+		return def
+	}
+	return w.status
 }
 
 func writeError(w http.ResponseWriter, e *httpError) {
@@ -449,6 +502,7 @@ func (s *Server) computePlan(ctx context.Context, in planInputs) (*wire.PlanResp
 		resp.Source = wire.SourceCache
 		return &resp, nil
 	}
+	s.cacheMisses.Add(1)
 
 	plan, err := heteropart.NewPlan(in.alg, in.m, in.n)
 	if err != nil {
@@ -535,6 +589,7 @@ func (s *Server) degradedPlan(in planInputs, reason wire.DegradedReason, start t
 // cached search result over the bare canonical evaluation.
 func (s *Server) degradedPlanWith(resp *wire.PlanResponse, in planInputs, reason wire.DegradedReason) (*wire.PlanResponse, error) {
 	s.degraded.Add(1)
+	s.metrics.degraded.With(string(reason)).Inc()
 	if stale, _, ok := s.cache.get(in.key); ok {
 		stale.Degraded = true
 		stale.DegradedReason = reason

@@ -1,0 +1,178 @@
+// Package trace is a lightweight span recorder for the search
+// pipeline. A Trace collects named, timed spans (setup, condense,
+// beautify, …) and renders them as an ASCII timeline, so a single
+// `pushsearch -trace` run shows where the wall time went without any
+// external tooling. It is intentionally tiny: no context plumbing, no
+// sampling, no export format beyond text — per-process aggregates
+// belong to internal/metrics, per-run breakdowns belong here.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one completed, named interval, with offsets relative to the
+// trace's start.
+type Span struct {
+	Name   string
+	Start  time.Duration
+	End    time.Duration
+	Detail string // optional free-form annotation, shown in the timeline
+}
+
+// Duration is the span's length.
+func (s Span) Duration() time.Duration { return s.End - s.Start }
+
+// Trace records spans. The zero value is not usable; call New. All
+// methods are safe for concurrent use.
+type Trace struct {
+	mu    sync.Mutex
+	t0    time.Time
+	spans []Span
+	now   func() time.Time // test seam
+}
+
+// New returns a trace whose clock starts now.
+func New() *Trace {
+	return &Trace{t0: time.Now(), now: time.Now}
+}
+
+// newAt is the test constructor: a trace with an injected clock.
+func newAt(t0 time.Time, now func() time.Time) *Trace {
+	return &Trace{t0: t0, now: now}
+}
+
+// Active is an in-progress span returned by Start; call End (usually
+// deferred) to record it.
+type Active struct {
+	tr     *Trace
+	name   string
+	start  time.Duration
+	detail string
+	done   bool
+	mu     sync.Mutex
+}
+
+// Start opens a span. Spans may nest or overlap freely; the timeline
+// renders them in start order.
+func (t *Trace) Start(name string) *Active {
+	t.mu.Lock()
+	start := t.now().Sub(t.t0)
+	t.mu.Unlock()
+	return &Active{tr: t, name: name, start: start}
+}
+
+// SetDetail attaches an annotation shown next to the span in the
+// timeline (e.g. "steps=512 voc=1310").
+func (a *Active) SetDetail(format string, args ...any) {
+	a.mu.Lock()
+	a.detail = fmt.Sprintf(format, args...)
+	a.mu.Unlock()
+}
+
+// End records the span. Calling End twice records it once.
+func (a *Active) End() {
+	a.mu.Lock()
+	if a.done {
+		a.mu.Unlock()
+		return
+	}
+	a.done = true
+	detail := a.detail
+	a.mu.Unlock()
+
+	a.tr.mu.Lock()
+	end := a.tr.now().Sub(a.tr.t0)
+	a.tr.spans = append(a.tr.spans, Span{
+		Name:   a.name,
+		Start:  a.start,
+		End:    end,
+		Detail: detail,
+	})
+	a.tr.mu.Unlock()
+}
+
+// Spans returns the completed spans in completion order.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// WriteTimeline renders the spans as an ASCII gantt chart scaled so
+// the latest span end sits at the given bar width:
+//
+//	setup     1.2ms  |=                                       |
+//	condense  180ms  | ==============================         | steps=512
+//	beautify   45ms  |                               ======== | voc=1310
+//
+// Bars are clamped to at least one character so short phases stay
+// visible. width is the bar's interior width in characters (minimum
+// 10 is enforced).
+func (t *Trace) WriteTimeline(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	spans := t.Spans()
+	if len(spans) == 0 {
+		_, err := fmt.Fprintln(w, "(no spans recorded)")
+		return err
+	}
+	var total time.Duration
+	nameW := 0
+	for _, s := range spans {
+		if s.End > total {
+			total = s.End
+		}
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	if total <= 0 {
+		total = 1 // degenerate: all spans instantaneous
+	}
+	scale := func(d time.Duration) int {
+		return int(float64(d) / float64(total) * float64(width))
+	}
+	for _, s := range spans {
+		lo, hi := scale(s.Start), scale(s.End)
+		if hi >= width {
+			hi = width
+		}
+		if hi <= lo {
+			hi = lo + 1 // never render an invisible span
+			if hi > width {
+				lo, hi = width-1, width
+			}
+		}
+		bar := strings.Repeat(" ", lo) + strings.Repeat("=", hi-lo) + strings.Repeat(" ", width-hi)
+		line := fmt.Sprintf("%-*s %9s |%s|", nameW, s.Name, fmtDur(s.Duration()), bar)
+		if s.Detail != "" {
+			line += " " + s.Detail
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%-*s %9s\n", nameW, "total", fmtDur(total))
+	return err
+}
+
+// fmtDur rounds a duration to three significant-ish digits so the
+// timeline stays narrow.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.0fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}

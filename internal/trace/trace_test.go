@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock steps a deterministic clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newFake() (*Trace, *fakeClock) {
+	c := &fakeClock{t: time.Unix(1000, 0)}
+	return newAt(c.t, c.now), c
+}
+
+func TestSpansRecordOffsets(t *testing.T) {
+	tr, clk := newFake()
+	a := tr.Start("setup")
+	clk.advance(10 * time.Millisecond)
+	a.End()
+
+	b := tr.Start("condense")
+	b.SetDetail("steps=%d", 42)
+	clk.advance(30 * time.Millisecond)
+	b.End()
+	b.End() // double End records once
+
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "setup" || spans[0].Start != 0 || spans[0].End != 10*time.Millisecond {
+		t.Errorf("setup span = %+v", spans[0])
+	}
+	if spans[1].Start != 10*time.Millisecond || spans[1].End != 40*time.Millisecond {
+		t.Errorf("condense span = %+v", spans[1])
+	}
+	if spans[1].Detail != "steps=42" {
+		t.Errorf("detail = %q", spans[1].Detail)
+	}
+	if spans[1].Duration() != 30*time.Millisecond {
+		t.Errorf("duration = %v", spans[1].Duration())
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	tr, clk := newFake()
+	s1 := tr.Start("setup")
+	clk.advance(5 * time.Millisecond)
+	s1.End()
+	s2 := tr.Start("condense")
+	s2.SetDetail("voc=99")
+	clk.advance(95 * time.Millisecond)
+	s2.End()
+
+	var b strings.Builder
+	if err := tr.WriteTimeline(&b, 40); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "setup") || !strings.Contains(lines[0], "=") {
+		t.Errorf("setup line missing bar: %q", lines[0])
+	}
+	// The condense bar should be much longer than setup's (95% vs 5%).
+	if strings.Count(lines[1], "=") <= strings.Count(lines[0], "=") {
+		t.Errorf("condense bar not longer than setup:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "voc=99") {
+		t.Errorf("detail not rendered: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "total") {
+		t.Errorf("total line missing: %q", lines[2])
+	}
+}
+
+// TestWriteTimelineTinySpans: an instantaneous span still gets a
+// visible bar, and the degenerate all-zero trace doesn't divide by
+// zero.
+func TestWriteTimelineTinySpans(t *testing.T) {
+	tr, clk := newFake()
+	a := tr.Start("instant")
+	a.End()
+	b := tr.Start("long")
+	clk.advance(time.Second)
+	b.End()
+
+	var buf strings.Builder
+	if err := tr.WriteTimeline(&buf, 40); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(buf.String(), "\n")
+	if !strings.Contains(lines[0], "=") {
+		t.Errorf("instant span invisible: %q", lines[0])
+	}
+
+	zero, _ := newFake()
+	z := zero.Start("z")
+	z.End()
+	var zb strings.Builder
+	if err := zero.WriteTimeline(&zb, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(zb.String(), "z") {
+		t.Errorf("zero-duration trace not rendered: %q", zb.String())
+	}
+
+	empty := New()
+	var eb strings.Builder
+	if err := empty.WriteTimeline(&eb, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.String(), "no spans") {
+		t.Errorf("empty trace output: %q", eb.String())
+	}
+}
+
+// TestConcurrentSpans: overlapping spans from several goroutines;
+// meaningful under -race.
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := tr.Start("work")
+			s.SetDetail("d")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 8 {
+		t.Errorf("got %d spans, want 8", got)
+	}
+}

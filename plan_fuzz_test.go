@@ -1,0 +1,156 @@
+package heteropart
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// validPlanJSON builds a real plan and serialises it, so the fuzz corpus
+// starts from the deepest reachable code path: full JSON decode, base64
+// grid decode, and every cross-field consistency check.
+func validPlanJSON(tb testing.TB) []byte {
+	tb.Helper()
+	m := DefaultMachine(MustRatio(5, 2, 1))
+	p, err := NewPlan(SCB, m, 24)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteJSON(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// rotateVoCDigits applies the chaos proxy's corruption pattern (see
+// internal/chaos): every digit following a `"voc":` key is rotated
+// d→(d+1)%10, which keeps the JSON perfectly well-formed while making
+// the summary lie about the grid.
+func rotateVoCDigits(doc []byte) []byte {
+	out := bytes.Clone(doc)
+	for i := 0; i+6 < len(out); i++ {
+		if !bytes.HasPrefix(out[i:], []byte(`"voc":`)) {
+			continue
+		}
+		for j := i + 6; j < len(out) && out[j] >= '0' && out[j] <= '9'; j++ {
+			out[j] = '0' + (out[j]-'0'+1)%10
+		}
+	}
+	return out
+}
+
+// FuzzReadPlan hammers the plan wire format: arbitrary bytes must never
+// panic, and any input ReadPlan accepts must survive a serialise/re-read
+// round trip — the invariant the planning client's corrupt-plan
+// rejection (serve.VerifyPlanResponse) is built on.
+func FuzzReadPlan(f *testing.F) {
+	valid := validPlanJSON(f)
+	f.Add(valid)
+	// The chaos proxy's in-flight corruption: voc digits rotated.
+	f.Add(rotateVoCDigits(valid))
+	// A torn transfer: the payload cut mid-grid.
+	f.Add(valid[:len(valid)/2])
+	// Structurally fine, semantically empty.
+	f.Add([]byte(`{}`))
+	// Grid field that is not base64, and one that decodes but is torn.
+	f.Add(bytes.Replace(bytes.Clone(valid), []byte(`"grid": "`), []byte(`"grid": "!!!`), 1))
+	f.Add([]byte(`{"n":4,"ratio":"2:1:1","algorithm":"SCB","topology":"fully-connected","shape":"Block-Rectangle","voc":0,"grid":"AAAA"}`))
+	// Mismatched dimension: grid decodes to a different n than declared.
+	f.Add(bytes.Replace(bytes.Clone(valid), []byte(`"n": 24`), []byte(`"n": 23`), 1))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := ReadPlan(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted plans must be internally consistent and round-trip.
+		var buf bytes.Buffer
+		if err := p.WriteJSON(&buf); err != nil {
+			t.Fatalf("accepted plan does not serialise: %v", err)
+		}
+		q, err := ReadPlan(&buf)
+		if err != nil {
+			t.Fatalf("accepted plan does not re-read: %v\noriginal: %s", err, data)
+		}
+		if q.N != p.N || q.VoC != p.VoC || q.Shape != p.Shape {
+			t.Fatalf("round trip changed the plan: n %d→%d voc %d→%d shape %q→%q",
+				p.N, q.N, p.VoC, q.VoC, p.Shape, q.Shape)
+		}
+		// The decoded partition must agree with the validated summary.
+		g, err := p.Partition()
+		if err != nil {
+			t.Fatalf("accepted plan has undecodable partition: %v", err)
+		}
+		if g.VoC() != p.VoC {
+			t.Fatalf("accepted plan: grid VoC %d != field %d", g.VoC(), p.VoC)
+		}
+	})
+}
+
+// FuzzPlanValidate drives Validate's field checks through a structured
+// generator, reaching the consistency branches (procs totals,
+// per-processor counts, grid/dimension agreement) that raw-byte fuzzing
+// rarely assembles. Whatever the fields, Validate must either accept a
+// self-consistent plan or return a typed *PlanError — never panic, never
+// return an untyped error.
+func FuzzPlanValidate(f *testing.F) {
+	f.Add(24, "5:2:1", "SCB", "fully-connected", "Square-Corner", int64(100), "AAAA", "P", 10)
+	f.Add(4, "2:1:1", "PCB", "star", "Block-Rectangle", int64(-1), "", "R", -5)
+	f.Add(0, "", "", "", "", int64(0), "####", "X", 0)
+	f.Add(1, "1:1:1", "SCO", "fully-connected", "L-Rectangle", int64(0), "AAAAAQA=", "P", 1)
+	f.Fuzz(func(t *testing.T, n int, ratio, alg, topo, shape string, voc int64, grid, procName string, elems int) {
+		p := &Plan{
+			N: n, Ratio: ratio, Algorithm: alg, Topology: topo, Shape: shape,
+			VoC: voc, Grid: grid,
+			Procs: []ProcPlan{{Processor: procName, Elements: elems}},
+		}
+		err := p.Validate()
+		if err == nil {
+			// Validate caches the decoded grid; the accepted summary must
+			// match it.
+			g, perr := p.Partition()
+			if perr != nil {
+				t.Fatalf("validated plan has no partition: %v", perr)
+			}
+			if g.N() != n || g.VoC() != voc {
+				t.Fatalf("validated plan disagrees with its grid: n %d vs %d, voc %d vs %d",
+					n, g.N(), voc, g.VoC())
+			}
+			return
+		}
+		var pe *PlanError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Validate returned %T (%v), want *PlanError", err, err)
+		}
+		if pe.Field == "" || pe.Error() == "" {
+			t.Fatalf("PlanError without a field name: %+v", pe)
+		}
+	})
+}
+
+// FuzzGridDecode drives the binary grid codec directly: arbitrary bytes
+// must never panic, and any accepted buffer must re-encode to itself
+// (the codec is bijective on its valid range).
+func FuzzGridDecode(f *testing.F) {
+	g, err := BuildShape(BlockRectangle, 8, MustRatio(2, 1, 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(g.Encode())
+	f.Add([]byte{0, 0, 0, 1, 0})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{255, 255, 255, 255, 1, 2, 3})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := partition.Decode(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(g.Encode(), data) {
+			t.Fatalf("accepted buffer does not round-trip (n=%d)", g.N())
+		}
+	})
+}

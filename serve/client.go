@@ -127,6 +127,7 @@ type Client struct {
 	hedges          atomic.Int64
 	ejections       atomic.Int64
 	corruptRejected atomic.Int64
+	failovers       atomic.Int64
 
 	now func() time.Time
 
@@ -282,6 +283,10 @@ func (c *Client) Health(ctx context.Context) error {
 // Hedges returns the number of hedged sub-requests issued so far.
 func (c *Client) Hedges() int64 { return c.hedges.Load() }
 
+// Failovers returns the number of retry attempts issued so far (each
+// preferring a replica the call had not yet tried).
+func (c *Client) Failovers() int64 { return c.failovers.Load() }
+
 // do runs the full robustness stack for one logical call: deadline,
 // replica selection, hedged attempts, response verification, retry
 // classification, budgeted jittered backoff. Attempts prefer replicas
@@ -300,6 +305,11 @@ func (c *Client) do(ctx context.Context, path string, reqBody, out any, verify f
 	tried := make(map[*replica]bool, len(c.replicas))
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.Retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			// A retry prefers a replica the call has not burned yet (see
+			// pick), so each one is a failover, not a replay.
+			c.failovers.Add(1)
+		}
 		raw, err := c.attempt(ctx, path, body, verify, tried)
 		if err == nil {
 			if out == nil {

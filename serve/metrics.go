@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"repro/internal/metrics"
+)
+
+// RegisterMetrics exposes the client pool's counters and per-replica
+// state on reg, for operators embedding the pool in their own binary
+// (see examples/replicated_planning):
+//
+//	planpool_hedges_total            hedged sub-requests issued
+//	planpool_failovers_total         retry attempts (failovers)
+//	planpool_ejections_total         replica ejections and re-ejections
+//	planpool_corrupt_rejected_total  responses failing plan re-verification
+//	planpool_replica_in_flight{replica}             live calls on the replica
+//	planpool_replica_latency_ewma_ms{replica}       smoothed success latency
+//	planpool_replica_ejections_total{replica}       this replica's ejections
+//	planpool_replica_consecutive_failures{replica}  current failure streak
+//	planpool_replica_state{replica}                 0 active, 1 probation, 2 ejected
+//
+// All series are func-backed reads of state the pool already tracks,
+// so registration adds no cost to the call path. Register a given
+// Client on a given Registry at most once.
+func (c *Client) RegisterMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("planpool_hedges_total",
+		"Hedged sub-requests issued against a slow primary attempt.",
+		func() float64 { return float64(c.hedges.Load()) })
+	reg.CounterFunc("planpool_failovers_total",
+		"Retry attempts, each preferring an untried replica.",
+		func() float64 { return float64(c.failovers.Load()) })
+	reg.CounterFunc("planpool_ejections_total",
+		"Replica ejections and re-ejections from live failures or probes.",
+		func() float64 { return float64(c.ejections.Load()) })
+	reg.CounterFunc("planpool_corrupt_rejected_total",
+		"Responses rejected after failing independent plan re-verification.",
+		func() float64 { return float64(c.corruptRejected.Load()) })
+
+	for _, rep := range c.replicas {
+		reg.LabeledGaugeFunc("planpool_replica_in_flight",
+			"Live calls currently running against the replica.",
+			"replica", rep.url,
+			func() float64 { return float64(rep.inflight.Load()) })
+		reg.LabeledGaugeFunc("planpool_replica_latency_ewma_ms",
+			"EWMA of the replica's successful-call latency in milliseconds.",
+			"replica", rep.url,
+			func() float64 {
+				rep.mu.Lock()
+				defer rep.mu.Unlock()
+				return rep.ewmaMs
+			})
+		reg.LabeledCounterFunc("planpool_replica_ejections_total",
+			"Times this replica has been ejected or re-ejected.",
+			"replica", rep.url,
+			func() float64 {
+				rep.mu.Lock()
+				defer rep.mu.Unlock()
+				return float64(rep.ejections)
+			})
+		reg.LabeledGaugeFunc("planpool_replica_consecutive_failures",
+			"The replica's current consecutive-failure streak.",
+			"replica", rep.url,
+			func() float64 {
+				rep.mu.Lock()
+				defer rep.mu.Unlock()
+				return float64(rep.failures)
+			})
+		reg.LabeledGaugeFunc("planpool_replica_state",
+			"Replica lifecycle state: 0 active, 1 probation, 2 ejected.",
+			"replica", rep.url,
+			func() float64 {
+				switch rep.state(c.now()) {
+				case ReplicaEjected:
+					return 2
+				case ReplicaProbation:
+					return 1
+				default:
+					return 0
+				}
+			})
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// TestPoolMetricsScrape drives a two-replica pool — one healthy, one
+// always failing — and checks the scrape reflects what the pool saw:
+// failovers happened, the bad replica was ejected, per-replica series
+// exist for both members.
+func TestPoolMetricsScrape(t *testing.T) {
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"requests":1}`))
+	}))
+	defer good.Close()
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+
+	c, err := NewPool([]string{good.URL, bad.URL}, ClientConfig{
+		Timeout:        2 * time.Second,
+		Retry:          RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		EjectThreshold: 1,
+		EjectCooldown:  time.Minute,
+		ProbeInterval:  -1, // deterministic: no background probes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	// Enough calls that both replicas get picked at least once.
+	for i := 0; i < 8; i++ {
+		if _, err := c.Stats(context.Background()); err != nil {
+			t.Fatalf("Stats: %v", err)
+		}
+	}
+
+	var b strings.Builder
+	if err := reg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := metrics.ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseText: %v\n%s", err, b.String())
+	}
+
+	for _, rep := range []string{good.URL, bad.URL} {
+		for _, fam := range []string{
+			"planpool_replica_in_flight",
+			"planpool_replica_latency_ewma_ms",
+			"planpool_replica_ejections_total",
+			"planpool_replica_consecutive_failures",
+			"planpool_replica_state",
+		} {
+			key := fam + `{replica="` + rep + `"}`
+			if _, ok := got[key]; !ok {
+				t.Errorf("scrape missing %s\n%s", key, b.String())
+			}
+		}
+	}
+	if got[`planpool_replica_state{replica="`+bad.URL+`"}`] != 2 {
+		t.Errorf("bad replica not ejected in scrape:\n%s", b.String())
+	}
+	if got[`planpool_replica_state{replica="`+good.URL+`"}`] != 0 {
+		t.Errorf("good replica not active in scrape:\n%s", b.String())
+	}
+	if got["planpool_ejections_total"] < 1 {
+		t.Errorf("ejections_total = %v, want >= 1", got["planpool_ejections_total"])
+	}
+	if got["planpool_failovers_total"] < 1 {
+		t.Errorf("failovers_total = %v, want >= 1", got["planpool_failovers_total"])
+	}
+	if got["planpool_failovers_total"] != float64(c.Failovers()) {
+		t.Errorf("scrape failovers %v != accessor %v", got["planpool_failovers_total"], c.Failovers())
+	}
+	if got["planpool_corrupt_rejected_total"] != 0 {
+		t.Errorf("corrupt_rejected_total = %v, want 0", got["planpool_corrupt_rejected_total"])
+	}
+}

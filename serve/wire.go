@@ -224,6 +224,7 @@ type Stats struct {
 	Degraded     int64 `json:"degraded"`
 	Searched     int64 `json:"searched"`
 	CacheHits    int64 `json:"cacheHits"`
+	CacheMisses  int64 `json:"cacheMisses"`
 	StaleServed  int64 `json:"staleServed"`
 	Coalesced    int64 `json:"coalesced"`
 	Panics       int64 `json:"panics"`

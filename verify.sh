@@ -8,7 +8,8 @@
 # kill/resume smoke test (a journaled census is SIGKILLed mid-flight and
 # resumed, and its output must be byte-identical to an uninterrupted
 # run), a pland drain smoke test (degraded serving under an injected
-# straggler fault, full-quality serving without it, clean SIGTERM drain,
+# straggler fault, full-quality serving without it — with a /metrics
+# scrape verified after the healthy workload — clean SIGTERM drain,
 # and a non-zero exit when the drain window is forced shut), and a chaos
 # smoke test (three real pland replicas behind fault-injection proxies:
 # a partition plus a straggler must not cost availability, and in-flight
@@ -99,12 +100,16 @@ wait "$l1" || true      # the burst's tail sees 503s once draining — expected
 grep -q "drained clean" "$tmp/pland1.log"
 
 # Scenario 2: healthy server, full-quality serving, clean drain when idle.
+# -scrape-metrics additionally pulls the server's /metrics after the
+# workload and asserts the Prometheus text parses and carries the
+# serving families the burst must have populated (request counts,
+# latency histogram, cache, breaker, push-search counters).
 "$tmp/pland" -addr 127.0.0.1:0 -addr-file "$tmp/a2" \
     -max-concurrent 8 -max-queue 16 2> "$tmp/pland2.log" &
 p2=$!
 wait_addr "$tmp/a2"
 "$tmp/loader" -url "http://$(cat "$tmp/a2")" -requests 6 -conc 2 \
-    -timeout 5s -expect searched
+    -timeout 5s -expect searched -scrape-metrics
 kill -TERM "$p2"
 wait "$p2" || { echo "idle pland dirty drain" >&2; cat "$tmp/pland2.log" >&2; exit 1; }
 
