@@ -1,0 +1,467 @@
+// Command loadgen drives a running pland with an open-loop workload and
+// reports latency percentiles, throughput, and plans/sec — the measuring
+// half of the serving benchmark (BENCH_serve.json).
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 [-rate 200] [-duration 10s]
+//	        [-mix atlas=1] [-batch-size 64] [-max-inflight 64]
+//	        [-n 200] [-alg SCB] [-scale 10] [-pr-max 20] [-rr-max 20]
+//	        [-seed 1] [-json] [-fail-on-error] [-max-p99 0]
+//	        [-metrics-check]
+//
+// The arrival process is open-loop: operations launch on a fixed clock
+// regardless of how many are still in flight, so a slow server shows up
+// as queueing delay in the percentiles instead of silently lowering the
+// offered rate. -max-inflight bounds the client's own fan-out; arrivals
+// that would exceed it are counted as dropped, not blocked.
+//
+// -mix weights three operation classes (comma-separated class=weight):
+//
+//	atlas   single /v1/plan requests whose ratio sits ON the atlas
+//	        lattice given by -scale/-pr-max/-rr-max — O(1) answers
+//	search  single /v1/plan requests just OFF the lattice, cycling a
+//	        small scenario pool so both cold searches and cache hits
+//	        appear, like real off-atlas traffic
+//	batch   /v1/plan:batch requests carrying -batch-size on-lattice
+//	        items each (each item counts toward plans/sec)
+//
+// -metrics-check scrapes /metrics after the run and fails (exit 1)
+// unless the atlas tier actually served (pland_atlas_hits_total > 0)
+// and — for a pure atlas mix — the search engine never ran
+// (pland_searched_total == 0 and push_runs_total unchanged from the
+// pre-run scrape). -fail-on-error and -max-p99 turn the run into a CI
+// gate.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/atlas"
+	"repro/internal/metrics"
+	wire "repro/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	os.Exit(run())
+}
+
+// mix is the parsed -mix: cumulative thresholds over [0, 1).
+type mix struct {
+	atlas, search float64 // batch is the remainder
+}
+
+func parseMix(s string) (mix, error) {
+	w := map[string]float64{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return mix{}, fmt.Errorf("bad -mix component %q (want class=weight)", part)
+		}
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 {
+			return mix{}, fmt.Errorf("bad -mix weight %q", part)
+		}
+		switch name {
+		case "atlas", "search", "batch":
+			w[name] += f
+		default:
+			return mix{}, fmt.Errorf("unknown -mix class %q (want atlas, search, or batch)", name)
+		}
+	}
+	total := w["atlas"] + w["search"] + w["batch"]
+	if total <= 0 {
+		return mix{}, fmt.Errorf("-mix has no positive weight")
+	}
+	return mix{atlas: w["atlas"] / total, search: (w["atlas"] + w["search"]) / total}, nil
+}
+
+// classOf maps one uniform draw to an operation class.
+func (m mix) classOf(u float64) string {
+	switch {
+	case u < m.atlas:
+		return "atlas"
+	case u < m.search:
+		return "search"
+	}
+	return "batch"
+}
+
+// recorder accumulates one class's latencies and counts.
+type recorder struct {
+	mu      sync.Mutex
+	lat     []float64 // milliseconds
+	ops     int
+	plans   int
+	errors  int
+	errMsgs map[string]int
+}
+
+func (r *recorder) record(latMS float64, plans int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops++
+	if err != nil {
+		r.errors++
+		if r.errMsgs == nil {
+			r.errMsgs = map[string]int{}
+		}
+		msg := err.Error()
+		if len(msg) > 120 {
+			msg = msg[:120]
+		}
+		r.errMsgs[msg]++
+		return
+	}
+	r.plans += plans
+	r.lat = append(r.lat, latMS)
+}
+
+// percentile reads p (0..100) from sorted data.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// classReport is one class's slice of the -json output.
+type classReport struct {
+	Ops    int     `json:"ops"`
+	Plans  int     `json:"plans"`
+	Errors int     `json:"errors"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+func (r *recorder) report() classReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	sort.Float64s(r.lat)
+	rep := classReport{Ops: r.ops, Plans: r.plans, Errors: r.errors}
+	if n := len(r.lat); n > 0 {
+		rep.P50MS = percentile(r.lat, 50)
+		rep.P95MS = percentile(r.lat, 95)
+		rep.P99MS = percentile(r.lat, 99)
+		rep.MaxMS = r.lat[n-1]
+	}
+	return rep
+}
+
+// scenarios generates the request bodies for each class from the atlas
+// grid parameters, so on-lattice really means on the server's lattice.
+type scenarios struct {
+	n       int
+	alg     string
+	onGrid  []string // lattice ratio strings (atlas hits)
+	offGrid []string // just-off-lattice ratio strings (searched)
+}
+
+func buildScenarios(n int, algStr string, scale int, prMax, rrMax float64, searchPool int) (*scenarios, error) {
+	g, err := atlas.NewGrid(scale, prMax, rrMax)
+	if err != nil {
+		return nil, err
+	}
+	sc := &scenarios{n: n, alg: algStr}
+	for idx := 0; idx < g.Cells(); idx++ {
+		c := g.Cell(idx)
+		if !g.Valid(c) {
+			continue
+		}
+		r := g.Ratio(c)
+		sc.onGrid = append(sc.onGrid, r.String())
+		if len(sc.offGrid) < searchPool {
+			// Nudge Pr by a half step: guaranteed off-lattice, still a
+			// legal ratio (Pr only grows, Pr ≥ Rr ≥ Sr holds).
+			off := r
+			off.Pr += g.Step() / 2
+			sc.offGrid = append(sc.offGrid, off.String())
+		}
+	}
+	if len(sc.onGrid) == 0 {
+		return nil, fmt.Errorf("grid has no valid cells")
+	}
+	return sc, nil
+}
+
+func (sc *scenarios) planReq(rng *rand.Rand, onLattice bool) wire.PlanRequest {
+	pool := sc.onGrid
+	if !onLattice {
+		pool = sc.offGrid
+	}
+	return wire.PlanRequest{N: sc.n, Ratio: pool[rng.Intn(len(pool))], Algorithm: sc.alg}
+}
+
+// scrape fetches url's /metrics into a name→value map.
+func scrape(client *http.Client, url string) (map[string]float64, error) {
+	resp, err := client.Get(url + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: HTTP %d", resp.StatusCode)
+	}
+	return metrics.ParseText(resp.Body)
+}
+
+func run() int {
+	var (
+		url         = flag.String("url", "", "base URL of the pland under test (required)")
+		rate        = flag.Float64("rate", 200, "offered operations per second (open loop)")
+		duration    = flag.Duration("duration", 10*time.Second, "how long to offer load")
+		mixStr      = flag.String("mix", "atlas=1", "workload mix, e.g. atlas=0.8,search=0.15,batch=0.05")
+		batchSize   = flag.Int("batch-size", 64, "items per /v1/plan:batch operation")
+		maxInflight = flag.Int("max-inflight", 64, "client-side fan-out bound; arrivals past it are dropped")
+		n           = flag.Int("n", 200, "matrix dimension for generated requests")
+		algStr      = flag.String("alg", "SCB", "algorithm for generated requests")
+		scale       = flag.Int("scale", 10, "atlas lattice step is 1/scale (match the served atlas)")
+		prMax       = flag.Float64("pr-max", 20, "atlas grid Pr bound (match the served atlas)")
+		rrMax       = flag.Float64("rr-max", 20, "atlas grid Rr bound (match the served atlas)")
+		searchPool  = flag.Int("search-pool", 32, "distinct off-lattice scenarios the search class cycles")
+		seed        = flag.Int64("seed", 1, "scenario sampling seed")
+		jsonOut     = flag.Bool("json", false, "emit the report as JSON on stdout")
+		failOnErr   = flag.Bool("fail-on-error", false, "exit 1 if any operation failed")
+		maxP99      = flag.Duration("max-p99", 0, "exit 1 if any class's p99 exceeds this (0 = no gate)")
+		metricsChk  = flag.Bool("metrics-check", false, "scrape /metrics and assert the atlas tier served (and, for a pure atlas mix, that search never ran)")
+	)
+	flag.Parse()
+	if *url == "" {
+		log.Print("-url is required")
+		return 2
+	}
+	m, err := parseMix(*mixStr)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	sc, err := buildScenarios(*n, *algStr, *scale, *prMax, *rrMax, *searchPool)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	if *rate <= 0 || *batchSize < 1 || *maxInflight < 1 {
+		log.Print("-rate, -batch-size, and -max-inflight must be positive")
+		return 2
+	}
+
+	httpClient := &http.Client{Timeout: 30 * time.Second}
+	var before map[string]float64
+	if *metricsChk {
+		if before, err = scrape(httpClient, *url); err != nil {
+			log.Printf("pre-run metrics scrape: %v", err)
+			return 2
+		}
+	}
+
+	recs := map[string]*recorder{"atlas": {}, "search": {}, "batch": {}}
+	rng := rand.New(rand.NewSource(*seed))
+	var reqMu sync.Mutex // guards rng: operations draw scenarios concurrently
+	drawReq := func(onLattice bool) wire.PlanRequest {
+		reqMu.Lock()
+		defer reqMu.Unlock()
+		return sc.planReq(rng, onLattice)
+	}
+	drawBatch := func() wire.BatchPlanRequest {
+		reqMu.Lock()
+		defer reqMu.Unlock()
+		items := make([]wire.PlanRequest, *batchSize)
+		for i := range items {
+			items[i] = sc.planReq(rng, true)
+		}
+		return wire.BatchPlanRequest{Items: items}
+	}
+
+	post := func(path string, body, out any) error {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		resp, err := httpClient.Post(*url+path, "application/json", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: HTTP %d: %.120s", path, resp.StatusCode, data)
+		}
+		return json.Unmarshal(data, out)
+	}
+
+	runOp := func(class string) {
+		start := time.Now()
+		var plans int
+		var err error
+		switch class {
+		case "batch":
+			var resp wire.BatchPlanResponse
+			if err = post("/v1/plan:batch", drawBatch(), &resp); err == nil {
+				plans = resp.Succeeded
+				if resp.Failed > 0 {
+					err = fmt.Errorf("batch: %d/%d items failed", resp.Failed, len(resp.Items))
+				}
+			}
+		default:
+			var resp wire.PlanResponse
+			if err = post("/v1/plan", drawReq(class == "atlas"), &resp); err == nil {
+				plans = 1
+			}
+		}
+		recs[class].record(float64(time.Since(start))/float64(time.Millisecond), plans, err)
+	}
+
+	// Open loop: arrivals on a fixed clock, late arrivals burst to catch
+	// up, a full semaphore drops (never blocks the clock).
+	sem := make(chan struct{}, *maxInflight)
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / *rate)
+	start := time.Now()
+	deadline := start.Add(*duration)
+	sent, dropped := 0, 0
+	for next := start; next.Before(deadline); next = next.Add(interval) {
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		reqMu.Lock()
+		class := m.classOf(rng.Float64())
+		reqMu.Unlock()
+		sent++
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runOp(class)
+				<-sem
+			}()
+		default:
+			dropped++
+			recs[class].record(0, 0, fmt.Errorf("dropped: max-inflight reached"))
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	type report struct {
+		Mix         string                 `json:"mix"`
+		RatePerSec  float64                `json:"offered_rate_per_sec"`
+		DurationSec float64                `json:"duration_sec"`
+		Sent        int                    `json:"sent"`
+		Dropped     int                    `json:"dropped"`
+		Errors      int                    `json:"errors"`
+		Plans       int                    `json:"plans"`
+		OpsPerSec   float64                `json:"achieved_ops_per_sec"`
+		PlansPerSec float64                `json:"plans_per_sec"`
+		Classes     map[string]classReport `json:"classes"`
+	}
+	rep := report{
+		Mix:         *mixStr,
+		RatePerSec:  *rate,
+		DurationSec: elapsed.Seconds(),
+		Sent:        sent,
+		Dropped:     dropped,
+		Classes:     map[string]classReport{},
+	}
+	okOps := 0
+	for class, r := range recs {
+		cr := r.report()
+		if cr.Ops == 0 {
+			continue
+		}
+		rep.Classes[class] = cr
+		rep.Errors += cr.Errors
+		rep.Plans += cr.Plans
+		okOps += cr.Ops - cr.Errors
+	}
+	rep.OpsPerSec = float64(okOps) / elapsed.Seconds()
+	rep.PlansPerSec = float64(rep.Plans) / elapsed.Seconds()
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	} else {
+		fmt.Printf("mix %s: %d sent (%d dropped, %d errors) in %.1fs → %.0f ops/s, %.0f plans/s\n",
+			*mixStr, sent, dropped, rep.Errors, elapsed.Seconds(), rep.OpsPerSec, rep.PlansPerSec)
+		for _, class := range []string{"atlas", "search", "batch"} {
+			cr, ok := rep.Classes[class]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-6s %6d ops  %8d plans  p50 %8.3fms  p95 %8.3fms  p99 %8.3fms  max %8.3fms\n",
+				class, cr.Ops, cr.Plans, cr.P50MS, cr.P95MS, cr.P99MS, cr.MaxMS)
+		}
+	}
+	for class, r := range recs {
+		r.mu.Lock()
+		for msg, count := range r.errMsgs {
+			log.Printf("%s: %d× %s", class, count, msg)
+		}
+		r.mu.Unlock()
+	}
+
+	exit := 0
+	if *failOnErr && (rep.Errors > 0 || dropped > 0) {
+		log.Printf("FAIL: %d errors, %d dropped with -fail-on-error", rep.Errors, dropped)
+		exit = 1
+	}
+	if *maxP99 > 0 {
+		gate := float64(*maxP99) / float64(time.Millisecond)
+		for class, cr := range rep.Classes {
+			if cr.P99MS > gate {
+				log.Printf("FAIL: %s p99 %.3fms exceeds -max-p99 %v", class, cr.P99MS, *maxP99)
+				exit = 1
+			}
+		}
+	}
+	if *metricsChk {
+		after, err := scrape(httpClient, *url)
+		if err != nil {
+			log.Printf("post-run metrics scrape: %v", err)
+			return 1
+		}
+		if hits := after["pland_atlas_hits_total"] - before["pland_atlas_hits_total"]; hits <= 0 {
+			log.Printf("FAIL: metrics-check: pland_atlas_hits_total did not grow (Δ=%g) — the atlas tier never served", hits)
+			exit = 1
+		} else {
+			log.Printf("metrics-check: atlas tier served %g answers", hits)
+		}
+		if m.atlas >= 1 { // pure atlas mix
+			if ds := after["pland_searched_total"] - before["pland_searched_total"]; ds != 0 {
+				log.Printf("FAIL: metrics-check: pland_searched_total grew by %g on a pure atlas mix", ds)
+				exit = 1
+			}
+			if dp := after["push_runs_total"] - before["push_runs_total"]; dp != 0 {
+				log.Printf("FAIL: metrics-check: push_runs_total grew by %g on a pure atlas mix — the search engine ran", dp)
+				exit = 1
+			}
+		}
+	}
+	return exit
+}

@@ -10,9 +10,20 @@
 //	      [-cache-ttl 5m] [-cache-journal plancache.jsonl]
 //	      [-breaker-threshold 3] [-breaker-cooldown 5s]
 //	      [-fault-straggler 0] [-fault-step 200us]
+//	      [-atlas atlas.bin] [-atlas-warm] [-atlas-verify 4]
 //	      [-drain-timeout 10s] [-seed 1] [-debug-addr ""]
 //
-// Endpoints: POST (or GET with query params) /v1/plan, /v1/evaluate,
+// -atlas loads a shape-atlas snapshot (built with shapeopt -build-atlas)
+// and serves on-atlas /v1/plan requests from it in O(1), bypassing the
+// search engine, cache, and admission gate entirely. At startup the
+// snapshot's integrity is checked (CRC) and -atlas-verify N cells are
+// re-derived against the live planner — a divergent snapshot (wrong
+// machine model vintage) is a refusal to start, exit 2, not a quiet
+// wrong answer. -atlas-warm pre-encodes every cell's response at boot so
+// the first hit on each cell is as cheap as the thousandth.
+//
+// Endpoints: POST (or GET with query params) /v1/plan, /v1/plan:batch,
+// /v1/evaluate,
 // /v1/search; GET /v1/stats, /healthz (liveness), /readyz (readiness:
 // breaker state, admission-gate occupancy, cache-journal health — what
 // a replica pool uses to eject a degraded replica), and /metrics (a
@@ -58,6 +69,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/atlas"
 	"repro/internal/journal"
 	"repro/internal/partition"
 	serveimpl "repro/internal/serve"
@@ -121,6 +133,9 @@ func run() int {
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open")
 		faultFactor  = flag.Float64("fault-straggler", 0, "inject an N× CPU straggler into the search path (0 = off; drill switch)")
 		faultStep    = flag.Duration("fault-step", 200*time.Microsecond, "nominal per-Push cost billed against the injected fault")
+		atlasPath    = flag.String("atlas", "", "serve on-atlas plan requests from this snapshot (shapeopt -build-atlas)")
+		atlasWarm    = flag.Bool("atlas-warm", true, "pre-encode every atlas cell's response at startup")
+		atlasVerify  = flag.Int("atlas-verify", 4, "re-derive this many random atlas cells against the live planner at startup; any divergence refuses to start (0 = trust the CRC)")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests")
 		seed         = flag.Int64("seed", 1, "default search seed for requests that omit one")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this private address (empty = off)")
@@ -148,6 +163,30 @@ func run() int {
 		cfg.FaultStepCost = *faultStep
 		log.Printf("fault injection armed: %.0f× straggler on processor P", *faultFactor)
 	}
+	if *atlasPath != "" {
+		a, err := atlas.Load(*atlasPath)
+		if err != nil {
+			log.Printf("atlas: %v", err)
+			return 2
+		}
+		if *atlasVerify > 0 {
+			mismatches, err := a.SpotCheck(context.Background(), *atlasVerify, *seed)
+			if err != nil {
+				log.Printf("atlas verify: %v", err)
+				return 2
+			}
+			if len(mismatches) > 0 {
+				for _, m := range mismatches {
+					log.Printf("atlas verify: MISMATCH %s", m)
+				}
+				log.Printf("atlas %s diverges from the live planner in %d cells — refusing to serve from it", *atlasPath, len(mismatches))
+				return 2
+			}
+		}
+		cfg.Atlas = a
+		log.Printf("atlas loaded: %s, %s topology, n=%d, %d valid cells (%d verified)",
+			a.Algorithm(), a.Topology(), a.N(), a.ValidCells(), *atlasVerify)
+	}
 
 	srv, err := serveimpl.New(cfg)
 	if err != nil {
@@ -156,6 +195,13 @@ func run() int {
 	}
 	if *cacheJournal != "" {
 		scrubCacheJournal(srv, *cacheJournal)
+	}
+	if *atlasPath != "" && *atlasWarm {
+		encoded, rejected := srv.WarmAtlas()
+		if rejected > 0 {
+			log.Printf("atlas warm: %d cells rejected by the encode-time cross-check — those ratios fall through to search", rejected)
+		}
+		log.Printf("atlas warm: %d cells pre-encoded", encoded)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

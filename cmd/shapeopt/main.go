@@ -5,15 +5,30 @@
 // Usage:
 //
 //	shapeopt -ratio 10:1:1 [-n 200] [-alg SCB] [-topology star]
+//
+// Atlas mode bakes that decision for a whole quantized ratio plane into
+// a snapshot pland can serve from without searching:
+//
+//	shapeopt -build-atlas atlas.bin [-scale 10] [-pr-max 20] [-rr-max 20]
+//	         [-n 200] [-alg SCB] [-topology full]
+//	shapeopt -dump-atlas atlas.bin [-spot 200] [-spot-seed 1]
+//
+// -dump-atlas prints the snapshot header, grid resolution, per-shape
+// winner counts, and the winner phase diagram; -spot N additionally
+// re-derives N randomly chosen cells with the live search and exits 2
+// on any divergence (0 or a value over the cell count means every
+// cell).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"text/tabwriter"
 
+	"repro/internal/atlas"
 	"repro/internal/model"
 	"repro/internal/partition"
 	"repro/internal/sim"
@@ -23,36 +38,149 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("shapeopt: ")
 	var (
-		ratioStr = flag.String("ratio", "5:2:1", "processor speed ratio Pr:Rr:Sr")
-		n        = flag.Int("n", 200, "matrix dimension")
-		algStr   = flag.String("alg", "", "algorithm (SCB, PCB, SCO, PCO, PIO); empty = all")
-		topoStr  = flag.String("topology", "full", "network topology: full or star")
+		ratioStr  = flag.String("ratio", "5:2:1", "processor speed ratio Pr:Rr:Sr")
+		n         = flag.Int("n", 200, "matrix dimension")
+		algStr    = flag.String("alg", "", "algorithm (SCB, PCB, SCO, PCO, PIO); empty = all (atlas modes: SCB)")
+		topoStr   = flag.String("topology", "full", "network topology: full or star")
+		buildPath = flag.String("build-atlas", "", "sweep the ratio grid and write an atlas snapshot to this path")
+		dumpPath  = flag.String("dump-atlas", "", "load an atlas snapshot and print its contents")
+		scale     = flag.Int("scale", 10, "atlas grid resolution: lattice step is 1/scale")
+		prMax     = flag.Float64("pr-max", 20, "atlas grid upper bound for Pr")
+		rrMax     = flag.Float64("rr-max", 20, "atlas grid upper bound for Rr")
+		spot      = flag.Int("spot", 0, "with -dump-atlas: spot-check this many random cells against live search (≤0 = none with 0 meaning none, over cell count = all)")
+		spotSeed  = flag.Int64("spot-seed", 1, "seed for the spot-check cell sample")
 	)
 	flag.Parse()
 
-	ratio, err := partition.ParseRatio(*ratioStr)
+	if *buildPath != "" && *dumpPath != "" {
+		log.Fatal("-build-atlas and -dump-atlas are mutually exclusive")
+	}
+	if *buildPath != "" {
+		os.Exit(buildAtlas(*buildPath, *algStr, *topoStr, *n, *scale, *prMax, *rrMax))
+	}
+	if *dumpPath != "" {
+		os.Exit(dumpAtlas(*dumpPath, *spot, *spotSeed))
+	}
+	compareShapes(*ratioStr, *n, *algStr, *topoStr)
+}
+
+func parseTopology(s string) (model.Topology, error) {
+	switch s {
+	case "full", "fully-connected":
+		return model.FullyConnected, nil
+	case "star":
+		return model.Star, nil
+	}
+	return 0, fmt.Errorf("unknown topology %q (want full or star)", s)
+}
+
+// buildAtlas sweeps the quantized ratio plane and writes the snapshot.
+func buildAtlas(path, algStr, topoStr string, n, scale int, prMax, rrMax float64) int {
+	alg := model.SCB
+	if algStr != "" {
+		a, err := model.ParseAlgorithm(algStr)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		alg = a
+	}
+	topo, err := parseTopology(topoStr)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	g, err := atlas.NewGrid(scale, prMax, rrMax)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	log.Printf("sweeping %d cells (%s, %s topology, n=%d, step 1/%d, Pr≤%g, Rr≤%g)",
+		g.Cells(), alg, topo, n, scale, prMax, rrMax)
+	lastPct := -1
+	a, err := atlas.Build(context.Background(), atlas.BuildConfig{
+		Algorithm: alg,
+		Topology:  topo,
+		N:         n,
+		Grid:      g,
+		Progress: func(done, total int) {
+			if pct := done * 100 / total; pct >= lastPct+10 {
+				lastPct = pct
+				log.Printf("  %3d%% (%d/%d rows)", pct, done, total)
+			}
+		},
+	})
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if err := a.Write(path); err != nil {
+		log.Print(err)
+		return 1
+	}
+	log.Printf("wrote %s: %d cells (%d valid) in %d bytes", path, a.Cells(), a.ValidCells(), len(a.Encode()))
+	return 0
+}
+
+// dumpAtlas prints a snapshot and optionally spot-checks it against the
+// live planner.
+func dumpAtlas(path string, spot int, seed int64) int {
+	a, err := atlas.Load(path)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if err := a.Dump(os.Stdout); err != nil {
+		log.Print(err)
+		return 1
+	}
+	if spot <= 0 {
+		return 0
+	}
+	cells := spot
+	if cells > a.ValidCells() {
+		cells = a.ValidCells()
+	}
+	fmt.Printf("\nspot-check: re-deriving %d of %d valid cells with the live search (seed %d)\n",
+		cells, a.ValidCells(), seed)
+	mismatches, err := a.SpotCheck(context.Background(), spot, seed)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if len(mismatches) > 0 {
+		for _, m := range mismatches {
+			fmt.Printf("  MISMATCH %s\n", m)
+		}
+		log.Printf("%d/%d cells diverge from live search", len(mismatches), cells)
+		return 2
+	}
+	fmt.Printf("spot-check: all %d cells bit-identical to live search\n", cells)
+	return 0
+}
+
+// compareShapes is the original single-ratio report.
+func compareShapes(ratioStr string, n int, algStr, topoStr string) {
+	ratio, err := partition.ParseRatio(ratioStr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	m := model.DefaultMachine(ratio)
-	switch *topoStr {
-	case "full", "fully-connected":
-		m.Topology = model.FullyConnected
-	case "star":
-		m.Topology = model.Star
-	default:
-		log.Fatalf("unknown topology %q (want full or star)", *topoStr)
+	topo, err := parseTopology(topoStr)
+	if err != nil {
+		log.Fatal(err)
 	}
+	m.Topology = topo
 	algs := model.AllAlgorithms[:]
-	if *algStr != "" {
-		a, err := model.ParseAlgorithm(*algStr)
+	if algStr != "" {
+		a, err := model.ParseAlgorithm(algStr)
 		if err != nil {
 			log.Fatal(err)
 		}
 		algs = []model.Algorithm{a}
 	}
 
-	fmt.Printf("Candidate shapes for ratio %s on N=%d (%s topology)\n\n", ratio, *n, m.Topology)
+	fmt.Printf("Candidate shapes for ratio %s on N=%d (%s topology)\n\n", ratio, n, m.Topology)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "shape\tVoC (elements)\talgorithm\tmodel T_exe (s)\tsim T_exe (s)\tefficiency")
 	type key struct {
@@ -62,7 +190,7 @@ func main() {
 	}
 	bests := map[model.Algorithm]*key{}
 	for _, s := range partition.AllShapes {
-		g, err := partition.Build(s, *n, ratio)
+		g, err := partition.Build(s, n, ratio)
 		if err != nil {
 			fmt.Fprintf(w, "%s\tinfeasible\t\t\t\t\n", s)
 			continue

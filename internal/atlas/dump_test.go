@@ -1,0 +1,85 @@
+package atlas
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestDumpGolden pins the dump format (header fields, winner counts, phase
+// diagram) against a checked-in golden file. Run with -update to accept an
+// intentional format change.
+func TestDumpGolden(t *testing.T) {
+	a := testAtlas(t, 2, 4, 3, 40)
+	var buf bytes.Buffer
+	if err := a.Dump(&buf); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	golden := filepath.Join("testdata", "dump_scb_full_n40.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("dump diverged from golden file %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+	}
+}
+
+// TestSpotCheck is the acceptance-criterion run: ≥ 200 randomly chosen
+// atlas cells re-derived through the live search path must be
+// bit-identical (shape, VoC, cost, full serialised plan) to the baked
+// answers.
+func TestSpotCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spot-check re-runs live search per cell")
+	}
+	a := testAtlas(t, 10, 4, 2, 40) // 31x11 lattice, 286 valid cells
+	if a.ValidCells() < 200 {
+		t.Fatalf("test atlas has only %d valid cells, need ≥ 200 for the acceptance run", a.ValidCells())
+	}
+	mismatches, err := a.SpotCheck(context.Background(), 200, 1)
+	if err != nil {
+		t.Fatalf("SpotCheck: %v", err)
+	}
+	for _, m := range mismatches {
+		t.Errorf("mismatch: %v", m)
+	}
+}
+
+func TestSpotCheckReproducible(t *testing.T) {
+	a := testAtlas(t, 2, 3, 2, 40)
+	ctx := context.Background()
+	m1, err := a.SpotCheck(ctx, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := a.SpotCheck(ctx, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1) != len(m2) {
+		t.Fatalf("same seed, different results: %v vs %v", m1, m2)
+	}
+}
+
+func TestSpotCheckCancellation(t *testing.T) {
+	a := testAtlas(t, 2, 3, 2, 40)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.SpotCheck(ctx, 0, 1); err == nil {
+		t.Fatal("SpotCheck ignored cancelled context")
+	}
+}

@@ -1,0 +1,118 @@
+// Package atlas implements the precomputed shape atlas: an offline sweep
+// over quantized ratio space that bakes the optimal-candidate decision —
+// winner shape, communication volume, modelled cost — into an immutable,
+// versioned, checksummed flat snapshot, loaded once at startup and shared
+// read-only across goroutines. The serving tier (internal/serve) answers
+// on-atlas plan requests from it in O(1) without touching the search
+// engine, admission gate, breaker, or singleflight.
+//
+// The paper's central result makes this sound: for three heterogeneous
+// processors the optimal partition shape is a pure function of the speed
+// ratio (the Section IX winner map is finite and precomputable), so a
+// quantized grid over (Pr, Rr) with Sr = 1 covers the whole decision
+// space. Off-atlas ratios fall through to the online search path.
+package atlas
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/partition"
+)
+
+// Grid is the quantization lattice over the (Pr, Rr) ratio plane with
+// Sr = 1: cell (pi, ri) sits at Pr = (Scale+pi)/Scale, Rr = (Scale+ri)/Scale.
+//
+// Coordinates are reconstructed by dividing two exact small integers, so
+// a cell's ratio is bit-identical to what strconv parses from its decimal
+// rendering ("1.2" for Scale=10, pi=2): both are the correctly-rounded
+// nearest float64. That exactness is the whole point of the type — it is
+// the one shared quantization helper for the atlas grid AND the serving
+// tier's cache keys, so a ratio can never atlas-miss but cache-hit (or
+// vice versa) from rounding drift between two hand-rolled quantizers.
+type Grid struct {
+	// Scale is the number of cells per unit of speed ratio (the step is
+	// 1/Scale).
+	Scale int
+	// PrCells and RrCells count the lattice points along each axis,
+	// starting at Pr = Rr = 1.
+	PrCells int
+	RrCells int
+}
+
+// Cell is one lattice point: Pi, Ri index the Pr and Rr axes from 0.
+type Cell struct {
+	Pi, Ri int
+}
+
+// NewGrid builds the lattice covering Pr ∈ [1, prMax], Rr ∈ [1, rrMax]
+// at scale cells per unit.
+func NewGrid(scale int, prMax, rrMax float64) (Grid, error) {
+	if scale < 1 || scale > 1000 {
+		return Grid{}, fmt.Errorf("atlas: scale must be in [1, 1000], got %d", scale)
+	}
+	if prMax < 1 || rrMax < 1 {
+		return Grid{}, fmt.Errorf("atlas: grid maxima must be ≥ 1, got Pr≤%g Rr≤%g", prMax, rrMax)
+	}
+	if rrMax > prMax {
+		return Grid{}, fmt.Errorf("atlas: RrMax %g exceeds PrMax %g (the ratio ordering Pr ≥ Rr makes those cells unreachable)", rrMax, prMax)
+	}
+	g := Grid{
+		Scale:   scale,
+		PrCells: int(math.Floor((prMax-1)*float64(scale)+1e-9)) + 1,
+		RrCells: int(math.Floor((rrMax-1)*float64(scale)+1e-9)) + 1,
+	}
+	if g.Cells() > 16<<20 {
+		return Grid{}, fmt.Errorf("atlas: grid of %d cells is unreasonably fine", g.Cells())
+	}
+	return g, nil
+}
+
+// Step returns the lattice spacing 1/Scale.
+func (g Grid) Step() float64 { return 1 / float64(g.Scale) }
+
+// Cells returns the total lattice size, invalid (Pr < Rr) cells included.
+func (g Grid) Cells() int { return g.PrCells * g.RrCells }
+
+// Valid reports whether c is inside the lattice and respects the ratio
+// ordering Pr ≥ Rr.
+func (g Grid) Valid(c Cell) bool {
+	return c.Pi >= 0 && c.Pi < g.PrCells && c.Ri >= 0 && c.Ri < g.RrCells && c.Pi >= c.Ri
+}
+
+// Index returns c's row-major position, the snapshot record offset.
+func (g Grid) Index(c Cell) int { return c.Pi*g.RrCells + c.Ri }
+
+// Cell inverts Index.
+func (g Grid) Cell(idx int) Cell { return Cell{Pi: idx / g.RrCells, Ri: idx % g.RrCells} }
+
+// coord reconstructs a lattice coordinate. The division of two exact
+// integers is correctly rounded, so the result is deterministic and equal
+// to the decimal parse of the same value.
+func (g Grid) coord(i int) float64 { return float64(g.Scale+i) / float64(g.Scale) }
+
+// Ratio returns the exact ratio at cell c (Sr = 1).
+func (g Grid) Ratio(c Cell) partition.Ratio {
+	return partition.Ratio{Pr: g.coord(c.Pi), Rr: g.coord(c.Ri), Sr: 1}
+}
+
+// Snap maps a ratio onto its lattice cell. It succeeds only for ratios
+// that are exactly the quantization identity of a cell — Sr exactly 1
+// and both coordinates equal to a cell's reconstruction — because an
+// approximate snap would let the serving tier answer a scenario with a
+// plan computed for a slightly different one, which the client's
+// response re-verification would (rightly) reject as corrupt.
+// Near-misses are off-atlas by design. "Same scenario" here is
+// partition.Ratio.SameScenario, the allocation-free twin of Ratio.Key —
+// the identity the serve cache key embeds — so a ratio can never snap
+// onto the atlas under one cache key and miss under another.
+func (g Grid) Snap(r partition.Ratio) (Cell, bool) {
+	c := Cell{
+		Pi: int(math.Round((r.Pr - 1) * float64(g.Scale))),
+		Ri: int(math.Round((r.Rr - 1) * float64(g.Scale))),
+	}
+	if !g.Valid(c) || !r.SameScenario(g.Ratio(c)) {
+		return Cell{}, false
+	}
+	return c, true
+}

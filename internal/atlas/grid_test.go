@@ -1,0 +1,206 @@
+package atlas
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestNewGridValidation(t *testing.T) {
+	cases := []struct {
+		name         string
+		scale        int
+		prMax, rrMax float64
+		wantErr      bool
+		wantPr       int
+		wantRr       int
+	}{
+		{name: "unit grid", scale: 1, prMax: 1, rrMax: 1, wantPr: 1, wantRr: 1},
+		{name: "coarse", scale: 1, prMax: 10, rrMax: 5, wantPr: 10, wantRr: 5},
+		{name: "tenths", scale: 10, prMax: 3, rrMax: 2, wantPr: 21, wantRr: 11},
+		{name: "non-integral max keeps covered cells", scale: 2, prMax: 2.5, rrMax: 1.5, wantPr: 4, wantRr: 2},
+		{name: "max just below a step", scale: 10, prMax: 1.99, rrMax: 1, wantPr: 10, wantRr: 1},
+		{name: "zero scale", scale: 0, prMax: 2, rrMax: 2, wantErr: true},
+		{name: "scale too fine", scale: 1001, prMax: 2, rrMax: 2, wantErr: true},
+		{name: "max below one", scale: 10, prMax: 0.5, rrMax: 0.5, wantErr: true},
+		{name: "rr above pr", scale: 10, prMax: 2, rrMax: 3, wantErr: true},
+		{name: "too many cells", scale: 1000, prMax: 1000, rrMax: 1000, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g, err := NewGrid(tc.scale, tc.prMax, tc.rrMax)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("NewGrid(%d, %g, %g) = %+v, want error", tc.scale, tc.prMax, tc.rrMax, g)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("NewGrid(%d, %g, %g): %v", tc.scale, tc.prMax, tc.rrMax, err)
+			}
+			if g.PrCells != tc.wantPr || g.RrCells != tc.wantRr {
+				t.Fatalf("grid %dx%d, want %dx%d", g.PrCells, g.RrCells, tc.wantPr, tc.wantRr)
+			}
+		})
+	}
+}
+
+func TestGridIndexCellInverse(t *testing.T) {
+	g, err := NewGrid(10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < g.Cells(); idx++ {
+		if got := g.Index(g.Cell(idx)); got != idx {
+			t.Fatalf("Index(Cell(%d)) = %d", idx, got)
+		}
+	}
+}
+
+// TestSnapRoundTrip is the core quantization-unification property: every
+// cell's exact ratio must snap back to the same cell, and — crucially for
+// the serving tier — a ratio that travelled the wire (rendered to its
+// decimal string and re-parsed, which is what the cache key and plan
+// verification see) must still snap to the same cell with bit-identical
+// coordinates.
+func TestSnapRoundTrip(t *testing.T) {
+	for _, scale := range []int{1, 3, 10, 100, 1000} {
+		g, err := NewGrid(scale, 4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pi := 0; pi < g.PrCells; pi++ {
+			for ri := 0; ri < g.RrCells; ri++ {
+				c := Cell{Pi: pi, Ri: ri}
+				if !g.Valid(c) {
+					continue
+				}
+				r := g.Ratio(c)
+				got, ok := g.Snap(r)
+				if !ok || got != c {
+					t.Fatalf("scale %d: Snap(Ratio(%+v)) = %+v, %v", scale, c, got, ok)
+				}
+				parsed, err := partition.ParseRatio(r.String())
+				if err != nil {
+					t.Fatalf("scale %d cell %+v: ParseRatio(%q): %v", scale, c, r.String(), err)
+				}
+				if parsed != r {
+					t.Fatalf("scale %d cell %+v: wire round-trip changed ratio: %v -> %v", scale, c, r, parsed)
+				}
+				got, ok = g.Snap(parsed)
+				if !ok || got != c {
+					t.Fatalf("scale %d: Snap(parsed %q) = %+v, %v, want %+v", scale, r.String(), got, ok, c)
+				}
+			}
+		}
+	}
+}
+
+func TestSnapRejectsOffLattice(t *testing.T) {
+	g, err := NewGrid(10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		r    partition.Ratio
+	}{
+		{"Sr not one", partition.Ratio{Pr: 2, Rr: 1.5, Sr: 2}},
+		{"between cells", partition.Ratio{Pr: 2.05, Rr: 1.5, Sr: 1}},
+		{"near-miss below cell", partition.Ratio{Pr: 2.0999999, Rr: 1.5, Sr: 1}},
+		{"Pr beyond grid", partition.Ratio{Pr: 3.1, Rr: 1.5, Sr: 1}},
+		{"Rr beyond grid", partition.Ratio{Pr: 3, Rr: 2.1, Sr: 1}},
+		{"ordering violated", partition.Ratio{Pr: 1.2, Rr: 1.5, Sr: 1}},
+		{"below one", partition.Ratio{Pr: 0.9, Rr: 0.9, Sr: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if c, ok := g.Snap(tc.r); ok {
+				t.Fatalf("Snap(%+v) snapped to %+v, want off-atlas", tc.r, c)
+			}
+		})
+	}
+}
+
+func TestGridValid(t *testing.T) {
+	g, err := NewGrid(2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3x3 lattice; only the lower triangle (Pi >= Ri) is valid.
+	wantValid := 0
+	for pi := 0; pi < g.PrCells; pi++ {
+		for ri := 0; ri < g.RrCells; ri++ {
+			c := Cell{Pi: pi, Ri: ri}
+			if g.Valid(c) {
+				wantValid++
+				if pi < ri {
+					t.Fatalf("cell %+v valid despite Pr < Rr", c)
+				}
+			}
+		}
+	}
+	if wantValid != 6 {
+		t.Fatalf("valid cells = %d, want 6 (lower triangle of 3x3)", wantValid)
+	}
+	if g.Valid(Cell{Pi: -1, Ri: 0}) || g.Valid(Cell{Pi: 0, Ri: -1}) || g.Valid(Cell{Pi: g.PrCells, Ri: 0}) {
+		t.Fatal("out-of-bounds cell reported valid")
+	}
+}
+
+// TestSnapAgreesWithRatioKey pins the unification contract between the
+// two quantization consumers: the serve cache keys on Ratio.Key while
+// Snap compares with Ratio.SameScenario, and for any candidate ratio the
+// two must name the same lattice cell — Snap hits exactly when some
+// valid cell's canonical key equals the ratio's key. A gap in either
+// direction would let a scenario atlas-miss but cache-hit (or the
+// reverse) through rounding drift.
+func TestSnapAgreesWithRatioKey(t *testing.T) {
+	g, err := NewGrid(10, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cells []Cell
+	for pi := 0; pi < g.PrCells; pi++ {
+		for ri := 0; ri < g.RrCells; ri++ {
+			if c := (Cell{Pi: pi, Ri: ri}); g.Valid(c) {
+				cells = append(cells, c)
+			}
+		}
+	}
+	keyToCell := make(map[string]Cell)
+	for _, c := range cells {
+		keyToCell[g.Ratio(c).Key()] = c
+	}
+
+	var candidates []partition.Ratio
+	for _, c := range cells {
+		r := g.Ratio(c)
+		candidates = append(candidates,
+			r, // exactly on-lattice
+			partition.Ratio{Pr: r.Pr + g.Step()/2, Rr: r.Rr, Sr: 1},         // between cells
+			partition.Ratio{Pr: r.Pr, Rr: r.Rr, Sr: 1 + 1e-9},               // Sr off one
+			partition.Ratio{Pr: math.Nextafter(r.Pr, 100), Rr: r.Rr, Sr: 1}, // one ULP off
+		)
+		// The wire form: what the cache key and batch items carry.
+		parsed, err := partition.ParseRatio(r.Key())
+		if err != nil {
+			t.Fatalf("ParseRatio(%q): %v", r.Key(), err)
+		}
+		candidates = append(candidates, parsed)
+	}
+
+	for _, r := range candidates {
+		cell, snapped := g.Snap(r)
+		keyCell, keyed := keyToCell[r.Key()]
+		if snapped != keyed {
+			t.Fatalf("quantization drift for %v: Snap hit=%v but key %q hit=%v",
+				r, snapped, r.Key(), keyed)
+		}
+		if snapped && cell != keyCell {
+			t.Fatalf("quantization drift for %v: Snap cell %+v, key cell %+v",
+				r, cell, keyCell)
+		}
+	}
+}

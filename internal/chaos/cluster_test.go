@@ -7,7 +7,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/atlas"
 	"repro/internal/chaos"
+	"repro/internal/model"
 	serveimpl "repro/internal/serve"
 	wire "repro/serve"
 )
@@ -37,15 +39,25 @@ type cluster struct {
 // startCluster boots len(faults) real servers on loopback TCP and wires
 // a chaos proxy with faults[i] in front of server i.
 func startCluster(t *testing.T, faults []chaos.Faults) *cluster {
+	return startClusterWith(t, faults, nil)
+}
+
+// startClusterWith is startCluster with a hook to adjust each server's
+// config (e.g. to mount a shared shape atlas) before boot.
+func startClusterWith(t *testing.T, faults []chaos.Faults, mut func(*serveimpl.Config)) *cluster {
 	t.Helper()
 	cl := &cluster{}
 	for i, f := range faults {
-		impl, err := serveimpl.New(serveimpl.Config{
+		cfg := serveimpl.Config{
 			DefaultTimeout: time.Second,
 			MaxTimeout:     5 * time.Second,
 			CacheTTL:       time.Minute,
 			SearchSeed:     int64(i + 1),
-		})
+		}
+		if mut != nil {
+			mut(&cfg)
+		}
+		impl, err := serveimpl.New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -322,5 +334,98 @@ func TestChaosClusterTrickleHedge(t *testing.T) {
 		if elapsed := time.Since(start); elapsed > 3*time.Second {
 			t.Fatalf("request %d took %v with a hedge available", i, elapsed)
 		}
+	}
+}
+
+// TestChaosClusterBatch: end-to-end PlanBatch against three REAL pland
+// replicas sharing one shape atlas, with replica 0 straggling 20ms. The
+// batch mixes on-atlas hits, off-atlas searches, and one invalid item;
+// the client must shard it across the pool, pass through the per-item
+// 400 without losing the rest, and hand back verified plans in request
+// order with the atlas tier actually exercised.
+func TestChaosClusterBatch(t *testing.T) {
+	g, err := atlas.NewGrid(2, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := atlas.Build(context.Background(), atlas.BuildConfig{
+		Algorithm: model.SCB,
+		Topology:  model.FullyConnected,
+		N:         24,
+		Grid:      g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := startClusterWith(t,
+		[]chaos.Faults{{Latency: 20 * time.Millisecond}, {}, {}},
+		func(cfg *serveimpl.Config) { cfg.Atlas = shared })
+	client, err := wire.NewPool(cl.urls(), wire.ClientConfig{
+		Timeout:       5 * time.Second,
+		Retry:         wire.RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		RetryBudget:   1000,
+		ProbeInterval: -1,
+		HTTPClient:    oneShotTransport(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	items := []wire.PlanRequest{
+		{N: 24, Ratio: "2.5:1.5:1", Algorithm: "SCB"}, // atlas hit
+		{N: 32, Ratio: "3:1:1", Algorithm: "SCB"},     // off-atlas: searched
+		{N: 24, Ratio: "3:2:1", Algorithm: "SCB"},     // atlas hit
+		{N: 24, Ratio: "0:0:0", Algorithm: "SCB"},     // invalid: per-item 400
+		{N: 24, Ratio: "2.51:1.5:1", Algorithm: "SCB"}, // off-lattice: searched
+		{N: 24, Ratio: "4:3:1", Algorithm: "SCB"},     // atlas hit
+	}
+	resp, err := client.PlanBatch(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Succeeded != 5 || resp.Failed != 1 {
+		t.Fatalf("succeeded/failed = %d/%d, want 5/1: %+v", resp.Succeeded, resp.Failed, resp.Items)
+	}
+	atlasAnswers := 0
+	for i, it := range resp.Items {
+		if it.Index != i {
+			t.Fatalf("item %d carries index %d, want request order", i, it.Index)
+		}
+		if i == 3 {
+			if it.Status != http.StatusBadRequest || it.Error == "" {
+				t.Fatalf("invalid item = %+v, want a per-item 400", it)
+			}
+			continue
+		}
+		pr, err := it.Plan()
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if err := pr.Plan.Validate(); err != nil {
+			t.Fatalf("item %d plan invalid: %v", i, err)
+		}
+		if pr.Source == wire.SourceAtlas {
+			atlasAnswers++
+		}
+	}
+	if atlasAnswers != 3 {
+		t.Fatalf("atlas answered %d items, want 3", atlasAnswers)
+	}
+
+	// The pool must have spread the shards: 6 items over 3 replicas is
+	// one batch request each, visible in the servers' own counters.
+	batchReqs, batchItems, atlasHits := int64(0), int64(0), int64(0)
+	for _, impl := range cl.impls {
+		st := impl.Stats()
+		batchReqs += st.BatchRequests
+		batchItems += st.BatchItems
+		atlasHits += st.AtlasHits
+	}
+	if batchReqs != 3 || batchItems != 6 {
+		t.Fatalf("servers saw %d batch requests / %d items, want 3/6 (one shard per replica)", batchReqs, batchItems)
+	}
+	if atlasHits != 3 {
+		t.Fatalf("servers counted %d atlas hits, want 3", atlasHits)
 	}
 }

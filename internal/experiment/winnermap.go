@@ -48,32 +48,56 @@ func ComputeWinnerMapContext(ctx context.Context, a model.Algorithm, topo model.
 			return nil, fmt.Errorf("experiment: winner map interrupted: %w", err)
 		}
 		for pr := rr; pr <= prMax+1e-9; pr += step {
-			ratio := partition.MustRatio(pr, rr, 1)
-			m := model.DefaultMachine(ratio)
-			m.Topology = topo
-			bestTotal := -1.0
-			var best partition.Shape
-			for _, s := range partition.AllShapes {
-				g, err := partition.Build(s, n, ratio)
-				if err != nil {
-					continue
-				}
-				total := model.EvaluateGrid(a, m, g).Total
-				if bestTotal < 0 || total < bestTotal {
-					bestTotal, best = total, s
-				}
-			}
-			if bestTotal < 0 {
+			cell, err := EvaluateCell(a, topo, partition.MustRatio(pr, rr, 1), n)
+			if err != nil {
 				return nil, fmt.Errorf("experiment: no feasible shape at Pr=%v Rr=%v", pr, rr)
 			}
-			wm.Cells[[2]float64{rr, pr}] = best
+			wm.Cells[[2]float64{rr, pr}] = cell.Winner
 		}
 	}
 	return wm, nil
 }
 
-// shapeGlyph assigns one letter per candidate for the ASCII phase diagram.
-func shapeGlyph(s partition.Shape) byte {
+// CellResult is the optimal-candidate decision at one sampled ratio: the
+// winning canonical shape with its communication volume and modelled
+// execution-time breakdown.
+type CellResult struct {
+	Winner    partition.Shape
+	VoC       int64
+	Breakdown model.Breakdown
+}
+
+// EvaluateCell compares the six candidate canonical shapes at one ratio
+// sample and returns the winner by modelled execution time — the per-cell
+// kernel shared by the winner map and the shape-atlas sweep
+// (internal/atlas). Candidate order and strict-less tie-breaking match
+// the Section X methodology (heteropart.Optimal), so a cell's winner here
+// is the same shape an online plan request would be served.
+func EvaluateCell(a model.Algorithm, topo model.Topology, ratio partition.Ratio, n int) (CellResult, error) {
+	m := model.DefaultMachine(ratio)
+	m.Topology = topo
+	res := CellResult{}
+	bestTotal := -1.0
+	for _, s := range partition.AllShapes {
+		g, err := partition.Build(s, n, ratio)
+		if err != nil {
+			continue
+		}
+		br := model.EvaluateGrid(a, m, g)
+		if bestTotal < 0 || br.Total < bestTotal {
+			bestTotal = br.Total
+			res.Winner, res.VoC, res.Breakdown = s, g.VoC(), br
+		}
+	}
+	if bestTotal < 0 {
+		return CellResult{}, fmt.Errorf("experiment: no feasible shape for ratio %v", ratio)
+	}
+	return res, nil
+}
+
+// ShapeGlyph assigns one letter per candidate for ASCII phase diagrams
+// (the winner map here and the atlas dump in internal/atlas).
+func ShapeGlyph(s partition.Shape) byte {
 	switch s {
 	case partition.SquareCorner:
 		return 'C' // square-Corner
@@ -106,7 +130,7 @@ func (wm *WinnerMap) Write(w io.Writer) error {
 		line := make([]byte, 0, int(wm.RrMax/wm.Step)+2)
 		for rr := 1.0; rr <= wm.RrMax+1e-9; rr += wm.Step {
 			if s, ok := wm.Cells[[2]float64{rr, pr}]; ok {
-				line = append(line, shapeGlyph(s))
+				line = append(line, ShapeGlyph(s))
 			} else {
 				line = append(line, '.')
 			}

@@ -126,6 +126,28 @@ func (r Ratio) String() string {
 	return fmt.Sprintf("%s:%s:%s", trimFloat(r.Pr), trimFloat(r.Rr), trimFloat(r.Sr))
 }
 
+// Key is the canonical quantization identity of a ratio: the one string
+// under which every layer that memoizes by ratio — the serving cache /
+// singleflight key in internal/serve and the atlas lattice in
+// internal/atlas — agrees on whether two ratios are "the same scenario".
+// Each component is rendered with strconv.FormatFloat(v, 'f', -1, 64),
+// the shortest decimal that round-trips the exact float64, which is
+// injective: Key(a) == Key(b) ⇔ a and b are component-wise equal as
+// float64 values. The atlas compares components directly (SameScenario)
+// to stay allocation-free on the lookup path; because of injectivity
+// that is the same predicate, so a ratio can never atlas-hit while
+// cache-missing (or vice versa) through rounding drift.
+func (r Ratio) Key() string { return r.String() }
+
+// SameScenario reports whether two ratios quantize to the same Key
+// without allocating. It is the comparison the atlas Snap uses; for
+// validated ratios (positive finite components, so no NaN or -0) Key
+// equality and SameScenario are equivalent (see Key) and a table test
+// pins that equivalence.
+func (r Ratio) SameScenario(o Ratio) bool {
+	return r.Pr == o.Pr && r.Rr == o.Rr && r.Sr == o.Sr
+}
+
 func trimFloat(v float64) string {
 	return strconv.FormatFloat(v, 'f', -1, 64)
 }

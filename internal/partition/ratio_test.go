@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -147,4 +148,71 @@ func TestMustRatioPanics(t *testing.T) {
 		}
 	}()
 	MustRatio(1, 2, 3)
+}
+
+func TestRatioKeyCanonical(t *testing.T) {
+	// Every spelling of the same float64 components must collapse to one
+	// key — this is the identity both the serve cache and the atlas
+	// lattice quantize on, so drift here would split the tiers.
+	tests := []struct {
+		inputs []string // parse-equivalent spellings
+		key    string   // the single canonical key
+	}{
+		{[]string{"5:2:1", "5.0:2.00:1", "  5 : 2 : 1 ", "5:2"}, "5:2:1"},
+		{[]string{"2.5:1.5:1", "2.50:1.50:1.0", "2.5:1.5"}, "2.5:1.5:1"},
+		{[]string{"10:1:1", "10.0:1.0:1.0"}, "10:1:1"},
+		{[]string{"3.25:2.75:1", "3.250:2.750:1"}, "3.25:2.75:1"},
+		// 0.1 is not exactly representable; the shortest round-trip of
+		// the float64 nearest 1.1 is still "1.1".
+		{[]string{"1.1:1.1:1.1", "1.10:1.10:1.10"}, "1.1:1.1:1.1"},
+	}
+	for _, tc := range tests {
+		for _, in := range tc.inputs {
+			r, err := ParseRatio(in)
+			if err != nil {
+				t.Fatalf("ParseRatio(%q): %v", in, err)
+			}
+			if got := r.Key(); got != tc.key {
+				t.Errorf("ParseRatio(%q).Key() = %q, want %q", in, got, tc.key)
+			}
+			// The key must round-trip: parsing it yields the exact same
+			// scenario, so a ratio that reached one layer as a key
+			// string is bit-identical everywhere.
+			back, err := ParseRatio(r.Key())
+			if err != nil {
+				t.Fatalf("ParseRatio(Key %q): %v", r.Key(), err)
+			}
+			if !back.SameScenario(r) {
+				t.Errorf("Key %q did not round-trip: %v vs %v", r.Key(), back, r)
+			}
+		}
+	}
+}
+
+func TestRatioKeyEquivalentToSameScenario(t *testing.T) {
+	// Key equality and the allocation-free SameScenario comparison must
+	// be the same predicate on validated ratios: the atlas snaps with
+	// SameScenario while the serve cache keys on Key, and any gap would
+	// let a ratio atlas-hit under one cache key and miss under another.
+	ulp := func(v float64) float64 { return math.Nextafter(v, math.Inf(1)) }
+	ratios := []Ratio{
+		MustRatio(5, 2, 1),
+		MustRatio(5, 2, 1),
+		MustRatio(2.5, 1.5, 1),
+		MustRatio(ulp(2.5), 1.5, 1), // one ULP off: a different scenario
+		MustRatio(2.5, ulp(1.5), 1),
+		MustRatio(0.1+0.2, 0.3, 0.3), // 0.30000000000000004 ≠ 0.3
+		MustRatio(0.3, 0.3, 0.3),
+		MustRatio(1.1, 1.1, 1.1),
+	}
+	for i, a := range ratios {
+		for j, b := range ratios {
+			keyEq := a.Key() == b.Key()
+			scenEq := a.SameScenario(b)
+			if keyEq != scenEq {
+				t.Errorf("ratios[%d]=%v ratios[%d]=%v: Key equality %v but SameScenario %v",
+					i, a, j, b, keyEq, scenEq)
+			}
+		}
+	}
 }

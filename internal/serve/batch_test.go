@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	wire "repro/serve"
+)
+
+func postBatch(t *testing.T, url string, timeout string, req wire.BatchPlanRequest) (*http.Response, []byte) {
+	t.Helper()
+	return postJSON(t, url+"/v1/plan:batch", timeout, req)
+}
+
+func decodeBatch(t *testing.T, body []byte) wire.BatchPlanResponse {
+	t.Helper()
+	var br wire.BatchPlanResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("decode batch response: %v\n%s", err, body)
+	}
+	return br
+}
+
+// TestBatchMixedTiers: one batch mixing atlas hits, a searched item, and
+// a repeat of the searched scenario (cache) — each item reports its own
+// source and the counters see every item.
+func TestBatchMixedTiers(t *testing.T) {
+	s, ts := newTestServer(t, Config{Atlas: buildTestAtlas(t)})
+	resp, body := postBatch(t, ts.URL, "10s", wire.BatchPlanRequest{Items: []wire.PlanRequest{
+		{N: 24, Ratio: "2.5:1.5:1", Algorithm: "SCB"}, // atlas
+		{N: 24, Ratio: "5:2:1", Algorithm: "SCB"},     // searched
+		{N: 24, Ratio: "3:2:1", Algorithm: "SCB"},     // atlas
+		{N: 24, Ratio: "5:2:1", Algorithm: "SCB"},     // cache (same key as item 1)
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	br := decodeBatch(t, body)
+	if br.Succeeded != 4 || br.Failed != 0 {
+		t.Fatalf("succeeded=%d failed=%d, want 4/0", br.Succeeded, br.Failed)
+	}
+	wantSources := []string{wire.SourceAtlas, wire.SourceSearch, wire.SourceAtlas, wire.SourceCache}
+	for i, it := range br.Items {
+		if it.Index != i {
+			t.Fatalf("item %d carries index %d", i, it.Index)
+		}
+		pr, err := it.Plan()
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if pr.Source != wantSources[i] {
+			t.Fatalf("item %d source = %q, want %q", i, pr.Source, wantSources[i])
+		}
+		if err := pr.Plan.Validate(); err != nil {
+			t.Fatalf("item %d plan invalid: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.BatchRequests != 1 || st.BatchItems != 4 {
+		t.Fatalf("batch counters %d/%d, want 1/4", st.BatchRequests, st.BatchItems)
+	}
+	if st.AtlasHits != 2 {
+		t.Fatalf("atlasHits = %d, want 2", st.AtlasHits)
+	}
+}
+
+// TestBatchPerItemErrors: invalid items fail alone; the batch and its
+// valid items still succeed.
+func TestBatchPerItemErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Atlas: buildTestAtlas(t)})
+	resp, body := postBatch(t, ts.URL, "10s", wire.BatchPlanRequest{Items: []wire.PlanRequest{
+		{N: 24, Ratio: "2.5:1.5:1", Algorithm: "SCB"}, // good (atlas)
+		{N: 0, Ratio: "5:2:1", Algorithm: "SCB"},      // bad n
+		{N: 24, Ratio: "bogus", Algorithm: "SCB"},     // bad ratio
+		{N: 24, Ratio: "5:2:1", Algorithm: "nope"},    // bad algorithm
+		{N: 24, Ratio: "3:2:1", Algorithm: "SCB"},     // good (atlas)
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	br := decodeBatch(t, body)
+	if br.Succeeded != 2 || br.Failed != 3 {
+		t.Fatalf("succeeded=%d failed=%d, want 2/3", br.Succeeded, br.Failed)
+	}
+	for _, i := range []int{1, 2, 3} {
+		it := br.Items[i]
+		if it.Status != http.StatusBadRequest {
+			t.Fatalf("item %d status = %d, want 400", i, it.Status)
+		}
+		if it.Error == "" || it.Response != nil {
+			t.Fatalf("item %d: error=%q response=%s", i, it.Error, it.Response)
+		}
+	}
+	for _, i := range []int{0, 4} {
+		if _, err := br.Items[i].Plan(); err != nil {
+			t.Fatalf("valid item %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestBatchLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{Atlas: buildTestAtlas(t), MaxBatchItems: 2})
+
+	// Empty batch.
+	resp, _ := postBatch(t, ts.URL, "10s", wire.BatchPlanRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty batch status = %d, want 400", resp.StatusCode)
+	}
+
+	// Too many items.
+	resp, _ = postBatch(t, ts.URL, "10s", wire.BatchPlanRequest{Items: []wire.PlanRequest{
+		{N: 24, Ratio: "2:1:1", Algorithm: "SCB"},
+		{N: 24, Ratio: "3:1:1", Algorithm: "SCB"},
+		{N: 24, Ratio: "4:1:1", Algorithm: "SCB"},
+	}})
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized batch status = %d, want 413", resp.StatusCode)
+	}
+
+	// GET is not a batch method.
+	gr, err := http.Get(ts.URL + "/v1/plan:batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET batch status = %d, want 405", gr.StatusCode)
+	}
+}
+
+func TestBatchOversizedBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBatchBytes: 256})
+	items := make([]wire.PlanRequest, 16)
+	for i := range items {
+		items[i] = wire.PlanRequest{N: 24, Ratio: "5:2:1", Algorithm: "SCB"}
+	}
+	resp, _ := postBatch(t, ts.URL, "10s", wire.BatchPlanRequest{Items: items})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized body status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBatchStreamNDJSON: the streaming variant emits one result line per
+// item plus a trailer, with per-item errors inline.
+func TestBatchStreamNDJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{Atlas: buildTestAtlas(t)})
+	reqBody, err := json.Marshal(wire.BatchPlanRequest{Items: []wire.PlanRequest{
+		{N: 24, Ratio: "2.5:1.5:1", Algorithm: "SCB"},
+		{N: 24, Ratio: "bogus", Algorithm: "SCB"},
+		{N: 24, Ratio: "3:2:1", Algorithm: "SCB"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/plan:batch", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", "application/x-ndjson")
+	req.Header.Set("Request-Timeout", "10s")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if strings.TrimSpace(sc.Text()) != "" {
+			lines = append(lines, sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("stream has %d lines, want 3 items + trailer:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	for i := 0; i < 3; i++ {
+		var it wire.BatchItemResult
+		if err := json.Unmarshal([]byte(lines[i]), &it); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if it.Index != i {
+			t.Fatalf("line %d carries index %d", i, it.Index)
+		}
+		wantStatus := http.StatusOK
+		if i == 1 {
+			wantStatus = http.StatusBadRequest
+		}
+		if it.Status != wantStatus {
+			t.Fatalf("item %d status = %d, want %d", i, it.Status, wantStatus)
+		}
+	}
+	var tr wire.BatchStreamTrailer
+	if err := json.Unmarshal([]byte(lines[3]), &tr); err != nil {
+		t.Fatalf("trailer: %v", err)
+	}
+	if !tr.Trailer || tr.Succeeded != 2 || tr.Failed != 1 {
+		t.Fatalf("trailer %+v, want trailer=true 2/1", tr)
+	}
+}
+
+// TestBatchWireRoundTrip: the batch wire types survive an encode/decode
+// cycle with raw responses intact.
+func TestBatchWireRoundTrip(t *testing.T) {
+	orig := wire.BatchPlanResponse{
+		Items: []wire.BatchItemResult{
+			{Index: 0, Status: 200, Response: json.RawMessage(`{"plan":null,"degraded":false,"source":"atlas","elapsedMs":0}`)},
+			{Index: 1, Status: 400, Error: "bad ratio"},
+		},
+		Succeeded: 1,
+		Failed:    1,
+		ElapsedMS: 1.5,
+	}
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back wire.BatchPlanResponse
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Succeeded != 1 || back.Failed != 1 || len(back.Items) != 2 {
+		t.Fatalf("round-trip lost totals: %+v", back)
+	}
+	if !bytes.Equal(back.Items[0].Response, orig.Items[0].Response) {
+		t.Fatalf("raw response changed: %s", back.Items[0].Response)
+	}
+	if pr, err := back.Items[0].Plan(); err != nil || pr.Source != "atlas" {
+		t.Fatalf("item 0 Plan() = %+v, %v", pr, err)
+	}
+	if _, err := back.Items[1].Plan(); err == nil {
+		t.Fatal("failed item decoded to a plan")
+	}
+	if _, err := (&wire.BatchItemResult{Index: 2, Error: "shard down"}).Plan(); err == nil {
+		t.Fatal("unattempted item decoded to a plan")
+	}
+}
+
+// FuzzBatchBodies throws truncated, oversized, and hostile bodies at the
+// batch endpoint: decode must reject garbage with 4xx, never panic, and
+// valid batches inside the noise must keep per-item isolation.
+func FuzzBatchBodies(f *testing.F) {
+	srv, err := New(Config{
+		MaxN:           64,
+		MaxSearchSteps: 200,
+		DefaultTimeout: 500 * time.Millisecond,
+		MaxBatchItems:  8,
+		MaxBatchBytes:  1 << 16,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	handler := srv.Handler()
+
+	f.Add(`{"items":[{"n":24,"ratio":"5:2:1","algorithm":"SCB"}]}`, "")
+	f.Add(`{"items":[{"n":24,"ratio":"5:2:1","algorithm":"SCB"},{"n":0}]}`, "1")
+	f.Add(`{"items":[]}`, "")
+	f.Add(`{"items":[{"n":24,"ratio":"5:2`, "") // truncated mid-item
+	f.Add(`{"items":`+strings.Repeat(`[`, 1000), "")
+	f.Add(strings.Repeat(`{"items":[{"n":24}]}`, 100), "1")
+	f.Add(`{"unknown":true}`, "")
+	f.Add(`[]`, "true")
+
+	f.Fuzz(func(t *testing.T, body, stream string) {
+		target := "/v1/plan:batch"
+		if stream != "" {
+			target += "?stream=" + stream
+		}
+		req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req)
+		if rec.Code == 0 {
+			t.Fatal("handler wrote no status")
+		}
+		if n := srv.Stats().Panics; n != 0 {
+			t.Fatalf("batch body panicked the handler (panics=%d): %q → %d", n, body, rec.Code)
+		}
+		// A 200 means the batch decoded: the response must itself decode
+		// and its totals must cover every item.
+		if rec.Code == http.StatusOK && stream == "" {
+			var br wire.BatchPlanResponse
+			if err := json.Unmarshal(rec.Body.Bytes(), &br); err != nil {
+				t.Fatalf("200 batch response does not decode: %v\n%s", err, rec.Body.Bytes())
+			}
+			if br.Succeeded+br.Failed != len(br.Items) {
+				t.Fatalf("totals %d+%d disagree with %d items", br.Succeeded, br.Failed, len(br.Items))
+			}
+		}
+	})
+}

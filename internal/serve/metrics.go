@@ -26,6 +26,10 @@ import (
 //	pland_panics_total                        quarantined handler panics
 //	pland_gate_in_flight / _queued / _slots / _queue_capacity
 //	pland_cache_hits_total / _misses_total / _stale_served_total / _entries
+//	pland_atlas_hits_total / _rejects_total   atlas-tier answers and cross-check falls
+//	pland_atlas_cells                         valid cells in the loaded atlas
+//	pland_answers_total{tier}                 served answers by tier (atlas/cache/searched/degraded)
+//	pland_batch_requests_total / _items_total batch traffic
 //	pland_breaker_state                       0 closed, 1 half-open, 2 open
 //	pland_breaker_transitions_total{to}       state changes by destination
 //	pland_draining                            1 once BeginDrain has run
@@ -74,9 +78,33 @@ func newServerMetrics(s *Server) *serverMetrics {
 			func() float64 { return float64(s.cacheMisses.Load()) }},
 		{"pland_cache_stale_served_total", "Degraded answers served from a stale cache entry.",
 			func() float64 { return float64(s.staleServed.Load()) }},
+		{"pland_atlas_hits_total", "Plan answers (single and batch items) served from the shape atlas.",
+			func() float64 { return float64(s.atlasHits.Load()) }},
+		{"pland_atlas_rejects_total", "Atlas records that failed the live cross-check and fell through to search.",
+			func() float64 { return float64(s.atlasRejects.Load()) }},
+		{"pland_batch_requests_total", "Accepted /v1/plan:batch requests.",
+			func() float64 { return float64(s.batchRequests.Load()) }},
+		{"pland_batch_items_total", "Plan items carried inside accepted batch requests.",
+			func() float64 { return float64(s.batchItems.Load()) }},
 	}
 	for _, c := range counterFuncs {
 		reg.CounterFunc(c.name, c.help, c.fn)
+	}
+
+	// The answer-tier mix: where served plans actually came from. One
+	// family so a single query yields the atlas/cache/search/degraded
+	// ratio — the serving tier's quality dashboard.
+	for _, t := range []struct {
+		tier string
+		fn   func() float64
+	}{
+		{"atlas", func() float64 { return float64(s.atlasHits.Load()) }},
+		{"cache", func() float64 { return float64(s.cacheHits.Load()) }},
+		{"searched", func() float64 { return float64(s.searched.Load()) }},
+		{"degraded", func() float64 { return float64(s.degraded.Load()) }},
+	} {
+		reg.LabeledCounterFunc("pland_answers_total",
+			"Served plan answers by answer tier.", "tier", t.tier, t.fn)
 	}
 
 	gaugeFuncs := []struct {
@@ -93,6 +121,13 @@ func newServerMetrics(s *Server) *serverMetrics {
 			func() float64 { return float64(s.gate.Queue()) }},
 		{"pland_cache_entries", "Entries in the plan cache, stale included.",
 			func() float64 { return float64(s.cache.len()) }},
+		{"pland_atlas_cells", "Valid cells in the loaded shape atlas (0 when none is configured).",
+			func() float64 {
+				if s.atlasSt == nil {
+					return 0
+				}
+				return float64(s.atlasSt.atlas.ValidCells())
+			}},
 		{"pland_breaker_state", "Search breaker state: 0 closed, 1 half-open, 2 open.",
 			s.brk.stateValue},
 		{"pland_draining", "1 once the server has begun draining, else 0.",

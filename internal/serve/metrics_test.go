@@ -49,15 +49,15 @@ func TestMetricsEndpointScrape(t *testing.T) {
 		`pland_responses_total{endpoint="plan",code="200"}`:     2,
 		`pland_responses_total{endpoint="plan",code="400"}`:     1,
 		`pland_request_duration_seconds_count{endpoint="plan"}`: 3,
-		"pland_cache_hits_total":        1,
-		"pland_cache_misses_total":      1,
-		"pland_cache_entries":           1,
-		"pland_searched_total":          1,
-		"pland_breaker_state":           0,
-		"pland_shed_total":              0,
-		"pland_panics_total":            0,
-		"pland_draining":                0,
-		`pland_breaker_transitions_total{to="open"}`: 0,
+		"pland_cache_hits_total":                                1,
+		"pland_cache_misses_total":                              1,
+		"pland_cache_entries":                                   1,
+		"pland_searched_total":                                  1,
+		"pland_breaker_state":                                   0,
+		"pland_shed_total":                                      0,
+		"pland_panics_total":                                    0,
+		"pland_draining":                                        0,
+		`pland_breaker_transitions_total{to="open"}`:            0,
 	}
 	for k, want := range checks {
 		v, ok := got[k]

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	heteropart "repro"
+	"repro/internal/atlas"
 	"repro/internal/partition"
 	"repro/internal/push"
 	"repro/internal/shape"
@@ -97,6 +98,18 @@ type Config struct {
 	// heteropart.DefaultMachine).
 	Machine func(ratio heteropart.Ratio) heteropart.Machine
 
+	// Atlas, when non-nil, is the first answer tier: plan requests whose
+	// scenario sits exactly on the atlas grid are served the baked winner
+	// in O(1), before admission control and without touching the search
+	// engine. Requires the default machine model — the atlas was baked
+	// with it, and a custom model could change the winners.
+	Atlas *atlas.Atlas
+
+	// MaxBatchItems bounds the plan items in one /v1/plan:batch request
+	// (default 1024); MaxBatchBytes bounds its body size (default 8 MiB).
+	MaxBatchItems int
+	MaxBatchBytes int64
+
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -144,6 +157,12 @@ func (c Config) withDefaults() Config {
 	if c.Fault != nil && c.FaultStepCost <= 0 {
 		c.FaultStepCost = 200 * time.Microsecond
 	}
+	if c.MaxBatchItems <= 0 {
+		c.MaxBatchItems = 1024
+	}
+	if c.MaxBatchBytes <= 0 {
+		c.MaxBatchBytes = 8 << 20
+	}
 	if c.Machine == nil {
 		c.Machine = heteropart.DefaultMachine
 	}
@@ -160,28 +179,42 @@ type Server struct {
 	flights *flightGroup
 	cache   *planCache
 	brk     *breaker
+	atlasSt *atlasState
 
 	draining atomic.Bool
 
 	journalMu  sync.Mutex
 	journalErr string // non-empty: the cache journal failed its startup scrub
 
-	requests    atomic.Int64
-	shed        atomic.Int64
-	degraded    atomic.Int64
-	searched    atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	staleServed atomic.Int64
-	coalesced   atomic.Int64
-	panics      atomic.Int64
+	requests      atomic.Int64
+	shed          atomic.Int64
+	degraded      atomic.Int64
+	searched      atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+	staleServed   atomic.Int64
+	coalesced     atomic.Int64
+	panics        atomic.Int64
+	atlasHits     atomic.Int64
+	atlasRejects  atomic.Int64
+	batchRequests atomic.Int64
+	batchItems    atomic.Int64
 
 	metrics *serverMetrics
 }
 
 // New builds a Server from cfg.
 func New(cfg Config) (*Server, error) {
+	// The atlas is baked against the default machine model; serving its
+	// records under a different model would answer with another machine's
+	// winners. Checked before withDefaults erases the distinction.
+	if cfg.Atlas != nil && cfg.Machine != nil {
+		return nil, fmt.Errorf("serve: Atlas requires the default machine model")
+	}
 	cfg = cfg.withDefaults()
+	if cfg.Atlas != nil && cfg.Atlas.N() > cfg.MaxN {
+		return nil, fmt.Errorf("serve: atlas n=%d exceeds MaxN=%d; its scenarios would be rejected before lookup", cfg.Atlas.N(), cfg.MaxN)
+	}
 	gate, err := throttle.NewGate(cfg.MaxConcurrent, cfg.MaxQueue)
 	if err != nil {
 		return nil, err
@@ -192,6 +225,7 @@ func New(cfg Config) (*Server, error) {
 		flights: newFlightGroup(),
 		cache:   newPlanCache(cfg.CacheTTL, cfg.CacheMax),
 		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		atlasSt: newAtlasState(cfg.Atlas),
 	}
 	s.metrics = newServerMetrics(s)
 	return s, nil
@@ -200,7 +234,11 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.Handle("/v1/plan", s.endpoint("plan", true, s.handlePlan))
+	// /v1/plan and /v1/plan:batch admit inside the handler, not in the
+	// wrapper: the atlas tier answers before the gate, so an on-atlas
+	// request never queues behind search work.
+	mux.Handle("/v1/plan", s.endpoint("plan", false, s.handlePlan))
+	mux.Handle("/v1/plan:batch", s.endpoint("batch", false, s.handleBatch))
 	mux.Handle("/v1/evaluate", s.endpoint("evaluate", true, s.handleEvaluate))
 	mux.Handle("/v1/search", s.endpoint("search", true, s.handleSearch))
 	mux.Handle("/v1/stats", s.endpoint("stats", false, s.handleStats))
@@ -231,16 +269,20 @@ func (s *Server) SaveCache(path string) (int, error) { return s.cache.save(path)
 // Stats snapshots the traffic counters.
 func (s *Server) Stats() wire.Stats {
 	return wire.Stats{
-		Requests:     s.requests.Load(),
-		Shed:         s.shed.Load(),
-		Degraded:     s.degraded.Load(),
-		Searched:     s.searched.Load(),
-		CacheHits:    s.cacheHits.Load(),
-		CacheMisses:  s.cacheMisses.Load(),
-		StaleServed:  s.staleServed.Load(),
-		Coalesced:    s.coalesced.Load(),
-		Panics:       s.panics.Load(),
-		BreakerTrips: s.brk.tripCount(),
+		Requests:      s.requests.Load(),
+		Shed:          s.shed.Load(),
+		Degraded:      s.degraded.Load(),
+		Searched:      s.searched.Load(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		StaleServed:   s.staleServed.Load(),
+		Coalesced:     s.coalesced.Load(),
+		Panics:        s.panics.Load(),
+		BreakerTrips:  s.brk.tripCount(),
+		AtlasHits:     s.atlasHits.Load(),
+		AtlasRejects:  s.atlasRejects.Load(),
+		BatchRequests: s.batchRequests.Load(),
+		BatchItems:    s.batchItems.Load(),
 	}
 }
 
@@ -425,6 +467,12 @@ func (s *Server) parsePlan(r *http.Request) (planInputs, error) {
 	}); err != nil {
 		return planInputs{}, err
 	}
+	return s.parsePlanRequest(req)
+}
+
+// parsePlanRequest validates one decoded plan request (the shared tail
+// of /v1/plan parsing and per-item batch parsing).
+func (s *Server) parsePlanRequest(req wire.PlanRequest) (planInputs, error) {
 	if req.N < 4 || req.N > s.cfg.MaxN {
 		return planInputs{}, badRequest("n must be in [4, %d], got %d", s.cfg.MaxN, req.N)
 	}
@@ -452,7 +500,11 @@ func (s *Server) parsePlan(r *http.Request) (planInputs, error) {
 		alg:   alg,
 		m:     m,
 		seed:  seed,
-		key:   fmt.Sprintf("%d|%s|%s|%s|%d", req.N, ratio, alg, topo, seed),
+		// The ratio is quantized into the key via Ratio.Key — the same
+		// identity the atlas lattice snaps on — so the cache and the
+		// atlas can never disagree about two ratios being the same
+		// scenario (see partition.Ratio.Key).
+		key:   fmt.Sprintf("%d|%s|%s|%s|%d", req.N, ratio.Key(), alg, topo, seed),
 	}, nil
 }
 
@@ -461,7 +513,43 @@ func (s *Server) handlePlan(ctx context.Context, w http.ResponseWriter, r *http.
 	if err != nil {
 		return err
 	}
+	// Tier 1: the atlas. On-grid scenarios are answered from the baked
+	// snapshot before admission control — a pointer load on the steady
+	// state, with no gate, flight, breaker, or search involvement.
+	if body, ok := s.atlasAnswer(in); ok {
+		s.atlasHits.Add(1)
+		return writeAtlasBody(w, body)
+	}
 	start := time.Now()
+	release, herr := s.admitPlan(ctx)
+	if herr != nil {
+		return herr
+	}
+	defer release()
+	resp, err := s.planScenario(ctx, in, start)
+	if err != nil {
+		return err
+	}
+	return s.writeResult(w, resp)
+}
+
+// admitPlan acquires an admission-gate slot for search-path work (the
+// atlas tier deliberately never holds one).
+func (s *Server) admitPlan(ctx context.Context) (release func(), err error) {
+	switch err := s.gate.Acquire(ctx); {
+	case errors.Is(err, throttle.ErrSaturated):
+		s.shed.Add(1)
+		return nil, &httpError{status: http.StatusTooManyRequests, msg: "saturated: work queue full", retryAfter: time.Second}
+	case err != nil:
+		return nil, &httpError{status: http.StatusGatewayTimeout, msg: "deadline expired in admission queue"}
+	}
+	return s.gate.Release, nil
+}
+
+// planScenario runs the gated planning path for one validated scenario:
+// singleflight coalescing, cache, bounded search, degraded fallback. It
+// is shared by /v1/plan and each /v1/plan:batch item.
+func (s *Server) planScenario(ctx context.Context, in planInputs, start time.Time) (*wire.PlanResponse, error) {
 	// Waiters leave the coalesced flight early enough to still serve
 	// their degraded fallback inside their own deadline.
 	waitCtx, cancel := s.withReplyMargin(ctx)
@@ -486,11 +574,11 @@ func (s *Server) handlePlan(ctx context.Context, w http.ResponseWriter, r *http.
 		}
 	}
 	if err != nil {
-		return err
+		return nil, err
 	}
 	out := *resp
 	out.ElapsedMS = msSince(start)
-	return s.writeResult(w, &out)
+	return &out, nil
 }
 
 // computePlan is the flight leader's path: fresh cache, canonical
@@ -576,8 +664,13 @@ func (s *Server) refineSearch(ctx context.Context, budget time.Duration, in plan
 }
 
 // degradedPlan builds the degraded response from scratch (used by flight
-// waiters that abandoned the leader).
+// waiters that abandoned the leader). It prefers the atlas's baked
+// winner for the request's ratio — one shape built instead of the
+// canonical six-way comparison — over the bare canonical fallback.
 func (s *Server) degradedPlan(in planInputs, reason wire.DegradedReason, start time.Time) (*wire.PlanResponse, error) {
+	if plan := s.atlasShapeFallback(in); plan != nil {
+		return s.degradedPlanWith(&wire.PlanResponse{Plan: plan, Source: wire.SourceAtlasShape}, in, reason)
+	}
 	plan, err := heteropart.NewPlan(in.alg, in.m, in.n)
 	if err != nil {
 		return nil, &httpError{status: http.StatusUnprocessableEntity, msg: err.Error()}
@@ -586,7 +679,8 @@ func (s *Server) degradedPlan(in planInputs, reason wire.DegradedReason, start t
 }
 
 // degradedPlanWith finalises a degraded answer, preferring a stale
-// cached search result over the bare canonical evaluation.
+// cached search result, then an atlas-shape answer the caller already
+// built, then the bare canonical evaluation.
 func (s *Server) degradedPlanWith(resp *wire.PlanResponse, in planInputs, reason wire.DegradedReason) (*wire.PlanResponse, error) {
 	s.degraded.Add(1)
 	s.metrics.degraded.With(string(reason)).Inc()
@@ -600,7 +694,9 @@ func (s *Server) degradedPlanWith(resp *wire.PlanResponse, in planInputs, reason
 	out := *resp
 	out.Degraded = true
 	out.DegradedReason = reason
-	out.Source = wire.SourceCanonical
+	if out.Source != wire.SourceAtlasShape {
+		out.Source = wire.SourceCanonical
+	}
 	out.Search = nil
 	return &out, nil
 }

@@ -321,7 +321,9 @@ func TestPanicIsolation(t *testing.T) {
 	mux.Handle("/boom", s.endpoint("boom", true, func(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
 		panic("poisoned request")
 	}))
-	mux.Handle("/v1/plan", s.endpoint("plan", true, s.handlePlan))
+	// admit=false mirrors Handler(): /v1/plan self-admits after the
+	// atlas tier.
+	mux.Handle("/v1/plan", s.endpoint("plan", false, s.handlePlan))
 	ts := httptest.NewServer(mux)
 	defer ts.Close()
 

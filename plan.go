@@ -48,7 +48,20 @@ func NewPlan(a Algorithm, m Machine, n int) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	g, err := BuildShape(best, n, m.Ratio)
+	return NewPlanForShape(a, m, n, best)
+}
+
+// NewPlanForShape packages the full decision for one already-chosen
+// candidate shape, skipping the six-way Optimal comparison. It exists for
+// callers that decided the winner elsewhere — above all the shape atlas,
+// which precomputes the winner per quantized ratio offline and must serve
+// a plan bit-identical to what NewPlan would have produced for the same
+// scenario.
+func NewPlanForShape(a Algorithm, m Machine, n int, s Shape) (*Plan, error) {
+	if n < 4 {
+		return nil, fmt.Errorf("heteropart: n must be ≥ 4, got %d", n)
+	}
+	g, err := BuildShape(s, n, m.Ratio)
 	if err != nil {
 		return nil, err
 	}
@@ -58,7 +71,7 @@ func NewPlan(a Algorithm, m Machine, n int) (*Plan, error) {
 		Ratio:     m.Ratio.String(),
 		Algorithm: a.String(),
 		Topology:  m.Topology.String(),
-		Shape:     best.String(),
+		Shape:     s.String(),
 		VoC:       g.VoC(),
 		Expected:  Evaluate(a, m, g),
 		Grid:      base64.StdEncoding.EncodeToString(g.Encode()),

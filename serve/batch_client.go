@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// maxBatchShards caps how many concurrent shard requests one PlanBatch
+// call fans out, however many replicas the pool holds.
+const maxBatchShards = 8
+
+// PlanBatch requests many plan scenarios in one logical call against
+// /v1/plan:batch. With a pool, the items are split into contiguous
+// shards — one per replica in the pool, capped at maxBatchShards — and
+// the shards run concurrently, each with the client's full robustness
+// stack (retry with failover, hedging, verification).
+//
+// Failure is partial, mirroring the server's per-item semantics: a
+// per-item server error arrives as that item's Status/Error; a shard
+// whose every attempt failed yields entries with Status 0 (never
+// attempted) and the shard error for its items, while other shards'
+// results stand. The returned response always carries exactly one entry
+// per request item, in request order with global indices; the error
+// return is reserved for empty input and context cancellation.
+//
+// Unless DisableVerify is set, every successful item is independently
+// re-verified against its own request (the same checks as Plan); a
+// shard carrying any corrupt item is treated as a corrupt response and
+// retried on another replica.
+func (c *Client) PlanBatch(ctx context.Context, items []PlanRequest) (*BatchPlanResponse, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("serve: empty batch")
+	}
+	start := time.Now()
+	bounds := shardBounds(len(items), c.batchShards())
+
+	out := &BatchPlanResponse{Items: make([]BatchItemResult, len(items))}
+	var wg sync.WaitGroup
+	for _, b := range bounds {
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			c.planShard(ctx, items, lo, hi, out.Items[lo:hi])
+		}(b[0], b[1])
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i := range out.Items {
+		if out.Items[i].Status == 200 {
+			out.Succeeded++
+		} else {
+			out.Failed++
+		}
+	}
+	out.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return out, nil
+}
+
+// batchShards returns how many shards to fan a batch into.
+func (c *Client) batchShards() int {
+	n := len(c.replicas)
+	if n > maxBatchShards {
+		n = maxBatchShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shardBounds splits n items into at most k contiguous [lo, hi) spans of
+// near-equal size (never empty).
+func shardBounds(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	bounds := make([][2]int, 0, k)
+	lo := 0
+	for i := 0; i < k; i++ {
+		size := n / k
+		if i < n%k {
+			size++
+		}
+		bounds = append(bounds, [2]int{lo, lo + size})
+		lo += size
+	}
+	return bounds
+}
+
+// planShard runs one shard through the retry/hedge/verify stack and
+// writes its results — re-indexed to global positions — into dst.
+func (c *Client) planShard(ctx context.Context, items []PlanRequest, lo, hi int, dst []BatchItemResult) {
+	shard := items[lo:hi]
+	var resp BatchPlanResponse
+	err := c.do(ctx, "/v1/plan:batch", BatchPlanRequest{Items: shard}, &resp, c.batchVerifier(shard))
+	if err != nil {
+		// The whole shard failed after retries: every item reports the
+		// shard error with Status 0 ("never attempted") so callers can
+		// tell a transport loss from a server verdict.
+		for i := range dst {
+			dst[i] = BatchItemResult{Index: lo + i, Error: err.Error()}
+		}
+		return
+	}
+	// The verifier proved the index set is exactly 0..len(shard)-1.
+	for _, it := range resp.Items {
+		global := it.Index + lo
+		it.Index = global
+		dst[it.Index-lo] = it
+	}
+}
+
+// batchVerifier checks one shard's raw response before it may win its
+// attempt: structurally (every shard index present exactly once) and,
+// unless verification is disabled, per item with the same independent
+// re-verification as Plan. Any violation marks the response corrupt, so
+// the attempt fails over to another replica.
+func (c *Client) batchVerifier(shard []PlanRequest) func([]byte) error {
+	return func(raw []byte) error {
+		var resp BatchPlanResponse
+		if err := json.Unmarshal(raw, &resp); err != nil {
+			return fmt.Errorf("undecodable batch response: %w", err)
+		}
+		if len(resp.Items) != len(shard) {
+			return fmt.Errorf("batch response carries %d items, shard sent %d", len(resp.Items), len(shard))
+		}
+		seen := make([]bool, len(shard))
+		for _, it := range resp.Items {
+			if it.Index < 0 || it.Index >= len(shard) {
+				return fmt.Errorf("batch item index %d outside shard of %d", it.Index, len(shard))
+			}
+			if seen[it.Index] {
+				return fmt.Errorf("batch item index %d duplicated", it.Index)
+			}
+			seen[it.Index] = true
+			if it.Status != 200 || c.cfg.DisableVerify {
+				continue
+			}
+			pr, err := it.Plan()
+			if err != nil {
+				return fmt.Errorf("batch item %d: %w", it.Index, err)
+			}
+			if err := VerifyPlanResponse(shard[it.Index], pr); err != nil {
+				return fmt.Errorf("batch item %d: %w", it.Index, err)
+			}
+		}
+		return nil
+	}
+}

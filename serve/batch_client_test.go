@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// batchClientConfig is the fast-retry config the batch client tests
+// share: probing off, small bounded backoff.
+func batchClientConfig() ClientConfig {
+	return ClientConfig{
+		ProbeInterval: -1,
+		Timeout:       5 * time.Second,
+		Retry:         RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		RetryBudget:   100,
+	}
+}
+
+// batchRespond answers a decoded batch the way a healthy replica would
+// for the test scenario: every item gets planOK() unless its N is 13,
+// which gets a per-item 400.
+func batchRespond(req BatchPlanRequest) BatchPlanResponse {
+	resp := BatchPlanResponse{}
+	for i, it := range req.Items {
+		res := BatchItemResult{Index: i}
+		if it.N == 13 {
+			res.Status = http.StatusBadRequest
+			res.Error = "unlucky n"
+			resp.Failed++
+		} else {
+			res.Status = http.StatusOK
+			body, _ := json.Marshal(planOK())
+			res.Response = body
+			resp.Succeeded++
+		}
+		resp.Items = append(resp.Items, res)
+	}
+	return resp
+}
+
+func batchHandler(calls *atomic.Int32) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls != nil {
+			calls.Add(1)
+		}
+		var req BatchPlanRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorBody{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, batchRespond(req))
+	}
+}
+
+// TestShardBounds: the split must cover [0, n) contiguously with at most
+// k non-empty, near-equal spans.
+func TestShardBounds(t *testing.T) {
+	cases := []struct {
+		n, k, want int
+	}{
+		{1, 1, 1}, {1, 8, 1}, {7, 3, 3}, {8, 3, 3}, {9, 3, 3}, {100, 8, 8}, {3, 4, 3},
+	}
+	for _, tc := range cases {
+		bounds := shardBounds(tc.n, tc.k)
+		if len(bounds) != tc.want {
+			t.Fatalf("shardBounds(%d, %d) gave %d shards, want %d", tc.n, tc.k, len(bounds), tc.want)
+		}
+		next := 0
+		for _, b := range bounds {
+			if b[0] != next || b[1] <= b[0] {
+				t.Fatalf("shardBounds(%d, %d) = %v: shard %v breaks contiguous non-empty cover", tc.n, tc.k, bounds, b)
+			}
+			if size := b[1] - b[0]; size > tc.n/tc.want+1 {
+				t.Fatalf("shardBounds(%d, %d) = %v: shard %v oversized", tc.n, tc.k, bounds, b)
+			}
+			next = b[1]
+		}
+		if next != tc.n {
+			t.Fatalf("shardBounds(%d, %d) = %v: cover ends at %d", tc.n, tc.k, bounds, next)
+		}
+	}
+}
+
+// TestPlanBatchShardsAcrossPool: a 6-item batch against a 2-replica pool
+// must split into one shard per replica, and the merged response must
+// come back in request order with global indices and verified plans.
+func TestPlanBatchShardsAcrossPool(t *testing.T) {
+	var callsA, callsB atomic.Int32
+	a := httptest.NewServer(batchHandler(&callsA))
+	defer a.Close()
+	b := httptest.NewServer(batchHandler(&callsB))
+	defer b.Close()
+
+	c, err := NewPool([]string{a.URL, b.URL}, batchClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	items := make([]PlanRequest, 6)
+	for i := range items {
+		items[i] = testPlanReq()
+	}
+	resp, err := c.PlanBatch(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Succeeded != 6 || resp.Failed != 0 {
+		t.Fatalf("succeeded/failed = %d/%d, want 6/0", resp.Succeeded, resp.Failed)
+	}
+	if len(resp.Items) != 6 {
+		t.Fatalf("got %d items, want 6", len(resp.Items))
+	}
+	for i, it := range resp.Items {
+		if it.Index != i {
+			t.Fatalf("item %d carries index %d — reassembly must restore request order", i, it.Index)
+		}
+		pr, err := it.Plan()
+		if err != nil {
+			t.Fatalf("item %d: %v", i, err)
+		}
+		if err := pr.Plan.Validate(); err != nil {
+			t.Fatalf("item %d plan invalid: %v", i, err)
+		}
+	}
+	if callsA.Load() != 1 || callsB.Load() != 1 {
+		t.Fatalf("replica calls = %d/%d, want one shard each", callsA.Load(), callsB.Load())
+	}
+}
+
+// TestPlanBatchPerItemErrors: per-item server verdicts pass through
+// without failing the batch or the healthy items.
+func TestPlanBatchPerItemErrors(t *testing.T) {
+	ts := httptest.NewServer(batchHandler(nil))
+	defer ts.Close()
+	c := NewClient(ts.URL, batchClientConfig())
+	defer c.Close()
+
+	bad := testPlanReq()
+	bad.N = 13
+	resp, err := c.PlanBatch(context.Background(), []PlanRequest{testPlanReq(), bad, testPlanReq()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Succeeded != 2 || resp.Failed != 1 {
+		t.Fatalf("succeeded/failed = %d/%d, want 2/1", resp.Succeeded, resp.Failed)
+	}
+	it := resp.Items[1]
+	if it.Status != http.StatusBadRequest || it.Error != "unlucky n" || it.Response != nil {
+		t.Fatalf("failed item = %+v, want passed-through 400", it)
+	}
+	if _, err := it.Plan(); err == nil {
+		t.Fatal("Plan() on a failed item must error")
+	}
+}
+
+// TestPlanBatchPartialShardFailure: when every replica refuses batches
+// containing a poisoned item, that item's shard must surface Status-0
+// transport entries while the other shard's results stand.
+func TestPlanBatchPartialShardFailure(t *testing.T) {
+	poisoned := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req BatchPlanRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, ErrorBody{Error: err.Error()})
+			return
+		}
+		for _, it := range req.Items {
+			if it.N == 66 {
+				writeJSON(w, http.StatusInternalServerError, ErrorBody{Error: "poisoned shard"})
+				return
+			}
+		}
+		writeJSON(w, http.StatusOK, batchRespond(req))
+	})
+	a := httptest.NewServer(poisoned)
+	defer a.Close()
+	b := httptest.NewServer(poisoned)
+	defer b.Close()
+
+	c, err := NewPool([]string{a.URL, b.URL}, batchClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// 4 items → 2 shards of 2; the poison lands in the second shard.
+	items := []PlanRequest{testPlanReq(), testPlanReq(), testPlanReq(), testPlanReq()}
+	items[3].N = 66
+	resp, err := c.PlanBatch(context.Background(), items)
+	if err != nil {
+		t.Fatalf("PlanBatch must not fail outright on a partial shard loss: %v", err)
+	}
+	if resp.Succeeded != 2 || resp.Failed != 2 {
+		t.Fatalf("succeeded/failed = %d/%d, want 2/2", resp.Succeeded, resp.Failed)
+	}
+	for i := 0; i < 2; i++ {
+		if resp.Items[i].Status != http.StatusOK {
+			t.Fatalf("healthy shard item %d status = %d, want 200", i, resp.Items[i].Status)
+		}
+	}
+	for i := 2; i < 4; i++ {
+		it := resp.Items[i]
+		if it.Status != 0 || it.Error == "" || it.Index != i {
+			t.Fatalf("lost shard item %d = %+v, want Status 0 with shard error and global index", i, it)
+		}
+	}
+}
+
+// TestPlanBatchRejectsCorruptItems: a batch whose items carry tampered
+// plans must be rejected by per-item re-verification on every replica,
+// surfacing as Status-0 entries naming the corruption.
+func TestPlanBatchRejectsCorruptItems(t *testing.T) {
+	corrupt := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req BatchPlanRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		resp := BatchPlanResponse{}
+		for i := range req.Items {
+			body, _ := json.Marshal(planCorrupt())
+			resp.Items = append(resp.Items, BatchItemResult{Index: i, Status: http.StatusOK, Response: body})
+			resp.Succeeded++
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	a := httptest.NewServer(corrupt)
+	defer a.Close()
+	b := httptest.NewServer(corrupt)
+	defer b.Close()
+
+	c, err := NewPool([]string{a.URL, b.URL}, batchClientConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	resp, err := c.PlanBatch(context.Background(), []PlanRequest{testPlanReq(), testPlanReq()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Succeeded != 0 || resp.Failed != 2 {
+		t.Fatalf("succeeded/failed = %d/%d, want 0/2 — corrupt plans must never be accepted", resp.Succeeded, resp.Failed)
+	}
+	for i, it := range resp.Items {
+		if it.Status != 0 || !strings.Contains(it.Error, "corrupt") {
+			t.Fatalf("item %d = %+v, want Status 0 naming corruption", i, it)
+		}
+	}
+	if c.CorruptRejected() == 0 {
+		t.Fatal("CorruptRejected() = 0, want > 0")
+	}
+}
+
+// TestPlanBatchVerifierStructure: structurally broken batch bodies —
+// wrong item count, out-of-range or duplicate indices — are corrupt even
+// with plan verification disabled, because index reassembly depends on
+// them.
+func TestPlanBatchVerifierStructure(t *testing.T) {
+	c := NewClient("http://unused:1", ClientConfig{ProbeInterval: -1, DisableVerify: true})
+	defer c.Close()
+	shard := []PlanRequest{testPlanReq(), testPlanReq()}
+	verify := c.batchVerifier(shard)
+
+	enc := func(items []BatchItemResult) []byte {
+		raw, _ := json.Marshal(BatchPlanResponse{Items: items})
+		return raw
+	}
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"not json", []byte("{")},
+		{"short", enc([]BatchItemResult{{Index: 0, Status: 200}})},
+		{"out of range", enc([]BatchItemResult{{Index: 0, Status: 200}, {Index: 7, Status: 200}})},
+		{"duplicate", enc([]BatchItemResult{{Index: 1, Status: 200}, {Index: 1, Status: 200}})},
+	}
+	for _, tc := range cases {
+		if err := verify(tc.raw); err == nil {
+			t.Fatalf("%s: verifier accepted a structurally broken batch", tc.name)
+		}
+	}
+	ok := enc([]BatchItemResult{{Index: 0, Status: 200}, {Index: 1, Status: 500, Error: "x"}})
+	if err := verify(ok); err != nil {
+		t.Fatalf("well-formed batch rejected: %v", err)
+	}
+}
+
+// TestPlanBatchEmpty: an empty batch is a caller error, not a request.
+func TestPlanBatchEmpty(t *testing.T) {
+	c := NewClient("http://unused:1", ClientConfig{ProbeInterval: -1})
+	defer c.Close()
+	if _, err := c.PlanBatch(context.Background(), nil); err == nil {
+		t.Fatal("PlanBatch(nil) must error")
+	}
+}

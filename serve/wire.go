@@ -25,6 +25,9 @@
 package serve
 
 import (
+	"encoding/json"
+	"fmt"
+
 	heteropart "repro"
 )
 
@@ -73,6 +76,17 @@ const (
 	// SourceStaleCache marks a degraded answer served from an expired
 	// cache entry — better than bare canonical, still marked Degraded.
 	SourceStaleCache = "stale-cache"
+	// SourceAtlas marks a full-quality answer served from the precomputed
+	// shape atlas: the scenario sat exactly on the atlas grid, so the
+	// baked winner — bit-identical to what the search path would return —
+	// was encoded in O(1) without touching the search engine, breaker, or
+	// admission gate.
+	SourceAtlas = "atlas"
+	// SourceAtlasShape marks a degraded answer built from the atlas's
+	// winner shape for the request's ratio at a different matrix dimension
+	// than the atlas was baked for — better-informed than the bare
+	// canonical fallback and cheaper (one shape built instead of six).
+	SourceAtlasShape = "atlas-shape"
 )
 
 // DegradedReason is the typed cause of a degraded plan answer, so
@@ -134,6 +148,66 @@ func (r *PlanResponse) DegradedCause() DegradedReason {
 		return DegradedSearchError
 	}
 	return r.DegradedReason
+}
+
+// BatchPlanRequest asks POST /v1/plan:batch for many plans in one round
+// trip, amortising connection, header, and decode cost — the natural
+// shape for atlas-backed traffic, where each answer is an O(1) lookup.
+type BatchPlanRequest struct {
+	Items []PlanRequest `json:"items"`
+}
+
+// BatchItemResult is one item's outcome inside a batch response. Items
+// fail independently: a bad ratio in item 3 yields a per-item error
+// there while every other item still carries its plan.
+type BatchItemResult struct {
+	// Index is the item's position in the request (explicit so streamed
+	// and re-sharded results can be reassembled without positional trust).
+	Index int `json:"index"`
+	// Status is the HTTP status this item would have received as a
+	// standalone /v1/plan request (200 on success). 0 means the item was
+	// never attempted — its shard's transport failed (client side only).
+	Status int `json:"status"`
+	// Error is set when Status is not 200.
+	Error string `json:"error,omitempty"`
+	// Response is the raw PlanResponse JSON on success. Kept raw so the
+	// server can splice pre-encoded atlas answers without re-marshalling
+	// and clients decode only the items they need.
+	Response json.RawMessage `json:"response,omitempty"`
+}
+
+// Plan decodes the item's PlanResponse, or explains why there is none.
+func (it *BatchItemResult) Plan() (*PlanResponse, error) {
+	if it.Status == 0 {
+		return nil, fmt.Errorf("serve: batch item %d not attempted: %s", it.Index, it.Error)
+	}
+	if it.Status != 200 {
+		return nil, fmt.Errorf("serve: batch item %d failed with status %d: %s", it.Index, it.Status, it.Error)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(it.Response, &resp); err != nil {
+		return nil, fmt.Errorf("serve: batch item %d response: %w", it.Index, err)
+	}
+	return &resp, nil
+}
+
+// BatchPlanResponse is the non-streaming batch reply.
+type BatchPlanResponse struct {
+	Items     []BatchItemResult `json:"items"`
+	Succeeded int               `json:"succeeded"`
+	Failed    int               `json:"failed"`
+	ElapsedMS float64           `json:"elapsedMs"`
+}
+
+// BatchStreamTrailer is the final line of a streamed (NDJSON) batch
+// response: each preceding line is one BatchItemResult, emitted as soon
+// as its item completes; the trailer closes the stream with the totals.
+// Request streaming with "Accept: application/x-ndjson" or "?stream=1".
+type BatchStreamTrailer struct {
+	Trailer   bool    `json:"trailer"`
+	Succeeded int     `json:"succeeded"`
+	Failed    int     `json:"failed"`
+	ElapsedMS float64 `json:"elapsedMs"`
 }
 
 // EvaluateRequest asks for the cost of one named candidate shape.
@@ -229,4 +303,29 @@ type Stats struct {
 	Coalesced    int64 `json:"coalesced"`
 	Panics       int64 `json:"panics"`
 	BreakerTrips int64 `json:"breakerTrips"`
+	// AtlasHits counts plan answers (single and batch items) served from
+	// the precomputed shape atlas; AtlasRejects counts atlas records that
+	// failed the encode-time cross-check against the live planner and
+	// fell through to the search path.
+	AtlasHits    int64 `json:"atlasHits"`
+	AtlasRejects int64 `json:"atlasRejects"`
+	// BatchRequests counts /v1/plan:batch calls; BatchItems the plan
+	// items inside them.
+	BatchRequests int64 `json:"batchRequests"`
+	BatchItems    int64 `json:"batchItems"`
+}
+
+// AnswerTiers breaks the served plan answers down by tier: "atlas"
+// (O(1) precomputed), "cache" (fresh memo of an earlier search),
+// "searched" (full-quality online answer), and "degraded" (any
+// fallback). The mix is the serving tier's quality dashboard: a healthy
+// atlas deployment shows the bulk in "atlas", a cold or off-grid
+// workload in "searched", an overloaded one in "degraded".
+func (s Stats) AnswerTiers() map[string]int64 {
+	return map[string]int64{
+		"atlas":    s.AtlasHits,
+		"cache":    s.CacheHits,
+		"searched": s.Searched,
+		"degraded": s.Degraded,
+	}
 }

@@ -10,12 +10,16 @@
 # run), a pland drain smoke test (degraded serving under an injected
 # straggler fault, full-quality serving without it — with a /metrics
 # scrape verified after the healthy workload — clean SIGTERM drain,
-# and a non-zero exit when the drain window is forced shut), and a chaos
+# and a non-zero exit when the drain window is forced shut), a chaos
 # smoke test (three real pland replicas behind fault-injection proxies:
 # a partition plus a straggler must not cost availability, and in-flight
-# response corruption must never get a plan accepted). CI and pre-commit
-# hooks run exactly this script; it exits non-zero on the first failure —
-# no step may be skipped.
+# response corruption must never get a plan accepted), and an atlas
+# serving smoke test (shapeopt bakes a coarse shape atlas, its dump
+# spot-check re-derives cells against the live search, and a pland
+# serving from it answers an all-on-lattice loadgen burst with zero
+# errors while /metrics proves the search engine never ran). CI and
+# pre-commit hooks run exactly this script; it exits non-zero on the
+# first failure — no step may be skipped.
 set -eux
 
 go vet ./...
@@ -130,3 +134,30 @@ if wait "$p3"; then
     exit 1
 fi
 wait "$l3" || true
+
+# --- atlas serving smoke test (~10s) -----------------------------------
+# The O(1) answer tier end to end: shapeopt bakes a coarse atlas and its
+# dump spot-check re-derives cells against the live search (exit 2 on any
+# divergence); pland refuses nothing at startup verification, warms every
+# cell, and serves a pure on-lattice burst — loadgen fails the run unless
+# every request succeeds, pland_atlas_hits_total grew, and
+# pland_searched_total / push_runs_total stayed flat (the search engine
+# never ran).
+go build -o "$tmp/shapeopt" ./cmd/shapeopt
+go build -o "$tmp/loadgen" ./cmd/loadgen
+
+"$tmp/shapeopt" -build-atlas "$tmp/atlas.bin" -scale 2 -pr-max 4 -rr-max 3 -n 40
+"$tmp/shapeopt" -dump-atlas "$tmp/atlas.bin" -spot 25 > "$tmp/atlas_dump.out"
+grep -q "bit-identical to live search" "$tmp/atlas_dump.out"
+
+"$tmp/pland" -addr 127.0.0.1:0 -addr-file "$tmp/a4" \
+    -atlas "$tmp/atlas.bin" -atlas-verify 4 \
+    -max-concurrent 8 -max-queue 16 2> "$tmp/pland4.log" &
+p4=$!
+wait_addr "$tmp/a4"
+"$tmp/loadgen" -url "http://$(cat "$tmp/a4")" \
+    -rate 50 -duration 3s -mix atlas=1 \
+    -n 40 -scale 2 -pr-max 4 -rr-max 3 \
+    -fail-on-error -metrics-check
+kill -TERM "$p4"
+wait "$p4" || { echo "atlas pland dirty drain" >&2; cat "$tmp/pland4.log" >&2; exit 1; }
