@@ -9,6 +9,16 @@
 //	        [-n 200] [-alg SCB] [-scale 10] [-pr-max 20] [-rr-max 20]
 //	        [-seed 1] [-json] [-fail-on-error] [-max-p99 0]
 //	        [-metrics-check]
+//	        [-ramp 50:400:8] [-step-duration 5s] [-out BENCH_degrade.json]
+//
+// -ramp replaces the single fixed-rate phase with a stepped rate sweep
+// (open loop throughout): the offered rate climbs linearly from start
+// to end over the given number of steps, each held for -step-duration.
+// After every step the server's /metrics is scraped and the report
+// records that step's latency quantiles, availability, and answer-tier
+// mix (Δ pland_answers_total{tier=...}) — the degradation curve of the
+// shed ladder. The run fails if the transition matrix shows the ladder
+// ever skipped a rung. The JSON report goes to -out (default stdout).
 //
 // The arrival process is open-loop: operations launch on a fixed clock
 // regardless of how many are still in flight, so a slow server shows up
@@ -227,6 +237,204 @@ func scrape(client *http.Client, url string) (map[string]float64, error) {
 	return metrics.ParseText(resp.Body)
 }
 
+// rampStep is one step's slice of the ramp report.
+type rampStep struct {
+	Step       int     `json:"step"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Sent       int     `json:"sent"`
+	Dropped    int     `json:"dropped"`
+	Errors     int     `json:"errors"`
+	OK         int     `json:"ok"`
+	// Availability is successful answers over offered (non-dropped)
+	// operations: 1.0 means the server answered everything it was sent.
+	Availability float64 `json:"availability"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+	P99MS        float64 `json:"p99_ms"`
+	MaxMS        float64 `json:"max_ms"`
+	// TierMix is this step's served answers by answer tier
+	// (Δ pland_answers_total{tier=...}).
+	TierMix map[string]float64 `json:"tier_mix"`
+	// Rejected is this step's 429s (Δ pland_shed_total).
+	Rejected float64 `json:"rejected"`
+	// ShedTierEnd is the shed ladder rung at the end of the step.
+	ShedTierEnd string `json:"shed_tier_end"`
+}
+
+// rampReport is the BENCH_degrade.json schema.
+type rampReport struct {
+	Ramp            string             `json:"ramp"`
+	StepDurationSec float64            `json:"step_duration_sec"`
+	Steps           []rampStep         `json:"steps"`
+	Transitions     map[string]float64 `json:"tier_transitions"`
+	NoRungSkipped   bool               `json:"no_rung_skipped"`
+}
+
+var shedTierNames = []string{"search", "bounded", "atlas", "stale", "reject"}
+
+func parseRamp(s string) (start, end float64, steps int, err error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("bad -ramp %q (want start:end:steps)", s)
+	}
+	if start, err = strconv.ParseFloat(parts[0], 64); err != nil || start <= 0 {
+		return 0, 0, 0, fmt.Errorf("bad -ramp start %q", parts[0])
+	}
+	if end, err = strconv.ParseFloat(parts[1], 64); err != nil || end <= 0 {
+		return 0, 0, 0, fmt.Errorf("bad -ramp end %q", parts[1])
+	}
+	if steps, err = strconv.Atoi(parts[2]); err != nil || steps < 2 {
+		return 0, 0, 0, fmt.Errorf("bad -ramp steps %q (want ≥ 2)", parts[2])
+	}
+	return start, end, steps, nil
+}
+
+// tierTransitionSkips scans the transition matrix for non-adjacent
+// moves. The server pre-touches every adjacent from/to pair at zero, so
+// any series with |from−to| ≠ 1 — or any count on a pair that should
+// not exist — is a rung skip.
+func tierTransitionSkips(mx map[string]float64) []string {
+	idx := map[string]int{}
+	for i, n := range shedTierNames {
+		idx[n] = i
+	}
+	var skips []string
+	for series, v := range mx {
+		from, to, ok := parseFromTo(series)
+		if !ok {
+			skips = append(skips, fmt.Sprintf("unparseable transition series %q", series))
+			continue
+		}
+		fi, fok := idx[from]
+		ti, tok := idx[to]
+		if !fok || !tok || (fi-ti != 1 && ti-fi != 1) {
+			if v > 0 || !fok || !tok {
+				skips = append(skips, fmt.Sprintf("%s→%s ×%g", from, to, v))
+			}
+		}
+	}
+	return skips
+}
+
+// parseFromTo extracts from/to labels out of a series key like
+// `pland_tier_transitions_total{from="search",to="bounded"}`.
+func parseFromTo(series string) (from, to string, ok bool) {
+	grab := func(label string) (string, bool) {
+		i := strings.Index(series, label+`="`)
+		if i < 0 {
+			return "", false
+		}
+		rest := series[i+len(label)+2:]
+		j := strings.IndexByte(rest, '"')
+		if j < 0 {
+			return "", false
+		}
+		return rest[:j], true
+	}
+	from, fok := grab("from")
+	to, tok := grab("to")
+	return from, to, fok && tok
+}
+
+// runRamp steps the offered rate from start to end and records, per
+// step, the latency quantiles and the server's answer-tier mix — the
+// degradation curve. It also asserts the structural no-skip property of
+// the shed ladder from the transition matrix.
+func runRamp(spec string, stepDur time.Duration, outFile string, client *http.Client, url string,
+	runPhase func(rate float64, dur time.Duration) (map[string]*recorder, int, int, time.Duration)) int {
+	start, end, steps, err := parseRamp(spec)
+	if err != nil {
+		log.Print(err)
+		return 2
+	}
+	answerTiers := []string{"atlas", "cache", "searched", "degraded"}
+	rep := rampReport{Ramp: spec, StepDurationSec: stepDur.Seconds()}
+
+	before, err := scrape(client, url)
+	if err != nil {
+		log.Printf("pre-ramp metrics scrape: %v", err)
+		return 2
+	}
+	for i := 0; i < steps; i++ {
+		rate := start + (end-start)*float64(i)/float64(steps-1)
+		recs, sent, dropped, _ := runPhase(rate, stepDur)
+		after, err := scrape(client, url)
+		if err != nil {
+			log.Printf("step %d metrics scrape: %v", i+1, err)
+			return 1
+		}
+
+		st := rampStep{Step: i + 1, RatePerSec: rate, Sent: sent, Dropped: dropped,
+			TierMix: map[string]float64{}}
+		var all []float64
+		for _, r := range recs {
+			r.mu.Lock()
+			all = append(all, r.lat...)
+			st.Errors += r.errors
+			st.OK += r.ops - r.errors
+			r.mu.Unlock()
+		}
+		if served := sent - dropped; served > 0 {
+			st.Availability = float64(st.OK) / float64(served)
+		}
+		sort.Float64s(all)
+		if n := len(all); n > 0 {
+			st.P50MS = percentile(all, 50)
+			st.P95MS = percentile(all, 95)
+			st.P99MS = percentile(all, 99)
+			st.MaxMS = all[n-1]
+		}
+		for _, tier := range answerTiers {
+			key := fmt.Sprintf(`pland_answers_total{tier=%q}`, tier)
+			st.TierMix[tier] = after[key] - before[key]
+		}
+		st.Rejected = after["pland_shed_total"] - before["pland_shed_total"]
+		if rung := int(after["pland_shed_tier"]); rung >= 0 && rung < len(shedTierNames) {
+			st.ShedTierEnd = shedTierNames[rung]
+		}
+		rep.Steps = append(rep.Steps, st)
+		log.Printf("step %d/%d @ %.0f ops/s: %d ok, %d errors, %d dropped, p99 %.1fms, tier=%s, mix %v",
+			i+1, steps, rate, st.OK, st.Errors, dropped, st.P99MS, st.ShedTierEnd, st.TierMix)
+		before = after
+	}
+
+	final, err := scrape(client, url)
+	if err != nil {
+		log.Printf("post-ramp metrics scrape: %v", err)
+		return 1
+	}
+	rep.Transitions = map[string]float64{}
+	for series, v := range final {
+		if strings.HasPrefix(series, "pland_tier_transitions_total{") {
+			rep.Transitions[series] = v
+		}
+	}
+	skips := tierTransitionSkips(rep.Transitions)
+	rep.NoRungSkipped = len(skips) == 0
+
+	var w io.Writer = os.Stdout
+	if outFile != "" {
+		f, err := os.Create(outFile)
+		if err != nil {
+			log.Printf("-out: %v", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Printf("write report: %v", err)
+		return 1
+	}
+	if len(skips) > 0 {
+		log.Printf("FAIL: shed ladder skipped rungs: %v", skips)
+		return 1
+	}
+	return 0
+}
+
 func run() int {
 	var (
 		url         = flag.String("url", "", "base URL of the pland under test (required)")
@@ -246,6 +454,10 @@ func run() int {
 		failOnErr   = flag.Bool("fail-on-error", false, "exit 1 if any operation failed")
 		maxP99      = flag.Duration("max-p99", 0, "exit 1 if any class's p99 exceeds this (0 = no gate)")
 		metricsChk  = flag.Bool("metrics-check", false, "scrape /metrics and assert the atlas tier served (and, for a pure atlas mix, that search never ran)")
+
+		rampStr      = flag.String("ramp", "", "run a rate ramp instead of one phase: start:end:steps in ops/sec (e.g. 50:400:8)")
+		stepDuration = flag.Duration("step-duration", 5*time.Second, "how long each ramp step offers its rate")
+		outFile      = flag.String("out", "", "write the ramp report JSON to this file (empty = stdout)")
 	)
 	flag.Parse()
 	if *url == "" {
@@ -276,7 +488,6 @@ func run() int {
 		}
 	}
 
-	recs := map[string]*recorder{"atlas": {}, "search": {}, "batch": {}}
 	rng := rand.New(rand.NewSource(*seed))
 	var reqMu sync.Mutex // guards rng: operations draw scenarios concurrently
 	drawReq := func(onLattice bool) wire.PlanRequest {
@@ -314,7 +525,7 @@ func run() int {
 		return json.Unmarshal(data, out)
 	}
 
-	runOp := func(class string) {
+	runOp := func(recs map[string]*recorder, class string) {
 		start := time.Now()
 		var plans int
 		var err error
@@ -336,37 +547,46 @@ func run() int {
 		recs[class].record(float64(time.Since(start))/float64(time.Millisecond), plans, err)
 	}
 
-	// Open loop: arrivals on a fixed clock, late arrivals burst to catch
-	// up, a full semaphore drops (never blocks the clock).
-	sem := make(chan struct{}, *maxInflight)
-	var wg sync.WaitGroup
-	interval := time.Duration(float64(time.Second) / *rate)
-	start := time.Now()
-	deadline := start.Add(*duration)
-	sent, dropped := 0, 0
-	for next := start; next.Before(deadline); next = next.Add(interval) {
-		if d := time.Until(next); d > 0 {
-			time.Sleep(d)
+	// runPhase offers one open-loop phase: arrivals on a fixed clock,
+	// late arrivals burst to catch up, a full semaphore drops (never
+	// blocks the clock).
+	runPhase := func(rate float64, dur time.Duration) (recs map[string]*recorder, sent, dropped int, elapsed time.Duration) {
+		recs = map[string]*recorder{"atlas": {}, "search": {}, "batch": {}}
+		sem := make(chan struct{}, *maxInflight)
+		var wg sync.WaitGroup
+		interval := time.Duration(float64(time.Second) / rate)
+		start := time.Now()
+		deadline := start.Add(dur)
+		for next := start; next.Before(deadline); next = next.Add(interval) {
+			if d := time.Until(next); d > 0 {
+				time.Sleep(d)
+			}
+			reqMu.Lock()
+			class := m.classOf(rng.Float64())
+			reqMu.Unlock()
+			sent++
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					runOp(recs, class)
+					<-sem
+				}()
+			default:
+				dropped++
+				recs[class].record(0, 0, fmt.Errorf("dropped: max-inflight reached"))
+			}
 		}
-		reqMu.Lock()
-		class := m.classOf(rng.Float64())
-		reqMu.Unlock()
-		sent++
-		select {
-		case sem <- struct{}{}:
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				runOp(class)
-				<-sem
-			}()
-		default:
-			dropped++
-			recs[class].record(0, 0, fmt.Errorf("dropped: max-inflight reached"))
-		}
+		wg.Wait()
+		return recs, sent, dropped, time.Since(start)
 	}
-	wg.Wait()
-	elapsed := time.Since(start)
+
+	if *rampStr != "" {
+		return runRamp(*rampStr, *stepDuration, *outFile, httpClient, *url, runPhase)
+	}
+
+	recs, sent, dropped, elapsed := runPhase(*rate, *duration)
 
 	type report struct {
 		Mix         string                 `json:"mix"`

@@ -11,7 +11,27 @@
 //	      [-breaker-threshold 3] [-breaker-cooldown 5s]
 //	      [-fault-straggler 0] [-fault-step 200us]
 //	      [-atlas atlas.bin] [-atlas-warm] [-atlas-verify 4]
+//	      [-calibrate] [-calibrate-interval 1s] [-calibrate-quantum 0.25]
+//	      [-calibrate-straggler 0] [-calibrate-straggler-after 0]
+//	      [-shed-target-latency 300ms] [-shed-interval 100ms]
 //	      [-drain-timeout 10s] [-seed 1] [-debug-addr ""]
+//
+// -calibrate runs the background calibrator (internal/calibrate): it
+// micro-benchmarks the multiply kernel each period, maintains EWMA
+// speed-ratio estimates with confidence intervals, and publishes them
+// as the scenario default that /v1/plan requests with ratio "auto"
+// resolve against. Drift past -drift-threshold invalidates the plans
+// computed under the old estimate and re-plans them in the background
+// (pland_replans_total counts these). -calibrate-straggler N arms a
+// drift drill: the calibrator's bench sees an N× straggler on P
+// starting -calibrate-straggler-after into the run, so the published
+// ratio — and the optimal shape — visibly change while serving.
+//
+// The shed ladder degrades answer quality one rung at a time as load
+// rises — full search, bounded search, atlas/closed-form, stale cache,
+// 429 — and recovers the same way; transitions move at most one rung
+// per -shed-interval, so no quality level is ever skipped
+// (pland_tier_transitions_total records every move).
 //
 // -atlas loads a shape-atlas snapshot (built with shapeopt -build-atlas)
 // and serves on-atlas /v1/plan requests from it in O(1), bypassing the
@@ -70,6 +90,7 @@ import (
 	"time"
 
 	"repro/internal/atlas"
+	"repro/internal/calibrate"
 	"repro/internal/journal"
 	"repro/internal/partition"
 	serveimpl "repro/internal/serve"
@@ -82,29 +103,36 @@ func main() {
 	os.Exit(run())
 }
 
-// scrubCacheJournal warms the plan cache from path after an integrity
-// scan. A journal with unrepairable damage (mid-file corruption — a torn
-// tail is fine, the journal layer repairs that) is quarantined: renamed
-// aside for forensics, reported via /readyz, and the server starts cold.
+// scrubCacheJournal warms the plan cache from the journal chain at path
+// (rotated segments included) after a per-segment integrity scan. A
+// segment with unrepairable damage (mid-file corruption — a torn tail is
+// fine, the journal layer repairs that) is quarantined individually:
+// renamed aside for forensics and reported via /readyz. Quarantining a
+// rotated segment leaves a numbering gap, which ends the chain at the
+// damage point — history older than the corruption is abandoned rather
+// than spliced across it — while newer segments still warm the cache.
 // Crashing would turn one bad file into an outage, and loading anyway
 // would serve from a file known to be lying.
 func scrubCacheJournal(srv *serveimpl.Server, path string) {
-	switch err := journal.Verify(path); {
-	case err == nil:
-		n, lerr := srv.LoadCache(path)
-		if lerr != nil {
-			// Verified clean but unloadable (e.g. wrong journal kind):
-			// quarantine rather than overwrite it on drain.
-			quarantine(srv, path, lerr)
-			return
-		}
-		if n > 0 {
-			log.Printf("warmed plan cache with %d entries from %s", n, path)
-		}
-	case errors.Is(err, os.ErrNotExist):
+	segs := journal.Segments(path)
+	if len(segs) == 0 {
 		// First boot: nothing to warm from.
-	default:
-		quarantine(srv, path, err)
+		return
+	}
+	for _, seg := range segs {
+		if err := journal.Verify(seg); err != nil && !errors.Is(err, os.ErrNotExist) {
+			quarantine(srv, seg, err)
+		}
+	}
+	n, lerr := srv.LoadCache(path)
+	if lerr != nil && !errors.Is(lerr, os.ErrNotExist) {
+		// Verified clean but unloadable (e.g. wrong journal kind):
+		// quarantine rather than overwrite it on drain.
+		quarantine(srv, path, lerr)
+		return
+	}
+	if n > 0 {
+		log.Printf("warmed plan cache with %d entries from %s (%d segments)", n, path, len(segs))
 	}
 }
 
@@ -129,6 +157,9 @@ func run() int {
 		maxQueue     = flag.Int("max-queue", 0, "admission queue bound (0 = 2×max-concurrent)")
 		cacheTTL     = flag.Duration("cache-ttl", 5*time.Minute, "plan cache freshness window")
 		cacheJournal = flag.String("cache-journal", "", "persist the plan cache to this CRC journal on drain (and warm from it on start)")
+		cjMaxBytes   = flag.Int64("cache-journal-max-bytes", 1<<20, "rotate the live cache journal segment at this size")
+		cjMaxAge     = flag.Duration("cache-journal-max-age", 0, "rotate the live cache journal segment at this age (0 = size-only)")
+		cjSegments   = flag.Int("cache-journal-segments", 3, "rotated cache journal segments kept before the oldest is deleted")
 		brkThreshold = flag.Int("breaker-threshold", 3, "consecutive search failures that open the breaker (-1 disables)")
 		brkCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long the breaker stays open")
 		faultFactor  = flag.Float64("fault-straggler", 0, "inject an N× CPU straggler into the search path (0 = off; drill switch)")
@@ -139,19 +170,32 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight requests")
 		seed         = flag.Int64("seed", 1, "default search seed for requests that omit one")
 		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof and /metrics on this private address (empty = off)")
+
+		calOn        = flag.Bool("calibrate", false, "run the background calibrator; ratio \"auto\" requests resolve against its estimates")
+		calInterval  = flag.Duration("calibrate-interval", time.Second, "calibration period")
+		calBenchN    = flag.Int("calibrate-bench-n", 64, "calibration micro-benchmark matrix size")
+		calQuantum   = flag.Float64("calibrate-quantum", 0.25, "grid the published ratio is rounded to")
+		calDrift     = flag.Float64("drift-threshold", 0.25, "relative estimate change that triggers a re-publish")
+		calStraggler = flag.Float64("calibrate-straggler", 0, "inject an N× CPU straggler into the calibrator's bench (0 = off; drift drill)")
+		calStragAft  = flag.Duration("calibrate-straggler-after", 0, "arm the calibration straggler this long after start")
+
+		shedTarget   = flag.Duration("shed-target-latency", 300*time.Millisecond, "latency the shed ladder steers toward")
+		shedInterval = flag.Duration("shed-interval", 100*time.Millisecond, "how often the shed ladder re-evaluates (one rung max per evaluation)")
 	)
 	flag.Parse()
 
 	cfg := serveimpl.Config{
-		DefaultTimeout:   *defTimeout,
-		MaxTimeout:       *maxTimeout,
-		MaxConcurrent:    *maxConc,
-		MaxQueue:         *maxQueue,
-		CacheTTL:         *cacheTTL,
-		BreakerThreshold: *brkThreshold,
-		BreakerCooldown:  *brkCooldown,
-		SearchSeed:       *seed,
-		Logf:             log.Printf,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		MaxConcurrent:     *maxConc,
+		MaxQueue:          *maxQueue,
+		CacheTTL:          *cacheTTL,
+		BreakerThreshold:  *brkThreshold,
+		BreakerCooldown:   *brkCooldown,
+		SearchSeed:        *seed,
+		ShedTargetLatency: *shedTarget,
+		ShedInterval:      *shedInterval,
+		Logf:              log.Printf,
 	}
 	if *faultFactor > 0 {
 		fp := sim.NewFaultPlan()
@@ -195,6 +239,41 @@ func run() int {
 	}
 	if *cacheJournal != "" {
 		scrubCacheJournal(srv, *cacheJournal)
+		rc := journal.RotateConfig{MaxBytes: *cjMaxBytes, MaxAge: *cjMaxAge, MaxSegments: *cjSegments}
+		if err := srv.JournalCache(*cacheJournal, rc); err != nil {
+			log.Printf("cache journal: live append disabled: %v", err)
+		}
+	}
+	if *calOn {
+		ccfg := calibrate.Config{
+			Interval:       *calInterval,
+			BenchN:         *calBenchN,
+			Quantum:        *calQuantum,
+			DriftThreshold: *calDrift,
+			OnPublish:      srv.ApplyEstimate,
+			Logf:           log.Printf,
+		}
+		if *calStraggler > 0 {
+			fp := sim.NewFaultPlan()
+			// The calibrator's Stretch start is seconds since its
+			// creation, so a straggler armed "after" needs no timer: the
+			// fault window simply opens when the clock reaches it.
+			if err := fp.AddStraggler(partition.P, *calStraggler, calStragAft.Seconds(), 1e12); err != nil {
+				log.Printf("bad -calibrate-straggler: %v", err)
+				return 2
+			}
+			ccfg.Stretch = fp.StretchCPU
+			log.Printf("calibration drift drill armed: %.0f× straggler on P after %v", *calStraggler, *calStragAft)
+		}
+		cal := calibrate.New(ccfg)
+		srv.AttachCalibrator(cal)
+		// One synchronous round so ratio:"auto" is answerable the moment
+		// the listener is up, then the background loop takes over.
+		cal.RunOnce(context.Background())
+		cal.Start()
+		defer cal.Close()
+		log.Printf("calibrator running: interval %v, bench n=%d, quantum %g, drift threshold %g",
+			*calInterval, *calBenchN, *calQuantum, *calDrift)
 	}
 	if *atlasPath != "" && *atlasWarm {
 		encoded, rejected := srv.WarmAtlas()

@@ -111,13 +111,22 @@ func Append(path string) (*Writer, error) {
 // AppendRecord writes one record and flushes it to the OS, so a
 // subsequently killed process cannot lose it.
 func (w *Writer) AppendRecord(rec Record) error {
-	return w.appendJSON(rec)
+	_, err := w.appendJSON(rec)
+	return err
 }
 
 // AppendPayload writes an arbitrary JSON-marshalable payload as one
 // CRC-framed record, with the same per-record durability as
 // AppendRecord. Journals written this way are read back with RecoverRaw.
 func (w *Writer) AppendPayload(payload any) error {
+	_, err := w.appendJSON(payload)
+	return err
+}
+
+// AppendPayloadSized is AppendPayload reporting the bytes written,
+// which size-bounded rotation (RotatingWriter) accounts against its
+// segment budget.
+func (w *Writer) AppendPayloadSized(payload any) (int64, error) {
 	return w.appendJSON(payload)
 }
 
@@ -130,7 +139,7 @@ func CreateRaw(path string, header any) (*Writer, error) {
 		return nil, fmt.Errorf("journal: create: %w", err)
 	}
 	w := &Writer{f: f, bw: bufio.NewWriter(f)}
-	if err := w.appendJSON(header); err != nil {
+	if _, err := w.appendJSON(header); err != nil {
 		f.Close()
 		os.Remove(path)
 		return nil, err
@@ -138,25 +147,25 @@ func CreateRaw(path string, header any) (*Writer, error) {
 	return w, nil
 }
 
-func (w *Writer) appendJSON(payload any) error {
+func (w *Writer) appendJSON(payload any) (int64, error) {
 	body, err := json.Marshal(payload)
 	if err != nil {
-		return fmt.Errorf("journal: marshal: %w", err)
+		return 0, fmt.Errorf("journal: marshal: %w", err)
 	}
 	line, err := json.Marshal(envelope{C: crc32.ChecksumIEEE(body), P: body})
 	if err != nil {
-		return fmt.Errorf("journal: marshal: %w", err)
+		return 0, fmt.Errorf("journal: marshal: %w", err)
 	}
 	if _, err := w.bw.Write(line); err != nil {
-		return fmt.Errorf("journal: write: %w", err)
+		return 0, fmt.Errorf("journal: write: %w", err)
 	}
 	if err := w.bw.WriteByte('\n'); err != nil {
-		return fmt.Errorf("journal: write: %w", err)
+		return 0, fmt.Errorf("journal: write: %w", err)
 	}
 	if err := w.bw.Flush(); err != nil {
-		return fmt.Errorf("journal: flush: %w", err)
+		return 0, fmt.Errorf("journal: flush: %w", err)
 	}
-	return nil
+	return int64(len(line)) + 1, nil
 }
 
 // Close flushes and closes the journal file.

@@ -1,0 +1,246 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Rotation and multi-segment recovery.
+//
+// A long-lived writer — above all the pland plan-cache journal, which a
+// self-tuning server appends to on every search completion and drift
+// re-plan — must not grow without bound. RotatingWriter bounds it with
+// logrotate-style segments: the active file lives at path, rotated
+// segments at path.1 (newest) … path.K (oldest), and rotation is driven
+// by segment size and age. Segments beyond MaxSegments are deleted, so
+// the total footprint is capped at roughly (MaxSegments+1)·MaxBytes.
+//
+// Every segment is an ordinary CRC-framed journal (header + records), so
+// the existing single-file tooling — Verify, Recover, Quarantine — works
+// unchanged on each one. RecoverRawAll and VerifyAll extend recovery and
+// scrubbing across the whole segment chain, oldest first, which is the
+// order a reader replaying "latest record wins" semantics needs.
+
+// RotateConfig bounds a RotatingWriter's active segment. Zero fields
+// select the documented defaults.
+type RotateConfig struct {
+	// MaxBytes rotates the active segment once its size reaches this
+	// (default 1 MiB). A single oversized record still lands in one
+	// segment — rotation happens before the append that would breach.
+	MaxBytes int64
+	// MaxAge rotates the active segment once the oldest record in it is
+	// older than this (0 = no age-based rotation).
+	MaxAge time.Duration
+	// MaxSegments is how many rotated segments are kept besides the
+	// active one (default 3); older segments are deleted at rotation.
+	MaxSegments int
+
+	// now is a test hook (default time.Now).
+	now func() time.Time
+}
+
+func (rc RotateConfig) withDefaults() RotateConfig {
+	if rc.MaxBytes <= 0 {
+		rc.MaxBytes = 1 << 20
+	}
+	if rc.MaxSegments <= 0 {
+		rc.MaxSegments = 3
+	}
+	if rc.now == nil {
+		rc.now = time.Now
+	}
+	return rc
+}
+
+// RotatingWriter appends CRC-framed payload records to a size/age-bounded
+// segment chain. It is not safe for concurrent use; callers serialise.
+type RotatingWriter struct {
+	path   string
+	header any
+	rc     RotateConfig
+
+	w      *Writer
+	size   int64     // bytes in the active segment
+	opened time.Time // when the active segment was created (age basis)
+}
+
+// OpenRotating opens (or creates) the rotating journal at path. An
+// existing active segment is recovered first — torn tails are repaired —
+// and appending continues where it left off; its header must be present
+// but is not compared against the given one (the caller's scrub decides
+// what to do with a foreign journal). header is written to every freshly
+// created segment.
+func OpenRotating(path string, header any, rc RotateConfig) (*RotatingWriter, error) {
+	rc = rc.withDefaults()
+	rw := &RotatingWriter{path: path, header: header, rc: rc}
+	switch _, _, err := RecoverRaw(path); {
+	case err == nil:
+		w, err := Append(path)
+		if err != nil {
+			return nil, err
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			w.Close()
+			return nil, fmt.Errorf("journal: rotate open: %w", err)
+		}
+		rw.w, rw.size = w, st.Size()
+		// The file's mtime is the best age estimate an append-only
+		// segment has; an idle recovered segment ages from its last
+		// write, not from zero.
+		rw.opened = st.ModTime()
+		return rw, nil
+	case errors.Is(err, os.ErrNotExist):
+		return rw, rw.openFresh()
+	default:
+		return nil, err
+	}
+}
+
+func (rw *RotatingWriter) openFresh() error {
+	w, err := CreateRaw(rw.path, rw.header)
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(rw.path)
+	if err != nil {
+		w.Close()
+		return fmt.Errorf("journal: rotate open: %w", err)
+	}
+	rw.w, rw.size, rw.opened = w, st.Size(), rw.rc.now()
+	return nil
+}
+
+// AppendPayload writes one record, rotating first when the active
+// segment has reached its size or age bound.
+func (rw *RotatingWriter) AppendPayload(payload any) error {
+	if rw.size >= rw.rc.MaxBytes ||
+		(rw.rc.MaxAge > 0 && rw.rc.now().Sub(rw.opened) >= rw.rc.MaxAge) {
+		if err := rw.Rotate(); err != nil {
+			return err
+		}
+	}
+	n, err := rw.w.AppendPayloadSized(payload)
+	rw.size += n
+	return err
+}
+
+// Rotate forces a rotation: the active segment becomes path.1, existing
+// rotated segments shift up, segments beyond MaxSegments are deleted,
+// and a fresh active segment (with the header) is started.
+func (rw *RotatingWriter) Rotate() error {
+	if err := rw.w.Close(); err != nil {
+		return err
+	}
+	// Delete the oldest, then shift path.K-1→path.K … path.1→path.2.
+	os.Remove(segmentName(rw.path, rw.rc.MaxSegments))
+	for i := rw.rc.MaxSegments - 1; i >= 1; i-- {
+		from, to := segmentName(rw.path, i), segmentName(rw.path, i+1)
+		if _, err := os.Lstat(from); err == nil {
+			if err := os.Rename(from, to); err != nil {
+				return fmt.Errorf("journal: rotate shift: %w", err)
+			}
+		}
+	}
+	if err := os.Rename(rw.path, segmentName(rw.path, 1)); err != nil {
+		return fmt.Errorf("journal: rotate: %w", err)
+	}
+	return rw.openFresh()
+}
+
+// Size returns the byte size of the active segment.
+func (rw *RotatingWriter) Size() int64 { return rw.size }
+
+// Close flushes and closes the active segment.
+func (rw *RotatingWriter) Close() error { return rw.w.Close() }
+
+func segmentName(path string, i int) string { return fmt.Sprintf("%s.%d", path, i) }
+
+// Segments lists the on-disk segment chain for path, oldest first: the
+// highest-numbered rotated segment down to path.1, then the active
+// segment if it exists. Gaps in the numbering end the chain (a deleted
+// middle segment must not silently splice unrelated eras together).
+func Segments(path string) []string {
+	var rotated []string
+	for i := 1; ; i++ {
+		name := segmentName(path, i)
+		if _, err := os.Lstat(name); err != nil {
+			break
+		}
+		rotated = append(rotated, name)
+	}
+	// rotated is newest-first (path.1 newest); reverse to oldest-first.
+	var out []string
+	for i := len(rotated) - 1; i >= 0; i-- {
+		out = append(out, rotated[i])
+	}
+	if _, err := os.Lstat(path); err == nil {
+		out = append(out, path)
+	}
+	return out
+}
+
+// RecoverRawAll recovers every segment of the rotating journal at path,
+// oldest first, returning the concatenated record payloads and the
+// newest segment's header. Each segment gets the full single-file
+// treatment: CRC validation and torn-tail repair. A *CorruptError from
+// any segment aborts the whole recovery — the caller decides whether to
+// quarantine just that segment (see the pland scrub) — and a completely
+// missing chain returns os.ErrNotExist like RecoverRaw.
+func RecoverRawAll(path string) (json.RawMessage, []json.RawMessage, error) {
+	segs := Segments(path)
+	if len(segs) == 0 {
+		return nil, nil, fmt.Errorf("journal: recover: %w", os.ErrNotExist)
+	}
+	var (
+		hdr  json.RawMessage
+		recs []json.RawMessage
+	)
+	for _, seg := range segs {
+		h, rs, err := RecoverRaw(seg)
+		if err != nil {
+			return nil, nil, err
+		}
+		hdr = h
+		recs = append(recs, rs...)
+	}
+	return hdr, recs, nil
+}
+
+// VerifyAll runs the read-only integrity scan over every segment of the
+// rotating journal at path, oldest first, stopping at the first damaged
+// segment. The returned error wraps the failing segment's path in its
+// message; a missing chain satisfies errors.Is(err, os.ErrNotExist).
+func VerifyAll(path string) error {
+	segs := Segments(path)
+	if len(segs) == 0 {
+		return fmt.Errorf("journal: verify: %w", os.ErrNotExist)
+	}
+	for _, seg := range segs {
+		if err := Verify(seg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RemoveSegments deletes every rotated segment of path (the active
+// segment is left alone). A drain-time full rewrite of the active
+// segment makes the rotated history redundant; removing it is the
+// compaction step.
+func RemoveSegments(path string) error {
+	var firstErr error
+	for i := 1; ; i++ {
+		name := segmentName(path, i)
+		if _, err := os.Lstat(name); err != nil {
+			break
+		}
+		if err := os.Remove(name); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,308 @@
+package journal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+type rotHeader struct {
+	Kind string `json:"kind"`
+}
+
+type rotRec struct {
+	I int `json:"i"`
+}
+
+func readAllInts(t *testing.T, path string) []int {
+	t.Helper()
+	_, raws, err := RecoverRawAll(path)
+	if err != nil {
+		t.Fatalf("RecoverRawAll: %v", err)
+	}
+	out := make([]int, 0, len(raws))
+	for _, raw := range raws {
+		var r rotRec
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatalf("record: %v", err)
+		}
+		out = append(out, r.I)
+	}
+	return out
+}
+
+func TestRotatingWriterSizeRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.jsonl")
+	rw, err := OpenRotating(path, rotHeader{Kind: "rot-test"}, RotateConfig{MaxBytes: 256, MaxSegments: 2})
+	if err != nil {
+		t.Fatalf("OpenRotating: %v", err)
+	}
+	const total = 200
+	for i := 0; i < total; i++ {
+		if err := rw.AppendPayload(rotRec{I: i}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	segs := Segments(path)
+	if len(segs) != 3 { // path.2, path.1, path
+		t.Fatalf("segments = %v, want 3", segs)
+	}
+	for _, seg := range segs {
+		st, err := os.Stat(seg)
+		if err != nil {
+			t.Fatalf("stat %s: %v", seg, err)
+		}
+		// MaxBytes plus at most one record of slop (rotation happens
+		// before the append that would breach).
+		if st.Size() > 256+128 {
+			t.Errorf("%s is %d bytes, exceeds the rotation bound", seg, st.Size())
+		}
+		if err := Verify(seg); err != nil {
+			t.Errorf("segment %s does not verify: %v", seg, err)
+		}
+	}
+
+	// The retained tail must be contiguous and end at the last record:
+	// rotation drops only the oldest history.
+	got := readAllInts(t, path)
+	if len(got) == 0 || got[len(got)-1] != total-1 {
+		t.Fatalf("tail record = %v, want last %d", got, total-1)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[i-1]+1 {
+			t.Fatalf("records not contiguous at %d: %v", i, got)
+		}
+	}
+}
+
+func TestRotatingWriterAgeRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cache.jsonl")
+	now := time.Unix(1000, 0)
+	rc := RotateConfig{MaxBytes: 1 << 30, MaxAge: time.Minute, MaxSegments: 2,
+		now: func() time.Time { return now }}
+	rw, err := OpenRotating(path, rotHeader{Kind: "rot-test"}, rc)
+	if err != nil {
+		t.Fatalf("OpenRotating: %v", err)
+	}
+	if err := rw.AppendPayload(rotRec{I: 1}); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(2 * time.Minute)
+	if err := rw.AppendPayload(rotRec{I: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if segs := Segments(path); len(segs) != 2 {
+		t.Fatalf("segments = %v, want rotated+active after age rotation", segs)
+	}
+	if got := readAllInts(t, path); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("records = %v, want [1 2]", got)
+	}
+}
+
+func TestOpenRotatingResumesActiveSegment(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	rw, err := OpenRotating(path, rotHeader{Kind: "k"}, RotateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.AppendPayload(rotRec{I: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rw, err = OpenRotating(path, rotHeader{Kind: "k"}, RotateConfig{})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if err := rw.AppendPayload(rotRec{I: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAllInts(t, path); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("records after reopen = %v, want [1 2]", got)
+	}
+}
+
+func TestOpenRotatingRepairsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	rw, err := OpenRotating(path, rotHeader{Kind: "k"}, RotateConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := rw.AppendPayload(rotRec{I: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail the way SIGKILL does: truncate mid-record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rw, err = OpenRotating(path, rotHeader{Kind: "k"}, RotateConfig{})
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if err := rw.AppendPayload(rotRec{I: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readAllInts(t, path)
+	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 99 {
+		t.Fatalf("records after torn-tail repair = %v, want [0 1 99]", got)
+	}
+}
+
+func TestRecoverRawAllMergesSegmentsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	rw, err := OpenRotating(path, rotHeader{Kind: "k"}, RotateConfig{MaxBytes: 1 << 30, MaxSegments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if err := rw.AppendPayload(rotRec{I: i}); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 2 && i != 8 {
+			if err := rw.Rotate(); err != nil {
+				t.Fatalf("rotate: %v", err)
+			}
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := readAllInts(t, path)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("records out of order: %v", got)
+		}
+	}
+	if len(got) != 9 {
+		t.Fatalf("got %d records, want 9", len(got))
+	}
+}
+
+func TestVerifyAllFlagsCorruptRotatedSegment(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	rw, err := OpenRotating(path, rotHeader{Kind: "k"}, RotateConfig{MaxBytes: 1 << 30, MaxSegments: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := rw.AppendPayload(rotRec{I: i}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 1 {
+			if err := rw.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyAll(path); err != nil {
+		t.Fatalf("clean chain must verify: %v", err)
+	}
+
+	// Corrupt the middle of the rotated segment (not its tail).
+	seg := segmentName(path, 1)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = VerifyAll(path)
+	if err == nil {
+		t.Fatal("VerifyAll accepted a corrupt rotated segment")
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) && err == nil {
+		t.Fatalf("unexpected error type: %v", err)
+	}
+}
+
+func TestVerifyAllMissing(t *testing.T) {
+	if err := VerifyAll(filepath.Join(t.TempDir(), "nope.jsonl")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want os.ErrNotExist, got %v", err)
+	}
+	if _, _, err := RecoverRawAll(filepath.Join(t.TempDir(), "nope.jsonl")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("want os.ErrNotExist, got %v", err)
+	}
+}
+
+func TestRemoveSegments(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	rw, err := OpenRotating(path, rotHeader{Kind: "k"}, RotateConfig{MaxBytes: 1 << 30, MaxSegments: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := rw.AppendPayload(rotRec{I: i}); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 1 && i != 5 {
+			if err := rw.Rotate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := rw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveSegments(path); err != nil {
+		t.Fatal(err)
+	}
+	segs := Segments(path)
+	if len(segs) != 1 || segs[0] != path {
+		t.Fatalf("segments after RemoveSegments = %v, want only the active file", segs)
+	}
+}
+
+func TestSegmentsStopAtGap(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	for _, name := range []string{path, path + ".1", path + ".3"} {
+		if err := os.WriteFile(name, []byte("x\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs := Segments(path)
+	want := []string{path + ".1", path}
+	if fmt.Sprint(segs) != fmt.Sprint(want) {
+		t.Fatalf("segments = %v, want %v (gap at .2 ends the chain)", segs, want)
+	}
+}

@@ -41,7 +41,7 @@ func newAtlasState(a *atlas.Atlas) *atlasState {
 // hit on a cell pays one plan construction and JSON encode; every later
 // hit is a pointer load.
 func (s *Server) atlasAnswer(in planInputs) ([]byte, bool) {
-	st := s.atlasSt
+	st := s.atlasSt.Load()
 	if st == nil {
 		return nil, false
 	}
@@ -94,7 +94,7 @@ func (s *Server) encodeAtlasCell(in planInputs, rec atlas.Record) ([]byte, bool)
 // and how many records failed the live cross-check. Call at startup;
 // safe (but pointless) without a configured atlas.
 func (s *Server) WarmAtlas() (encoded, rejected int) {
-	st := s.atlasSt
+	st := s.atlasSt.Load()
 	if st == nil {
 		return 0, 0
 	}
@@ -136,7 +136,7 @@ func writeAtlasBody(w http.ResponseWriter, body []byte) error {
 // path would start from. Returns nil when the ratio is off-grid or the
 // algorithm/topology differ from the atlas's.
 func (s *Server) atlasShapeFallback(in planInputs) *heteropart.Plan {
-	st := s.atlasSt
+	st := s.atlasSt.Load()
 	if st == nil {
 		return nil
 	}

@@ -106,6 +106,7 @@ func (s *Server) planItem(ctx context.Context, idx int, item wire.PlanRequest) w
 		res.Status, res.Error = itemStatus(err)
 		return res
 	}
+	tier := s.ladder.tick(time.Now(), s.loadSignal)
 	if body, ok := s.atlasAnswer(in); ok {
 		s.atlasHits.Add(1)
 		res.Status = http.StatusOK
@@ -113,17 +114,42 @@ func (s *Server) planItem(ctx context.Context, idx int, item wire.PlanRequest) w
 		return res
 	}
 	start := time.Now()
-	release, herr := s.admitPlan(ctx)
+	switch tier {
+	case tierAtlas, tierStale:
+		resp, err := s.shedPlan(in, tier, start)
+		if err != nil {
+			res.Status, res.Error = itemStatus(err)
+			return res
+		}
+		return marshalItem(res, resp)
+	case tierReject:
+		res.Status, res.Error = itemStatus(s.rejectShed())
+		return res
+	}
+	release, herr, saturated := s.admitPlan(ctx)
+	if saturated {
+		resp, err := s.shedPlan(in, tierAtlas, start)
+		if err != nil {
+			res.Status, res.Error = itemStatus(err)
+			return res
+		}
+		return marshalItem(res, resp)
+	}
 	if herr != nil {
 		res.Status, res.Error = itemStatus(herr)
 		return res
 	}
-	resp, err := s.planScenario(ctx, in, start)
+	resp, err := s.planScenario(ctx, in, start, tier == tierBounded)
 	release()
 	if err != nil {
 		res.Status, res.Error = itemStatus(err)
 		return res
 	}
+	return marshalItem(res, resp)
+}
+
+// marshalItem finalises a successful item with its encoded response.
+func marshalItem(res wire.BatchItemResult, resp *wire.PlanResponse) wire.BatchItemResult {
 	body, err := json.Marshal(resp)
 	if err != nil {
 		res.Status, res.Error = http.StatusInternalServerError, err.Error()

@@ -76,7 +76,7 @@ func TestDeadlineDegradeDoesNotClaimTrial(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
 	defer cancel()
-	resp, err := s.computePlan(ctx, planInputsForTest(t, s))
+	resp, err := s.computePlan(ctx, planInputsForTest(t, s), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestClientCancelDoesNotCountBreakerFailure(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // the client is already gone
-	resp, err := s.computePlan(ctx, planInputsForTest(t, s))
+	resp, err := s.computePlan(ctx, planInputsForTest(t, s), false)
 	if err != nil {
 		t.Fatal(err)
 	}

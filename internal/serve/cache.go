@@ -25,6 +25,14 @@ type planCache struct {
 	ttl     time.Duration
 	max     int
 	now     func() time.Time
+
+	// jw, when set, is the live rotating journal: every put is appended
+	// so a crash loses at most the torn tail of the active segment, and
+	// size/age rotation bounds the on-disk footprint across long
+	// calibration runs. A failed append disables journaling (jwErr keeps
+	// the cause); the drain-time save still rewrites the cache in full.
+	jw    *journal.RotatingWriter
+	jwErr error
 }
 
 type cacheEntry struct {
@@ -58,7 +66,15 @@ func (c *planCache) get(key string) (resp wire.PlanResponse, fresh, ok bool) {
 func (c *planCache) put(key string, resp wire.PlanResponse) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[key] = cacheEntry{resp: resp, expires: c.now().Add(c.ttl)}
+	e := cacheEntry{resp: resp, expires: c.now().Add(c.ttl)}
+	c.entries[key] = e
+	if c.jw != nil {
+		rec := cacheJournalRecord{Key: key, Expires: e.expires.UnixNano(), Response: resp}
+		if err := c.jw.AppendPayload(rec); err != nil {
+			c.jw.Close()
+			c.jw, c.jwErr = nil, err
+		}
+	}
 	if c.max > 0 && len(c.entries) > c.max {
 		type aged struct {
 			key     string
@@ -73,6 +89,14 @@ func (c *planCache) put(key string, resp wire.PlanResponse) {
 			delete(c.entries, a.key)
 		}
 	}
+}
+
+// remove drops an entry (drift invalidation: the plan under this key
+// was computed for a superseded scenario estimate).
+func (c *planCache) remove(key string) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
 }
 
 func (c *planCache) len() int {
@@ -97,12 +121,42 @@ type cacheJournalRecord struct {
 
 const cacheJournalKind = "plancache"
 
+// journalTo attaches a live rotating journal at path: subsequent puts
+// are appended incrementally. Call after load() — the journal is opened
+// in append mode over whatever active segment survived the scrub.
+func (c *planCache) journalTo(path string, rc journal.RotateConfig) error {
+	rw, err := journal.OpenRotating(path, cacheJournalHeader{Kind: cacheJournalKind, Version: 1}, rc)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.jw != nil {
+		c.jw.Close()
+	}
+	c.jw, c.jwErr = rw, nil
+	c.mu.Unlock()
+	return nil
+}
+
+// journalHealth reports the error that disabled live journaling, if any.
+func (c *planCache) journalHealth() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.jwErr
+}
+
 // save writes the cache to path as a CRC-framed journal, atomically: the
 // journal is built in a sibling tempfile and renamed over path, so a
 // crash mid-save leaves either the old cache or the new one. It returns
 // the number of entries written.
 func (c *planCache) save(path string) (int, error) {
 	c.mu.Lock()
+	if c.jw != nil {
+		// The full rewrite below supersedes the incremental journal;
+		// release the active segment so the rename can replace it.
+		c.jw.Close()
+		c.jw = nil
+	}
 	recs := make([]cacheJournalRecord, 0, len(c.entries))
 	for k, e := range c.entries {
 		recs = append(recs, cacheJournalRecord{Key: k, Expires: e.expires.UnixNano(), Response: e.resp})
@@ -131,15 +185,22 @@ func (c *planCache) save(path string) (int, error) {
 		os.Remove(tmp)
 		return 0, fmt.Errorf("serve: cache journal rename: %w", err)
 	}
+	// Compaction: the rewrite above holds every live entry, so any
+	// rotated segments from incremental journaling are redundant history.
+	if err := journal.RemoveSegments(path); err != nil {
+		return len(recs), fmt.Errorf("serve: cache journal compact: %w", err)
+	}
 	return len(recs), nil
 }
 
-// load warms the cache from a journal written by save, tolerating a torn
-// tail (the journal layer repairs it). Entries already expired are still
-// loaded — they are the stale-serving inventory. A missing file is not
-// an error; a journal of the wrong kind is.
+// load warms the cache from the journal chain at path — rotated segments
+// oldest first, then the active segment — tolerating a torn tail on any
+// segment (the journal layer repairs it). Records replay in append
+// order, so the latest record for a key wins. Entries already expired
+// are still loaded — they are the stale-serving inventory. A missing
+// file is not an error; a journal of the wrong kind is.
 func (c *planCache) load(path string) (int, error) {
-	hdrRaw, recRaws, err := journal.RecoverRaw(path)
+	hdrRaw, recRaws, err := journal.RecoverRawAll(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}

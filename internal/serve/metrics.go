@@ -43,6 +43,7 @@ type serverMetrics struct {
 	responses *metrics.CounterVec   // by endpoint, status code
 	latency   *metrics.HistogramVec // by endpoint, seconds
 	degraded  *metrics.CounterVec   // by reason
+	tierTrans *metrics.CounterVec   // shed ladder transitions, by from/to
 }
 
 func newServerMetrics(s *Server) *serverMetrics {
@@ -58,14 +59,26 @@ func newServerMetrics(s *Server) *serverMetrics {
 			nil, "endpoint"),
 		degraded: reg.NewCounterVec("pland_degraded_total",
 			"Degraded answers by reason.", "reason"),
+		tierTrans: reg.NewCounterVec("pland_tier_transitions_total",
+			"Shed ladder transitions by from/to rung. Adjacent rungs only, by construction.",
+			"from", "to"),
+	}
+	// The ladder reports its transitions into the vec; pre-touch every
+	// adjacent pair so a scrape can assert "no rung skipped" against a
+	// complete matrix instead of absent series.
+	for t := tierSearch; t < numTiers-1; t++ {
+		m.tierTrans.With(t.String(), (t + 1).String())
+		m.tierTrans.With((t + 1).String(), t.String())
 	}
 
 	counterFuncs := []struct {
 		name, help string
 		fn         func() float64
 	}{
-		{"pland_shed_total", "Requests shed with 429 by the admission gate.",
+		{"pland_shed_total", "Requests answered 429 at the ladder's reject rung (or a saturated ancillary endpoint).",
 			func() float64 { return float64(s.shed.Load()) }},
+		{"pland_gate_saturation_fallbacks_total", "Search-path requests that found the gate saturated and were served the degraded fallback instead of a 429.",
+			func() float64 { return float64(s.gateFallbacks.Load()) }},
 		{"pland_searched_total", "Full-quality answers produced by a completed search.",
 			func() float64 { return float64(s.searched.Load()) }},
 		{"pland_coalesced_total", "Requests that shared another request's in-flight computation.",
@@ -86,6 +99,22 @@ func newServerMetrics(s *Server) *serverMetrics {
 			func() float64 { return float64(s.batchRequests.Load()) }},
 		{"pland_batch_items_total", "Plan items carried inside accepted batch requests.",
 			func() float64 { return float64(s.batchItems.Load()) }},
+		{"pland_replans_total", "Background re-plans triggered by calibration drift publishes.",
+			func() float64 { return float64(s.replans.Load()) }},
+		{"pland_calibration_rounds_total", "Calibration rounds run by the attached calibrator.",
+			func() float64 {
+				if c := s.cal.Load(); c != nil {
+					return float64(c.Rounds())
+				}
+				return 0
+			}},
+		{"pland_calibration_drift_events_total", "Drift-triggered estimate publishes (the initial publish excluded).",
+			func() float64 {
+				if c := s.cal.Load(); c != nil {
+					return float64(c.DriftEvents())
+				}
+				return 0
+			}},
 	}
 	for _, c := range counterFuncs {
 		reg.CounterFunc(c.name, c.help, c.fn)
@@ -123,10 +152,11 @@ func newServerMetrics(s *Server) *serverMetrics {
 			func() float64 { return float64(s.cache.len()) }},
 		{"pland_atlas_cells", "Valid cells in the loaded shape atlas (0 when none is configured).",
 			func() float64 {
-				if s.atlasSt == nil {
+				st := s.atlasSt.Load()
+				if st == nil {
 					return 0
 				}
-				return float64(s.atlasSt.atlas.ValidCells())
+				return float64(st.atlas.ValidCells())
 			}},
 		{"pland_breaker_state", "Search breaker state: 0 closed, 1 half-open, 2 open.",
 			s.brk.stateValue},
@@ -137,11 +167,43 @@ func newServerMetrics(s *Server) *serverMetrics {
 				}
 				return 0
 			}},
+		{"pland_shed_tier", "Current shed ladder rung: 0 search, 1 bounded, 2 atlas, 3 stale, 4 reject.",
+			func() float64 { return float64(s.ladder.current()) }},
+		{"pland_load_signal", "Composite load signal at the last ladder evaluation (1.0 = at capacity).",
+			func() float64 { return s.ladder.lastLoadSignal() }},
+		{"pland_calibration_generation", "Generation of the published auto-ratio scenario (0 = none yet).",
+			func() float64 {
+				if sc := s.scenario.Load(); sc != nil {
+					return float64(sc.gen)
+				}
+				return 0
+			}},
 		{"go_goroutines", "Goroutines in the process.",
 			func() float64 { return float64(runtime.NumGoroutine()) }},
 	}
 	for _, g := range gaugeFuncs {
 		reg.GaugeFunc(g.name, g.help, g.fn)
+	}
+
+	// The published scenario ratio, one series per processor — drift
+	// made visible on the dashboard that also shows the replan counter.
+	for _, pr := range []struct {
+		proc string
+		fn   func(sc *autoScenario) float64
+	}{
+		{"P", func(sc *autoScenario) float64 { return sc.ratio.Pr }},
+		{"R", func(sc *autoScenario) float64 { return sc.ratio.Rr }},
+		{"S", func(sc *autoScenario) float64 { return sc.ratio.Sr }},
+	} {
+		fn := pr.fn
+		reg.LabeledGaugeFunc("pland_calibration_ratio",
+			"Published scenario ratio component per processor (0 = no estimate yet).",
+			"proc", pr.proc, func() float64 {
+				if sc := s.scenario.Load(); sc != nil {
+					return fn(sc)
+				}
+				return 0
+			})
 	}
 
 	for _, t := range []struct {

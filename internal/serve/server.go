@@ -27,12 +27,15 @@ import (
 	"runtime"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	heteropart "repro"
 	"repro/internal/atlas"
+	"repro/internal/calibrate"
+	"repro/internal/journal"
 	"repro/internal/partition"
 	"repro/internal/push"
 	"repro/internal/shape"
@@ -110,6 +113,19 @@ type Config struct {
 	MaxBatchItems int
 	MaxBatchBytes int64
 
+	// The adaptive shed ladder (see tuning.go). ShedTargetLatency is
+	// the latency the EWMA is normalized against (default 300ms);
+	// ShedInterval how often the ladder re-evaluates (default 100ms);
+	// ShedUp/ShedDown the load-signal thresholds for climbing and
+	// descending a rung (defaults 0.85 and 0.5 — the gap is the
+	// hysteresis). BoundedSearchSteps is the capped step budget of the
+	// tierBounded rung (default 256).
+	ShedTargetLatency  time.Duration
+	ShedInterval       time.Duration
+	ShedUp             float64
+	ShedDown           float64
+	BoundedSearchSteps int
+
 	// Logf receives operational log lines (default: discard).
 	Logf func(format string, args ...any)
 }
@@ -163,6 +179,21 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchBytes <= 0 {
 		c.MaxBatchBytes = 8 << 20
 	}
+	if c.ShedTargetLatency <= 0 {
+		c.ShedTargetLatency = 300 * time.Millisecond
+	}
+	if c.ShedInterval <= 0 {
+		c.ShedInterval = 100 * time.Millisecond
+	}
+	if c.ShedUp <= 0 {
+		c.ShedUp = 0.85
+	}
+	if c.ShedDown <= 0 {
+		c.ShedDown = 0.5
+	}
+	if c.BoundedSearchSteps <= 0 {
+		c.BoundedSearchSteps = 256
+	}
 	if c.Machine == nil {
 		c.Machine = heteropart.DefaultMachine
 	}
@@ -179,7 +210,21 @@ type Server struct {
 	flights *flightGroup
 	cache   *planCache
 	brk     *breaker
-	atlasSt *atlasState
+	atlasSt atomic.Pointer[atlasState]
+	ladder  *loadController
+
+	// customMachine records whether Config.Machine was caller-supplied
+	// (the atlas validity rules care; the post-defaults cfg cannot tell).
+	customMachine bool
+
+	// Self-tuning state: the published auto-ratio scenario, the tracked
+	// auto keys for drift invalidation, and the attached calibrator
+	// (metrics only — estimates flow through ApplyEstimate).
+	scenario    atomic.Pointer[autoScenario]
+	cal         atomic.Pointer[calibrate.Calibrator]
+	autoMu      sync.Mutex
+	autoTracked map[string]planInputs
+	replans     atomic.Int64
 
 	draining atomic.Bool
 
@@ -188,6 +233,7 @@ type Server struct {
 
 	requests      atomic.Int64
 	shed          atomic.Int64
+	gateFallbacks atomic.Int64
 	degraded      atomic.Int64
 	searched      atomic.Int64
 	cacheHits     atomic.Int64
@@ -211,6 +257,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Atlas != nil && cfg.Machine != nil {
 		return nil, fmt.Errorf("serve: Atlas requires the default machine model")
 	}
+	customMachine := cfg.Machine != nil
 	cfg = cfg.withDefaults()
 	if cfg.Atlas != nil && cfg.Atlas.N() > cfg.MaxN {
 		return nil, fmt.Errorf("serve: atlas n=%d exceeds MaxN=%d; its scenarios would be rejected before lookup", cfg.Atlas.N(), cfg.MaxN)
@@ -220,12 +267,22 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		gate:    gate,
-		flights: newFlightGroup(),
-		cache:   newPlanCache(cfg.CacheTTL, cfg.CacheMax),
-		brk:     newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
-		atlasSt: newAtlasState(cfg.Atlas),
+		cfg:           cfg,
+		gate:          gate,
+		flights:       newFlightGroup(),
+		cache:         newPlanCache(cfg.CacheTTL, cfg.CacheMax),
+		brk:           newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		customMachine: customMachine,
+		autoTracked:   make(map[string]planInputs),
+		ladder: newLoadController(cfg.ShedTargetLatency, cfg.ShedInterval,
+			cfg.ShedUp, cfg.ShedDown, time.Now()),
+	}
+	s.atlasSt.Store(newAtlasState(cfg.Atlas))
+	s.ladder.onShift = func(from, to shedTier) {
+		// s.metrics is assigned below, before any request can tick the
+		// ladder.
+		s.metrics.tierTrans.With(from.String(), to.String()).Inc()
+		s.cfg.Logf("serve: shed ladder %s -> %s (load %.2f)", from, to, s.ladder.lastLoadSignal())
 	}
 	s.metrics = newServerMetrics(s)
 	return s, nil
@@ -263,12 +320,28 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 func (s *Server) LoadCache(path string) (int, error) { return s.cache.load(path) }
 
 // SaveCache persists the plan cache (stale entries included — they are
-// the degraded-mode inventory) to an atomic CRC-framed journal.
+// the degraded-mode inventory) to an atomic CRC-framed journal and
+// compacts away any rotated segments the live journal left behind.
 func (s *Server) SaveCache(path string) (int, error) { return s.cache.save(path) }
+
+// JournalCache attaches a live rotating journal at path: every cache
+// store is appended incrementally so a crash loses at most the torn
+// tail, with size/age rotation bounding the on-disk footprint. Call
+// after LoadCache; a later SaveCache supersedes and compacts it.
+func (s *Server) JournalCache(path string, rc journal.RotateConfig) error {
+	return s.cache.journalTo(path, rc)
+}
+
+// CacheJournalHealth reports the error that disabled live cache
+// journaling, or nil while it is healthy (or not configured).
+func (s *Server) CacheJournalHealth() error { return s.cache.journalHealth() }
 
 // Stats snapshots the traffic counters.
 func (s *Server) Stats() wire.Stats {
-	return wire.Stats{
+	st := wire.Stats{
+		Replans:       s.replans.Load(),
+		ShedTier:      s.ladder.current().String(),
+		GateFallbacks: s.gateFallbacks.Load(),
 		Requests:      s.requests.Load(),
 		Shed:          s.shed.Load(),
 		Degraded:      s.degraded.Load(),
@@ -284,6 +357,7 @@ func (s *Server) Stats() wire.Stats {
 		BatchRequests: s.batchRequests.Load(),
 		BatchItems:    s.batchItems.Load(),
 	}
+	return st
 }
 
 // httpError carries a status code and optional backpressure hint from a
@@ -316,8 +390,15 @@ func (s *Server) endpoint(name string, admit bool, h func(ctx context.Context, w
 			if started.IsZero() {
 				return
 			}
-			s.metrics.latency.With(name).Observe(time.Since(started).Seconds())
+			elapsed := time.Since(started)
+			s.metrics.latency.With(name).Observe(elapsed.Seconds())
 			s.metrics.responses.With(name, strconv.Itoa(sw.statusOr(http.StatusOK))).Inc()
+			// The shed ladder's latency signal watches the planning
+			// endpoints only: probe and stats traffic must not mask (or
+			// fake) planning-path pressure.
+			if name == "plan" || name == "batch" {
+				s.ladder.observe(elapsed)
+			}
 		}()
 		// Panic isolation: one poisoned request must not take down the
 		// process. The quarantine counter is the operator's signal.
@@ -453,6 +534,7 @@ type planInputs struct {
 	alg   heteropart.Algorithm
 	m     heteropart.Machine
 	seed  int64
+	auto  bool // ratio was "auto", resolved from the calibrated scenario
 	key   string
 }
 
@@ -476,8 +558,26 @@ func (s *Server) parsePlanRequest(req wire.PlanRequest) (planInputs, error) {
 	if req.N < 4 || req.N > s.cfg.MaxN {
 		return planInputs{}, badRequest("n must be in [4, %d], got %d", s.cfg.MaxN, req.N)
 	}
-	ratio, err := heteropart.ParseRatio(req.Ratio)
-	if err != nil {
+	var (
+		ratio heteropart.Ratio
+		sc    *autoScenario
+		err   error
+	)
+	if strings.EqualFold(req.Ratio, "auto") {
+		// "auto" resolves against the latest calibrated scenario at
+		// request time. The resolved ratio lands in the cache key below,
+		// so once a new estimate publishes, the old keys can never be
+		// hit again — a superseded plan is structurally unservable.
+		sc = s.scenario.Load()
+		if sc == nil {
+			return planInputs{}, &httpError{
+				status:     http.StatusServiceUnavailable,
+				msg:        `ratio "auto": no calibrated scenario published yet`,
+				retryAfter: time.Second,
+			}
+		}
+		ratio = sc.ratio
+	} else if ratio, err = heteropart.ParseRatio(req.Ratio); err != nil {
 		return planInputs{}, badRequest("%v", err)
 	}
 	alg, err := heteropart.ParseAlgorithm(req.Algorithm)
@@ -490,22 +590,34 @@ func (s *Server) parsePlanRequest(req wire.PlanRequest) (planInputs, error) {
 	}
 	m := s.cfg.Machine(ratio)
 	m.Topology = topo
+	if sc != nil && sc.beta > 0 && s.atlasSt.Load() == nil {
+		// Calibrated link estimate. Applied only without an atlas: the
+		// atlas is baked for the default β, and serving its records
+		// under another model would answer with a different machine's
+		// winners (the cross-check would reject every cell anyway).
+		m.Net.Beta = sc.beta
+	}
 	seed := req.Seed
 	if seed == 0 {
 		seed = s.cfg.SearchSeed
 	}
-	return planInputs{
+	in := planInputs{
 		n:     req.N,
 		ratio: ratio,
 		alg:   alg,
 		m:     m,
 		seed:  seed,
+		auto:  sc != nil,
 		// The ratio is quantized into the key via Ratio.Key — the same
 		// identity the atlas lattice snaps on — so the cache and the
 		// atlas can never disagree about two ratios being the same
 		// scenario (see partition.Ratio.Key).
-		key:   fmt.Sprintf("%d|%s|%s|%s|%d", req.N, ratio.Key(), alg, topo, seed),
-	}, nil
+		key: fmt.Sprintf("%d|%s|%s|%s|%d", req.N, ratio.Key(), alg, topo, seed),
+	}
+	if in.auto {
+		s.trackAuto(in)
+	}
+	return in, nil
 }
 
 func (s *Server) handlePlan(ctx context.Context, w http.ResponseWriter, r *http.Request) error {
@@ -513,20 +625,43 @@ func (s *Server) handlePlan(ctx context.Context, w http.ResponseWriter, r *http.
 	if err != nil {
 		return err
 	}
+	// The ladder evaluates on the request path (at most once per
+	// interval) — before the atlas tier, so even an all-atlas workload
+	// lets an overloaded ladder recover.
+	tier := s.ladder.tick(time.Now(), s.loadSignal)
 	// Tier 1: the atlas. On-grid scenarios are answered from the baked
 	// snapshot before admission control — a pointer load on the steady
-	// state, with no gate, flight, breaker, or search involvement.
+	// state, with no gate, flight, breaker, or search involvement. The
+	// atlas answers at EVERY shed rung, reject included: on-grid
+	// scenarios never lose availability.
 	if body, ok := s.atlasAnswer(in); ok {
 		s.atlasHits.Add(1)
 		return writeAtlasBody(w, body)
 	}
 	start := time.Now()
-	release, herr := s.admitPlan(ctx)
+	switch tier {
+	case tierAtlas, tierStale:
+		resp, err := s.shedPlan(in, tier, start)
+		if err != nil {
+			return err
+		}
+		return s.writeResult(w, resp)
+	case tierReject:
+		return s.rejectShed()
+	}
+	release, herr, saturated := s.admitPlan(ctx)
+	if saturated {
+		resp, err := s.shedPlan(in, tierAtlas, start)
+		if err != nil {
+			return err
+		}
+		return s.writeResult(w, resp)
+	}
 	if herr != nil {
 		return herr
 	}
 	defer release()
-	resp, err := s.planScenario(ctx, in, start)
+	resp, err := s.planScenario(ctx, in, start, tier == tierBounded)
 	if err != nil {
 		return err
 	}
@@ -534,28 +669,32 @@ func (s *Server) handlePlan(ctx context.Context, w http.ResponseWriter, r *http.
 }
 
 // admitPlan acquires an admission-gate slot for search-path work (the
-// atlas tier deliberately never holds one).
-func (s *Server) admitPlan(ctx context.Context) (release func(), err error) {
+// atlas tier deliberately never holds one). A saturated gate does not
+// fail the request: it reports saturated=true and the caller serves the
+// ungated degraded fallback — a full queue is an overload signal for
+// the shed ladder's next tick, not a client error, and the closed form
+// is always affordable. Only the ladder's reject rung answers 429.
+func (s *Server) admitPlan(ctx context.Context) (release func(), herr error, saturated bool) {
 	switch err := s.gate.Acquire(ctx); {
 	case errors.Is(err, throttle.ErrSaturated):
-		s.shed.Add(1)
-		return nil, &httpError{status: http.StatusTooManyRequests, msg: "saturated: work queue full", retryAfter: time.Second}
+		s.gateFallbacks.Add(1)
+		return nil, nil, true
 	case err != nil:
-		return nil, &httpError{status: http.StatusGatewayTimeout, msg: "deadline expired in admission queue"}
+		return nil, &httpError{status: http.StatusGatewayTimeout, msg: "deadline expired in admission queue"}, false
 	}
-	return s.gate.Release, nil
+	return s.gate.Release, nil, false
 }
 
 // planScenario runs the gated planning path for one validated scenario:
 // singleflight coalescing, cache, bounded search, degraded fallback. It
 // is shared by /v1/plan and each /v1/plan:batch item.
-func (s *Server) planScenario(ctx context.Context, in planInputs, start time.Time) (*wire.PlanResponse, error) {
+func (s *Server) planScenario(ctx context.Context, in planInputs, start time.Time, bounded bool) (*wire.PlanResponse, error) {
 	// Waiters leave the coalesced flight early enough to still serve
 	// their degraded fallback inside their own deadline.
 	waitCtx, cancel := s.withReplyMargin(ctx)
 	defer cancel()
 	resp, shared, err := s.flights.do(waitCtx, in.key, func() (*wire.PlanResponse, error) {
-		return s.computePlan(ctx, in)
+		return s.computePlan(ctx, in, bounded)
 	})
 	if shared {
 		s.coalesced.Add(1)
@@ -584,7 +723,7 @@ func (s *Server) planScenario(ctx context.Context, in planInputs, start time.Tim
 // computePlan is the flight leader's path: fresh cache, canonical
 // evaluation, then the deadline-bounded search refinement with breaker
 // and degraded fallback.
-func (s *Server) computePlan(ctx context.Context, in planInputs) (*wire.PlanResponse, error) {
+func (s *Server) computePlan(ctx context.Context, in planInputs, bounded bool) (*wire.PlanResponse, error) {
 	if resp, fresh, ok := s.cache.get(in.key); ok && fresh {
 		s.cacheHits.Add(1)
 		resp.Source = wire.SourceCache
@@ -612,7 +751,11 @@ func (s *Server) computePlan(ctx context.Context, in planInputs) (*wire.PlanResp
 	case !s.brk.allow():
 		reason = wire.DegradedBreakerOpen
 	default:
-		reason = s.refineSearch(ctx, budget, in, resp)
+		maxSteps := 0
+		if bounded {
+			maxSteps = s.cfg.BoundedSearchSteps
+		}
+		reason = s.refineSearch(ctx, budget, in, resp, maxSteps)
 	}
 	if reason != "" {
 		return s.degradedPlanWith(resp, in, reason)
@@ -628,7 +771,7 @@ func (s *Server) computePlan(ctx context.Context, in planInputs) (*wire.PlanResp
 // trial slot is returned even when the search panics or is abandoned,
 // otherwise the slot would leak and the breaker would refuse every
 // future trial until restart.
-func (s *Server) refineSearch(ctx context.Context, budget time.Duration, in planInputs, resp *wire.PlanResponse) (reason wire.DegradedReason) {
+func (s *Server) refineSearch(ctx context.Context, budget time.Duration, in planInputs, resp *wire.PlanResponse, maxSteps int) (reason wire.DegradedReason) {
 	reported := false
 	defer func() {
 		if !reported {
@@ -637,7 +780,7 @@ func (s *Server) refineSearch(ctx context.Context, budget time.Duration, in plan
 	}()
 	sctx, cancel := context.WithTimeout(ctx, budget)
 	defer cancel()
-	sum, serr := s.runSearch(sctx, in.n, in.ratio, in.seed, 0, true)
+	sum, serr := s.runSearch(sctx, in.n, in.ratio, in.seed, maxSteps, true)
 	switch {
 	case serr == nil:
 		s.brk.success()

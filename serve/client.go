@@ -62,6 +62,13 @@ type ClientConfig struct {
 	// selects 500ms when 0; NewClient keeps probing off unless set.
 	// Negative disables probing for either constructor.
 	ProbeInterval time.Duration
+	// ProbeMaxBackoff caps the jittered exponential backoff applied to
+	// probes of a replica that keeps failing them: each consecutive
+	// probe failure doubles that replica's next-probe delay (with
+	// ±50% jitter to decorrelate a fleet of pools probing the same dead
+	// replica) up to this cap. A probe success resets the delay to
+	// ProbeInterval. 0 selects 16× ProbeInterval.
+	ProbeMaxBackoff time.Duration
 	// EjectThreshold is the consecutive-failure count (live calls and
 	// probes combined) that ejects a replica from rotation. 0 selects 3.
 	EjectThreshold int
@@ -131,9 +138,11 @@ type Client struct {
 
 	now func() time.Time
 
-	probeStop chan struct{}
-	probeDone chan struct{}
-	closeOnce sync.Once
+	probeStop   chan struct{}
+	probeDone   chan struct{}
+	probeCtx    context.Context    // root of every probe request context
+	probeCancel context.CancelFunc // Close cancels in-flight probes with it
+	closeOnce   sync.Once
 }
 
 // NewClient returns a client for the single replica at baseURL
@@ -215,8 +224,12 @@ func newClient(urls []string, cfg ClientConfig) (*Client, error) {
 		c.replicas = append(c.replicas, &replica{url: u})
 	}
 	if cfg.ProbeInterval > 0 {
+		if c.cfg.ProbeMaxBackoff <= 0 {
+			c.cfg.ProbeMaxBackoff = 16 * cfg.ProbeInterval
+		}
 		c.probeStop = make(chan struct{})
 		c.probeDone = make(chan struct{})
+		c.probeCtx, c.probeCancel = context.WithCancel(context.Background())
 		go c.probeLoop()
 	}
 	return c, nil

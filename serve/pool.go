@@ -53,6 +53,14 @@ type replica struct {
 	ejected      bool
 	ejectedUntil time.Time
 	ejections    int64
+
+	// Probe backoff: consecutive probe failures and the earliest time
+	// the prober will try this replica again. A down replica is probed
+	// at exponentially stretching, jittered intervals instead of every
+	// tick — a dead host costs the prober (and the network) less and
+	// less the longer it stays dead.
+	probeFails int
+	nextProbe  time.Time
 }
 
 func (r *replica) state(now time.Time) ReplicaState {
@@ -233,11 +241,19 @@ func (c *Client) probeLoop() {
 	}
 }
 
-// probeAll probes every replica concurrently (a blackholed replica's
-// probe must not delay the others') and waits for the round to finish.
+// probeAll probes every due replica concurrently (a blackholed
+// replica's probe must not delay the others') and waits for the round
+// to finish. Replicas inside their probe-backoff window are skipped.
 func (c *Client) probeAll() {
+	now := c.now()
 	var wg sync.WaitGroup
 	for _, r := range c.replicas {
+		r.mu.Lock()
+		due := !now.Before(r.nextProbe)
+		r.mu.Unlock()
+		if !due {
+			continue
+		}
 		wg.Add(1)
 		go func(r *replica) {
 			defer wg.Done()
@@ -259,7 +275,10 @@ func (c *Client) probeOne(r *replica) {
 	if timeout > time.Second {
 		timeout = time.Second
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	// Derived from probeCtx, not Background: Close cancels probeCtx, so
+	// a probe blocked on an unresponsive replica unblocks immediately
+	// instead of holding Close for the rest of its timeout.
+	ctx, cancel := context.WithTimeout(c.probeCtx, timeout)
 	defer cancel()
 	ok := c.probeURL(ctx, r.url+"/readyz")
 	if !ok && c.probeStatus(ctx, r.url+"/readyz") == http.StatusNotFound {
@@ -267,11 +286,39 @@ func (c *Client) probeOne(r *replica) {
 	}
 	if ok {
 		r.readmit(c.now())
+		r.mu.Lock()
+		r.probeFails, r.nextProbe = 0, time.Time{}
+		r.mu.Unlock()
 		return
 	}
 	if r.recordFailure(c.now(), c.cfg.EjectThreshold, c.cfg.EjectCooldown) {
 		c.ejections.Add(1)
 	}
+	c.backoffProbe(r)
+}
+
+// backoffProbe schedules a failed replica's next probe with jittered
+// exponential backoff: delay doubles per consecutive probe failure,
+// jittered uniformly over [0.5×, 1.5×] so many pools watching the same
+// dead replica don't re-probe it in lockstep, capped at ProbeMaxBackoff.
+func (c *Client) backoffProbe(r *replica) {
+	r.mu.Lock()
+	fails := r.probeFails
+	r.probeFails++
+	r.mu.Unlock()
+
+	delay := c.cfg.ProbeInterval << uint(min(fails, 20))
+	if delay <= 0 || delay > c.cfg.ProbeMaxBackoff {
+		delay = c.cfg.ProbeMaxBackoff
+	}
+	c.rngMu.Lock()
+	jittered := time.Duration((0.5 + c.rng.Float64()) * float64(delay))
+	c.rngMu.Unlock()
+
+	next := c.now().Add(jittered)
+	r.mu.Lock()
+	r.nextProbe = next
+	r.mu.Unlock()
 }
 
 // probeURL reports whether a GET of url answers 2xx within ctx.
@@ -321,6 +368,7 @@ func (c *Client) Close() {
 	c.closeOnce.Do(func() {
 		if c.probeStop != nil {
 			close(c.probeStop)
+			c.probeCancel() // unblock any in-flight probe immediately
 			<-c.probeDone
 		}
 	})

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestProbeBackoffReducesProbeRate: a replica that keeps failing its
+// readiness probe is probed at exponentially stretching intervals, not
+// on every tick — the probe count over a fixed window must come in far
+// under the no-backoff rate.
+func TestProbeBackoffReducesProbeRate(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c, err := NewPool([]string{ts.URL}, ClientConfig{
+		ProbeInterval:   2 * time.Millisecond,
+		ProbeMaxBackoff: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	time.Sleep(150 * time.Millisecond)
+	n := hits.Load()
+	// Both /readyz attempts of a failed round count as hits, so the
+	// no-backoff rate over 150ms at a 2ms tick is ~150 hits. With
+	// doubling delays (2,4,8,16,32,50,50... ±50% jitter) a round fires
+	// at most ~10 times.
+	if n == 0 {
+		t.Fatal("prober never probed")
+	}
+	if n > 40 {
+		t.Fatalf("%d probe hits in 150ms — backoff is not stretching the interval", n)
+	}
+}
+
+// TestProbeBackoffResetsOnRecovery: once a probe succeeds, the backoff
+// clears — the replica is re-admitted and returns to the base probing
+// cadence instead of staying on the slow path.
+func TestProbeBackoffResetsOnRecovery(t *testing.T) {
+	var healthy atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if healthy.Load() {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c, err := NewPool([]string{ts.URL}, ClientConfig{
+		ProbeInterval:   2 * time.Millisecond,
+		ProbeMaxBackoff: 20 * time.Millisecond,
+		EjectThreshold:  1,
+		EjectCooldown:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := c.replicas[0]
+
+	// Let the failure streak build a real backoff.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		r.mu.Lock()
+		fails := r.probeFails
+		r.mu.Unlock()
+		if fails >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe failures never accumulated")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	healthy.Store(true)
+	for {
+		r.mu.Lock()
+		fails, next := r.probeFails, r.nextProbe
+		r.mu.Unlock()
+		if fails == 0 && next.IsZero() && r.state(time.Now()) == ReplicaActive {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backoff never reset after recovery: fails=%d next=%v state=%v",
+				fails, next, r.state(time.Now()))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCloseCancelsInFlightProbe: Close must cancel a probe blocked on
+// an unresponsive replica immediately — it must not wait out the probe
+// timeout.
+func TestCloseCancelsInFlightProbe(t *testing.T) {
+	probing := make(chan struct{}, 1)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case probing <- struct{}{}:
+		default:
+		}
+		<-r.Context().Done() // block until the prober gives up
+	}))
+	defer ts.Close()
+
+	c, err := NewPool([]string{ts.URL}, ClientConfig{ProbeInterval: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-probing:
+	case <-time.After(5 * time.Second):
+		t.Fatal("probe never reached the server")
+	}
+	start := time.Now()
+	c.Close()
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("Close took %v with a probe in flight — the probe context was not cancelled", elapsed)
+	}
+}
+
+// TestProbeBackoffConcurrentClose hammers the prober's shared state
+// from multiple goroutines while probes are failing and backing off,
+// then races Close against the readers. Run under -race.
+func TestProbeBackoffConcurrentClose(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	c, err := NewPool([]string{ts.URL, ts.URL + "/"}, ClientConfig{
+		ProbeInterval:   time.Millisecond,
+		ProbeMaxBackoff: 4 * time.Millisecond,
+		EjectThreshold:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c.Replicas()
+				c.Ejections()
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(25 * time.Millisecond)
+			c.Close() // idempotent: both closers race safely
+		}()
+	}
+	wg.Wait()
+}

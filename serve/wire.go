@@ -106,6 +106,10 @@ const (
 	DegradedCancelled DegradedReason = "cancelled"
 	// DegradedSearchError: the search itself failed.
 	DegradedSearchError DegradedReason = "search-error"
+	// DegradedLoadShed: the adaptive load controller shed the search
+	// tier — the answer is the best the current shed rung allows
+	// (atlas shape, stale cache, or canonical evaluation).
+	DegradedLoadShed DegradedReason = "load-shed"
 )
 
 // Known reports whether the reason is one this client version models; a
@@ -113,7 +117,7 @@ const (
 // as generically degraded.
 func (r DegradedReason) Known() bool {
 	switch r {
-	case DegradedNone, DegradedDeadline, DegradedBreakerOpen, DegradedCancelled, DegradedSearchError:
+	case DegradedNone, DegradedDeadline, DegradedBreakerOpen, DegradedCancelled, DegradedSearchError, DegradedLoadShed:
 		return true
 	}
 	return false
@@ -313,6 +317,17 @@ type Stats struct {
 	// items inside them.
 	BatchRequests int64 `json:"batchRequests"`
 	BatchItems    int64 `json:"batchItems"`
+	// Replans counts background re-plans triggered by calibration
+	// drift publishes.
+	Replans int64 `json:"replans"`
+	// ShedTier is the load controller's current rung ("search",
+	// "bounded", "atlas", "stale", "reject").
+	ShedTier string `json:"shedTier,omitempty"`
+	// GateFallbacks counts search-path requests that found the admission
+	// gate saturated and were served the ungated degraded fallback
+	// instead of a 429 — overload converts to quality loss, not
+	// availability loss.
+	GateFallbacks int64 `json:"gateFallbacks"`
 }
 
 // AnswerTiers breaks the served plan answers down by tier: "atlas"
