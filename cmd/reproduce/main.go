@@ -141,6 +141,13 @@ func report(ctx context.Context, out io.Writer, n, runs int, seed int64) error {
 			}
 			return experiment.WriteFaultTable(w, rows)
 		}},
+		{"Execution recovery study (worker R killed mid-multiply)", func(ctx context.Context, w io.Writer) error {
+			rows, err := experiment.RecoveryStudy(ctx, experiment.RecoveryStudyConfig{})
+			if err != nil {
+				return err
+			}
+			return experiment.WriteRecoveryTable(w, rows)
+		}},
 	}
 
 	var failed []string

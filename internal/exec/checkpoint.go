@@ -1,0 +1,173 @@
+package exec
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/journal"
+	"repro/internal/matrix"
+)
+
+// The execution checkpoint is a CRC-framed journal (internal/journal):
+// one header record identifying the run, then one record per committed
+// C-block. JSON float64 round-trips are bit-exact (shortest-form
+// encoding), so a resumed run restores recorded cells byte-identically.
+// Replay applies records in order cell-wise, so a duplicate block record
+// — possible when a resumed run re-commits work whose record landed just
+// before a kill — is benign: last write wins and both writes carry the
+// same bits.
+
+// ckptVersion is bumped whenever the record format changes
+// incompatibly; resume refuses a mismatched version.
+const ckptVersion = 1
+
+// ckptHeader identifies the run a checkpoint belongs to. Resume refuses
+// a checkpoint whose shape, algorithm, ratio or input matrices (FNV-64a
+// over the raw float bits) differ from the current run.
+type ckptHeader struct {
+	Kind  string `json:"kind"`
+	V     int    `json:"v"`
+	N     int    `json:"n"`
+	Alg   string `json:"alg"`
+	Ratio string `json:"ratio"`
+	AHash uint64 `json:"ahash"`
+	BHash uint64 `json:"bhash"`
+}
+
+// ckptRecord is one committed block: the C cell indices (row-major,
+// ascending) and their exact values.
+type ckptRecord struct {
+	Block int       `json:"block"`
+	Cells []int32   `json:"cells"`
+	Vals  []float64 `json:"vals"`
+}
+
+// CheckpointError reports an unusable checkpoint file (as opposed to a
+// torn or corrupt one, which journal.Recover repairs or quarantines).
+type CheckpointError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CheckpointError) Error() string {
+	return fmt.Sprintf("exec: checkpoint %s: %s", e.Path, e.Reason)
+}
+
+// matrixHash fingerprints a matrix by its raw float bits.
+func matrixHash(m *matrix.Dense) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range m.Data() {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+func (e *engine) ckptHeaderFor() ckptHeader {
+	return ckptHeader{
+		Kind:  "exec-ckpt",
+		V:     ckptVersion,
+		N:     e.n,
+		Alg:   e.cfg.Algorithm.String(),
+		Ratio: e.cfg.Machine.Ratio.String(),
+		AHash: matrixHash(e.a),
+		BHash: matrixHash(e.b),
+	}
+}
+
+// openCheckpoint prepares the engine's checkpoint journal: with Resume
+// it replays an existing file into C and the done mask and reopens it
+// for appending; otherwise it creates a fresh journal (refusing to
+// clobber an existing file).
+func (e *engine) openCheckpoint() error {
+	if e.cfg.Checkpoint == "" {
+		if e.cfg.Resume {
+			return &CheckpointError{Path: "", Reason: "Resume requires a Checkpoint path"}
+		}
+		return nil
+	}
+	if !e.cfg.Resume {
+		w, err := journal.CreateRaw(e.cfg.Checkpoint, e.ckptHeaderFor())
+		if err != nil {
+			return fmt.Errorf("exec: checkpoint: %w", err)
+		}
+		e.ckpt = w
+		return nil
+	}
+
+	rawHdr, rawRecs, err := journal.RecoverRaw(e.cfg.Checkpoint)
+	if err != nil {
+		return fmt.Errorf("exec: checkpoint: %w", err)
+	}
+	var hdr ckptHeader
+	if err := json.Unmarshal(rawHdr, &hdr); err != nil {
+		return &CheckpointError{Path: e.cfg.Checkpoint, Reason: fmt.Sprintf("undecodable header: %v", err)}
+	}
+	want := e.ckptHeaderFor()
+	if hdr != want {
+		return &CheckpointError{Path: e.cfg.Checkpoint,
+			Reason: fmt.Sprintf("header %+v does not match this run (%+v)", hdr, want)}
+	}
+	recs, maxBlock, err := decodeCkptRecords(e.n, rawRecs)
+	if err != nil {
+		return &CheckpointError{Path: e.cfg.Checkpoint, Reason: err.Error()}
+	}
+	cd := e.c.Data()
+	for _, r := range recs {
+		for i, idx := range r.Cells {
+			cd[idx] = r.Vals[i]
+			if !e.doneMask[idx] {
+				e.doneMask[idx] = true
+				e.doneCells++
+			}
+		}
+	}
+	e.stats.BlocksResumed = len(recs)
+	e.nextID = maxBlock + 1
+	w, err := journal.Append(e.cfg.Checkpoint)
+	if err != nil {
+		return fmt.Errorf("exec: checkpoint: %w", err)
+	}
+	e.ckpt = w
+	return nil
+}
+
+// decodeCkptRecords validates raw checkpoint records for an n×n run.
+// Applying them in order is last-write-wins per cell, so duplicate block
+// records are accepted. The largest block id is returned so a resumed
+// run can keep its fresh task ids disjoint from the journal's.
+func decodeCkptRecords(n int, raw []json.RawMessage) ([]ckptRecord, int, error) {
+	recs := make([]ckptRecord, 0, len(raw))
+	maxBlock := -1
+	for i, rr := range raw {
+		var r ckptRecord
+		if err := json.Unmarshal(rr, &r); err != nil {
+			return nil, 0, fmt.Errorf("record %d undecodable: %v", i, err)
+		}
+		if r.Block < 0 {
+			return nil, 0, fmt.Errorf("record %d: negative block id %d", i, r.Block)
+		}
+		if len(r.Cells) != len(r.Vals) {
+			return nil, 0, fmt.Errorf("record %d (block %d): %d cells but %d values", i, r.Block, len(r.Cells), len(r.Vals))
+		}
+		if len(r.Cells) == 0 {
+			return nil, 0, fmt.Errorf("record %d (block %d): empty", i, r.Block)
+		}
+		for _, idx := range r.Cells {
+			if idx < 0 || int(idx) >= n*n {
+				return nil, 0, fmt.Errorf("record %d (block %d): cell %d outside %d×%d", i, r.Block, idx, n, n)
+			}
+		}
+		if r.Block > maxBlock {
+			maxBlock = r.Block
+		}
+		recs = append(recs, r)
+	}
+	return recs, maxBlock, nil
+}

@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/matrix"
+	"repro/internal/model"
+	"repro/internal/partition"
+)
+
+// FuzzCheckpointDecode hardens the checkpoint resume path the way the
+// journal fuzz hardens the framing: arbitrary file bytes must either be
+// rejected with an error or decode into records that replay
+// deterministically — never panic, never index out of bounds, and
+// duplicate block records must resolve last-write-wins.
+func FuzzCheckpointDecode(f *testing.F) {
+	// Seed with a well-formed checkpoint plus its classic failure modes.
+	dir := f.TempDir()
+	seed := filepath.Join(dir, "seed.ckpt")
+	w, err := journal.CreateRaw(seed, ckptHeader{Kind: "exec-ckpt", V: ckptVersion, N: 8, Alg: "SCB", Ratio: "2:1:1"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.AppendPayload(ckptRecord{Block: 0, Cells: []int32{0, 1}, Vals: []float64{1.5, -2.25}}); err != nil {
+		f.Fatal(err)
+	}
+	// A duplicate of block 0 with different bits: replay must keep these.
+	if err := w.AppendPayload(ckptRecord{Block: 0, Cells: []int32{1, 9}, Vals: []float64{7.75, 0.125}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	good, err := os.ReadFile(seed)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add(good[:len(good)-3])    // torn tail
+	f.Add(append([]byte{}, 'x')) // not a journal
+	flipped := append([]byte{}, good...)
+	flipped[len(flipped)/2] ^= 0x40 // CRC corruption mid-file
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.ckpt")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, rawRecs, err := journal.RecoverRaw(path)
+		if err != nil {
+			return // rejected framing is a valid outcome
+		}
+		const n = 8
+		recs, maxBlock, err := decodeCkptRecords(n, rawRecs)
+		if err != nil {
+			return // rejected content is a valid outcome
+		}
+		apply := func() []float64 {
+			buf := make([]float64, n*n)
+			for _, r := range recs {
+				if r.Block > maxBlock {
+					t.Fatalf("record block %d above reported max %d", r.Block, maxBlock)
+				}
+				for i, idx := range r.Cells {
+					buf[idx] = r.Vals[i] // in bounds by decode validation
+				}
+			}
+			return buf
+		}
+		first := apply()
+		second := apply()
+		for i := range first {
+			if first[i] != second[i] && !(first[i] != first[i] && second[i] != second[i]) {
+				t.Fatalf("replay not deterministic at cell %d: %v vs %v", i, first[i], second[i])
+			}
+		}
+	})
+}
+
+// TestCheckpointTornTailResumes pins the torn-tail behaviour the fuzz
+// target explores: a checkpoint whose final record was half-written by a
+// dying process resumes cleanly, replaying every complete record.
+func TestCheckpointTornTailResumes(t *testing.T) {
+	const n = 16
+	ratio := partition.MustRatio(2, 1, 1)
+	a, b := randomMatrices(n, 53)
+	g, err := partition.Build(partition.SquareCorner, n, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	cfg := Config{Machine: testMachine(ratio), Algorithm: model.SCB, BlockSize: 4, Checkpoint: path}
+	_, stats, err := Multiply(cfg, g, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last record mid-line.
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Resume = true
+	c, rs, err := Multiply(rcfg, g, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.BlocksResumed != stats.BlocksDone-1 {
+		t.Fatalf("BlocksResumed = %d, want %d (all but the torn record)", rs.BlocksResumed, stats.BlocksDone-1)
+	}
+	want := matrix.New(n)
+	matrix.MulKIJ(want, a, b)
+	if !c.Equal(want) {
+		t.Fatal("torn-tail resume differs from serial kij")
+	}
+}
+
+// TestCheckpointDuplicateRecordsLastWriteWins pins duplicate-record
+// semantics: replaying a journal with a duplicated block record keeps
+// the later write and still resumes bit-identically (both writes carry
+// the same bits in practice).
+func TestCheckpointDuplicateRecordsLastWriteWins(t *testing.T) {
+	const n = 16
+	ratio := partition.MustRatio(2, 1, 1)
+	a, b := randomMatrices(n, 59)
+	g, err := partition.Build(partition.SquareCorner, n, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dup.ckpt")
+	cfg := Config{Machine: testMachine(ratio), Algorithm: model.SCB, BlockSize: 4, Checkpoint: path}
+	_, stats, err := Multiply(cfg, g, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate the first block record by re-appending its line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 2 {
+		t.Fatal("checkpoint has no records")
+	}
+	if err := os.WriteFile(path, append(data, lines[1]...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.Resume = true
+	c, rs, err := Multiply(rcfg, g, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.BlocksResumed != stats.BlocksDone+1 {
+		t.Fatalf("BlocksResumed = %d, want %d (duplicate replayed)", rs.BlocksResumed, stats.BlocksDone+1)
+	}
+	want := matrix.New(n)
+	matrix.MulKIJ(want, a, b)
+	if !c.Equal(want) {
+		t.Fatal("duplicate-record resume differs from serial kij")
+	}
+}

@@ -1,0 +1,918 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/partition"
+	"repro/internal/sim"
+	"repro/internal/throttle"
+	"repro/internal/trace"
+	"repro/internal/twoproc"
+)
+
+const (
+	defaultBlockSize = 32
+	defaultHeartbeat = 5 * time.Millisecond
+	defaultLease     = 250 * time.Millisecond
+)
+
+// blockTask is one schedulable unit: a set of C cells (one partition
+// owner's cells inside one tile) plus any A/B fragments the assignee
+// must receive before it can compute them (recovery and speculation
+// patches). Tasks created by recovery keep fresh ids; a speculative
+// re-execution reuses the original id, which is what the commit-side
+// dedup keys on.
+type blockTask struct {
+	id    int
+	owner partition.Proc
+	cells []int32 // row-major C indices, ascending
+	// patch*: A/B fragments delivered with the task. The assignee writes
+	// them into its local views before computing; the supervisor never
+	// touches worker memory directly.
+	patchA, patchB   []int32
+	patchAV, patchBV []float64
+	speculative      bool
+}
+
+// blockResult is a worker's completed block.
+type blockResult struct {
+	task *blockTask
+	from partition.Proc
+	vals []float64 // per task.cells
+}
+
+// activeBlock tracks a dispatched, unfinished block.
+type activeBlock struct {
+	task       *blockTask
+	start      time.Time
+	speculated bool
+}
+
+// workerState is one worker's private view of the matrices.
+type workerState struct {
+	aLocal, bLocal *matrix.Dense
+	inbox          chan packet
+}
+
+// execMetrics is the engine's optional instrumentation surface.
+type execMetrics struct {
+	blocks     *metrics.CounterVec // exec_blocks_total{state}
+	recoveries *metrics.CounterVec // exec_recoveries_total{kind}
+	recLatency *metrics.Histogram  // exec_recovery_latency_seconds
+}
+
+func newExecMetrics(reg *metrics.Registry) *execMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &execMetrics{
+		blocks: reg.NewCounterVec("exec_blocks_total",
+			"Block tasks by terminal state (done, resumed, reassigned, speculated, discarded).", "state"),
+		recoveries: reg.NewCounterVec("exec_recoveries_total",
+			"Recovery events by kind (replan-2proc, replan-serial, speculate).", "kind"),
+		recLatency: reg.Histogram("exec_recovery_latency_seconds",
+			"Stall from a lost worker's last heartbeat to its work being re-planned.",
+			[]float64{.01, .025, .05, .1, .25, .5, 1, 2.5}),
+	}
+}
+
+func (m *execMetrics) block(state string, n int) {
+	if m != nil {
+		m.blocks.With(state).Add(int64(n))
+	}
+}
+
+func (m *execMetrics) recovery(kind string) {
+	if m != nil {
+		m.recoveries.With(kind).Inc()
+	}
+}
+
+func (m *execMetrics) latency(d time.Duration) {
+	if m != nil {
+		m.recLatency.Observe(d.Seconds())
+	}
+}
+
+// engine is the supervised block scheduler behind MultiplyContext. The
+// supervisor goroutine owns all scheduling state (pending queues, active
+// leases, the C matrix, the checkpoint journal); workers own only their
+// local matrix views and communicate through channels, so a worker that
+// is killed or hangs mid-run can never corrupt shared state — it just
+// stops heartbeating and loses its lease.
+type engine struct {
+	cfg  Config
+	g    *partition.Grid
+	a, b *matrix.Dense
+	n    int
+
+	c     *matrix.Dense
+	stats *Stats
+
+	workers      map[partition.Proc]*workerState
+	aHave, bHave map[partition.Proc][]bool // supervisor-side coverage bookkeeping
+
+	doneMask   []bool
+	doneCells  int
+	totalCells int
+
+	pending   map[partition.Proc][]*blockTask
+	active    map[partition.Proc]*activeBlock
+	waiting   map[partition.Proc]bool
+	alive     map[partition.Proc]bool
+	committed map[int]bool
+	nextID    int
+
+	beats [partition.NumProcs]atomic.Int64 // unix nanos of each worker's last heartbeat
+
+	reqCh  chan partition.Proc
+	resCh  chan blockResult
+	assign map[partition.Proc]chan *blockTask
+
+	runCtx context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	ckpt *journal.Writer
+
+	hb, lease, straggle time.Duration
+	em                  *execMetrics
+}
+
+func newEngine(ctx context.Context, cfg Config, g *partition.Grid, a, b *matrix.Dense) (*engine, error) {
+	n := g.N()
+	e := &engine{
+		cfg:        cfg,
+		g:          g,
+		a:          a,
+		b:          b,
+		n:          n,
+		c:          matrix.New(n),
+		stats:      &Stats{},
+		workers:    make(map[partition.Proc]*workerState, partition.NumProcs),
+		aHave:      make(map[partition.Proc][]bool, partition.NumProcs),
+		bHave:      make(map[partition.Proc][]bool, partition.NumProcs),
+		doneMask:   make([]bool, n*n),
+		totalCells: n * n,
+		pending:    make(map[partition.Proc][]*blockTask, partition.NumProcs),
+		active:     make(map[partition.Proc]*activeBlock, partition.NumProcs),
+		waiting:    make(map[partition.Proc]bool, partition.NumProcs),
+		alive:      make(map[partition.Proc]bool, partition.NumProcs),
+		committed:  make(map[int]bool),
+		reqCh:      make(chan partition.Proc),
+		resCh:      make(chan blockResult, 2*partition.NumProcs),
+		assign:     make(map[partition.Proc]chan *blockTask, partition.NumProcs),
+		hb:         cfg.HeartbeatEvery,
+		lease:      cfg.LeaseTimeout,
+		straggle:   cfg.StraggleAfter,
+		em:         newExecMetrics(cfg.Metrics),
+	}
+	if e.hb <= 0 {
+		e.hb = defaultHeartbeat
+	}
+	if e.lease <= 0 {
+		e.lease = defaultLease
+	}
+	if e.lease < 2*e.hb {
+		e.lease = 2 * e.hb
+	}
+	if cfg.BlockSize <= 0 {
+		e.cfg.BlockSize = defaultBlockSize
+	}
+	for _, p := range partition.Procs {
+		e.workers[p] = &workerState{
+			aLocal: matrix.New(n),
+			bLocal: matrix.New(n),
+			inbox:  make(chan packet, partition.NumProcs),
+		}
+		e.assign[p] = make(chan *blockTask, 1)
+		e.alive[p] = true
+	}
+	if err := e.openCheckpoint(); err != nil {
+		return nil, err
+	}
+	e.runCtx, e.cancel = context.WithCancel(ctx)
+	return e, nil
+}
+
+// run drives the whole execution: distribute, exchange, supervise the
+// compute phase, and assemble the stats.
+func (e *engine) run() (*matrix.Dense, *Stats, error) {
+	defer func() {
+		if e.ckpt != nil {
+			e.ckpt.Close()
+		}
+	}()
+	start := time.Now()
+	e.distribute()
+	e.exchange()
+	e.buildInitialTasks()
+
+	if e.doneCells < e.totalCells {
+		if err := e.supervise(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Virtual clocks of the fault-free plan, from the measured volumes
+	// and the initial assignment (recovery overhead is reported
+	// separately in the stats, not folded into the model times).
+	switch e.cfg.Algorithm {
+	case model.SCB:
+		e.stats.VirtualComm = e.cfg.Machine.Net.Time(topologyVolume(e.cfg.Machine, e.stats))
+	case model.PCB:
+		for _, w := range partition.Procs {
+			var sent int64
+			for _, v := range partition.Procs {
+				sent += e.stats.PairVolume[w][v]
+			}
+			if e.cfg.Machine.Topology == model.Star && w != partition.P {
+				sent += relayVolume(e.stats)
+			}
+			if t := e.cfg.Machine.Net.Time(sent); t > e.stats.VirtualComm {
+				e.stats.VirtualComm = t
+			}
+		}
+	}
+	for _, p := range partition.Procs {
+		flops := int64(e.g.Count(p)) * int64(e.n)
+		virt := float64(flops) * e.cfg.Machine.FlopTime / e.cfg.Machine.Ratio.Speed(p)
+		if virt > e.stats.VirtualComp {
+			e.stats.VirtualComp = virt
+		}
+	}
+	e.stats.VirtualExe = e.stats.VirtualComm + e.stats.VirtualComp
+	e.stats.Wall = time.Since(start)
+	return e.c, e.stats, nil
+}
+
+// distribute seeds each worker's local views with its own cells and
+// initialises the supervisor's coverage bookkeeping.
+func (e *engine) distribute() {
+	n := e.n
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			p := e.g.At(i, j)
+			e.workers[p].aLocal.Set(i, j, e.a.At(i, j))
+			e.workers[p].bLocal.Set(i, j, e.b.At(i, j))
+		}
+	}
+}
+
+// exchange runs the planned all-to-all: w sends to v its A cells in v's
+// rows and its B cells in v's columns, through real channels, with every
+// element accounted in PairVolume. After it, every worker holds the full
+// A rows and B columns its own C cells need. Coverage masks (aHave,
+// bHave) record exactly that, so recovery knows what is missing later.
+func (e *engine) exchange() {
+	n := e.n
+	sp := e.tr("exchange")
+	rowsNeeded := make(map[partition.Proc][]bool, partition.NumProcs)
+	colsNeeded := make(map[partition.Proc][]bool, partition.NumProcs)
+	for _, p := range partition.Procs {
+		rn := make([]bool, n)
+		cn := make([]bool, n)
+		for i := 0; i < n; i++ {
+			rn[i] = e.g.RowCount(i, p) > 0
+			cn[i] = e.g.ColCount(i, p) > 0
+		}
+		rowsNeeded[p] = rn
+		colsNeeded[p] = cn
+	}
+	packets := make(map[partition.Proc]map[partition.Proc]packet, partition.NumProcs)
+	for _, w := range partition.Procs {
+		packets[w] = make(map[partition.Proc]packet, partition.NumProcs-1)
+		for _, v := range partition.Procs {
+			if v == w {
+				continue
+			}
+			pk := packet{from: w}
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if e.g.At(i, j) != w {
+						continue
+					}
+					idx := int32(i*n + j)
+					if rowsNeeded[v][i] {
+						pk.aIdx = append(pk.aIdx, idx)
+						pk.aVal = append(pk.aVal, e.a.At(i, j))
+					}
+					if colsNeeded[v][j] {
+						pk.bIdx = append(pk.bIdx, idx)
+						pk.bVal = append(pk.bVal, e.b.At(i, j))
+					}
+				}
+			}
+			vol := int64(len(pk.aIdx) + len(pk.bIdx))
+			e.stats.PairVolume[w][v] = vol
+			e.stats.TotalVolume += vol
+			packets[w][v] = pk
+		}
+	}
+
+	var xwg sync.WaitGroup
+	for _, w := range partition.Procs {
+		xwg.Add(1)
+		go func(w partition.Proc) {
+			defer xwg.Done()
+			for _, v := range partition.Procs {
+				if v == w {
+					continue
+				}
+				e.workers[v].inbox <- packets[w][v]
+			}
+		}(w)
+	}
+	xwg.Wait()
+	for _, w := range partition.Procs {
+		ws := e.workers[w]
+		for k := 0; k < partition.NumProcs-1; k++ {
+			pk := <-ws.inbox
+			for i, idx := range pk.aIdx {
+				ws.aLocal.Data()[idx] = pk.aVal[i]
+			}
+			for i, idx := range pk.bIdx {
+				ws.bLocal.Data()[idx] = pk.bVal[i]
+			}
+		}
+	}
+
+	// Coverage after the exchange: worker v holds A cell (i,j) iff row i
+	// is one of its rows (then the row is complete) or the cell is its
+	// own; symmetrically for B columns.
+	for _, v := range partition.Procs {
+		ah := make([]bool, n*n)
+		bh := make([]bool, n*n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				idx := i*n + j
+				own := e.g.At(i, j) == v
+				ah[idx] = own || rowsNeeded[v][i]
+				bh[idx] = own || colsNeeded[v][j]
+			}
+		}
+		e.aHave[v] = ah
+		e.bHave[v] = bh
+	}
+	if sp != nil {
+		sp.SetDetail("moved=%d", e.stats.TotalVolume)
+		sp.End()
+	}
+}
+
+// buildInitialTasks cuts the not-yet-done region (everything, unless a
+// checkpoint was resumed) into (tile, owner) block tasks.
+func (e *engine) buildInitialTasks() {
+	n, bs := e.n, e.cfg.BlockSize
+	for tr := 0; tr < n; tr += bs {
+		for tc := 0; tc < n; tc += bs {
+			var cells [partition.NumProcs][]int32
+			for i := tr; i < min(tr+bs, n); i++ {
+				for j := tc; j < min(tc+bs, n); j++ {
+					idx := i*n + j
+					if e.doneMask[idx] {
+						continue
+					}
+					p := e.g.At(i, j)
+					cells[p] = append(cells[p], int32(idx))
+				}
+			}
+			for _, p := range partition.Procs {
+				if len(cells[p]) == 0 {
+					continue
+				}
+				t := &blockTask{id: e.nextID, owner: p, cells: cells[p]}
+				e.nextID++
+				e.pending[p] = append(e.pending[p], t)
+			}
+		}
+	}
+	for _, p := range partition.Procs {
+		e.stats.Blocks += len(e.pending[p])
+	}
+}
+
+// supervise runs the compute phase: workers pull blocks, the supervisor
+// commits results, checkpoints them, and watches leases for losses and
+// stragglers.
+func (e *engine) supervise() error {
+	defer e.cancel()
+
+	now := time.Now().UnixNano()
+	for i := range e.beats {
+		e.beats[i].Store(now)
+	}
+	for _, p := range partition.Procs {
+		flops := int64(0)
+		for _, t := range e.pending[p] {
+			flops += int64(len(t.cells)) * int64(e.n)
+		}
+		e.wg.Add(1)
+		go e.workerLoop(p, flops)
+	}
+	// Whatever happens, release every worker — including hung ones —
+	// before returning, so no goroutine outlives the call.
+	defer e.wg.Wait()
+	defer e.cancel()
+
+	ticker := time.NewTicker(e.hb)
+	defer ticker.Stop()
+	for e.doneCells < e.totalCells {
+		select {
+		case <-e.runCtx.Done():
+			return e.runCtx.Err()
+		case w := <-e.reqCh:
+			e.handleRequest(w)
+		case r := <-e.resCh:
+			if err := e.commit(r); err != nil {
+				return err
+			}
+		case <-ticker.C:
+			if err := e.checkHealth(time.Now()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// workerLoop is one processor: request a block, compute it, report it,
+// heartbeat throughout — unless the fault plan kills or hangs it first.
+func (e *engine) workerLoop(w partition.Proc, initFlops int64) {
+	defer e.wg.Done()
+	sp := e.tr("worker " + w.String())
+	blocks := 0
+	defer func() {
+		if sp != nil {
+			sp.SetDetail("blocks=%d", blocks)
+			sp.End()
+		}
+	}()
+
+	fate, frac := e.cfg.Faults.WorkerFateFor(w)
+	slow := e.cfg.Faults.WorkerSlowdown(w)
+	var lim *throttle.Limiter
+	if e.cfg.Pace || slow > 1 {
+		baseRate := e.cfg.PaceFlopsPerSec
+		if baseRate <= 0 {
+			baseRate = 5e7
+		}
+		lim = throttle.MustNew(baseRate * e.cfg.Machine.Ratio.Speed(w) / slow)
+	}
+
+	var done int64
+	for {
+		if fate != sim.FateNone {
+			progress := 1.0
+			if initFlops > 0 {
+				progress = float64(done) / float64(initFlops)
+			}
+			if progress >= frac {
+				if fate == sim.FateHang {
+					// Hold the lease, stop heartbeating, block until the
+					// run is over.
+					<-e.runCtx.Done()
+				}
+				return
+			}
+		}
+		e.beat(w)
+		select {
+		case <-e.runCtx.Done():
+			return
+		case e.reqCh <- w:
+		}
+		var t *blockTask
+		select {
+		case <-e.runCtx.Done():
+			return
+		case t = <-e.assign[w]:
+		}
+		vals := e.computeBlock(w, t, lim)
+		done += int64(len(t.cells)) * int64(e.n)
+		blocks++
+		select {
+		case <-e.runCtx.Done():
+			return
+		case e.resCh <- blockResult{task: t, from: w, vals: vals}:
+		}
+	}
+}
+
+// computeBlock computes the block's C cells bit-identically to the
+// serial kij kernel: each cell accumulates its pivot products in
+// strictly ascending k order, chunked so pacing and heartbeats
+// interleave with the work.
+func (e *engine) computeBlock(w partition.Proc, t *blockTask, lim *throttle.Limiter) []float64 {
+	ws := e.workers[w]
+	ad, bd := ws.aLocal.Data(), ws.bLocal.Data()
+	for i, idx := range t.patchA {
+		ad[idx] = t.patchAV[i]
+	}
+	for i, idx := range t.patchB {
+		bd[idx] = t.patchBV[i]
+	}
+	n := e.n
+	vals := make([]float64, len(t.cells))
+	const chunk = 64
+	cells := int64(len(t.cells))
+	for k0 := 0; k0 < n; k0 += chunk {
+		k1 := min(k0+chunk, n)
+		for ci, idx := range t.cells {
+			i, j := int(idx)/n, int(idx)%n
+			s := vals[ci]
+			arow := ad[i*n : (i+1)*n]
+			for k := k0; k < k1; k++ {
+				s += arow[k] * bd[k*n+j]
+			}
+			vals[ci] = s
+		}
+		e.beat(w)
+		if lim != nil {
+			e.pacedAcquire(w, lim, cells*int64(k1-k0))
+		}
+	}
+	return vals
+}
+
+// pacedAcquire sleeps the worker to its paced rate in slices short
+// enough that heartbeats keep flowing — a heavily slowed straggler must
+// look slow, not dead. Cancellation interrupts the sleep promptly.
+func (e *engine) pacedAcquire(w partition.Proc, lim *throttle.Limiter, flops int64) {
+	slice := int64(lim.Rate() * e.hb.Seconds())
+	if slice < 1 {
+		slice = 1
+	}
+	for flops > 0 {
+		nn := min(flops, slice)
+		if err := lim.AcquireContext(e.runCtx, nn); err != nil {
+			return
+		}
+		e.beat(w)
+		flops -= nn
+	}
+}
+
+func (e *engine) beat(w partition.Proc) {
+	e.beats[w].Store(time.Now().UnixNano())
+}
+
+func (e *engine) lastBeat(w partition.Proc) time.Time {
+	return time.Unix(0, e.beats[w].Load())
+}
+
+// handleRequest dispatches the worker's next pending block, or parks it
+// as idle until recovery or speculation produces more work.
+func (e *engine) handleRequest(w partition.Proc) {
+	if q := e.pending[w]; len(q) > 0 {
+		t := q[0]
+		e.pending[w] = q[1:]
+		e.active[w] = &activeBlock{task: t, start: time.Now()}
+		// The lease clock starts at assignment: a worker that idled while
+		// it had no work (not beating, blocked on the assign channel) must
+		// not be declared dead the instant recovery hands it a block.
+		e.beat(w)
+		e.assign[w] <- t // cap 1; the worker is blocked receiving
+		return
+	}
+	e.waiting[w] = true
+}
+
+// dispatchWaiting hands newly created work to parked workers.
+func (e *engine) dispatchWaiting() {
+	for _, w := range partition.Procs {
+		if e.waiting[w] && e.alive[w] && len(e.pending[w]) > 0 {
+			e.waiting[w] = false
+			e.handleRequest(w)
+		}
+	}
+}
+
+// commit applies a block result: first result per block id wins, later
+// ones (speculation losers) are discarded so neither C nor the stats
+// double-count.
+func (e *engine) commit(r blockResult) error {
+	if ab := e.active[r.from]; ab != nil && ab.task.id == r.task.id {
+		e.active[r.from] = nil
+	}
+	if e.committed[r.task.id] {
+		e.stats.BlocksDiscarded++
+		e.em.block("discarded", 1)
+		return nil
+	}
+	e.committed[r.task.id] = true
+	fresh := 0
+	cd := e.c.Data()
+	for ci, idx := range r.task.cells {
+		if !e.doneMask[idx] {
+			e.doneMask[idx] = true
+			cd[idx] = r.vals[ci]
+			fresh++
+		}
+	}
+	if fresh == 0 {
+		// A re-planned duplicate of work that another path already
+		// finished (e.g. a speculated block whose loser was re-planned
+		// after a loss): dedup, don't double count.
+		e.stats.BlocksDiscarded++
+		e.em.block("discarded", 1)
+		return nil
+	}
+	e.doneCells += fresh
+	e.stats.BlocksDone++
+	e.stats.Flops[r.from] += int64(len(r.task.cells)) * int64(e.n)
+	e.em.block("done", 1)
+	if e.ckpt != nil {
+		if err := e.ckpt.AppendPayload(ckptRecord{Block: r.task.id, Cells: r.task.cells, Vals: r.vals}); err != nil {
+			return fmt.Errorf("exec: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// checkHealth is the lease scan: workers with outstanding work whose
+// heartbeat went stale are declared lost; active blocks that outlive the
+// straggle threshold (while their worker still beats) are speculated.
+func (e *engine) checkHealth(now time.Time) error {
+	for _, w := range partition.Procs {
+		if !e.alive[w] {
+			continue
+		}
+		if e.active[w] == nil && len(e.pending[w]) == 0 {
+			continue // idle workers owe no heartbeat
+		}
+		if now.Sub(e.lastBeat(w)) > e.lease {
+			if err := e.declareLost(w, now); err != nil {
+				return err
+			}
+			continue
+		}
+		if e.straggle > 0 {
+			if ab := e.active[w]; ab != nil && !ab.speculated && now.Sub(ab.start) > e.straggle {
+				e.speculate(w, ab, now)
+			}
+		}
+	}
+	return nil
+}
+
+// declareLost handles permanent worker loss: withdraw every unstarted
+// block, re-plan the whole remaining uncomputed region on the survivors
+// (3→2 with the prior work's optimal two-processor shapes, 2→1 serial),
+// attach the A/B fragments each survivor is missing, and let in-flight
+// survivor blocks finish under their leases.
+func (e *engine) declareLost(w partition.Proc, now time.Time) error {
+	e.alive[w] = false
+	e.waiting[w] = false
+	e.stats.Lost = append(e.stats.Lost, w)
+	stall := now.Sub(e.lastBeat(w))
+	sp := e.tr("recovery " + w.String())
+
+	// The remaining uncomputed region: the lost worker's active block,
+	// plus every pending block of every worker. Blocks a live survivor
+	// is computing right now are left in place.
+	var remaining []int32
+	collect := func(t *blockTask) {
+		for _, idx := range t.cells {
+			if !e.doneMask[idx] {
+				remaining = append(remaining, idx)
+			}
+		}
+	}
+	if ab := e.active[w]; ab != nil {
+		collect(ab.task)
+		e.active[w] = nil
+	}
+	for _, p := range partition.Procs {
+		for _, t := range e.pending[p] {
+			collect(t)
+		}
+		e.pending[p] = nil
+	}
+	sort.Slice(remaining, func(i, j int) bool { return remaining[i] < remaining[j] })
+
+	survivors := e.survivorsBySpeed()
+	if len(survivors) == 0 {
+		return fmt.Errorf("exec: all workers lost, %d of %d cells uncomputed", e.totalCells-e.doneCells, e.totalCells)
+	}
+	if len(remaining) == 0 {
+		if sp != nil {
+			sp.SetDetail("nothing to re-plan")
+			sp.End()
+		}
+		return nil
+	}
+
+	// New ownership for the remaining region.
+	var kind string
+	var ownerOf func(idx int32) partition.Proc
+	switch len(survivors) {
+	case 1:
+		kind = "replan-serial"
+		solo := survivors[0]
+		ownerOf = func(int32) partition.Proc { return solo }
+	default:
+		kind = "replan-2proc"
+		fast, slowp := survivors[0], survivors[1]
+		speed := e.cfg.Machine.Ratio.Speed
+		r2, err := twoproc.NewRatio(speed(fast) / speed(slowp))
+		if err != nil {
+			return fmt.Errorf("exec: replan ratio: %w", err)
+		}
+		shape := twoproc.Optimal(e.cfg.Algorithm, r2)
+		tg, err := twoproc.Build(shape, e.n, r2)
+		if err != nil {
+			return fmt.Errorf("exec: replan shape %v: %w", shape, err)
+		}
+		ownerOf = func(idx int32) partition.Proc {
+			if tg.AtIndex(int(idx)) == partition.R {
+				return slowp
+			}
+			return fast
+		}
+	}
+
+	// Re-tile the remaining cells under the new ownership and attach the
+	// missing A/B fragments to each new block.
+	newTasks := e.retile(remaining, ownerOf)
+	for _, t := range newTasks {
+		e.buildPatch(t)
+		e.pending[t.owner] = append(e.pending[t.owner], t)
+	}
+	e.accountRemainderNeed(remaining, ownerOf)
+
+	e.stats.BlocksReassigned += len(newTasks)
+	e.stats.Recoveries++
+	e.stats.RecoveryKinds = append(e.stats.RecoveryKinds, kind)
+	e.stats.RecoveryLatency += stall
+	e.em.block("reassigned", len(newTasks))
+	e.em.recovery(kind)
+	e.em.latency(stall)
+	if sp != nil {
+		sp.SetDetail("%s: %d blocks on %d survivors, +%d elements", kind, len(newTasks), len(survivors), e.stats.RecoveryVolume)
+		sp.End()
+	}
+
+	e.dispatchWaiting()
+	return nil
+}
+
+// speculate re-executes a straggling block on the fastest idle survivor.
+// The copy keeps the original block id, so whichever result lands second
+// is discarded by commit's dedup.
+func (e *engine) speculate(w partition.Proc, ab *activeBlock, now time.Time) {
+	var target partition.Proc
+	found := false
+	for _, v := range e.survivorsBySpeed() {
+		if v != w && e.waiting[v] {
+			target, found = v, true
+			break
+		}
+	}
+	if !found {
+		return
+	}
+	t := ab.task
+	nt := &blockTask{id: t.id, owner: target, cells: t.cells, speculative: true}
+	e.buildPatch(nt)
+	ab.speculated = true
+	e.stats.Speculations++
+	e.stats.BlocksSpeculated++
+	e.em.block("speculated", 1)
+	e.em.recovery("speculate")
+	e.waiting[target] = false
+	e.active[target] = &activeBlock{task: nt, start: now}
+	e.beat(target) // lease restarts at assignment, as in handleRequest
+	e.assign[target] <- nt
+}
+
+// survivorsBySpeed returns the live workers, fastest first.
+func (e *engine) survivorsBySpeed() []partition.Proc {
+	var s []partition.Proc
+	for _, p := range partition.Procs {
+		if e.alive[p] {
+			s = append(s, p)
+		}
+	}
+	speed := e.cfg.Machine.Ratio.Speed
+	sort.SliceStable(s, func(i, j int) bool { return speed(s[i]) > speed(s[j]) })
+	return s
+}
+
+// retile groups cells into (tile, owner) block tasks with fresh ids.
+func (e *engine) retile(cells []int32, ownerOf func(int32) partition.Proc) []*blockTask {
+	n, bs := e.n, e.cfg.BlockSize
+	tilesPerRow := (n + bs - 1) / bs
+	type key struct {
+		tile  int
+		owner partition.Proc
+	}
+	group := make(map[key][]int32)
+	var order []key
+	for _, idx := range cells {
+		i, j := int(idx)/n, int(idx)%n
+		k := key{tile: (i/bs)*tilesPerRow + j/bs, owner: ownerOf(idx)}
+		if _, ok := group[k]; !ok {
+			order = append(order, k)
+		}
+		group[k] = append(group[k], idx)
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if order[x].tile != order[y].tile {
+			return order[x].tile < order[y].tile
+		}
+		return order[x].owner < order[y].owner
+	})
+	tasks := make([]*blockTask, 0, len(order))
+	for _, k := range order {
+		t := &blockTask{id: e.nextID, owner: k.owner, cells: group[k]}
+		e.nextID++
+		tasks = append(tasks, t)
+	}
+	return tasks
+}
+
+// buildPatch attaches to the task every A-row / B-column element its
+// assignee needs for the task's cells but does not yet hold, updating
+// the coverage masks and the recovery-volume accounting. Fragments the
+// worker already holds are never re-sent.
+func (e *engine) buildPatch(t *blockTask) {
+	n := e.n
+	ah, bh := e.aHave[t.owner], e.bHave[t.owner]
+	rowSeen := make(map[int]bool)
+	colSeen := make(map[int]bool)
+	for _, idx := range t.cells {
+		i, j := int(idx)/n, int(idx)%n
+		if !rowSeen[i] {
+			rowSeen[i] = true
+			for k := 0; k < n; k++ {
+				ai := i*n + k
+				if !ah[ai] {
+					ah[ai] = true
+					t.patchA = append(t.patchA, int32(ai))
+					t.patchAV = append(t.patchAV, e.a.Data()[ai])
+					e.stats.RecoveryVolume++
+				}
+			}
+		}
+		if !colSeen[j] {
+			colSeen[j] = true
+			for k := 0; k < n; k++ {
+				bi := k*n + j
+				if !bh[bi] {
+					bh[bi] = true
+					t.patchB = append(t.patchB, int32(bi))
+					t.patchBV = append(t.patchBV, e.b.Data()[bi])
+					e.stats.RecoveryVolume++
+				}
+			}
+		}
+	}
+}
+
+// accountRemainderNeed computes what a from-scratch redistribution of
+// the re-planned remainder would move: for each survivor, the A-rows and
+// B-columns its newly assigned cells span, minus the cells of those
+// lines it owned in the original partition. This is the fault-free
+// volume of the re-planned remainder that the recovery study bounds
+// RecoveryVolume against.
+func (e *engine) accountRemainderNeed(cells []int32, ownerOf func(int32) partition.Proc) {
+	n := e.n
+	type lines struct{ rows, cols map[int]bool }
+	byOwner := make(map[partition.Proc]*lines)
+	for _, idx := range cells {
+		v := ownerOf(idx)
+		l := byOwner[v]
+		if l == nil {
+			l = &lines{rows: make(map[int]bool), cols: make(map[int]bool)}
+			byOwner[v] = l
+		}
+		l.rows[int(idx)/n] = true
+		l.cols[int(idx)%n] = true
+	}
+	for v, l := range byOwner {
+		for i := range l.rows {
+			e.stats.RemainderNeed += int64(n - e.g.RowCount(i, v))
+		}
+		for j := range l.cols {
+			e.stats.RemainderNeed += int64(n - e.g.ColCount(j, v))
+		}
+	}
+}
+
+// tr opens a trace span when tracing is enabled.
+func (e *engine) tr(name string) *trace.Active {
+	if e.cfg.Trace == nil {
+		return nil
+	}
+	return e.cfg.Trace.Start(name)
+}

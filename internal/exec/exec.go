@@ -6,25 +6,38 @@
 // channels, every transferred element is accounted, processor speed
 // ratios are imposed with the token-bucket throttle, and the numerical
 // result is bit-identical to the serial kij kernel.
+//
+// The barrier algorithms (SCB, PCB) run on a supervised block scheduler
+// (engine.go): the multiplication is split into block tasks with lease +
+// heartbeat tracking, completed C-blocks are journal-checkpointed so a
+// killed run resumes byte-identically, and a worker lost mid-multiply is
+// survived by re-planning the remaining region on the survivors — 3→2
+// with the optimal two-processor shapes of the authors' prior work
+// (internal/twoproc), 2→1 with a serial fallback. Stragglers are
+// speculatively re-executed on the fastest idle survivor, with results
+// deduplicated by block id so the volume accounting stays exact.
 package exec
 
 import (
+	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"repro/internal/matrix"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/partition"
-	"repro/internal/throttle"
+	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config parameterises an execution.
 type Config struct {
 	// Machine supplies the speed ratio, network model and topology.
 	Machine model.Machine
-	// Algorithm must be a barrier algorithm (SCB or PCB); the bulk- and
-	// interleaved-overlap algorithms are modelled by internal/sim.
+	// Algorithm must be a barrier algorithm (SCB or PCB) for Multiply;
+	// the bulk-overlap algorithms run through MultiplyOverlap and the
+	// interleaved pipeline through MultiplyPIO.
 	Algorithm model.Algorithm
 	// Pace, when true, throttles each worker to its relative speed in
 	// real time (the paper's CPU-limiter experiment). When false the run
@@ -33,6 +46,45 @@ type Config struct {
 	// PaceFlopsPerSec is the real flops/s granted to the slowest
 	// processor when Pace is set (default 5e7).
 	PaceFlopsPerSec float64
+
+	// BlockSize is the tile edge of the supervised block scheduler: the
+	// C matrix is cut into BlockSize×BlockSize tiles and each (tile,
+	// owner) pair becomes one schedulable, checkpointable block task.
+	// Defaults to 32.
+	BlockSize int
+	// Faults injects worker-level faults (kill/hang at a progress
+	// fraction, persistent slowdown) into the compute phase. Nil injects
+	// nothing. See sim.FaultPlan's AddWorkerKill/AddWorkerHang/
+	// AddWorkerSlowdown and sim.ParseWorkerFaults.
+	Faults *sim.FaultPlan
+	// Checkpoint, when non-empty, journals every committed C-block to
+	// this path (internal/journal CRC framing) so a killed run can be
+	// resumed byte-identically. Without Resume the file must not exist.
+	Checkpoint string
+	// Resume replays an existing checkpoint at Checkpoint before
+	// computing: recorded blocks are restored bit-exactly and only the
+	// remaining cells are scheduled.
+	Resume bool
+	// HeartbeatEvery is the worker heartbeat period and the supervisor's
+	// health-check cadence (default 5ms).
+	HeartbeatEvery time.Duration
+	// LeaseTimeout is how long a worker with outstanding work may go
+	// without a heartbeat before it is declared lost and its remaining
+	// work is re-planned on the survivors (default 250ms).
+	LeaseTimeout time.Duration
+	// StraggleAfter, when positive, speculatively re-executes a block
+	// that has been active longer than this on the fastest idle survivor
+	// (the original stays running; the first result wins, the loser is
+	// discarded by block id). Zero disables speculation.
+	StraggleAfter time.Duration
+
+	// Metrics, when non-nil, receives the engine's instrumentation:
+	// exec_blocks_total{state}, exec_recoveries_total{kind} and the
+	// exec_recovery_latency_seconds histogram.
+	Metrics *metrics.Registry
+	// Trace, when non-nil, records per-worker span timelines plus
+	// exchange and recovery spans.
+	Trace *trace.Trace
 }
 
 // packet is one worker-to-worker transfer: matrix cell indices and values.
@@ -47,24 +99,84 @@ type packet struct {
 // Stats reports what an execution actually did.
 type Stats struct {
 	// PairVolume[w][v] is the number of elements worker w sent to worker
-	// v (A data plus B data).
+	// v (A data plus B data) during the planned exchange.
 	PairVolume [partition.NumProcs][partition.NumProcs]int64
 	// TotalVolume is the sum of all pair volumes; it equals the
-	// partition's VoC (Eq 1) exactly, which tests assert.
+	// partition's VoC (Eq 1) exactly, which tests assert. Recovery
+	// redistribution is accounted separately in RecoveryVolume, and
+	// speculated/retried blocks are deduplicated by block id, so this
+	// stays exact under faults.
 	TotalVolume int64
-	// Flops[p] counts the multiply-add pairs worker p executed.
+	// Flops[p] counts the multiply-add pairs worker p executed for
+	// blocks that were committed (speculation losers are excluded; see
+	// BlocksDiscarded).
 	Flops [partition.NumProcs]int64
 	// VirtualComm/VirtualComp/VirtualExe are the modelled times of this
-	// run derived from the *measured* volumes and flop counts (not from
-	// the partition metrics), in seconds.
+	// run derived from the *measured* volumes and flop counts of the
+	// fault-free plan (not from the partition metrics), in seconds.
+	// Recovery overhead is reported separately, not folded in.
 	VirtualComm, VirtualComp, VirtualExe float64
 	// Wall is the real elapsed time.
 	Wall time.Duration
+
+	// Blocks is the number of block tasks scheduled at the start of the
+	// run (after checkpoint resume, before any recovery).
+	Blocks int
+	// BlocksDone counts committed blocks, including re-planned and
+	// speculated ones (each block id commits exactly once).
+	BlocksDone int
+	// BlocksResumed counts checkpoint records replayed instead of
+	// recomputed.
+	BlocksResumed int
+	// BlocksReassigned counts block tasks created by loss recovery.
+	BlocksReassigned int
+	// BlocksSpeculated counts speculative re-executions launched for
+	// straggling blocks; BlocksDiscarded counts results thrown away by
+	// the block-id dedup (speculation losers).
+	BlocksSpeculated, BlocksDiscarded int
+
+	// Lost lists the workers declared dead (missed-heartbeat lease
+	// expiry), in detection order.
+	Lost []partition.Proc
+	// Recoveries counts loss re-plan events; RecoveryKinds records each
+	// event's kind ("replan-2proc" or "replan-serial").
+	Recoveries    int
+	RecoveryKinds []string
+	// Speculations counts straggler speculation events.
+	Speculations int
+	// RecoveryVolume is the number of extra A/B elements redistributed
+	// to survivors (and speculation targets) so they could compute work
+	// they did not originally own — the communication overhead of
+	// recovery. Already-held fragments are not re-sent.
+	RecoveryVolume int64
+	// RemainderNeed is what a from-scratch redistribution of the
+	// re-planned remainder would have moved (no credit for fragments the
+	// survivors already held): for every survivor, the A-rows and
+	// B-columns its newly assigned cells need, minus its own original
+	// partition cells. RecoveryVolume ≤ RemainderNeed by construction;
+	// the recovery study asserts RecoveryVolume stays under 2× this.
+	RemainderNeed int64
+	// RecoveryLatency is the total stall observed across loss events:
+	// from each lost worker's final heartbeat to its work being
+	// re-planned onto the survivors.
+	RecoveryLatency time.Duration
 }
 
+// Survivors returns how many workers were still alive at the end of the
+// run.
+func (s *Stats) Survivors() int { return partition.NumProcs - len(s.Lost) }
+
 // Multiply computes C = A·B with the matrices partitioned by g across
-// three workers. A and B must be n×n with n = g.N().
+// three workers. A and B must be n×n with n = g.N(). It is
+// MultiplyContext with a background context.
 func Multiply(cfg Config, g *partition.Grid, a, b *matrix.Dense) (*matrix.Dense, *Stats, error) {
+	return MultiplyContext(context.Background(), cfg, g, a, b)
+}
+
+// MultiplyContext computes C = A·B on the supervised block scheduler,
+// honouring ctx: cancellation stops the supervisor and unwinds every
+// worker promptly, including workers sleeping in the pacing throttle.
+func MultiplyContext(ctx context.Context, cfg Config, g *partition.Grid, a, b *matrix.Dense) (*matrix.Dense, *Stats, error) {
 	n := g.N()
 	if a.N() != n || b.N() != n {
 		return nil, nil, fmt.Errorf("exec: matrices are %d×%d, partition is %d×%d", a.N(), a.N(), n, n)
@@ -75,180 +187,11 @@ func Multiply(cfg Config, g *partition.Grid, a, b *matrix.Dense) (*matrix.Dense,
 	if err := cfg.Machine.Ratio.Validate(); err != nil {
 		return nil, nil, err
 	}
-
-	start := time.Now()
-	stats := &Stats{}
-
-	// Each worker's view of A and B starts with only its own cells; the
-	// exchange fills in the foreign cells it needs. Missing cells stay
-	// zero, so a wrong communication pattern produces a wrong product —
-	// correctness of the result certifies the pattern.
-	type workerState struct {
-		aLocal, bLocal *matrix.Dense
-		mask           []bool
-		inbox          chan packet
+	e, err := newEngine(ctx, cfg, g, a, b)
+	if err != nil {
+		return nil, nil, err
 	}
-	workers := make(map[partition.Proc]*workerState, partition.NumProcs)
-	for _, p := range partition.Procs {
-		workers[p] = &workerState{
-			aLocal: matrix.New(n),
-			bLocal: matrix.New(n),
-			mask:   g.Mask(p),
-			inbox:  make(chan packet, partition.NumProcs),
-		}
-	}
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			p := g.At(i, j)
-			workers[p].aLocal.Set(i, j, a.At(i, j))
-			workers[p].bLocal.Set(i, j, b.At(i, j))
-		}
-	}
-
-	// Precompute which rows/columns each worker owns C cells in.
-	rowsNeeded := make(map[partition.Proc][]bool, partition.NumProcs)
-	colsNeeded := make(map[partition.Proc][]bool, partition.NumProcs)
-	for _, p := range partition.Procs {
-		rn := make([]bool, n)
-		cn := make([]bool, n)
-		for i := 0; i < n; i++ {
-			if g.RowCount(i, p) > 0 {
-				rn[i] = true
-			}
-			if g.ColCount(i, p) > 0 {
-				cn[i] = true
-			}
-		}
-		rowsNeeded[p] = rn
-		colsNeeded[p] = cn
-	}
-
-	// Build the packets: w sends to v its A cells in v's rows and its B
-	// cells in v's columns.
-	packets := make(map[partition.Proc]map[partition.Proc]packet, partition.NumProcs)
-	for _, w := range partition.Procs {
-		packets[w] = make(map[partition.Proc]packet, partition.NumProcs-1)
-		for _, v := range partition.Procs {
-			if v == w {
-				continue
-			}
-			pk := packet{from: w}
-			for i := 0; i < n; i++ {
-				for j := 0; j < n; j++ {
-					if g.At(i, j) != w {
-						continue
-					}
-					idx := int32(i*n + j)
-					if rowsNeeded[v][i] {
-						pk.aIdx = append(pk.aIdx, idx)
-						pk.aVal = append(pk.aVal, a.At(i, j))
-					}
-					if colsNeeded[v][j] {
-						pk.bIdx = append(pk.bIdx, idx)
-						pk.bVal = append(pk.bVal, b.At(i, j))
-					}
-				}
-			}
-			vol := int64(len(pk.aIdx) + len(pk.bIdx))
-			stats.PairVolume[w][v] = vol
-			stats.TotalVolume += vol
-			packets[w][v] = pk
-		}
-	}
-
-	// Virtual communication clock per the algorithm's schedule.
-	switch cfg.Algorithm {
-	case model.SCB:
-		stats.VirtualComm = cfg.Machine.Net.Time(topologyVolume(cfg.Machine, stats))
-	case model.PCB:
-		for _, w := range partition.Procs {
-			var sent int64
-			for _, v := range partition.Procs {
-				sent += stats.PairVolume[w][v]
-			}
-			if cfg.Machine.Topology == model.Star && w != partition.P {
-				sent += relayVolume(stats)
-			}
-			if t := cfg.Machine.Net.Time(sent); t > stats.VirtualComm {
-				stats.VirtualComm = t
-			}
-		}
-	}
-
-	// Exchange phase: real channel transfers.
-	var xwg sync.WaitGroup
-	for _, w := range partition.Procs {
-		xwg.Add(1)
-		go func(w partition.Proc) {
-			defer xwg.Done()
-			for _, v := range partition.Procs {
-				if v == w {
-					continue
-				}
-				workers[v].inbox <- packets[w][v]
-			}
-		}(w)
-	}
-	xwg.Wait()
-	for _, w := range partition.Procs {
-		ws := workers[w]
-		for k := 0; k < partition.NumProcs-1; k++ {
-			pk := <-ws.inbox
-			for i, idx := range pk.aIdx {
-				ws.aLocal.Data()[idx] = pk.aVal[i]
-			}
-			for i, idx := range pk.bIdx {
-				ws.bLocal.Data()[idx] = pk.bVal[i]
-			}
-		}
-	}
-
-	// Compute phase: barrier semantics — all workers start after the
-	// exchange, each multiplying only its masked region, throttled to its
-	// relative speed when pacing.
-	baseRate := cfg.PaceFlopsPerSec
-	if baseRate <= 0 {
-		baseRate = 5e7
-	}
-	c := matrix.New(n)
-	var cwg sync.WaitGroup
-	var compMu sync.Mutex
-	for _, w := range partition.Procs {
-		cwg.Add(1)
-		go func(w partition.Proc) {
-			defer cwg.Done()
-			ws := workers[w]
-			count := int64(g.Count(w))
-			flops := count * int64(n)
-			var lim *throttle.Limiter
-			if cfg.Pace && flops > 0 {
-				lim = throttle.MustNew(baseRate * cfg.Machine.Ratio.Speed(w))
-			}
-			// Chunk the pivot loop so pacing interleaves with work.
-			const chunk = 64
-			for k0 := 0; k0 < n; k0 += chunk {
-				k1 := min(k0+chunk, n)
-				for k := k0; k < k1; k++ {
-					matrix.MulMaskedStep(c, ws.aLocal, ws.bLocal, ws.mask, k)
-				}
-				if lim != nil {
-					lim.Acquire(count * int64(k1-k0))
-				}
-			}
-			virt := float64(flops) * cfg.Machine.FlopTime / cfg.Machine.Ratio.Speed(w)
-			compMu.Lock()
-			stats.Flops[w] = flops
-			if virt > stats.VirtualComp {
-				stats.VirtualComp = virt
-			}
-			compMu.Unlock()
-		}(w)
-	}
-	cwg.Wait()
-
-	stats.VirtualExe = stats.VirtualComm + stats.VirtualComp
-	stats.Wall = time.Since(start)
-	return c, stats, nil
+	return e.run()
 }
 
 // topologyVolume is the total volume crossing the network, with the star

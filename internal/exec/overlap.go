@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -15,8 +16,21 @@ import (
 // computes its *overlap* elements — the cells whose full row of A and
 // column of B it already owns — and only the remainder waits for the
 // exchange, exactly the Eq 7/8 schedule. The product is bit-identical to
-// the serial kij kernel and the measured traffic equals Eq 1's VoC.
+// the serial kij kernel and the measured traffic equals Eq 1's VoC. It
+// is MultiplyOverlapContext with a background context.
 func MultiplyOverlap(cfg Config, g *partition.Grid, a, b *matrix.Dense) (*matrix.Dense, *Stats, error) {
+	return MultiplyOverlapContext(context.Background(), cfg, g, a, b)
+}
+
+// MultiplyOverlapContext is MultiplyOverlap honouring ctx. The overlap
+// schedule has no pacing and its workers never block (every inbox holds
+// all inbound packets), so cancellation is checked at the phase
+// boundaries: a cancelled context stops the run before it starts or
+// discards the result right after the workers drain.
+func MultiplyOverlapContext(ctx context.Context, cfg Config, g *partition.Grid, a, b *matrix.Dense) (*matrix.Dense, *Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	n := g.N()
 	if a.N() != n || b.N() != n {
 		return nil, nil, fmt.Errorf("exec: matrices are %d×%d, partition is %d×%d", a.N(), a.N(), n, n)
@@ -151,6 +165,9 @@ func MultiplyOverlap(cfg Config, g *partition.Grid, a, b *matrix.Dense) (*matrix
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 
 	bd := model.Evaluate(cfg.Algorithm, cfg.Machine, g.Snapshot())
 	stats.VirtualComm = bd.Comm

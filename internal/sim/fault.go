@@ -47,6 +47,10 @@ type FaultPlan struct {
 	cpu    map[partition.Proc][]Window
 	link   map[partition.Proc][]Window
 	spikes map[partition.Proc][]Spike
+	// fates holds worker-level faults for the real execution engine
+	// (internal/exec): kill/hang at a progress fraction, persistent
+	// slowdown. See workerfault.go.
+	fates map[partition.Proc]workerFault
 }
 
 // NewFaultPlan returns an empty plan.

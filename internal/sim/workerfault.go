@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/partition"
+)
+
+// WorkerFate enumerates what a fault plan does to a real execution
+// worker (internal/exec). Unlike the simulator's time-window faults,
+// worker fates fire against *progress*: a fraction of the worker's own
+// assigned work, so "kill P at 50%" means the same thing at every matrix
+// size and pacing rate.
+type WorkerFate uint8
+
+const (
+	// FateNone leaves the worker alone.
+	FateNone WorkerFate = iota
+	// FateKill makes the worker exit silently at the trigger point: its
+	// heartbeats stop and its queued work is stranded until the
+	// supervisor's lease expires — the in-process analogue of a crashed
+	// cluster node.
+	FateKill
+	// FateHang makes the worker block forever at the trigger point while
+	// holding its current lease — a deadlocked or livelocked node whose
+	// process is alive but makes no progress and sends no heartbeats.
+	FateHang
+)
+
+func (f WorkerFate) String() string {
+	switch f {
+	case FateNone:
+		return "none"
+	case FateKill:
+		return "kill"
+	case FateHang:
+		return "hang"
+	}
+	return fmt.Sprintf("WorkerFate(%d)", uint8(f))
+}
+
+// workerFault is the per-processor worker-level fault state.
+type workerFault struct {
+	fate WorkerFate
+	frac float64 // progress fraction in [0, 1] at which the fate fires
+	slow float64 // persistent compute slowdown factor (0 or 1 = none)
+}
+
+// AddWorkerKill makes execution worker p die silently once it has
+// completed frac (in [0, 1]) of its initially assigned work. Only one
+// fate per processor is allowed.
+func (f *FaultPlan) AddWorkerKill(p partition.Proc, frac float64) error {
+	return f.setFate(p, FateKill, frac)
+}
+
+// AddWorkerHang makes execution worker p block forever (heartbeats stop,
+// lease held) once it has completed frac of its initially assigned work.
+func (f *FaultPlan) AddWorkerHang(p partition.Proc, frac float64) error {
+	return f.setFate(p, FateHang, frac)
+}
+
+func (f *FaultPlan) setFate(p partition.Proc, fate WorkerFate, frac float64) error {
+	if !p.Valid() {
+		return &ConfigError{Field: "worker-fate", Reason: fmt.Sprintf("invalid processor %v", p)}
+	}
+	if math.IsNaN(frac) || frac < 0 || frac > 1 {
+		return &ConfigError{Field: "worker-fate", Reason: fmt.Sprintf("progress fraction %v outside [0, 1]", frac)}
+	}
+	if f.fates == nil {
+		f.fates = make(map[partition.Proc]workerFault)
+	}
+	wf := f.fates[p]
+	if wf.fate != FateNone {
+		return &ConfigError{Field: "worker-fate", Reason: fmt.Sprintf("processor %v already has a %v fate", p, wf.fate)}
+	}
+	wf.fate, wf.frac = fate, frac
+	f.fates[p] = wf
+	return nil
+}
+
+// AddWorkerSlowdown makes execution worker p compute factor× slower for
+// the whole run — a persistent straggler the supervisor should detect
+// and speculate around rather than declare dead (the worker keeps
+// heartbeating).
+func (f *FaultPlan) AddWorkerSlowdown(p partition.Proc, factor float64) error {
+	if !p.Valid() {
+		return &ConfigError{Field: "worker-slowdown", Reason: fmt.Sprintf("invalid processor %v", p)}
+	}
+	if math.IsNaN(factor) || factor < 1 {
+		return &ConfigError{Field: "worker-slowdown", Reason: fmt.Sprintf("slowdown factor %v must be ≥ 1", factor)}
+	}
+	if f.fates == nil {
+		f.fates = make(map[partition.Proc]workerFault)
+	}
+	wf := f.fates[p]
+	if wf.slow > 1 {
+		return &ConfigError{Field: "worker-slowdown", Reason: fmt.Sprintf("processor %v already has a %gx slowdown", p, wf.slow)}
+	}
+	wf.slow = factor
+	f.fates[p] = wf
+	return nil
+}
+
+// WorkerFateFor returns the fate configured for worker p and the
+// progress fraction at which it fires. A nil plan (or no fate) returns
+// (FateNone, 0).
+func (f *FaultPlan) WorkerFateFor(p partition.Proc) (WorkerFate, float64) {
+	if f == nil || f.fates == nil {
+		return FateNone, 0
+	}
+	wf := f.fates[p]
+	return wf.fate, wf.frac
+}
+
+// WorkerSlowdown returns worker p's persistent compute slowdown factor
+// (1 when none is configured, nil-safe).
+func (f *FaultPlan) WorkerSlowdown(p partition.Proc) float64 {
+	if f == nil || f.fates == nil {
+		return 1
+	}
+	if wf := f.fates[p]; wf.slow > 1 {
+		return wf.slow
+	}
+	return 1
+}
+
+// HasWorkerFaults reports whether any worker-level fault (fate or
+// slowdown) is configured.
+func (f *FaultPlan) HasWorkerFaults() bool {
+	return f != nil && len(f.fates) > 0
+}
+
+// ParseWorkerFaults parses a comma-separated worker-fault spec into a
+// fault plan, the -fault flag syntax of cmd/mmmsim:
+//
+//	kill:P@0.5    kill worker P at 50% of its assigned work
+//	hang:R@0.3    hang worker R at 30%
+//	slow:S@8      slow worker S down 8× for the whole run
+//
+// Processors are named P, R, S (case-insensitive).
+func ParseWorkerFaults(spec string) (*FaultPlan, error) {
+	fp := NewFaultPlan()
+	for _, item := range strings.Split(spec, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(item, ":")
+		if !ok {
+			return nil, &ConfigError{Field: "fault-spec", Reason: fmt.Sprintf("%q is not kind:proc@value", item)}
+		}
+		procStr, valStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, &ConfigError{Field: "fault-spec", Reason: fmt.Sprintf("%q is missing the @value part", item)}
+		}
+		p, err := parseProc(procStr)
+		if err != nil {
+			return nil, err
+		}
+		val, err := strconv.ParseFloat(strings.TrimSpace(valStr), 64)
+		if err != nil {
+			return nil, &ConfigError{Field: "fault-spec", Reason: fmt.Sprintf("bad value in %q: %v", item, err)}
+		}
+		switch strings.ToLower(strings.TrimSpace(kind)) {
+		case "kill":
+			err = fp.AddWorkerKill(p, val)
+		case "hang":
+			err = fp.AddWorkerHang(p, val)
+		case "slow":
+			err = fp.AddWorkerSlowdown(p, val)
+		default:
+			err = &ConfigError{Field: "fault-spec", Reason: fmt.Sprintf("unknown fault kind %q (want kill, hang or slow)", kind)}
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return fp, nil
+}
+
+func parseProc(s string) (partition.Proc, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "P":
+		return partition.P, nil
+	case "R":
+		return partition.R, nil
+	case "S":
+		return partition.S, nil
+	}
+	return 0, &ConfigError{Field: "fault-spec", Reason: fmt.Sprintf("unknown processor %q (want P, R or S)", s)}
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestParseWorkerFaults(t *testing.T) {
+	fp, err := ParseWorkerFaults("kill:P@0.5, hang:r@0.3, slow:S@8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.HasWorkerFaults() {
+		t.Fatal("parsed plan reports no worker faults")
+	}
+	if fate, frac := fp.WorkerFateFor(partition.P); fate != FateKill || frac != 0.5 {
+		t.Errorf("P fate = %v@%g, want kill@0.5", fate, frac)
+	}
+	if fate, frac := fp.WorkerFateFor(partition.R); fate != FateHang || frac != 0.3 {
+		t.Errorf("R fate = %v@%g, want hang@0.3", fate, frac)
+	}
+	if s := fp.WorkerSlowdown(partition.S); s != 8 {
+		t.Errorf("S slowdown = %g, want 8", s)
+	}
+	if fate, _ := fp.WorkerFateFor(partition.S); fate != FateNone {
+		t.Errorf("S fate = %v, want none (slowdown is not a fate)", fate)
+	}
+}
+
+func TestParseWorkerFaultsRejects(t *testing.T) {
+	for _, spec := range []string{
+		"kill:P",                // missing @value
+		"P@0.5",                 // missing kind
+		"melt:P@0.5",            // unknown kind
+		"kill:Q@0.5",            // unknown processor
+		"kill:P@1.5",            // fraction out of range
+		"slow:P@0.5",            // slowdown below 1
+		"kill:P@x",              // unparsable value
+		"kill:P@0.2,hang:P@0.4", // two fates for one processor
+	} {
+		if _, err := ParseWorkerFaults(spec); err == nil {
+			t.Errorf("spec %q accepted, want error", spec)
+		} else {
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Errorf("spec %q: error %v is not a ConfigError", spec, err)
+			}
+		}
+	}
+}
+
+func TestWorkerFaultsNilSafe(t *testing.T) {
+	var fp *FaultPlan
+	if fate, frac := fp.WorkerFateFor(partition.P); fate != FateNone || frac != 0 {
+		t.Error("nil plan must report FateNone")
+	}
+	if s := fp.WorkerSlowdown(partition.P); s != 1 {
+		t.Errorf("nil plan slowdown = %g, want 1", s)
+	}
+	if fp.HasWorkerFaults() {
+		t.Error("nil plan reports worker faults")
+	}
+	// The zero value (as opposed to NewFaultPlan) must also accept fates.
+	var zero FaultPlan
+	if err := zero.AddWorkerKill(partition.R, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if fate, _ := zero.WorkerFateFor(partition.R); fate != FateKill {
+		t.Error("zero-value plan dropped the fate")
+	}
+}

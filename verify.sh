@@ -20,11 +20,14 @@
 # errors while /metrics proves the search engine never ran), a
 # self-tuning drift smoke test (live calibration under an injected 8x
 # straggler must re-plan, change the served shape, and never serve the
-# invalidated pre-drift plan again), and a monotone degradation ramp
+# invalidated pre-drift plan again), a monotone degradation ramp
 # (an open-loop overload sweep to ~3x capacity must walk the shed
-# ladder one rung at a time with zero availability loss). CI and
-# pre-commit hooks run exactly this script; it exits non-zero on the
-# first failure — no step may be skipped.
+# ladder one rung at a time with zero availability loss), and an
+# exec-chaos smoke test (a worker killed mid-multiply recovers on the
+# survivors via the twoproc re-plan, and a paced mmmsim run SIGKILLed
+# mid-multiply resumes from its checkpoint — both bit-identical to the
+# serial kij kernel). CI and pre-commit hooks run exactly this script;
+# it exits non-zero on the first failure — no step may be skipped.
 set -eux
 
 go vet ./...
@@ -33,7 +36,7 @@ go test ./...
 go test -race ./internal/push/... ./internal/experiment/... \
     ./internal/journal/... ./internal/throttle/... \
     ./internal/serve/... ./internal/chaos/... ./serve/... \
-    ./internal/calibrate/...
+    ./internal/calibrate/... ./internal/exec/... ./internal/sim/...
 
 # --- chaos smoke test (~5s) -------------------------------------------
 # The replicated-cluster invariants, under the race detector: with one
@@ -264,5 +267,39 @@ if tail -n 40 "$tmp/degrade.json" | grep -q '"shed_tier_end": "search"'; then
 fi
 kill -TERM "$p6"
 wait "$p6" || { echo "ramp pland dirty drain" >&2; cat "$tmp/pland6.log" >&2; exit 1; }
+
+# --- exec-chaos smoke test (~5s) ---------------------------------------
+# The fault-tolerant execution engine end to end, through the real CLI.
+go build -o "$tmp/mmmsim" ./cmd/mmmsim
+
+# 1. Worker R killed at 50% of its work: the run must finish on the two
+#    survivors via the twoproc re-plan, bit-identical to the serial kij
+#    kernel (mmmsim exits non-zero on MISMATCH).
+"$tmp/mmmsim" -exec -alg SCB -n 64 -ratio 3:2:1 -block 8 \
+    -fault kill:R@0.5 > "$tmp/exec_kill.out"
+grep -q "replan-2proc" "$tmp/exec_kill.out"
+grep -q "result MATCH" "$tmp/exec_kill.out"
+
+# 2. A paced, checkpointed run SIGKILLed mid-multiply must resume from
+#    its journal: completed blocks replay, only the rest is recomputed,
+#    and the product still matches the serial kernel. The kill may race
+#    the run's start; the resume must cope with either a partial or an
+#    absent checkpoint (it creates one when the kill won the race).
+exec_flags="-exec -alg SCB -n 64 -ratio 3:2:1 -block 8 -seed 5"
+"$tmp/mmmsim" $exec_flags -pace -pace-rate 20000 \
+    -checkpoint "$tmp/exec.ckpt" > "$tmp/exec_killed.out" 2>&1 &
+mpid=$!
+sleep 1.2
+kill -9 "$mpid" 2>/dev/null || true
+wait "$mpid" 2>/dev/null || true
+if [ -s "$tmp/exec.ckpt" ]; then
+    "$tmp/mmmsim" $exec_flags -checkpoint "$tmp/exec.ckpt" -resume \
+        > "$tmp/exec_resumed.out"
+    grep -q "resumed [0-9]* blocks from checkpoint" "$tmp/exec_resumed.out"
+else
+    "$tmp/mmmsim" $exec_flags -checkpoint "$tmp/exec.ckpt" \
+        > "$tmp/exec_resumed.out"
+fi
+grep -q "result MATCH" "$tmp/exec_resumed.out"
 
 echo "verify.sh: all checks passed"
