@@ -61,6 +61,17 @@ type Faults struct {
 	// and must be caught there.
 	CorruptProb float64
 
+	// BitFlipProb is the per-connection probability of raw bit flips in
+	// the response body: BitFlipBytes body bytes (default 1) at
+	// scattered offsets past the HTTP header terminator each get one
+	// random bit inverted. Unlike the voc rotation this preserves
+	// nothing — not JSON validity, not numbers, with chunked framing
+	// not even the transfer encoding — modelling genuine silent wire or
+	// memory corruption. Whatever the damage parses into, the client's
+	// end-to-end re-verification must reject it.
+	BitFlipProb  float64
+	BitFlipBytes int
+
 	// TrickleBytes > 0 throttles the response stream to TrickleBytes
 	// per TrickleEvery (default 10ms) — a slow-trickle body that holds
 	// the client's reader hostage without tripping connect timeouts.
@@ -84,6 +95,9 @@ type Stats struct {
 	Blackholed int64
 	Corrupted  int64
 	Cut        int64
+	// BitFlipped counts connections on which at least one response body
+	// byte had a bit inverted.
+	BitFlipped int64
 }
 
 // Proxy is a fault-injecting TCP forwarder. Create with New, stop with
@@ -105,6 +119,7 @@ type Proxy struct {
 	blackholed  atomic.Int64
 	corrupted   atomic.Int64
 	cut         atomic.Int64
+	bitFlipped  atomic.Int64
 }
 
 // New starts a proxy on addr (use "127.0.0.1:0" for an ephemeral port)
@@ -159,6 +174,7 @@ func (p *Proxy) Stats() Stats {
 		Blackholed:  p.blackholed.Load(),
 		Corrupted:   p.corrupted.Load(),
 		Cut:         p.cut.Load(),
+		BitFlipped:  p.bitFlipped.Load(),
 	}
 }
 
@@ -195,6 +211,13 @@ func (p *Proxy) roll() float64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.rng.Float64()
+}
+
+// randInt draws one uniform int in [0, n) from the shared rng.
+func (p *Proxy) randInt(n int) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Intn(n)
 }
 
 func (p *Proxy) track(c net.Conn) func() {
@@ -239,6 +262,14 @@ func (p *Proxy) handle(client net.Conn) {
 	defer p.track(upstream)()
 
 	corrupt := f.CorruptProb > 0 && p.roll() < f.CorruptProb
+	var flipper *bitFlipper
+	if f.BitFlipProb > 0 && p.roll() < f.BitFlipProb {
+		nb := f.BitFlipBytes
+		if nb <= 0 {
+			nb = 1
+		}
+		flipper = newBitFlipper(nb, p.randInt)
+	}
 
 	// Client → upstream: verbatim. When it ends (client closed its write
 	// side), propagate the half-close so the upstream can finish.
@@ -254,15 +285,16 @@ func (p *Proxy) handle(client net.Conn) {
 	}()
 
 	// Upstream → client: through the fault pipeline.
-	p.forwardResponse(client, upstream, corrupt)
+	p.forwardResponse(client, upstream, corrupt, flipper)
 }
 
 // forwardResponse copies the upstream's response stream to the client,
 // applying latency, corruption, trickle, and cut per the live faults.
-func (p *Proxy) forwardResponse(client, upstream net.Conn, corrupt bool) {
+func (p *Proxy) forwardResponse(client, upstream net.Conn, corrupt bool, flipper *bitFlipper) {
 	var (
 		corruptor  vocCorruptor
 		didCorrupt bool
+		didFlip    bool
 		forwarded  int64
 		firstByte  = true
 		buf        = make([]byte, 32<<10)
@@ -289,6 +321,12 @@ func (p *Proxy) forwardResponse(client, upstream net.Conn, corrupt bool) {
 				if corruptor.corrupt(chunk) > 0 && !didCorrupt {
 					didCorrupt = true
 					p.corrupted.Add(1)
+				}
+			}
+			if flipper != nil {
+				if flipper.corrupt(chunk) > 0 && !didFlip {
+					didFlip = true
+					p.bitFlipped.Add(1)
 				}
 			}
 			if werr := p.writeChunk(client, chunk, f, &forwarded); werr != nil {
@@ -388,6 +426,64 @@ func (c *vocCorruptor) corrupt(chunk []byte) int {
 		} else {
 			c.matched = 0
 		}
+	}
+	return changed
+}
+
+// bitFlipper inverts single bits at pre-drawn offsets in an HTTP
+// response body, streaming across arbitrary chunk boundaries. The
+// header block is located by scanning for its \r\n\r\n terminator and
+// passed through untouched (a flipped Content-Length would be a
+// framing error, not silent corruption); everything after it — JSON,
+// chunk-size lines, anything — is fair game. Each flip has a gap drawn
+// in [8, 128) body bytes from the previous one, so with the default
+// response sizes every flip lands.
+type bitFlipper struct {
+	inBody  bool
+	matched int     // bytes of the \r\n\r\n terminator matched so far
+	gaps    []int   // body bytes to skip before each remaining flip
+	bits    []uint8 // which bit each remaining flip inverts
+}
+
+func newBitFlipper(flips int, randInt func(int) int) *bitFlipper {
+	f := &bitFlipper{gaps: make([]int, flips), bits: make([]uint8, flips)}
+	for i := range f.gaps {
+		f.gaps[i] = 8 + randInt(120)
+		f.bits[i] = uint8(randInt(8))
+	}
+	return f
+}
+
+var headerEnd = []byte("\r\n\r\n")
+
+// corrupt mutates chunk in place and returns how many bytes it changed.
+func (f *bitFlipper) corrupt(chunk []byte) int {
+	changed := 0
+	for i, b := range chunk {
+		if !f.inBody {
+			if b == headerEnd[f.matched] {
+				f.matched++
+				if f.matched == len(headerEnd) {
+					f.inBody = true
+				}
+			} else if b == '\r' {
+				f.matched = 1
+			} else {
+				f.matched = 0
+			}
+			continue
+		}
+		if len(f.gaps) == 0 {
+			break
+		}
+		if f.gaps[0] > 0 {
+			f.gaps[0]--
+			continue
+		}
+		chunk[i] ^= 1 << f.bits[0]
+		f.gaps = f.gaps[1:]
+		f.bits = f.bits[1:]
+		changed++
 	}
 	return changed
 }

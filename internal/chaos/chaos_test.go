@@ -292,3 +292,65 @@ func TestCorruptKeepsBytesCount(t *testing.T) {
 		t.Fatal("voc value not rotated")
 	}
 }
+
+// TestBitFlip: BitFlipProb 1 inverts bits in the response body only —
+// the header block reaches the client intact, the body differs from
+// the original in exactly BitFlipBytes bytes, and the connection is
+// counted.
+func TestBitFlip(t *testing.T) {
+	orig := strings.Repeat(`{"plan":{"n":64,"voc":1998}}`, 40)
+	p, _ := upstreamServer(t, orig, Faults{BitFlipProb: 1, BitFlipBytes: 3})
+	body, err := get(t, oneShotClient(2*time.Second), p.URL())
+	if err != nil {
+		// A flip may land on chunked-framing bytes and abort the read;
+		// that is still a detected failure, not silent corruption.
+		if p.Stats().BitFlipped == 0 {
+			t.Fatalf("request failed (%v) but no flip was counted", err)
+		}
+		return
+	}
+	if len(body) != len(orig) {
+		t.Fatalf("body length %d, want %d", len(body), len(orig))
+	}
+	diff := 0
+	for i := range body {
+		if body[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 3 {
+		t.Fatalf("%d bytes differ, want 3", diff)
+	}
+	if p.Stats().BitFlipped != 1 {
+		t.Fatalf("BitFlipped = %d, want 1", p.Stats().BitFlipped)
+	}
+}
+
+// TestBitFlipperStraddlesChunks: the header terminator must be found
+// across arbitrarily small chunks, and no header byte may ever be
+// touched.
+func TestBitFlipperStraddlesChunks(t *testing.T) {
+	header := "HTTP/1.1 200 OK\r\nContent-Length: 300\r\n\r\n"
+	body := strings.Repeat("abcdefgh", 40)
+	input := []byte(header + body)
+	rigged := 0
+	f := newBitFlipper(2, func(n int) int { rigged++; return rigged % n })
+	got := make([]byte, 0, len(input))
+	for i := range input { // one byte at a time: worst-case straddling
+		chunk := []byte{input[i]}
+		f.corrupt(chunk)
+		got = append(got, chunk...)
+	}
+	if string(got[:len(header)]) != header {
+		t.Fatalf("header was modified: %q", got[:len(header)])
+	}
+	diff := 0
+	for i := len(header); i < len(input); i++ {
+		if got[i] != input[i] {
+			diff++
+		}
+	}
+	if diff != 2 {
+		t.Fatalf("%d body bytes flipped, want 2", diff)
+	}
+}

@@ -373,12 +373,12 @@ func TestChaosClusterBatch(t *testing.T) {
 	defer client.Close()
 
 	items := []wire.PlanRequest{
-		{N: 24, Ratio: "2.5:1.5:1", Algorithm: "SCB"}, // atlas hit
-		{N: 32, Ratio: "3:1:1", Algorithm: "SCB"},     // off-atlas: searched
-		{N: 24, Ratio: "3:2:1", Algorithm: "SCB"},     // atlas hit
-		{N: 24, Ratio: "0:0:0", Algorithm: "SCB"},     // invalid: per-item 400
+		{N: 24, Ratio: "2.5:1.5:1", Algorithm: "SCB"},  // atlas hit
+		{N: 32, Ratio: "3:1:1", Algorithm: "SCB"},      // off-atlas: searched
+		{N: 24, Ratio: "3:2:1", Algorithm: "SCB"},      // atlas hit
+		{N: 24, Ratio: "0:0:0", Algorithm: "SCB"},      // invalid: per-item 400
 		{N: 24, Ratio: "2.51:1.5:1", Algorithm: "SCB"}, // off-lattice: searched
-		{N: 24, Ratio: "4:3:1", Algorithm: "SCB"},     // atlas hit
+		{N: 24, Ratio: "4:3:1", Algorithm: "SCB"},      // atlas hit
 	}
 	resp, err := client.PlanBatch(context.Background(), items)
 	if err != nil {
@@ -428,4 +428,50 @@ func TestChaosClusterBatch(t *testing.T) {
 	if atlasHits != 3 {
 		t.Fatalf("servers counted %d atlas hits, want 3", atlasHits)
 	}
+}
+
+// TestChaosClusterBitFlip: every response from replica 0 gets three raw
+// bit flips in its body — silent corruption that, unlike the voc
+// rotation, respects no layer: it may break the JSON, the transfer
+// framing, or just a digit. Correctness invariant: whatever the client
+// ends up accepting verifies end-to-end; the flipped responses are all
+// rejected (as corrupt plans or as transport/decode errors) and
+// retried onto honest replicas.
+func TestChaosClusterBitFlip(t *testing.T) {
+	cl := startCluster(t, []chaos.Faults{
+		{BitFlipProb: 1.0, BitFlipBytes: 3},
+		{},
+		{},
+	})
+	client, err := wire.NewPool(cl.urls(), wire.ClientConfig{
+		Timeout:           2 * time.Second,
+		Retry:             wire.RetryPolicy{MaxAttempts: 4, BaseDelay: 2 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+		RetryBudget:       1000,
+		RetryRefillPerSec: 1000,
+		ProbeInterval:     -1, // live rejections alone must evict the liar
+		EjectThreshold:    3,
+		EjectCooldown:     time.Hour,
+		HTTPClient:        oneShotTransport(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const calls = 30
+	for i := 0; i < calls; i++ {
+		req := chaosPlanReq(i)
+		resp, err := client.Plan(context.Background(), req)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if verr := wire.VerifyPlanResponse(req, resp); verr != nil {
+			t.Fatalf("request %d: client ACCEPTED a bit-flipped plan: %v", i, verr)
+		}
+	}
+	if cl.proxies[0].Stats().BitFlipped == 0 {
+		t.Fatal("bit-flip fault never fired — test proves nothing")
+	}
+	t.Logf("bit-flip: %d calls, %d flipped responses, none accepted",
+		calls, cl.proxies[0].Stats().BitFlipped)
 }

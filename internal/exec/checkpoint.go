@@ -20,8 +20,9 @@ import (
 // same bits.
 
 // ckptVersion is bumped whenever the record format changes
-// incompatibly; resume refuses a mismatched version.
-const ckptVersion = 1
+// incompatibly; resume refuses a mismatched version. v2 added the
+// per-record result checksum (Sum).
+const ckptVersion = 2
 
 // ckptHeader identifies the run a checkpoint belongs to. Resume refuses
 // a checkpoint whose shape, algorithm, ratio or input matrices (FNV-64a
@@ -37,11 +38,39 @@ type ckptHeader struct {
 }
 
 // ckptRecord is one committed block: the C cell indices (row-major,
-// ascending) and their exact values.
+// ascending) and their exact values. Sum is an FNV-64a over the block
+// id, cell indices and raw value bits — an end-to-end result checksum
+// on top of the journal's per-frame CRC, so a record whose *content*
+// was corrupted after framing (or written from corrupted memory) is
+// dropped on resume and its cells recomputed instead of replayed.
 type ckptRecord struct {
 	Block int       `json:"block"`
 	Cells []int32   `json:"cells"`
 	Vals  []float64 `json:"vals"`
+	Sum   uint64    `json:"sum"`
+}
+
+// recordSum is the ckptRecord content checksum.
+func recordSum(block int, cells []int32, vals []float64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64, nb int) {
+		for i := 0; i < nb; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:nb])
+	}
+	put(uint64(block), 8)
+	for i, idx := range cells {
+		put(uint64(uint32(idx)), 4)
+		put(math.Float64bits(vals[i]), 8)
+	}
+	return h.Sum64()
+}
+
+// newCkptRecord builds a checksummed record.
+func newCkptRecord(block int, cells []int32, vals []float64) ckptRecord {
+	return ckptRecord{Block: block, Cells: cells, Vals: vals, Sum: recordSum(block, cells, vals)}
 }
 
 // CheckpointError reports an unusable checkpoint file (as opposed to a
@@ -114,10 +143,11 @@ func (e *engine) openCheckpoint() error {
 		return &CheckpointError{Path: e.cfg.Checkpoint,
 			Reason: fmt.Sprintf("header %+v does not match this run (%+v)", hdr, want)}
 	}
-	recs, maxBlock, err := decodeCkptRecords(e.n, rawRecs)
+	recs, maxBlock, dropped, err := decodeCkptRecords(e.n, rawRecs)
 	if err != nil {
 		return &CheckpointError{Path: e.cfg.Checkpoint, Reason: err.Error()}
 	}
+	e.stats.CheckpointDropped = dropped
 	cd := e.c.Data()
 	for _, r := range recs {
 		for i, idx := range r.Cells {
@@ -140,34 +170,42 @@ func (e *engine) openCheckpoint() error {
 
 // decodeCkptRecords validates raw checkpoint records for an n×n run.
 // Applying them in order is last-write-wins per cell, so duplicate block
-// records are accepted. The largest block id is returned so a resumed
-// run can keep its fresh task ids disjoint from the journal's.
-func decodeCkptRecords(n int, raw []json.RawMessage) ([]ckptRecord, int, error) {
+// records are accepted. A structurally valid record whose content
+// checksum does not match is dropped (not fatal): its cells are simply
+// recomputed instead of replayed, and the drop count is returned. The
+// largest block id is returned so a resumed run can keep its fresh task
+// ids disjoint from the journal's.
+func decodeCkptRecords(n int, raw []json.RawMessage) ([]ckptRecord, int, int, error) {
 	recs := make([]ckptRecord, 0, len(raw))
 	maxBlock := -1
+	dropped := 0
 	for i, rr := range raw {
 		var r ckptRecord
 		if err := json.Unmarshal(rr, &r); err != nil {
-			return nil, 0, fmt.Errorf("record %d undecodable: %v", i, err)
+			return nil, 0, 0, fmt.Errorf("record %d undecodable: %v", i, err)
 		}
 		if r.Block < 0 {
-			return nil, 0, fmt.Errorf("record %d: negative block id %d", i, r.Block)
+			return nil, 0, 0, fmt.Errorf("record %d: negative block id %d", i, r.Block)
 		}
 		if len(r.Cells) != len(r.Vals) {
-			return nil, 0, fmt.Errorf("record %d (block %d): %d cells but %d values", i, r.Block, len(r.Cells), len(r.Vals))
+			return nil, 0, 0, fmt.Errorf("record %d (block %d): %d cells but %d values", i, r.Block, len(r.Cells), len(r.Vals))
 		}
 		if len(r.Cells) == 0 {
-			return nil, 0, fmt.Errorf("record %d (block %d): empty", i, r.Block)
+			return nil, 0, 0, fmt.Errorf("record %d (block %d): empty", i, r.Block)
 		}
 		for _, idx := range r.Cells {
 			if idx < 0 || int(idx) >= n*n {
-				return nil, 0, fmt.Errorf("record %d (block %d): cell %d outside %d×%d", i, r.Block, idx, n, n)
+				return nil, 0, 0, fmt.Errorf("record %d (block %d): cell %d outside %d×%d", i, r.Block, idx, n, n)
 			}
 		}
 		if r.Block > maxBlock {
 			maxBlock = r.Block
 		}
+		if r.Sum != recordSum(r.Block, r.Cells, r.Vals) {
+			dropped++
+			continue
+		}
 		recs = append(recs, r)
 	}
-	return recs, maxBlock, nil
+	return recs, maxBlock, dropped, nil
 }

@@ -25,11 +25,15 @@ func FuzzCheckpointDecode(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	if err := w.AppendPayload(ckptRecord{Block: 0, Cells: []int32{0, 1}, Vals: []float64{1.5, -2.25}}); err != nil {
+	if err := w.AppendPayload(newCkptRecord(0, []int32{0, 1}, []float64{1.5, -2.25})); err != nil {
 		f.Fatal(err)
 	}
 	// A duplicate of block 0 with different bits: replay must keep these.
-	if err := w.AppendPayload(ckptRecord{Block: 0, Cells: []int32{1, 9}, Vals: []float64{7.75, 0.125}}); err != nil {
+	if err := w.AppendPayload(newCkptRecord(0, []int32{1, 9}, []float64{7.75, 0.125})); err != nil {
+		f.Fatal(err)
+	}
+	// A record with a stale content checksum: dropped, not fatal.
+	if err := w.AppendPayload(ckptRecord{Block: 1, Cells: []int32{2}, Vals: []float64{3.5}, Sum: 42}); err != nil {
 		f.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -56,9 +60,12 @@ func FuzzCheckpointDecode(f *testing.F) {
 			return // rejected framing is a valid outcome
 		}
 		const n = 8
-		recs, maxBlock, err := decodeCkptRecords(n, rawRecs)
+		recs, maxBlock, dropped, err := decodeCkptRecords(n, rawRecs)
 		if err != nil {
 			return // rejected content is a valid outcome
+		}
+		if len(recs)+dropped != len(rawRecs) {
+			t.Fatalf("%d records + %d dropped ≠ %d raw", len(recs), dropped, len(rawRecs))
 		}
 		apply := func() []float64 {
 			buf := make([]float64, n*n)

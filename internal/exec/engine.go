@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,13 +42,23 @@ type blockTask struct {
 	patchA, patchB   []int32
 	patchAV, patchBV []float64
 	speculative      bool
+	// prior holds the discarded values (per cells) when this task is an
+	// integrity re-lease of a block withdrawn at tile verification, and
+	// priorFrom the worker that computed them. Honest blocks recompute
+	// bit-identically, so a differing recompute convicts priorFrom of
+	// the mismatch — attribution by evidence, not by suspicion.
+	prior     []float64
+	priorFrom partition.Proc
 }
 
-// blockResult is a worker's completed block.
+// blockResult is a worker's completed block. injected marks results the
+// fault plan actually corrupted; it is ground truth for the stats only
+// — the verifier never reads it.
 type blockResult struct {
-	task *blockTask
-	from partition.Proc
-	vals []float64 // per task.cells
+	task     *blockTask
+	from     partition.Proc
+	vals     []float64 // per task.cells
+	injected bool
 }
 
 // activeBlock tracks a dispatched, unfinished block.
@@ -68,6 +79,8 @@ type execMetrics struct {
 	blocks     *metrics.CounterVec // exec_blocks_total{state}
 	recoveries *metrics.CounterVec // exec_recoveries_total{kind}
 	recLatency *metrics.Histogram  // exec_recovery_latency_seconds
+	integrity  *metrics.Counter    // exec_integrity_checks_total
+	corrupted  *metrics.CounterVec // exec_corruptions_total{outcome}
 }
 
 func newExecMetrics(reg *metrics.Registry) *execMetrics {
@@ -76,12 +89,16 @@ func newExecMetrics(reg *metrics.Registry) *execMetrics {
 	}
 	return &execMetrics{
 		blocks: reg.NewCounterVec("exec_blocks_total",
-			"Block tasks by terminal state (done, resumed, reassigned, speculated, discarded).", "state"),
+			"Block tasks by terminal state (done, resumed, reassigned, speculated, discarded, rejected).", "state"),
 		recoveries: reg.NewCounterVec("exec_recoveries_total",
 			"Recovery events by kind (replan-2proc, replan-serial, speculate).", "kind"),
 		recLatency: reg.Histogram("exec_recovery_latency_seconds",
 			"Stall from a lost worker's last heartbeat to its work being re-planned.",
 			[]float64{.01, .025, .05, .1, .25, .5, 1, 2.5}),
+		integrity: reg.Counter("exec_integrity_checks_total",
+			"C tiles ABFT-verified against supervisor-side checksum references."),
+		corrupted: reg.NewCounterVec("exec_corruptions_total",
+			"Detected result corruptions by outcome (corrected, recomputed, quarantined).", "outcome"),
 	}
 }
 
@@ -100,6 +117,18 @@ func (m *execMetrics) recovery(kind string) {
 func (m *execMetrics) latency(d time.Duration) {
 	if m != nil {
 		m.recLatency.Observe(d.Seconds())
+	}
+}
+
+func (m *execMetrics) integrityCheck() {
+	if m != nil {
+		m.integrity.Inc()
+	}
+}
+
+func (m *execMetrics) corruption(outcome string) {
+	if m != nil {
+		m.corrupted.With(outcome).Inc()
 	}
 }
 
@@ -129,8 +158,11 @@ type engine struct {
 	active    map[partition.Proc]*activeBlock
 	waiting   map[partition.Proc]bool
 	alive     map[partition.Proc]bool
+	byzantine map[partition.Proc]bool
 	committed map[int]bool
 	nextID    int
+
+	integ *integrity // nil unless cfg.Verify
 
 	beats [partition.NumProcs]atomic.Int64 // unix nanos of each worker's last heartbeat
 
@@ -167,6 +199,7 @@ func newEngine(ctx context.Context, cfg Config, g *partition.Grid, a, b *matrix.
 		active:     make(map[partition.Proc]*activeBlock, partition.NumProcs),
 		waiting:    make(map[partition.Proc]bool, partition.NumProcs),
 		alive:      make(map[partition.Proc]bool, partition.NumProcs),
+		byzantine:  make(map[partition.Proc]bool, partition.NumProcs),
 		committed:  make(map[int]bool),
 		reqCh:      make(chan partition.Proc),
 		resCh:      make(chan blockResult, 2*partition.NumProcs),
@@ -199,6 +232,9 @@ func newEngine(ctx context.Context, cfg Config, g *partition.Grid, a, b *matrix.
 	}
 	if err := e.openCheckpoint(); err != nil {
 		return nil, err
+	}
+	if cfg.Verify {
+		e.integ = newIntegrity(e)
 	}
 	e.runCtx, e.cancel = context.WithCancel(ctx)
 	return e, nil
@@ -442,7 +478,19 @@ func (e *engine) supervise() error {
 			}
 		}
 	}
-	return nil
+	// Drain results that raced the finish so the stats see every
+	// delivered corruption (a quarantined worker's rejected result, a
+	// speculation loser) before the run reports.
+	for {
+		select {
+		case r := <-e.resCh:
+			if err := e.commit(r); err != nil {
+				return err
+			}
+		default:
+			return nil
+		}
+	}
 }
 
 // workerLoop is one processor: request a block, compute it, report it,
@@ -460,6 +508,11 @@ func (e *engine) workerLoop(w partition.Proc, initFlops int64) {
 
 	fate, frac := e.cfg.Faults.WorkerFateFor(w)
 	slow := e.cfg.Faults.WorkerSlowdown(w)
+	corrupt, cval := e.cfg.Faults.WorkerCorruption(w)
+	var crng *rand.Rand
+	if corrupt != sim.FateNone {
+		crng = rand.New(rand.NewSource(0x1e57 + int64(w)))
+	}
 	var lim *throttle.Limiter
 	if e.cfg.Pace || slow > 1 {
 		baseRate := e.cfg.PaceFlopsPerSec
@@ -498,12 +551,31 @@ func (e *engine) workerLoop(w partition.Proc, initFlops int64) {
 		case t = <-e.assign[w]:
 		}
 		vals := e.computeBlock(w, t, lim)
+		injected := false
+		switch corrupt {
+		case sim.FateScale:
+			// Systematic corruption: every returned value is scaled, a
+			// self-consistent wrongness only supervisor-side references
+			// catch.
+			for i := range vals {
+				vals[i] *= cval
+			}
+			injected = len(vals) > 0
+		case sim.FateFlip:
+			// Transient corruption: one cell of the block, with the
+			// configured per-block probability.
+			if len(vals) > 0 && crng.Float64() < cval {
+				ci := crng.Intn(len(vals))
+				vals[ci] = flipExponent(vals[ci], crng)
+				injected = true
+			}
+		}
 		done += int64(len(t.cells)) * int64(e.n)
 		blocks++
 		select {
 		case <-e.runCtx.Done():
 			return
-		case e.resCh <- blockResult{task: t, from: w, vals: vals}:
+		case e.resCh <- blockResult{task: t, from: w, vals: vals, injected: injected}:
 		}
 	}
 }
@@ -599,8 +671,18 @@ func (e *engine) dispatchWaiting() {
 
 // commit applies a block result: first result per block id wins, later
 // ones (speculation losers) are discarded so neither C nor the stats
-// double-count.
+// double-count. Results from a quarantined (Byzantine) worker are
+// rejected outright — its in-flight block may be corrupt and its cells
+// were already re-planned.
 func (e *engine) commit(r blockResult) error {
+	if e.byzantine[r.from] {
+		e.stats.ByzantineRejected++
+		if r.injected {
+			e.stats.InjectedCorruptions++
+		}
+		e.em.block("rejected", 1)
+		return nil
+	}
 	if ab := e.active[r.from]; ab != nil && ab.task.id == r.task.id {
 		e.active[r.from] = nil
 	}
@@ -611,12 +693,16 @@ func (e *engine) commit(r blockResult) error {
 	}
 	e.committed[r.task.id] = true
 	fresh := 0
+	var freshCells []int32
 	cd := e.c.Data()
 	for ci, idx := range r.task.cells {
 		if !e.doneMask[idx] {
 			e.doneMask[idx] = true
 			cd[idx] = r.vals[ci]
 			fresh++
+			if e.integ != nil {
+				freshCells = append(freshCells, idx)
+			}
 		}
 	}
 	if fresh == 0 {
@@ -627,12 +713,20 @@ func (e *engine) commit(r blockResult) error {
 		e.em.block("discarded", 1)
 		return nil
 	}
+	if r.injected {
+		e.stats.InjectedCorruptions++
+	}
 	e.doneCells += fresh
 	e.stats.BlocksDone++
 	e.stats.Flops[r.from] += int64(len(r.task.cells)) * int64(e.n)
 	e.em.block("done", 1)
+	if e.integ != nil {
+		// Verification is tile-grained; with a checkpoint configured the
+		// journal append is deferred until the block's tile verifies.
+		return e.integ.blockCommitted(r, freshCells)
+	}
 	if e.ckpt != nil {
-		if err := e.ckpt.AppendPayload(ckptRecord{Block: r.task.id, Cells: r.task.cells, Vals: r.vals}); err != nil {
+		if err := e.ckpt.AppendPayload(newCkptRecord(r.task.id, r.task.cells, r.vals)); err != nil {
 			return fmt.Errorf("exec: checkpoint: %w", err)
 		}
 	}
@@ -665,17 +759,37 @@ func (e *engine) checkHealth(now time.Time) error {
 	return nil
 }
 
-// declareLost handles permanent worker loss: withdraw every unstarted
-// block, re-plan the whole remaining uncomputed region on the survivors
-// (3→2 with the prior work's optimal two-processor shapes, 2→1 serial),
-// attach the A/B fragments each survivor is missing, and let in-flight
-// survivor blocks finish under their leases.
+// declareLost handles permanent fail-stop worker loss (missed-heartbeat
+// lease expiry).
 func (e *engine) declareLost(w partition.Proc, now time.Time) error {
+	return e.evict(w, now, false)
+}
+
+// evict removes worker w from the run — either fail-stop lost (lease
+// expiry) or declared Byzantine (mismatch budget exceeded) — and
+// re-plans: withdraw every unstarted block, re-plan the whole remaining
+// uncomputed region on the survivors (3→2 with the prior work's optimal
+// two-processor shapes, 2→1 serial), attach the A/B fragments each
+// survivor is missing, and let in-flight survivor blocks finish under
+// their leases. Idempotent: a worker already evicted (a quarantine
+// racing its own heartbeat expiry) is left alone.
+func (e *engine) evict(w partition.Proc, now time.Time, byzantine bool) error {
+	if !e.alive[w] {
+		return nil
+	}
 	e.alive[w] = false
 	e.waiting[w] = false
-	e.stats.Lost = append(e.stats.Lost, w)
-	stall := now.Sub(e.lastBeat(w))
-	sp := e.tr("recovery " + w.String())
+	var stall time.Duration
+	var sp *trace.Active
+	if byzantine {
+		e.byzantine[w] = true
+		e.stats.Byzantine = append(e.stats.Byzantine, w)
+		sp = e.tr("quarantine " + w.String())
+	} else {
+		e.stats.Lost = append(e.stats.Lost, w)
+		stall = now.Sub(e.lastBeat(w))
+		sp = e.tr("recovery " + w.String())
+	}
 
 	// The remaining uncomputed region: the lost worker's active block,
 	// plus every pending block of every worker. Blocks a live survivor
@@ -695,6 +809,11 @@ func (e *engine) declareLost(w partition.Proc, now time.Time) error {
 	for _, p := range partition.Procs {
 		for _, t := range e.pending[p] {
 			collect(t)
+			// A withdrawn pending task never delivered its A/B patch: the
+			// coverage bits it claimed must be released, or the replacement
+			// task would get no patch and its assignee would compute from
+			// zeroed local fragments.
+			e.unpatch(t)
 		}
 		e.pending[p] = nil
 	}
@@ -753,10 +872,14 @@ func (e *engine) declareLost(w partition.Proc, now time.Time) error {
 	e.stats.BlocksReassigned += len(newTasks)
 	e.stats.Recoveries++
 	e.stats.RecoveryKinds = append(e.stats.RecoveryKinds, kind)
-	e.stats.RecoveryLatency += stall
 	e.em.block("reassigned", len(newTasks))
 	e.em.recovery(kind)
-	e.em.latency(stall)
+	if !byzantine {
+		// Quarantine is a supervisor decision, not a detected stall:
+		// recovery latency measures heartbeat silence only.
+		e.stats.RecoveryLatency += stall
+		e.em.latency(stall)
+	}
 	if sp != nil {
 		sp.SetDetail("%s: %d blocks on %d survivors, +%d elements", kind, len(newTasks), len(survivors), e.stats.RecoveryVolume)
 		sp.End()
@@ -877,6 +1000,22 @@ func (e *engine) buildPatch(t *blockTask) {
 			}
 		}
 	}
+}
+
+// unpatch releases the coverage claims of a task that was withdrawn
+// before its assignee ever received it, reversing buildPatch: the
+// fragments ride on the task itself, so an undelivered task means the
+// worker does not hold them, whatever the masks say. The recovery
+// volume it charged is refunded — those elements never moved.
+func (e *engine) unpatch(t *blockTask) {
+	ah, bh := e.aHave[t.owner], e.bHave[t.owner]
+	for _, idx := range t.patchA {
+		ah[idx] = false
+	}
+	for _, idx := range t.patchB {
+		bh[idx] = false
+	}
+	e.stats.RecoveryVolume -= int64(len(t.patchA) + len(t.patchB))
 }
 
 // accountRemainderNeed computes what a from-scratch redistribution of

@@ -78,6 +78,23 @@ type Config struct {
 	// discarded by block id). Zero disables speculation.
 	StraggleAfter time.Duration
 
+	// Verify turns on ABFT result verification (integrity.go): every
+	// completed C tile is checked against checksum references the
+	// supervisor derives from its own pristine A and B, a localized
+	// single-cell error is corrected in place (bit-exactly, by
+	// recomputing the cell), and an uncorrectable mismatch discards the
+	// offending blocks and re-leases them to a different worker. With a
+	// checkpoint configured, journal appends are deferred until the
+	// block's tile verifies, so the journal only ever holds verified
+	// results.
+	Verify bool
+	// MismatchBudget is how many uncorrectable mismatches a worker may
+	// cause under Verify before it is declared Byzantine and quarantined
+	// like a lost worker (its remaining work re-planned on the
+	// survivors, its in-flight results rejected). 0 means the default
+	// of 3.
+	MismatchBudget int
+
 	// Metrics, when non-nil, receives the engine's instrumentation:
 	// exec_blocks_total{state}, exec_recoveries_total{kind} and the
 	// exec_recovery_latency_seconds histogram.
@@ -160,11 +177,34 @@ type Stats struct {
 	// from each lost worker's final heartbeat to its work being
 	// re-planned onto the survivors.
 	RecoveryLatency time.Duration
+
+	// IntegrityChecks counts C tiles ABFT-verified under Config.Verify.
+	IntegrityChecks int
+	// CorruptionsCorrected counts single-cell errors localized by the
+	// row×column checksum intersection and corrected in place.
+	CorruptionsCorrected int
+	// BlocksRecomputed counts blocks discarded at verification
+	// (uncorrectable mismatch) and re-leased to a different worker.
+	BlocksRecomputed int
+	// Byzantine lists workers quarantined for exceeding the mismatch
+	// budget, in detection order; ByzantineRejected counts their
+	// in-flight results rejected after quarantine.
+	Byzantine         []partition.Proc
+	ByzantineRejected int
+	// InjectedCorruptions is ground truth from the fault plan: how many
+	// delivered results the sim corruption fates actually corrupted
+	// (committed or Byzantine-rejected; speculation losers that never
+	// touched C are excluded). The integrity study's detection rate is
+	// (corrected + recomputed + rejected) / injected.
+	InjectedCorruptions int
+	// CheckpointDropped counts resume records discarded because their
+	// content checksum did not match — cells recomputed, not replayed.
+	CheckpointDropped int
 }
 
 // Survivors returns how many workers were still alive at the end of the
-// run.
-func (s *Stats) Survivors() int { return partition.NumProcs - len(s.Lost) }
+// run (neither fail-stop lost nor quarantined as Byzantine).
+func (s *Stats) Survivors() int { return partition.NumProcs - len(s.Lost) - len(s.Byzantine) }
 
 // Multiply computes C = A·B with the matrices partitioned by g across
 // three workers. A and B must be n×n with n = g.N(). It is

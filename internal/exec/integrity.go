@@ -1,0 +1,540 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/partition"
+)
+
+// ABFT result verification (Huang–Abraham, adapted to the supervised
+// block scheduler). The key identity: for a C tile spanning rows
+// [r0, r1) and columns [c0, c1),
+//
+//	Σ_{j∈[c0,c1)} C[i][j] = Σ_k A[i][k] · (Σ_{j∈[c0,c1)} B[k][j])
+//
+// so with the per-tile-band column sums of B precomputed once (bband),
+// the supervisor can check every row of a completed tile against a
+// reference it derives from its own pristine A and B in O(n) per row —
+// O(n·bs) per tile, an ~1/BlockSize fraction of the tile's 2n·bs²
+// compute flops. The symmetric column identity (aband, built lazily —
+// only suspect tiles pay for it) localizes a single corrupted cell as
+// the intersection of the failing row and failing column; that cell is
+// then recomputed *exactly* (same ascending-k order as the kij kernel),
+// so correction preserves the engine's bit-exactness guarantee.
+//
+// Crucially the references never involve worker-computed data: a
+// systematically wrong worker (sim.FateScale) produces blocks that are
+// self-consistent with any checksum the worker itself could have
+// attached, but not with the supervisor's independent bands.
+//
+// Verification is tile-grained, not block-grained, because a partition
+// owner's cells inside a tile form an arbitrary (ragged) subset with no
+// checksum identity of its own; the enclosing tile is always a full
+// rectangle. Each committed block therefore parks as a "contribution"
+// until its tile is complete, and with checkpointing enabled the
+// journal append is deferred to tile verification, so the checkpoint
+// never contains a block that was not verified.
+
+// defaultMismatchBudget is how many uncorrectable mismatches a worker
+// may cause before it is declared Byzantine and quarantined.
+const defaultMismatchBudget = 3
+
+// relTol is the relative checksum tolerance: a row (column) sum is
+// suspect when it differs from the reference by more than relTol times
+// an upper bound on the sum's absolute magnitude. Real kij rounding
+// noise is O(n·ε) ≈ 1e-14 of that magnitude at the sizes this engine
+// runs, several orders below relTol, while the injected faults (an
+// exponent-bit flip, a constant scale factor) overshoot it by many more.
+const relTol = 1e-9
+
+// tileContrib is one committed block's freshly written cells inside a
+// tile, remembered until the tile verifies so a mismatch can be
+// attributed to (and charged against) the worker that computed it.
+type tileContrib struct {
+	from  partition.Proc
+	cells []int32
+}
+
+// tileState tracks one BlockSize×BlockSize C tile through verification.
+type tileState struct {
+	r0, c0, r1, c1 int
+	remaining      int // undone cells; 0 triggers verification
+	verified       bool
+	contrib        map[int]*tileContrib // by block id
+}
+
+// integrity is the engine's ABFT layer. It lives entirely on the
+// supervisor goroutine: workers never see checksums, so they cannot
+// forge them.
+type integrity struct {
+	e     *engine
+	bs    int
+	tpr   int // tiles per row
+	tiles []*tileState
+
+	// bband[tc][k] = Σ_{j in column band tc} B[k][j]; bbandAbs the same
+	// over |B|, with bbandAbsMax[tc] its max over k (for the tolerance
+	// bound). Precomputed once, O(n²).
+	bband       [][]float64
+	bbandAbsMax []float64
+	// rowAbsA[i] = Σ_k |A[i][k]|, for the row-tolerance bound.
+	rowAbsA []float64
+
+	// aband[tr][k] = Σ_{i in row band tr} A[i][k]; built lazily per row
+	// band, because only suspect tiles need column localization.
+	aband       map[int][]float64
+	abandAbsMax map[int]float64
+	// colAbsB[j] = Σ_k |B[k][j]|, built lazily with the first aband.
+	colAbsB []float64
+
+	strikes map[partition.Proc]int
+	budget  int
+}
+
+// newIntegrity builds the tile table and the B-side reference bands.
+// Called after checkpoint replay: a tile fully restored from the
+// journal was verified before it was flushed (records are appended only
+// on tile verification) and its records passed the per-record checksum,
+// so it is trusted; partially restored tiles are re-verified whole once
+// their remaining cells are computed.
+func newIntegrity(e *engine) *integrity {
+	n, bs := e.n, e.cfg.BlockSize
+	tpr := (n + bs - 1) / bs
+	in := &integrity{
+		e:           e,
+		bs:          bs,
+		tpr:         tpr,
+		tiles:       make([]*tileState, tpr*tpr),
+		bband:       make([][]float64, tpr),
+		bbandAbsMax: make([]float64, tpr),
+		rowAbsA:     make([]float64, n),
+		aband:       make(map[int][]float64),
+		abandAbsMax: make(map[int]float64),
+		strikes:     make(map[partition.Proc]int),
+		budget:      e.cfg.MismatchBudget,
+	}
+	if in.budget <= 0 {
+		in.budget = defaultMismatchBudget
+	}
+	for ti := range in.tiles {
+		r0, c0 := (ti/tpr)*bs, (ti%tpr)*bs
+		ts := &tileState{
+			r0: r0, c0: c0,
+			r1: min(r0+bs, n), c1: min(c0+bs, n),
+			contrib: make(map[int]*tileContrib),
+		}
+		for i := ts.r0; i < ts.r1; i++ {
+			for j := ts.c0; j < ts.c1; j++ {
+				if !e.doneMask[i*n+j] {
+					ts.remaining++
+				}
+			}
+		}
+		ts.verified = ts.remaining == 0
+		in.tiles[ti] = ts
+	}
+	ad, bd := e.a.Data(), e.b.Data()
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for k := 0; k < n; k++ {
+			s += math.Abs(ad[i*n+k])
+		}
+		in.rowAbsA[i] = s
+	}
+	for tc := 0; tc < tpr; tc++ {
+		c0, c1 := tc*bs, min(tc*bs+bs, n)
+		band := make([]float64, n)
+		maxAbs := 0.0
+		for k := 0; k < n; k++ {
+			s, sa := 0.0, 0.0
+			row := bd[k*n : (k+1)*n]
+			for j := c0; j < c1; j++ {
+				s += row[j]
+				sa += math.Abs(row[j])
+			}
+			band[k] = s
+			if sa > maxAbs {
+				maxAbs = sa
+			}
+		}
+		in.bband[tc] = band
+		in.bbandAbsMax[tc] = maxAbs
+	}
+	return in
+}
+
+func (in *integrity) tileOf(idx int32) int {
+	n, bs := in.e.n, in.bs
+	i, j := int(idx)/n, int(idx)%n
+	return (i/bs)*in.tpr + j/bs
+}
+
+// blockCommitted records a committed block's fresh cells against its
+// tile and verifies the tile once its last cell lands. When the block
+// is an integrity re-lease, the recompute is first compared against the
+// discarded values; a difference means at least one of the two parties
+// is wrong, so the supervisor settles it by computing the first
+// differing cell itself (O(n), and exact — same ascending-k order as
+// the workers) and strikes whichever side disagrees with the truth.
+// Disagreement alone convicts nobody: a corrupt recomputer must not be
+// able to frame the honest worker whose block it re-leased.
+func (in *integrity) blockCommitted(r blockResult, fresh []int32) error {
+	if r.task.prior != nil {
+		for i := range r.task.cells {
+			if r.vals[i] != r.task.prior[i] &&
+				!(math.IsNaN(r.vals[i]) && math.IsNaN(r.task.prior[i])) {
+				truth := in.trueCell(r.task.cells[i])
+				if pv := r.task.prior[i]; pv != truth {
+					if err := in.strike(r.task.priorFrom); err != nil {
+						return err
+					}
+				}
+				if r.vals[i] != truth {
+					if err := in.strike(r.from); err != nil {
+						return err
+					}
+				}
+				break
+			}
+		}
+	}
+	ts := in.tiles[in.tileOf(fresh[0])]
+	ts.contrib[r.task.id] = &tileContrib{from: r.from, cells: fresh}
+	ts.remaining -= len(fresh)
+	if ts.remaining > 0 {
+		return nil
+	}
+	return in.verifyTile(ts)
+}
+
+// strike charges worker w one uncorrectable mismatch; past the budget
+// it is quarantined as Byzantine — unless it is the last worker
+// standing, where eviction would end the run with work unfinished. A
+// sole survivor that keeps mismatching far past the budget is a hard
+// error: there is no honest worker left to produce a correct product.
+func (in *integrity) strike(w partition.Proc) error {
+	in.strikes[w]++
+	e := in.e
+	if in.strikes[w] <= in.budget || !e.alive[w] {
+		return nil
+	}
+	if len(e.survivorsBySpeed()) > 1 {
+		e.em.corruption("quarantined")
+		return e.evict(w, time.Now(), true)
+	}
+	if in.strikes[w] > 10*in.budget {
+		return fmt.Errorf("exec: sole surviving worker %v exceeded the mismatch budget (%d uncorrectable mismatches)", w, in.strikes[w])
+	}
+	return nil
+}
+
+// checkRows returns the tile rows whose C sums disagree with the
+// A·bband reference beyond tolerance.
+func (in *integrity) checkRows(ts *tileState) []int {
+	e := in.e
+	n := e.n
+	tc := ts.c0 / in.bs
+	band := in.bband[tc]
+	cd, ad := e.c.Data(), e.a.Data()
+	var bad []int
+	for i := ts.r0; i < ts.r1; i++ {
+		sum := 0.0
+		for j := ts.c0; j < ts.c1; j++ {
+			sum += cd[i*n+j]
+		}
+		ref := 0.0
+		arow := ad[i*n : (i+1)*n]
+		for k := 0; k < n; k++ {
+			ref += arow[k] * band[k]
+		}
+		tol := relTol * in.rowAbsA[i] * in.bbandAbsMax[tc]
+		// NaN compares false against everything: a corrupted cell that
+		// went non-finite must still read as suspect.
+		if d := math.Abs(sum - ref); d > tol || math.IsNaN(d) {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+// checkCols is the column-side localizer, paid only by suspect tiles.
+func (in *integrity) checkCols(ts *tileState) []int {
+	e := in.e
+	n := e.n
+	tr := ts.r0 / in.bs
+	band, ok := in.aband[tr]
+	if !ok {
+		band = make([]float64, n)
+		maxAbs := 0.0
+		ad := e.a.Data()
+		for k := 0; k < n; k++ {
+			s, sa := 0.0, 0.0
+			for i := ts.r0; i < ts.r1; i++ {
+				s += ad[i*n+k]
+				sa += math.Abs(ad[i*n+k])
+			}
+			band[k] = s
+			if sa > maxAbs {
+				maxAbs = sa
+			}
+		}
+		in.aband[tr] = band
+		in.abandAbsMax[tr] = maxAbs
+	}
+	if in.colAbsB == nil {
+		bd := e.b.Data()
+		in.colAbsB = make([]float64, n)
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				in.colAbsB[j] += math.Abs(bd[k*n+j])
+			}
+		}
+	}
+	cd, bd := e.c.Data(), e.b.Data()
+	var bad []int
+	for j := ts.c0; j < ts.c1; j++ {
+		sum := 0.0
+		for i := ts.r0; i < ts.r1; i++ {
+			sum += cd[i*n+j]
+		}
+		ref := 0.0
+		for k := 0; k < n; k++ {
+			ref += band[k] * bd[k*n+j]
+		}
+		tol := relTol * in.colAbsB[j] * in.abandAbsMax[ts.r0/in.bs]
+		if d := math.Abs(sum - ref); d > tol || math.IsNaN(d) {
+			bad = append(bad, j)
+		}
+	}
+	return bad
+}
+
+// verifyTile checks a completed tile, correcting a localized single
+// cell in place or discarding and re-leasing the mismatching blocks.
+func (in *integrity) verifyTile(ts *tileState) error {
+	e := in.e
+	e.stats.IntegrityChecks++
+	e.em.integrityCheck()
+
+	badRows := in.checkRows(ts)
+	if len(badRows) == 0 {
+		return in.pass(ts)
+	}
+	badCols := in.checkCols(ts)
+	if len(badRows) == 1 && len(badCols) == 1 {
+		// A single suspect cell: recompute it exactly from the
+		// supervisor's pristine A/B (same ascending-k order as the kij
+		// kernel, so the corrected value is bit-identical to serial).
+		in.correctCell(badRows[0], badCols[0])
+		if badRows = in.checkRows(ts); len(badRows) == 0 {
+			e.stats.CorruptionsCorrected++
+			e.em.corruption("corrected")
+			return in.pass(ts)
+		}
+		badCols = in.checkCols(ts)
+	}
+	return in.discard(ts, badRows, badCols)
+}
+
+func (in *integrity) pass(ts *tileState) error {
+	ts.verified = true
+	err := in.flushTile(ts)
+	for id := range ts.contrib {
+		delete(ts.contrib, id)
+	}
+	return err
+}
+
+// flushTile appends the tile's verified contributions to the
+// checkpoint journal (deferred from commit so the journal only ever
+// holds verified blocks).
+func (in *integrity) flushTile(ts *tileState) error {
+	e := in.e
+	if e.ckpt == nil {
+		return nil
+	}
+	ids := make([]int, 0, len(ts.contrib))
+	for id := range ts.contrib {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	cd := e.c.Data()
+	for _, id := range ids {
+		tc := ts.contrib[id]
+		vals := make([]float64, len(tc.cells))
+		for i, idx := range tc.cells {
+			vals[i] = cd[idx]
+		}
+		if err := e.ckpt.AppendPayload(newCkptRecord(id, tc.cells, vals)); err != nil {
+			return fmt.Errorf("exec: checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+func (in *integrity) correctCell(i, j int) {
+	n := in.e.n
+	in.e.c.Data()[i*n+j] = in.trueCell(int32(i*n + j))
+}
+
+// trueCell computes one C cell exactly from the supervisor's pristine
+// A/B, in the same strictly ascending k order as the kij kernel and the
+// workers' computeBlock, so it is bit-identical to what an honest
+// worker returns.
+func (in *integrity) trueCell(idx int32) float64 {
+	e := in.e
+	n := e.n
+	i, j := int(idx)/n, int(idx)%n
+	ad, bd := e.a.Data(), e.b.Data()
+	s := 0.0
+	arow := ad[i*n : (i+1)*n]
+	for k := 0; k < n; k++ {
+		s += arow[k] * bd[k*n+j]
+	}
+	return s
+}
+
+// discard throws away the tile's mismatching blocks: every contribution
+// owning a cell at a suspect (row, column) intersection is withdrawn
+// and its cells are re-leased to a different worker, carrying the
+// discarded values along — the recompute either reproduces them bit for
+// bit (the block was innocent, swept up by a neighbour's corruption) or
+// differs, which convicts the original computer and counts toward its
+// mismatch budget (see strike). Suspect cells restored from a
+// checkpoint (no contribution to blame) are recomputed without
+// charging anyone.
+func (in *integrity) discard(ts *tileState, badRows, badCols []int) error {
+	e := in.e
+	n := e.n
+
+	suspect := make(map[int32]bool)
+	for _, i := range badRows {
+		for _, j := range badCols {
+			suspect[int32(i*n+j)] = true
+		}
+	}
+	var discardIDs []int
+	for id, tc := range ts.contrib {
+		for _, idx := range tc.cells {
+			if suspect[idx] {
+				discardIDs = append(discardIDs, id)
+				break
+			}
+		}
+	}
+	if len(discardIDs) == 0 {
+		// Mismatch with no localizable intersection (corruptions
+		// cancelling across lines): withdraw every contribution in the
+		// tile and treat all cells of every suspect line as suspect, so
+		// progress is guaranteed.
+		for id := range ts.contrib {
+			discardIDs = append(discardIDs, id)
+		}
+		for _, i := range badRows {
+			for j := ts.c0; j < ts.c1; j++ {
+				suspect[int32(i*n+j)] = true
+			}
+		}
+		for _, j := range badCols {
+			for i := ts.r0; i < ts.r1; i++ {
+				suspect[int32(i*n+j)] = true
+			}
+		}
+	}
+	sort.Ints(discardIDs)
+
+	cd := e.c.Data()
+	covered := make(map[int32]bool)
+	for _, id := range discardIDs {
+		tc := ts.contrib[id]
+		delete(ts.contrib, id)
+		prior := make([]float64, len(tc.cells))
+		for i, idx := range tc.cells {
+			prior[i] = cd[idx]
+			covered[idx] = true
+			e.doneMask[idx] = false
+			cd[idx] = 0
+			e.doneCells--
+			ts.remaining++
+		}
+		e.stats.BlocksRecomputed++
+		e.em.corruption("recomputed")
+
+		nt := &blockTask{id: e.nextID, owner: in.releaseTarget(tc.from), cells: tc.cells,
+			prior: prior, priorFrom: tc.from}
+		e.nextID++
+		e.buildPatch(nt)
+		e.pending[nt.owner] = append(e.pending[nt.owner], nt)
+		e.stats.BlocksReassigned++
+		e.em.block("reassigned", 1)
+	}
+
+	// Suspect cells nobody contributed (restored from a checkpoint
+	// record whose journal checksum passed, so this is the cancellation
+	// fallback above, not silent disk corruption): recompute them too.
+	var orphans []int32
+	for idx := range suspect {
+		if !covered[idx] && e.doneMask[idx] {
+			orphans = append(orphans, idx)
+		}
+	}
+	if len(orphans) > 0 {
+		sort.Slice(orphans, func(x, y int) bool { return orphans[x] < orphans[y] })
+		for _, idx := range orphans {
+			e.doneMask[idx] = false
+			cd[idx] = 0
+			e.doneCells--
+			ts.remaining++
+		}
+		nt := &blockTask{id: e.nextID, owner: e.survivorsBySpeed()[0], cells: orphans}
+		e.nextID++
+		e.buildPatch(nt)
+		e.pending[nt.owner] = append(e.pending[nt.owner], nt)
+		e.stats.BlocksReassigned++
+		e.em.block("reassigned", 1)
+	}
+
+	e.dispatchWaiting()
+	return nil
+}
+
+// releaseTarget picks the fastest alive worker other than the offender
+// to recompute a discarded block; a sole-survivor offender retries its
+// own work (a transient flipper may well succeed, and a persistent one
+// runs out of mismatch budget).
+func (in *integrity) releaseTarget(offender partition.Proc) partition.Proc {
+	s := in.e.survivorsBySpeed()
+	for _, v := range s {
+		if v != offender {
+			return v
+		}
+	}
+	return offender
+}
+
+// flipExponent returns v with one previously clear high exponent bit
+// set (bits 58–62 of the IEEE-754 layout), which multiplies the
+// magnitude by at least 2^64 — or turns 0 into 2 — so an injected flip
+// is always far outside the checksum tolerance and the drill measures
+// the detector, not the injector's luck. If every candidate bit is set
+// the top one is cleared instead, an equally massive perturbation.
+func flipExponent(v float64, rng *rand.Rand) float64 {
+	bits := math.Float64bits(v)
+	if v == 0 {
+		return math.Float64frombits(bits | 1<<62)
+	}
+	var clear []uint
+	for b := uint(58); b <= 62; b++ {
+		if bits&(1<<b) == 0 {
+			clear = append(clear, b)
+		}
+	}
+	if len(clear) == 0 {
+		return math.Float64frombits(bits &^ (1 << 62))
+	}
+	return math.Float64frombits(bits | 1<<clear[rng.Intn(len(clear))])
+}

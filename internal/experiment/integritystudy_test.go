@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestIntegrityStudy(t *testing.T) {
+	res, err := IntegrityStudy(context.Background(), IntegrityStudyConfig{
+		N:          48,
+		BlockSize:  8,
+		Algorithms: []model.Algorithm{model.SCB},
+		FaultSpecs: []string{"none", "flip:R@0.5", "scale:S@8"},
+		// Keep the overhead pass cheap: its percentage is asserted by
+		// the bench study, not here.
+		OverheadN:         64,
+		OverheadBlockSize: 16,
+		OverheadReps:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !r.BitExact {
+			t.Errorf("%s %q: verified product not bit-exact", r.Algorithm, r.Faults)
+		}
+		if r.DetectionRate < 1 {
+			t.Errorf("%s %q: detection rate %.2f, want 1 (injected %d, caught %d+%d+%d)",
+				r.Algorithm, r.Faults, r.DetectionRate, r.Injected, r.Corrected, r.Recomputed, r.Rejected)
+		}
+		if r.Checks == 0 {
+			t.Errorf("%s %q: no integrity checks recorded", r.Algorithm, r.Faults)
+		}
+	}
+	clean, flip, scale := res.Rows[0], res.Rows[1], res.Rows[2]
+	if clean.Injected != 0 || clean.Corrected != 0 || clean.Recomputed != 0 {
+		t.Errorf("clean row reports corruption activity: %+v", clean)
+	}
+	if flip.Injected == 0 || flip.Corrected == 0 {
+		t.Errorf("flip row: injected %d corrected %d, want both > 0", flip.Injected, flip.Corrected)
+	}
+	if len(scale.Byzantine) != 1 || scale.Byzantine[0] != "S" {
+		t.Errorf("scale row: byzantine %v, want [S]", scale.Byzantine)
+	}
+	if scale.Survivors != 2 {
+		t.Errorf("scale row: %d survivors, want 2", scale.Survivors)
+	}
+	if scale.ReplanKind != "replan-2proc" {
+		t.Errorf("scale row: replan kind %q, want replan-2proc", scale.ReplanKind)
+	}
+	if res.Overhead.BaseWallMS <= 0 || res.Overhead.VerifiedWallMS <= 0 {
+		t.Errorf("overhead walls not measured: %+v", res.Overhead)
+	}
+	var buf bytes.Buffer
+	if err := WriteIntegrityTable(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "S (replan-2proc)") {
+		t.Errorf("rendered table missing quarantine annotation:\n%s", out)
+	}
+	if !strings.Contains(out, "ABFT overhead") {
+		t.Errorf("rendered table missing overhead line:\n%s", out)
+	}
+}
+
+func TestIntegrityStudyValidation(t *testing.T) {
+	if _, err := IntegrityStudy(context.Background(), IntegrityStudyConfig{N: 8}); err == nil {
+		t.Error("n=8 accepted, want config error")
+	}
+	bad := IntegrityStudyConfig{FaultSpecs: []string{"flip:R@0.5,flip:R@0.9"}}
+	if _, err := IntegrityStudy(context.Background(), bad); err == nil {
+		t.Error("duplicate-fate fault spec accepted, want config error")
+	}
+}

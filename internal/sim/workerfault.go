@@ -28,6 +28,17 @@ const (
 	// holding its current lease — a deadlocked or livelocked node whose
 	// process is alive but makes no progress and sends no heartbeats.
 	FateHang
+	// FateFlip makes the worker silently corrupt a single cell of each
+	// computed block with the configured probability — a transient bit
+	// flip (cosmic ray, marginal DRAM) producing silent data corruption
+	// the supervisor's ABFT verification must detect and correct.
+	FateFlip
+	// FateScale makes the worker return every block scaled by a constant
+	// factor — a systematic fault (broken FMA unit, wrong-firmware
+	// accelerator) whose results are self-consistent, so only independent
+	// supervisor-side checksums catch it. A scaling worker keeps failing
+	// until the mismatch budget declares it Byzantine.
+	FateScale
 )
 
 func (f WorkerFate) String() string {
@@ -38,15 +49,26 @@ func (f WorkerFate) String() string {
 		return "kill"
 	case FateHang:
 		return "hang"
+	case FateFlip:
+		return "flip"
+	case FateScale:
+		return "scale"
 	}
 	return fmt.Sprintf("WorkerFate(%d)", uint8(f))
 }
 
-// workerFault is the per-processor worker-level fault state.
+// workerFault is the per-processor worker-level fault state. Liveness
+// fates (kill/hang), the persistent slowdown and the corruption mode are
+// independent slots: a worker can, say, scale its results and later
+// hang, but it cannot both kill and hang, flip and scale, or carry two
+// slowdowns.
 type workerFault struct {
-	fate WorkerFate
-	frac float64 // progress fraction in [0, 1] at which the fate fires
-	slow float64 // persistent compute slowdown factor (0 or 1 = none)
+	fate    WorkerFate
+	frac    float64 // progress fraction in [0, 1] at which the fate fires
+	slow    float64 // persistent compute slowdown factor (1 = none)
+	slowSet bool    // a slowdown was configured (guards duplicates even at 1×)
+	corrupt WorkerFate
+	cval    float64 // flip: per-block probability in (0,1]; scale: factor
 }
 
 // AddWorkerKill makes execution worker p die silently once it has
@@ -96,10 +118,46 @@ func (f *FaultPlan) AddWorkerSlowdown(p partition.Proc, factor float64) error {
 		f.fates = make(map[partition.Proc]workerFault)
 	}
 	wf := f.fates[p]
-	if wf.slow > 1 {
+	if wf.slowSet {
 		return &ConfigError{Field: "worker-slowdown", Reason: fmt.Sprintf("processor %v already has a %gx slowdown", p, wf.slow)}
 	}
-	wf.slow = factor
+	wf.slow, wf.slowSet = factor, true
+	f.fates[p] = wf
+	return nil
+}
+
+// AddWorkerFlip makes execution worker p corrupt one random cell of each
+// computed block with probability prob (in (0, 1]) — transient silent
+// data corruption. Only one corruption mode per processor is allowed.
+func (f *FaultPlan) AddWorkerFlip(p partition.Proc, prob float64) error {
+	if math.IsNaN(prob) || prob <= 0 || prob > 1 {
+		return &ConfigError{Field: "worker-flip", Reason: fmt.Sprintf("flip probability %v outside (0, 1]", prob)}
+	}
+	return f.setCorruption(p, FateFlip, prob, "worker-flip")
+}
+
+// AddWorkerScale makes execution worker p return every computed block
+// scaled by factor — a systematic, self-consistent corruption. factor
+// must be finite, positive and ≠ 1.
+func (f *FaultPlan) AddWorkerScale(p partition.Proc, factor float64) error {
+	if math.IsNaN(factor) || math.IsInf(factor, 0) || factor <= 0 || factor == 1 {
+		return &ConfigError{Field: "worker-scale", Reason: fmt.Sprintf("scale factor %v must be finite, positive and ≠ 1", factor)}
+	}
+	return f.setCorruption(p, FateScale, factor, "worker-scale")
+}
+
+func (f *FaultPlan) setCorruption(p partition.Proc, mode WorkerFate, val float64, field string) error {
+	if !p.Valid() {
+		return &ConfigError{Field: field, Reason: fmt.Sprintf("invalid processor %v", p)}
+	}
+	if f.fates == nil {
+		f.fates = make(map[partition.Proc]workerFault)
+	}
+	wf := f.fates[p]
+	if wf.corrupt != FateNone {
+		return &ConfigError{Field: field, Reason: fmt.Sprintf("processor %v already has a %v corruption", p, wf.corrupt)}
+	}
+	wf.corrupt, wf.cval = mode, val
 	f.fates[p] = wf
 	return nil
 }
@@ -127,6 +185,18 @@ func (f *FaultPlan) WorkerSlowdown(p partition.Proc) float64 {
 	return 1
 }
 
+// WorkerCorruption returns worker p's configured corruption mode and its
+// parameter: (FateFlip, probability) for transient single-cell flips,
+// (FateScale, factor) for systematic scaling, (FateNone, 0) when the
+// worker is honest. Nil-safe.
+func (f *FaultPlan) WorkerCorruption(p partition.Proc) (WorkerFate, float64) {
+	if f == nil || f.fates == nil {
+		return FateNone, 0
+	}
+	wf := f.fates[p]
+	return wf.corrupt, wf.cval
+}
+
 // HasWorkerFaults reports whether any worker-level fault (fate or
 // slowdown) is configured.
 func (f *FaultPlan) HasWorkerFaults() bool {
@@ -139,8 +209,12 @@ func (f *FaultPlan) HasWorkerFaults() bool {
 //	kill:P@0.5    kill worker P at 50% of its assigned work
 //	hang:R@0.3    hang worker R at 30%
 //	slow:S@8      slow worker S down 8× for the whole run
+//	flip:R@0.5    worker R flips one cell of each block with prob 0.5
+//	scale:S@8     worker S scales every block it returns by 8×
 //
-// Processors are named P, R, S (case-insensitive).
+// Processors are named P, R, S (case-insensitive). Each processor takes
+// at most one liveness fate (kill/hang), one slowdown and one corruption
+// mode (flip/scale); a duplicate in any slot is a *ConfigError.
 func ParseWorkerFaults(spec string) (*FaultPlan, error) {
 	fp := NewFaultPlan()
 	for _, item := range strings.Split(spec, ",") {
@@ -171,8 +245,12 @@ func ParseWorkerFaults(spec string) (*FaultPlan, error) {
 			err = fp.AddWorkerHang(p, val)
 		case "slow":
 			err = fp.AddWorkerSlowdown(p, val)
+		case "flip":
+			err = fp.AddWorkerFlip(p, val)
+		case "scale":
+			err = fp.AddWorkerScale(p, val)
 		default:
-			err = &ConfigError{Field: "fault-spec", Reason: fmt.Sprintf("unknown fault kind %q (want kill, hang or slow)", kind)}
+			err = &ConfigError{Field: "fault-spec", Reason: fmt.Sprintf("unknown fault kind %q (want kill, hang, slow, flip or scale)", kind)}
 		}
 		if err != nil {
 			return nil, err

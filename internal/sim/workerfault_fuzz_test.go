@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// FuzzParseWorkerFaults checks the -fault spec parser never panics and
+// that every accepted plan is internally consistent: valid ranges for
+// each slot, at most one liveness fate / slowdown / corruption mode per
+// processor, and every rejection a typed *ConfigError.
+func FuzzParseWorkerFaults(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"kill:P@0.5",
+		"kill:P@0.5,hang:R@0.3,slow:S@8",
+		"flip:R@0.5",
+		"scale:S@8",
+		"flip:R@0.5,scale:s@8,kill:R@0.9",
+		"flip:P@0.5,scale:P@8",
+		"slow:S@1,slow:S@8",
+		"kill:P@0.2,kill:P@0.4",
+		"scale:S@+Inf",
+		"flip:p@1e-9, slow:R@1000",
+		"melt:P@0.5",
+		"kill:P@NaN",
+		":@",
+		"kill:P@0.5,,hang:R@0.3,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		fp, err := ParseWorkerFaults(spec)
+		if err != nil {
+			var ce *ConfigError
+			if !errors.As(err, &ce) {
+				t.Fatalf("spec %q: error %v is not a *ConfigError", spec, err)
+			}
+			return
+		}
+		if fp == nil {
+			t.Fatalf("spec %q: nil plan with nil error", spec)
+		}
+		// A blank spec (only separators/whitespace) must yield an empty plan.
+		if strings.TrimFunc(spec, func(r rune) bool { return r == ',' || r == ' ' || r == '\t' }) == "" && fp.HasWorkerFaults() {
+			t.Fatalf("spec %q: blank spec produced worker faults", spec)
+		}
+		for _, p := range []partition.Proc{partition.P, partition.R, partition.S} {
+			fate, frac := fp.WorkerFateFor(p)
+			switch fate {
+			case FateNone:
+				if frac != 0 {
+					t.Fatalf("spec %q: %v has no fate but fraction %g", spec, p, frac)
+				}
+			case FateKill, FateHang:
+				if math.IsNaN(frac) || frac < 0 || frac > 1 {
+					t.Fatalf("spec %q: %v %v fraction %g outside [0,1]", spec, p, fate, frac)
+				}
+			default:
+				t.Fatalf("spec %q: %v has corruption mode %v in the liveness slot", spec, p, fate)
+			}
+			if s := fp.WorkerSlowdown(p); math.IsNaN(s) || s < 1 {
+				t.Fatalf("spec %q: %v slowdown %g below 1", spec, p, s)
+			}
+			mode, val := fp.WorkerCorruption(p)
+			switch mode {
+			case FateNone:
+				if val != 0 {
+					t.Fatalf("spec %q: %v has no corruption but value %g", spec, p, val)
+				}
+			case FateFlip:
+				if math.IsNaN(val) || val <= 0 || val > 1 {
+					t.Fatalf("spec %q: %v flip probability %g outside (0,1]", spec, p, val)
+				}
+			case FateScale:
+				if math.IsNaN(val) || math.IsInf(val, 0) || val <= 0 || val == 1 {
+					t.Fatalf("spec %q: %v scale factor %g invalid", spec, p, val)
+				}
+			default:
+				t.Fatalf("spec %q: %v has liveness fate %v in the corruption slot", spec, p, mode)
+			}
+		}
+	})
+}

@@ -29,6 +29,26 @@ func TestParseWorkerFaults(t *testing.T) {
 	}
 }
 
+func TestParseWorkerFaultsCorruption(t *testing.T) {
+	fp, err := ParseWorkerFaults("flip:R@0.5, scale:s@8, kill:R@0.9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode, p := fp.WorkerCorruption(partition.R); mode != FateFlip || p != 0.5 {
+		t.Errorf("R corruption = %v@%g, want flip@0.5", mode, p)
+	}
+	if mode, f := fp.WorkerCorruption(partition.S); mode != FateScale || f != 8 {
+		t.Errorf("S corruption = %v@%g, want scale@8", mode, f)
+	}
+	// Corruption occupies its own slot: R can still carry a liveness fate.
+	if fate, frac := fp.WorkerFateFor(partition.R); fate != FateKill || frac != 0.9 {
+		t.Errorf("R fate = %v@%g, want kill@0.9", fate, frac)
+	}
+	if mode, v := fp.WorkerCorruption(partition.P); mode != FateNone || v != 0 {
+		t.Errorf("P corruption = %v@%g, want none", mode, v)
+	}
+}
+
 func TestParseWorkerFaultsRejects(t *testing.T) {
 	for _, spec := range []string{
 		"kill:P",                // missing @value
@@ -38,7 +58,20 @@ func TestParseWorkerFaultsRejects(t *testing.T) {
 		"kill:P@1.5",            // fraction out of range
 		"slow:P@0.5",            // slowdown below 1
 		"kill:P@x",              // unparsable value
-		"kill:P@0.2,hang:P@0.4", // two fates for one processor
+		"kill:P@0.2,hang:P@0.4", // two liveness fates for one processor
+		"kill:P@0.2,kill:P@0.4", // duplicate kill
+		"hang:R@0.1,hang:R@0.9", // duplicate hang
+		"slow:S@8,slow:S@2",     // duplicate slowdown
+		"slow:S@1,slow:S@8",     // duplicate slowdown even when first is 1×
+		"flip:R@0.5,flip:R@0.1", // duplicate flip
+		"scale:S@8,scale:S@2",   // duplicate scale
+		"flip:P@0.5,scale:P@8",  // two corruption modes for one processor
+		"flip:P@0",              // flip probability must be > 0
+		"flip:P@1.5",            // flip probability above 1
+		"scale:S@1",             // scale factor 1 is a no-op
+		"scale:S@0",             // scale factor must be positive
+		"scale:S@-2",            // negative scale factor
+		"scale:S@+Inf",          // non-finite scale factor
 	} {
 		if _, err := ParseWorkerFaults(spec); err == nil {
 			t.Errorf("spec %q accepted, want error", spec)
@@ -58,6 +91,9 @@ func TestWorkerFaultsNilSafe(t *testing.T) {
 	}
 	if s := fp.WorkerSlowdown(partition.P); s != 1 {
 		t.Errorf("nil plan slowdown = %g, want 1", s)
+	}
+	if mode, v := fp.WorkerCorruption(partition.P); mode != FateNone || v != 0 {
+		t.Errorf("nil plan corruption = %v@%g, want none", mode, v)
 	}
 	if fp.HasWorkerFaults() {
 		t.Error("nil plan reports worker faults")

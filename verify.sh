@@ -26,8 +26,12 @@
 # exec-chaos smoke test (a worker killed mid-multiply recovers on the
 # survivors via the twoproc re-plan, and a paced mmmsim run SIGKILLed
 # mid-multiply resumes from its checkpoint — both bit-identical to the
-# serial kij kernel). CI and pre-commit hooks run exactly this script;
-# it exits non-zero on the first failure — no step may be skipped.
+# serial kij kernel), and an integrity smoke test (ABFT verification
+# catches injected single-cell flips and quarantines a deterministically
+# corrupting worker as Byzantine, then the full silent-corruption study
+# must detect every injection with every product bit-exact). CI and
+# pre-commit hooks run exactly this script; it exits non-zero on the
+# first failure — no step may be skipped.
 set -eux
 
 go vet ./...
@@ -301,5 +305,37 @@ else
         > "$tmp/exec_resumed.out"
 fi
 grep -q "result MATCH" "$tmp/exec_resumed.out"
+
+# --- integrity smoke test (~5s) ----------------------------------------
+# ABFT verification end to end through the real CLI.
+
+# 1. Single-cell exponent flips injected into R's results: the checksum
+#    layer must see real corruption (injected ≥ 1) and the product must
+#    still come out bit-identical to the serial kij kernel — a missed
+#    flip would surface as MISMATCH and a non-zero exit.
+"$tmp/mmmsim" -exec -alg SCB -n 64 -ratio 3:2:1 -block 16 \
+    -verify -fault flip:R@0.9 > "$tmp/exec_flip.out"
+grep -Eq "\(injected [1-9]" "$tmp/exec_flip.out"
+grep -q "result MATCH" "$tmp/exec_flip.out"
+
+# 2. A worker that deterministically scales every result by 8: it must
+#    be quarantined as Byzantine once it burns its mismatch budget, the
+#    run finishes on the survivors, and the product is still bit-exact.
+"$tmp/mmmsim" -exec -alg SCB -n 64 -ratio 3:2:1 -block 16 \
+    -verify -fault scale:S@8 > "$tmp/exec_scale.out"
+grep -q "quarantined \[S\] as Byzantine" "$tmp/exec_scale.out"
+grep -q "result MATCH" "$tmp/exec_scale.out"
+
+# 3. The full silent-corruption study: flips at 5%/10%, the Byzantine
+#    scaler and a combined drill under SCB and PCB — every injected
+#    corruption detected, every product bit-exact (the study exits
+#    non-zero otherwise), and the clean-run ABFT overhead under a
+#    deliberately generous CI ceiling (the committed BENCH_integrity.json
+#    records ~0% on an idle machine; the 25% ceiling only trips on a
+#    real regression, never on a loaded CI box).
+"$tmp/mmmsim" -integrity-study run -out "$tmp/bench_integrity.json" \
+    -max-overhead 25 > "$tmp/integrity_study.out"
+grep -q "every injected corruption detected" "$tmp/integrity_study.out"
+[ -s "$tmp/bench_integrity.json" ]
 
 echo "verify.sh: all checks passed"
