@@ -18,17 +18,29 @@
 // re-derives N randomly chosen cells with the live search and exits 2
 // on any divergence (0 or a value over the cell count means every
 // cell).
+//
+// Winner-map mode runs the topology census: the Section IX–X winner map
+// recomputed once per interconnect class (uniform, 2+1, 3-island), with
+// a per-class count of cells whose winner moved:
+//
+//	shapeopt -winner-map [-alg SCB] [-pr-max 12] [-rr-max 4] [-step 1] [-n 60]
+//
+// The -topology flag accepts the full spec grammar everywhere outside
+// atlas mode: the legacy "full"/"star", the classes "2+1[:f]" and
+// "3-island[:f]", and explicit "links:PR=…,PS=…,RS=…" matrices.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"text/tabwriter"
 
 	"repro/internal/atlas"
+	"repro/internal/experiment"
 	"repro/internal/model"
 	"repro/internal/partition"
 	"repro/internal/sim"
@@ -41,7 +53,9 @@ func main() {
 		ratioStr  = flag.String("ratio", "5:2:1", "processor speed ratio Pr:Rr:Sr")
 		n         = flag.Int("n", 200, "matrix dimension")
 		algStr    = flag.String("alg", "", "algorithm (SCB, PCB, SCO, PCO, PIO); empty = all (atlas modes: SCB)")
-		topoStr   = flag.String("topology", "full", "network topology: full or star")
+		topoStr   = flag.String("topology", "full", "network topology: full, star, 2+1[:f], 3-island[:f], or links:PR=…,PS=…,RS=…")
+		winnerMap = flag.Bool("winner-map", false, "run the topology census: per-class winner maps over the ratio plane")
+		step      = flag.Float64("step", 1, "winner-map ratio-plane sample step")
 		buildPath = flag.String("build-atlas", "", "sweep the ratio grid and write an atlas snapshot to this path")
 		dumpPath  = flag.String("dump-atlas", "", "load an atlas snapshot and print its contents")
 		scale     = flag.Int("scale", 10, "atlas grid resolution: lattice step is 1/scale")
@@ -61,17 +75,43 @@ func main() {
 	if *dumpPath != "" {
 		os.Exit(dumpAtlas(*dumpPath, *spot, *spotSeed))
 	}
+	if *winnerMap {
+		os.Exit(winnerMapMode(os.Stdout, *algStr, *rrMax, *prMax, *step, *n))
+	}
 	compareShapes(*ratioStr, *n, *algStr, *topoStr)
 }
 
-func parseTopology(s string) (model.Topology, error) {
-	switch s {
-	case "full", "fully-connected":
-		return model.FullyConnected, nil
-	case "star":
-		return model.Star, nil
+// parseTopology accepts the full topology spec grammar, with "full" kept
+// as the historical alias for "fully-connected".
+func parseTopology(s string) (model.TopologySpec, error) {
+	if s == "full" {
+		s = model.FullyConnected.String()
 	}
-	return 0, fmt.Errorf("unknown topology %q (want full or star)", s)
+	return model.ParseTopologySpec(s)
+}
+
+// winnerMapMode runs the topology census and renders each class's phase
+// diagram plus its flip count against the uniform baseline.
+func winnerMapMode(w io.Writer, algStr string, rrMax, prMax, step float64, n int) int {
+	alg := model.SCB
+	if algStr != "" {
+		a, err := model.ParseAlgorithm(algStr)
+		if err != nil {
+			log.Print(err)
+			return 2
+		}
+		alg = a
+	}
+	entries, err := experiment.RunTopologyCensus(context.Background(), alg, rrMax, prMax, step, n)
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	if err := experiment.WriteCensus(w, entries); err != nil {
+		log.Print(err)
+		return 1
+	}
+	return 0
 }
 
 // buildAtlas sweeps the quantized ratio plane and writes the snapshot.
@@ -85,9 +125,16 @@ func buildAtlas(path, algStr, topoStr string, n, scale int, prMax, rrMax float64
 		}
 		alg = a
 	}
-	topo, err := parseTopology(topoStr)
+	spec, err := parseTopology(topoStr)
 	if err != nil {
 		log.Print(err)
+		return 2
+	}
+	topo, legacy := spec.Legacy()
+	if !legacy {
+		// The snapshot format bakes winners for the uniform cost model
+		// only; pland's atlas tier skips link-matrix scenarios to match.
+		log.Printf("atlas mode supports the legacy topologies (full, star) only, got %q", topoStr)
 		return 2
 	}
 	g, err := atlas.NewGrid(scale, prMax, rrMax)
@@ -165,12 +212,11 @@ func compareShapes(ratioStr string, n int, algStr, topoStr string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	m := model.DefaultMachine(ratio)
-	topo, err := parseTopology(topoStr)
+	spec, err := parseTopology(topoStr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	m.Topology = topo
+	m := spec.Apply(model.DefaultMachine(ratio))
 	algs := model.AllAlgorithms[:]
 	if algStr != "" {
 		a, err := model.ParseAlgorithm(algStr)
@@ -180,7 +226,7 @@ func compareShapes(ratioStr string, n int, algStr, topoStr string) {
 		algs = []model.Algorithm{a}
 	}
 
-	fmt.Printf("Candidate shapes for ratio %s on N=%d (%s topology)\n\n", ratio, n, m.Topology)
+	fmt.Printf("Candidate shapes for ratio %s on N=%d (%s topology)\n\n", ratio, n, m.TopologyName())
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "shape\tVoC (elements)\talgorithm\tmodel T_exe (s)\tsim T_exe (s)\tefficiency")
 	type key struct {
@@ -197,18 +243,26 @@ func compareShapes(ratioStr string, n int, algStr, topoStr string) {
 		}
 		for i, a := range algs {
 			mod := model.EvaluateGrid(a, m, g)
-			res, err := sim.Simulate(a, m, g, 0)
-			if err != nil {
-				log.Fatal(err)
-			}
 			name := ""
 			voc := ""
 			if i == 0 {
 				name = s.String()
 				voc = fmt.Sprintf("%d", g.VoC())
 			}
-			eff := model.Efficiency(a, m, g.Snapshot())
-			fmt.Fprintf(w, "%s\t%s\t%s\t%.6f\t%.6f\t%.1f%%\n", name, voc, a, mod.Total, res.TExe, 100*eff)
+			// The discrete-event simulator and the efficiency metric
+			// price the uniform network only; under a per-link cost
+			// model those columns would silently disagree with the
+			// model column, so they are dashed out instead.
+			simCol, effCol := "-", "-"
+			if m.Cost == nil {
+				res, err := sim.Simulate(a, m, g, 0)
+				if err != nil {
+					log.Fatal(err)
+				}
+				simCol = fmt.Sprintf("%.6f", res.TExe)
+				effCol = fmt.Sprintf("%.1f%%", 100*model.Efficiency(a, m, g.Snapshot()))
+			}
+			fmt.Fprintf(w, "%s\t%s\t%s\t%.6f\t%s\t%s\n", name, voc, a, mod.Total, simCol, effCol)
 			if b := bests[a]; b == nil || mod.Total < b.best {
 				bests[a] = &key{alg: a, best: mod.Total, name: s}
 			}

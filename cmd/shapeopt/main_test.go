@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/model"
+)
+
+var update = flag.Bool("update", false, "rewrite the winner-map golden files")
+
+// censusWindow is the standard small census the goldens pin: fast enough
+// for CI, wide enough that every topology class moves cells.
+const (
+	censusRrMax = 4.0
+	censusPrMax = 12.0
+	censusStep  = 1.0
+	censusN     = 60
+)
+
+// TestWinnerMapGoldens pins one golden phase diagram per topology class
+// (-update to regenerate). The non-uniform classes additionally record
+// their flip list against the uniform baseline, so a pricing regression
+// in the link-matrix cost model shows up as a golden diff naming the
+// exact cells that moved.
+func TestWinnerMapGoldens(t *testing.T) {
+	entries, err := experiment.RunTopologyCensus(context.Background(), model.SCB, censusRrMax, censusPrMax, censusStep, censusN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		var buf bytes.Buffer
+		if err := e.Map.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if e.Class.Name != "uniform" {
+			fmt.Fprintf(&buf, "flips vs uniform: %d\n", e.Flips)
+			for _, line := range experiment.CensusFlipSummary(entries[0], e) {
+				fmt.Fprintf(&buf, "  %s\n", line)
+			}
+		}
+		name := "winnermap_" + strings.ReplaceAll(e.Class.Name, "+", "plus") + ".golden"
+		path := filepath.Join("testdata", name)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update first): %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("class %s winner map diverged from %s:\n%s", e.Class.Name, path, buf.Bytes())
+		}
+	}
+}
+
+// TestWinnerMapModeOutput drives the -winner-map entry point end to end:
+// all three class diagrams and the flip summary lines must render, and
+// every non-uniform class must move at least one cell.
+func TestWinnerMapModeOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if code := winnerMapMode(&buf, "PIO", censusRrMax, censusPrMax, censusStep, censusN); code != 0 {
+		t.Fatalf("winnerMapMode exit %d", code)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"winner map: PIO, uniform topology",
+		"winner map: PIO, 2+1 topology",
+		"winner map: PIO, 3-island topology",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	for _, class := range []string{"2+1", "3-island"} {
+		if strings.Contains(out, fmt.Sprintf("class %s: 0 cells change winner", class)) {
+			t.Errorf("class %s moved no cells", class)
+		}
+		if !strings.Contains(out, fmt.Sprintf("class %s: ", class)) {
+			t.Errorf("output missing flip summary for %s:\n%s", class, out)
+		}
+	}
+	if code := winnerMapMode(&buf, "nope", censusRrMax, censusPrMax, censusStep, censusN); code != 2 {
+		t.Fatalf("bad algorithm: exit %d, want 2", code)
+	}
+}
+
+// TestParseTopologyGrammar: the -topology flag accepts the legacy alias
+// and the spec grammar, and rejects garbage with a typed error.
+func TestParseTopologyGrammar(t *testing.T) {
+	for _, s := range []string{"full", "fully-connected", "star", "2+1", "3-island:5", "links:PR=1,PS=2,RS=3"} {
+		if _, err := parseTopology(s); err != nil {
+			t.Errorf("parseTopology(%q): %v", s, err)
+		}
+	}
+	if _, err := parseTopology("ring"); err == nil {
+		t.Error("parseTopology accepted \"ring\"")
+	}
+}

@@ -176,8 +176,30 @@ const (
 // empty string selects FullyConnected.
 var ParseTopology = model.ParseTopology
 
+// TopologySpec is the extended topology grammar of the cost-model layer:
+// the legacy names plus the per-link classes "2+1[:f]", "3-island[:f]"
+// and explicit "links:..." matrices. Apply configures a Machine for it.
+type TopologySpec = model.TopologySpec
+
+// ParseTopologySpec parses the extended grammar; errors are typed
+// (*model.ConfigError) and never panics.
+var ParseTopologySpec = model.ParseTopologySpec
+
+// CostModel prices communication and computation per directed processor
+// pair; UniformHockney is the paper's single-link model (bit-for-bit the
+// legacy behaviour) and LinkMatrix the per-pair generalisation.
+type (
+	CostModel      = model.CostModel
+	UniformHockney = model.UniformHockney
+	LinkMatrix     = model.LinkMatrix
+)
+
+// NewUniformCost packages a machine's legacy parameters as an explicit
+// cost model.
+var NewUniformCost = model.NewUniformCost
+
 // Machine describes the platform: ratio, Hockney network, flop time,
-// topology.
+// topology, and optionally a per-link cost model.
 type Machine = model.Machine
 
 // DefaultMachine mirrors the paper's Fig 14 platform (1000 MB/s network,

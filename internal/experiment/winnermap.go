@@ -16,11 +16,36 @@ import (
 type WinnerMap struct {
 	Algorithm model.Algorithm
 	Topology  model.Topology
-	RrMax     float64
-	PrMax     float64
-	Step      float64
+	// Label names the topology class when the map was computed under a
+	// topology spec (ComputeWinnerMapSpec); empty for the legacy maps,
+	// which label themselves with Topology.
+	Label string
+	RrMax float64
+	PrMax float64
+	Step  float64
 	// Cells maps "Rr,Pr" sample coordinates to the winning shape.
 	Cells map[[2]float64]partition.Shape
+}
+
+// TopologyClass is one interconnect scenario of the §IX–X re-run: a
+// human-readable name plus the topology spec that prices it.
+type TopologyClass struct {
+	// Name labels the class in reports and golden files.
+	Name string
+	// Spec is the wire-grammar topology ("", "2+1:10", ...).
+	Spec string
+}
+
+// TopologyClasses are the three interconnect classes the winner-map
+// census re-runs the Section IX–X methodology over: the paper's uniform
+// fully connected network, a 2+1 placement (P and R share a node, S is
+// 10× farther), and three islands (every link 10× slower than the base).
+func TopologyClasses() []TopologyClass {
+	return []TopologyClass{
+		{Name: "uniform", Spec: ""},
+		{Name: "2+1", Spec: "2+1:10"},
+		{Name: "3-island", Spec: "3-island:10"},
+	}
 }
 
 // ComputeWinnerMap samples the ratio plane on an n-cell grid basis (the
@@ -32,30 +57,61 @@ func ComputeWinnerMap(a model.Algorithm, topo model.Topology, rrMax, prMax, step
 // ComputeWinnerMapContext is ComputeWinnerMap with cancellation between
 // sampled rows of the ratio plane.
 func ComputeWinnerMapContext(ctx context.Context, a model.Algorithm, topo model.Topology, rrMax, prMax, step float64, n int) (*WinnerMap, error) {
-	if step <= 0 {
-		step = 1
-	}
-	if n < 10 {
-		return nil, &ConfigError{Field: "n", Reason: fmt.Sprintf("winner map needs n ≥ 10, got %d", n)}
-	}
-	wm := &WinnerMap{
-		Algorithm: a, Topology: topo,
-		RrMax: rrMax, PrMax: prMax, Step: step,
-		Cells: make(map[[2]float64]partition.Shape),
-	}
-	for rr := 1.0; rr <= rrMax+1e-9; rr += step {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("experiment: winner map interrupted: %w", err)
-		}
-		for pr := rr; pr <= prMax+1e-9; pr += step {
-			cell, err := EvaluateCell(a, topo, partition.MustRatio(pr, rr, 1), n)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: no feasible shape at Pr=%v Rr=%v", pr, rr)
-			}
-			wm.Cells[[2]float64{rr, pr}] = cell.Winner
-		}
+	wm := &WinnerMap{Algorithm: a, Topology: topo, RrMax: rrMax, PrMax: prMax, Step: step}
+	err := fillWinnerMap(ctx, wm, n, func(ratio partition.Ratio) (CellResult, error) {
+		return EvaluateCell(a, topo, ratio, n)
+	})
+	if err != nil {
+		return nil, err
 	}
 	return wm, nil
+}
+
+// ComputeWinnerMapSpec samples the ratio plane under a topology spec —
+// the per-link cost-model generalisation of ComputeWinnerMap. The label
+// names the class in the rendered diagram.
+func ComputeWinnerMapSpec(ctx context.Context, a model.Algorithm, label, spec string, rrMax, prMax, step float64, n int) (*WinnerMap, error) {
+	ts, err := model.ParseTopologySpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	topo := model.FullyConnected
+	if legacy, ok := ts.Legacy(); ok {
+		topo = legacy
+	}
+	wm := &WinnerMap{Algorithm: a, Topology: topo, Label: label, RrMax: rrMax, PrMax: prMax, Step: step}
+	err = fillWinnerMap(ctx, wm, n, func(ratio partition.Ratio) (CellResult, error) {
+		return EvaluateCellSpec(a, ts, ratio, n)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wm, nil
+}
+
+// fillWinnerMap runs the ratio-plane sweep shared by the legacy and the
+// spec-based winner maps.
+func fillWinnerMap(ctx context.Context, wm *WinnerMap, n int, cell func(partition.Ratio) (CellResult, error)) error {
+	if wm.Step <= 0 {
+		wm.Step = 1
+	}
+	if n < 10 {
+		return &ConfigError{Field: "n", Reason: fmt.Sprintf("winner map needs n ≥ 10, got %d", n)}
+	}
+	wm.Cells = make(map[[2]float64]partition.Shape)
+	for rr := 1.0; rr <= wm.RrMax+1e-9; rr += wm.Step {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("experiment: winner map interrupted: %w", err)
+		}
+		for pr := rr; pr <= wm.PrMax+1e-9; pr += wm.Step {
+			res, err := cell(partition.MustRatio(pr, rr, 1))
+			if err != nil {
+				return fmt.Errorf("experiment: no feasible shape at Pr=%v Rr=%v", pr, rr)
+			}
+			wm.Cells[[2]float64{rr, pr}] = res.Winner
+		}
+	}
+	return nil
 }
 
 // CellResult is the optimal-candidate decision at one sampled ratio: the
@@ -76,6 +132,18 @@ type CellResult struct {
 func EvaluateCell(a model.Algorithm, topo model.Topology, ratio partition.Ratio, n int) (CellResult, error) {
 	m := model.DefaultMachine(ratio)
 	m.Topology = topo
+	return evaluateCellMachine(a, m, ratio, n)
+}
+
+// EvaluateCellSpec is EvaluateCell under a topology spec: the machine is
+// the default platform with the spec applied (per-link cost model for the
+// non-legacy classes), so the winner reflects the priced interconnect.
+func EvaluateCellSpec(a model.Algorithm, spec model.TopologySpec, ratio partition.Ratio, n int) (CellResult, error) {
+	m := spec.Apply(model.DefaultMachine(ratio))
+	return evaluateCellMachine(a, m, ratio, n)
+}
+
+func evaluateCellMachine(a model.Algorithm, m model.Machine, ratio partition.Ratio, n int) (CellResult, error) {
 	res := CellResult{}
 	bestTotal := -1.0
 	for _, s := range partition.AllShapes {
@@ -115,11 +183,21 @@ func ShapeGlyph(s partition.Shape) byte {
 	return '?'
 }
 
+// topoLabel names the interconnect in the rendered diagram: the class
+// label for spec-based maps, the legacy topology name otherwise (so the
+// legacy output bytes are unchanged).
+func (wm *WinnerMap) topoLabel() string {
+	if wm.Label != "" {
+		return wm.Label
+	}
+	return wm.Topology.String()
+}
+
 // Write renders the phase diagram: Pr increases downward, Rr rightward;
 // '.' marks the Pr < Rr region excluded by the ratio ordering.
 func (wm *WinnerMap) Write(w io.Writer) error {
 	if _, err := fmt.Fprintf(w, "winner map: %v, %v topology (C=Square-Corner r=Rectangle-Corner Q=Square-Rectangle B=Block-Rectangle L=L-Rectangle T=Traditional)\n",
-		wm.Algorithm, wm.Topology); err != nil {
+		wm.Algorithm, wm.topoLabel()); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "rows: Pr = 1..%g (top to bottom); cols: Rr = 1..%g (left to right); step %g\n",
@@ -147,6 +225,25 @@ func (wm *WinnerMap) Count() map[partition.Shape]int {
 	out := make(map[partition.Shape]int)
 	for _, s := range wm.Cells {
 		out[s]++
+	}
+	return out
+}
+
+// Diff returns the sample coordinates at which the two maps disagree on
+// the winner (cells present in either map; a cell missing from one map
+// counts as a disagreement). Used by the topology census to quantify how
+// an interconnect class moves the phase boundaries.
+func (wm *WinnerMap) Diff(other *WinnerMap) [][2]float64 {
+	var out [][2]float64
+	for c, s := range wm.Cells {
+		if o, ok := other.Cells[c]; !ok || o != s {
+			out = append(out, c)
+		}
+	}
+	for c := range other.Cells {
+		if _, ok := wm.Cells[c]; !ok {
+			out = append(out, c)
+		}
 	}
 	return out
 }

@@ -1,0 +1,167 @@
+package model
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// allEqualLinkMatrix builds a LinkMatrix whose six links all carry h.
+func allEqualLinkMatrix(h Hockney, ratio partition.Ratio, flop float64) *LinkMatrix {
+	lm := &LinkMatrix{Compute: Compute{Ratio: ratio, FlopTime: flop}}
+	for _, p := range partition.Procs {
+		for _, q := range partition.Procs {
+			if p != q {
+				lm.Links[p][q] = h
+			}
+		}
+	}
+	return lm
+}
+
+// TestLinkMatrixUniformExact is the equivalence property test of the
+// refactor: a LinkMatrix with all links equal must reproduce the legacy
+// uniform evaluation EXACTLY — same float64 bits, not approximately — for
+// every algorithm, including the per-step α amortisation in PIO. The
+// general path earns this by summing link-class volumes in int64 before
+// any float arithmetic.
+func TestLinkMatrixUniformExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	nets := []Hockney{
+		{Alpha: 0, Beta: 8.0 / 1e9},    // the default machine
+		{Alpha: 1e-5, Beta: 3.7e-9},    // latency-dominant
+		{Alpha: 4.2e-4, Beta: 1.1e-7},  // slow WAN-ish link
+		{Alpha: 1.0 / 3.0, Beta: 1e-3}, // non-dyadic values
+	}
+	for trial := 0; trial < 60; trial++ {
+		ratio := partition.PaperRatios[rng.Intn(len(partition.PaperRatios))]
+		n := 8 + rng.Intn(64)
+		s := partition.AllShapes[rng.Intn(partition.NumShapes)]
+		g, err := partition.Build(s, n, ratio)
+		if err != nil {
+			continue
+		}
+		snap := g.Snapshot()
+		net := nets[rng.Intn(len(nets))]
+		flop := 1.0 / 1e9
+		legacy := Machine{Ratio: ratio, Net: net, FlopTime: flop}
+		linked := legacy
+		linked.Cost = allEqualLinkMatrix(net, ratio, flop)
+		if linked.Cost.Uniform() {
+			t.Fatal("LinkMatrix must report Uniform()=false so this test exercises the general path")
+		}
+		for _, a := range AllAlgorithms {
+			want := Evaluate(a, legacy, snap)
+			got := Evaluate(a, linked, snap)
+			if got != want {
+				t.Fatalf("%v %v n=%d %s net=%+v:\n  legacy %+v\n  linked %+v",
+					s, ratio, n, a, net, want, got)
+			}
+		}
+	}
+}
+
+// TestLinkMatrixUniformWeights checks the weight normalisation: all-equal
+// links yield the all-ones matrix, and scaling one link scales only its
+// weight.
+func TestLinkMatrixUniformWeights(t *testing.T) {
+	ratio := partition.Ratio{Pr: 3, Rr: 2, Sr: 1}
+	lm := allEqualLinkMatrix(Hockney{Beta: 2e-9}, ratio, 1e-9)
+	if w := lm.Weights(); !w.Uniform() {
+		t.Fatalf("all-equal LinkMatrix weights = %v, want uniform", w)
+	}
+	lm.Links[partition.R][partition.S].Beta *= 10
+	w := lm.Weights()
+	if w[partition.R][partition.S] != 10 {
+		t.Fatalf("w[R][S] = %v, want 10", w[partition.R][partition.S])
+	}
+	if w[partition.S][partition.R] != 1 {
+		t.Fatalf("w[S][R] = %v, want 1", w[partition.S][partition.R])
+	}
+}
+
+// TestLinkMatrixAsymmetric checks that an asymmetric matrix actually
+// prices the two directions differently: making R→S expensive while S→R
+// stays cheap must raise exactly R's parallel send time.
+func TestLinkMatrixAsymmetric(t *testing.T) {
+	ratio := partition.Ratio{Pr: 5, Rr: 2, Sr: 1}
+	g, err := partition.Build(partition.BlockRectangle, 32, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Snapshot()
+	base := allEqualLinkMatrix(Hockney{Beta: 1e-9}, ratio, 1e-9)
+	asym := allEqualLinkMatrix(Hockney{Beta: 1e-9}, ratio, 1e-9)
+	asym.Links[partition.R][partition.S].Beta *= 100
+	if snap.PairSends[partition.R][partition.S] == 0 {
+		t.Fatal("test shape has no R→S traffic; pick another")
+	}
+	if got, want := asym.SendTime(snap, partition.R), base.SendTime(snap, partition.R); got <= want {
+		t.Fatalf("R send time %v not raised above %v by 100× R→S link", got, want)
+	}
+	if got, want := asym.SendTime(snap, partition.S), base.SendTime(snap, partition.S); got != want {
+		t.Fatalf("S send time changed (%v vs %v) though only R→S was repriced", got, want)
+	}
+}
+
+func TestLinkMatrixValidate(t *testing.T) {
+	ratio := partition.Ratio{Pr: 3, Rr: 2, Sr: 1}
+	good := allEqualLinkMatrix(Hockney{Alpha: 1e-6, Beta: 2e-9}, ratio, 1e-9)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid matrix rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*LinkMatrix)
+	}{
+		{"negative beta", func(lm *LinkMatrix) { lm.Links[partition.P][partition.R].Beta = -1 }},
+		{"zero beta", func(lm *LinkMatrix) { lm.Links[partition.R][partition.S].Beta = 0 }},
+		{"nan beta", func(lm *LinkMatrix) { lm.Links[partition.S][partition.P].Beta = nan() }},
+		{"inf beta", func(lm *LinkMatrix) { lm.Links[partition.S][partition.R].Beta = inf() }},
+		{"negative alpha", func(lm *LinkMatrix) { lm.Links[partition.P][partition.S].Alpha = -1e-9 }},
+		{"nan alpha", func(lm *LinkMatrix) { lm.Links[partition.R][partition.P].Alpha = nan() }},
+	}
+	for _, tc := range cases {
+		lm := allEqualLinkMatrix(Hockney{Alpha: 1e-6, Beta: 2e-9}, ratio, 1e-9)
+		tc.mutate(lm)
+		err := lm.Validate()
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("%s: error %v, want *ConfigError", tc.name, err)
+		}
+	}
+}
+
+func nan() float64 { z := 0.0; return z / z }
+func inf() float64 { z := 0.0; return 1 / z }
+
+// customCost is a CostModel that is neither built-in: it reuses
+// UniformHockney's pricing but reports Uniform()=false, forcing Evaluate
+// through the general interface path.
+type customCost struct{ UniformHockney }
+
+func (c customCost) Uniform() bool { return false }
+
+// TestEvaluateGeneralInterface pins the interface contract: ANY CostModel
+// implementation evaluates through the general path, and when its prices
+// match the uniform network the result is bit-identical anyway (the
+// general structure degenerates to the legacy formulas).
+func TestEvaluateGeneralInterface(t *testing.T) {
+	ratio := partition.Ratio{Pr: 3, Rr: 2, Sr: 1}
+	g, err := partition.Build(partition.TraditionalRectangle, 24, ratio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := g.Snapshot()
+	m := DefaultMachine(ratio)
+	m.Cost = customCost{NewUniformCost(m)}
+	for _, a := range AllAlgorithms {
+		got := Evaluate(a, m, snap)
+		want := Evaluate(a, DefaultMachine(ratio), snap)
+		if got != want {
+			t.Fatalf("%s: general-path %+v, legacy %+v", a, got, want)
+		}
+	}
+}

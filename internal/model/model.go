@@ -138,6 +138,50 @@ type Machine struct {
 	// Topology selects the interconnect (Section X); the zero value is
 	// FullyConnected.
 	Topology Topology
+	// Cost, when non-nil, prices communication and computation instead
+	// of Net/FlopTime/Ratio. A UniformHockney reproduces the legacy
+	// single-link evaluation bit for bit; any other CostModel (above all
+	// *LinkMatrix) routes through the general per-pair path, which
+	// ignores Topology — explicit links subsume the star special case,
+	// and the topology-spec layer rejects the combination.
+	Cost CostModel
+	// Spec is the canonical topology-spec label when Cost was installed
+	// by TopologySpec.Apply; empty for legacy machines. Wire formats
+	// echo it (see TopologyName).
+	Spec string
+}
+
+// TopologyName returns the canonical topology label for wire formats: the
+// applied spec when one installed a link matrix, else the legacy name.
+func (m Machine) TopologyName() string {
+	if m.Spec != "" {
+		return m.Spec
+	}
+	return m.Topology.String()
+}
+
+// CostModel returns the machine's explicit cost model, or its legacy
+// parameters packaged as a UniformHockney when Cost is nil.
+func (m Machine) CostModel() CostModel {
+	if m.Cost != nil {
+		return m.Cost
+	}
+	return NewUniformCost(m)
+}
+
+// PushWeights returns the per-pair acceptance weights the push engine
+// should minimise for this machine, or nil when the raw integer VoC is
+// the right objective (legacy machines and uniform cost models — the
+// bit-exact path).
+func (m Machine) PushWeights() *partition.Weights {
+	if m.Cost == nil || m.Cost.Uniform() {
+		return nil
+	}
+	w := m.Cost.Weights()
+	if w.Uniform() {
+		return nil
+	}
+	return &w
 }
 
 // DefaultMachine mirrors the paper's experimental platform of Fig 14:
@@ -179,8 +223,19 @@ type Breakdown struct {
 }
 
 // Evaluate models the execution time of algorithm a on partition metrics
-// snap (Eqs 2–9).
+// snap (Eqs 2–9 for the uniform network; their per-pair generalisation
+// when the machine carries a non-uniform cost model).
 func Evaluate(a Algorithm, m Machine, snap partition.Metrics) Breakdown {
+	if c := m.Cost; c != nil {
+		u, ok := c.(UniformHockney)
+		if !ok {
+			return evalGeneral(a, c, snap)
+		}
+		// An explicit UniformHockney takes the legacy path below with
+		// its parameters substituted, preserving both the star-topology
+		// handling and the bit-for-bit seed equivalence contract.
+		m.Net, m.Ratio, m.FlopTime = u.Net, u.Ratio, u.FlopTime
+	}
 	switch a {
 	case SCB:
 		return evalSCB(m, snap)

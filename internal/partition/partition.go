@@ -540,6 +540,10 @@ type Metrics struct {
 	// equals Eq 1's VoC exactly, and it is zero when p is alone. It is
 	// the exact quantity the paper's d_X (Eq 6) approximates.
 	Sends [NumProcs]int64
+	// PairSends[p][q] splits Sends[p] by receiver (see PairVolumes):
+	// Σ_q PairSends[p][q] == Sends[p] and the grand total is VoC, both
+	// exact integer identities.
+	PairSends [NumProcs][NumProcs]int64
 	// VoC is Eq 1 in elements.
 	VoC int64
 }
@@ -553,11 +557,10 @@ func (g *Grid) Snapshot() Metrics {
 		m.Cols[p] = g.ColsWith(p)
 		m.Overlap[p] = g.OverlapCount(p)
 	}
-	for i := 0; i < g.n; i++ {
-		rowOthers := int64(g.RowProcs(i) - 1)
-		for j := 0; j < g.n; j++ {
-			p := g.At(i, j)
-			m.Sends[p] += rowOthers + int64(g.ColProcs(j)-1)
+	m.PairSends = g.PairVolumes()
+	for _, p := range Procs {
+		for _, q := range Procs {
+			m.Sends[p] += m.PairSends[p][q]
 		}
 	}
 	return m

@@ -1,0 +1,166 @@
+package push
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// randomWeights draws a positive weight matrix like the one a random
+// LinkMatrix induces: each unordered pair gets a class price in
+// [1, 100], with occasional asymmetric splits.
+func randomWeights(rng *rand.Rand) partition.Weights {
+	var w partition.Weights
+	for _, pair := range [3][2]partition.Proc{
+		{partition.P, partition.R}, {partition.P, partition.S}, {partition.R, partition.S},
+	} {
+		f := 1 + 99*rng.Float64()
+		r := f
+		if rng.Intn(3) == 0 { // asymmetric duplex
+			r = 1 + 99*rng.Float64()
+		}
+		w[pair[0]][pair[1]] = f
+		w[pair[1]][pair[0]] = r
+	}
+	return w
+}
+
+// TestWeightedCondenseMonotone is the memoisation-soundness property test
+// of the cost-model refactor: under random LinkMatrix-style weight
+// matrices, the cost-weighted VoC must be monotone non-increasing across
+// every committed Push of a condensation run. The failed-probe memo and
+// the plateau-cycle sets key on Zobrist fingerprints, and their
+// correctness argument is exactly this monotonicity (a revisited
+// fingerprint implies the threshold never dropped in between) — so a
+// single increase here would mean the memo can go stale and the search
+// can diverge. Runs under -race in verify.sh.
+func TestWeightedCondenseMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 30; trial++ {
+		w := randomWeights(rng)
+		n := 12 + rng.Intn(20)
+		ratio := partition.PaperRatios[rng.Intn(len(partition.PaperRatios))]
+		seed := rng.Int63()
+		last := -1.0
+		violated := false
+		cfg := Config{
+			N:           n,
+			Ratio:       ratio,
+			Seed:        seed,
+			CostWeights: &w,
+			Snapshot: func(step int, g *partition.Grid) {
+				wc := g.WeightedVoC(w)
+				if step > 0 && wc > last {
+					t.Errorf("trial %d (n=%d %v seed=%d): weighted VoC rose %v → %v at step %d",
+						trial, n, ratio, seed, last, wc, step)
+					violated = true
+				}
+				last = wc
+			},
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if violated {
+			return
+		}
+		if !res.Converged {
+			t.Fatalf("trial %d: weighted run did not converge in %d steps", trial, res.Steps)
+		}
+		if got := res.Final.WeightedVoC(w); got != last {
+			t.Fatalf("trial %d: final weighted VoC %v, last snapshot %v", trial, got, last)
+		}
+	}
+}
+
+// TestWeightedUniformMatchesInteger pins the routing contract: an
+// all-ones weight matrix takes the bit-exact integer path, so a weighted
+// run and a legacy run with the same seed produce identical partitions.
+func TestWeightedUniformMatchesInteger(t *testing.T) {
+	uniform := partition.UniformWeights()
+	for seed := int64(1); seed <= 5; seed++ {
+		base := Config{N: 20, Ratio: partition.Ratio{Pr: 4, Rr: 2, Sr: 1}, Seed: seed}
+		weightedCfg := base
+		weightedCfg.CostWeights = &uniform
+		want, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(weightedCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Final.Fingerprint() != want.Final.Fingerprint() || got.Steps != want.Steps {
+			t.Fatalf("seed %d: uniform-weighted run diverged from legacy (steps %d vs %d)",
+				seed, got.Steps, want.Steps)
+		}
+	}
+}
+
+// TestWeightedVetoChangesSearch proves the weighted acceptance test is
+// live, not decorative: the plain search's trajectory does raise the
+// weighted cost at some step (raw-VoC drops can be weighted increases),
+// and on those seeds the weighted run — whose trajectory is monotone by
+// the veto — must actually diverge from the plain run.
+func TestWeightedVetoChangesSearch(t *testing.T) {
+	w := partition.UniformWeights()
+	w[partition.R][partition.S] = 50
+	w[partition.S][partition.R] = 50
+	plainRose, diverged := false, false
+	for seed := int64(1); seed <= 20 && !(plainRose && diverged); seed++ {
+		base := Config{N: 24, Ratio: partition.Ratio{Pr: 3, Rr: 2, Sr: 1}, Seed: seed}
+		rose := false
+		last := -1.0
+		base.Snapshot = func(step int, g *partition.Grid) {
+			wc := g.WeightedVoC(w)
+			if step > 0 && wc > last {
+				rose = true
+			}
+			last = wc
+		}
+		plain, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rose {
+			continue
+		}
+		plainRose = true
+		weightedCfg := Config{N: base.N, Ratio: base.Ratio, Seed: seed, CostWeights: &w}
+		weighted, err := Run(weightedCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if weighted.Final.Fingerprint() != plain.Final.Fingerprint() || weighted.Steps != plain.Steps {
+			diverged = true
+		}
+	}
+	if !plainRose {
+		t.Fatal("no seed made the plain search raise the weighted cost; test lost its premise")
+	}
+	if !diverged {
+		t.Fatal("weighted acceptance never changed a search outcome on seeds where it must veto")
+	}
+}
+
+func TestWeightedConfigValidation(t *testing.T) {
+	bad := []partition.Weights{
+		func() partition.Weights { w := partition.UniformWeights(); w[partition.R][partition.S] = -1; return w }(),
+		func() partition.Weights { w := partition.UniformWeights(); w[partition.P][partition.S] = 0; return w }(),
+		func() partition.Weights {
+			w := partition.UniformWeights()
+			z := 0.0
+			w[partition.S][partition.P] = z / z
+			return w
+		}(),
+	}
+	for i := range bad {
+		cfg := Config{N: 8, Ratio: partition.Ratio{Pr: 2, Rr: 1, Sr: 1}, Seed: 1, CostWeights: &bad[i]}
+		_, err := Run(cfg)
+		if _, ok := err.(*ConfigError); !ok {
+			t.Fatalf("case %d: error %v, want *ConfigError", i, err)
+		}
+	}
+}

@@ -46,7 +46,10 @@ func (s *Server) atlasAnswer(in planInputs) ([]byte, bool) {
 		return nil, false
 	}
 	a := st.atlas
-	if in.n != a.N() || in.alg != a.Algorithm() || in.m.Topology != a.Topology() {
+	// A machine carrying a per-link cost model (a "links:"/"2+1"/"3-island"
+	// topology spec) is priced differently from the uniform model the atlas
+	// was baked with — those scenarios always take the search path.
+	if in.n != a.N() || in.alg != a.Algorithm() || in.m.Topology != a.Topology() || in.m.Cost != nil {
 		return nil, false
 	}
 	rec, c, ok := a.Lookup(in.ratio)
@@ -141,7 +144,7 @@ func (s *Server) atlasShapeFallback(in planInputs) *heteropart.Plan {
 		return nil
 	}
 	a := st.atlas
-	if in.alg != a.Algorithm() || in.m.Topology != a.Topology() {
+	if in.alg != a.Algorithm() || in.m.Topology != a.Topology() || in.m.Cost != nil {
 		return nil
 	}
 	rec, _, ok := a.Lookup(in.ratio)

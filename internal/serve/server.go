@@ -584,12 +584,12 @@ func (s *Server) parsePlanRequest(req wire.PlanRequest) (planInputs, error) {
 	if err != nil {
 		return planInputs{}, badRequest("%v", err)
 	}
-	topo, err := heteropart.ParseTopology(req.Topology)
+	spec, err := heteropart.ParseTopologySpec(req.Topology)
 	if err != nil {
+		// *model.ConfigError — the message names the offending entry.
 		return planInputs{}, badRequest("%v", err)
 	}
 	m := s.cfg.Machine(ratio)
-	m.Topology = topo
 	if sc != nil && sc.beta > 0 && s.atlasSt.Load() == nil {
 		// Calibrated link estimate. Applied only without an atlas: the
 		// atlas is baked for the default β, and serving its records
@@ -597,6 +597,9 @@ func (s *Server) parsePlanRequest(req wire.PlanRequest) (planInputs, error) {
 		// winners (the cross-check would reject every cell anyway).
 		m.Net.Beta = sc.beta
 	}
+	// The spec applies after calibration so per-link multipliers stack on
+	// the calibrated base β, not the factory default.
+	m = spec.Apply(m)
 	seed := req.Seed
 	if seed == 0 {
 		seed = s.cfg.SearchSeed
@@ -611,8 +614,10 @@ func (s *Server) parsePlanRequest(req wire.PlanRequest) (planInputs, error) {
 		// The ratio is quantized into the key via Ratio.Key — the same
 		// identity the atlas lattice snaps on — so the cache and the
 		// atlas can never disagree about two ratios being the same
-		// scenario (see partition.Ratio.Key).
-		key: fmt.Sprintf("%d|%s|%s|%s|%d", req.N, ratio.Key(), alg, topo, seed),
+		// scenario (see partition.Ratio.Key). The topology enters as the
+		// canonical spec string, which for the legacy names is exactly
+		// the old Topology.String() — pre-existing keys are unchanged.
+		key: fmt.Sprintf("%d|%s|%s|%s|%d", req.N, ratio.Key(), alg, spec, seed),
 	}
 	if in.auto {
 		s.trackAuto(in)
@@ -941,7 +946,7 @@ func (s *Server) handleEvaluate(ctx context.Context, w http.ResponseWriter, r *h
 	if err != nil {
 		return badRequest("%v", err)
 	}
-	topo, err := heteropart.ParseTopology(req.Topology)
+	spec, err := heteropart.ParseTopologySpec(req.Topology)
 	if err != nil {
 		return badRequest("%v", err)
 	}
@@ -950,8 +955,7 @@ func (s *Server) handleEvaluate(ctx context.Context, w http.ResponseWriter, r *h
 		return badRequest("%v", err)
 	}
 	start := time.Now()
-	m := s.cfg.Machine(ratio)
-	m.Topology = topo
+	m := spec.Apply(s.cfg.Machine(ratio))
 	resp := wire.EvaluateResponse{Shape: sh.String()}
 	g, err := heteropart.BuildShape(sh, req.N, ratio)
 	switch {

@@ -70,7 +70,7 @@ func NewPlanForShape(a Algorithm, m Machine, n int, s Shape) (*Plan, error) {
 		N:         n,
 		Ratio:     m.Ratio.String(),
 		Algorithm: a.String(),
-		Topology:  m.Topology.String(),
+		Topology:  m.TopologyName(),
 		Shape:     s.String(),
 		VoC:       g.VoC(),
 		Expected:  Evaluate(a, m, g),
@@ -143,7 +143,7 @@ func (p *Plan) Validate() error {
 	if _, err := model.ParseAlgorithm(p.Algorithm); err != nil {
 		return &PlanError{Field: "algorithm", Reason: err.Error()}
 	}
-	if _, err := model.ParseTopology(p.Topology); err != nil {
+	if _, err := model.ParseTopologySpec(p.Topology); err != nil {
 		return &PlanError{Field: "topology", Reason: err.Error()}
 	}
 	if _, err := partition.ParseShape(p.Shape); err != nil {

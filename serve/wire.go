@@ -40,7 +40,10 @@ type PlanRequest struct {
 	// Algorithm names one of the five MMM algorithms (SCB, PCB, SCO,
 	// PCO, PIO).
 	Algorithm string `json:"algorithm"`
-	// Topology is "fully-connected" (default) or "star".
+	// Topology is a topology spec: "fully-connected" (default), "star",
+	// the per-link classes "2+1[:f]" and "3-island[:f]", or an explicit
+	// "links:PR=…,PS=…,RS=…" matrix (heteropart.ParseTopologySpec).
+	// Malformed specs are rejected with a 400 naming the offending entry.
 	Topology string `json:"topology,omitempty"`
 	// Seed drives the Push-search refinement's randomisation; 0 selects
 	// the server default.
@@ -219,7 +222,8 @@ type EvaluateRequest struct {
 	N         int    `json:"n"`
 	Ratio     string `json:"ratio"`
 	Algorithm string `json:"algorithm"`
-	Topology  string `json:"topology,omitempty"`
+	// Topology accepts the full spec grammar (see PlanRequest.Topology).
+	Topology string `json:"topology,omitempty"`
 	// Shape is a canonical shape name ("Square-Corner", ...).
 	Shape string `json:"shape"`
 }

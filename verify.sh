@@ -29,9 +29,14 @@
 # serial kij kernel), and an integrity smoke test (ABFT verification
 # catches injected single-cell flips and quarantines a deterministically
 # corrupting worker as Byzantine, then the full silent-corruption study
-# must detect every injection with every product bit-exact). CI and
-# pre-commit hooks run exactly this script; it exits non-zero on the
-# first failure — no step may be skipped.
+# must detect every injection with every product bit-exact), a
+# differential-equivalence step (the UniformHockney cost model must
+# reproduce the pre-refactor seed goldens byte-for-byte across every
+# evaluation path), and a topology-census smoke (shapeopt -winner-map
+# must show the 2+1 and 3-island link classes each moving at least one
+# winner-map cell off the uniform baseline). CI and pre-commit hooks run
+# exactly this script; it exits non-zero on the first failure — no step
+# may be skipped.
 set -eux
 
 go vet ./...
@@ -148,6 +153,26 @@ if wait "$p3"; then
 fi
 wait "$l3" || true
 
+# --- differential equivalence suite (~5s) ------------------------------
+# The cost-model refactor's contract, run explicitly and uncached: every
+# evaluation path (Evaluate breakdowns, closed forms, plan JSON) under an
+# explicit UniformHockney must be byte-identical to the seed goldens
+# generated before the refactor, and the weighted-push property tests
+# must hold under the race detector.
+go test -count=1 -run 'TestSeedEquivalence|TestPlanSeedEquivalence' . ./internal/model/
+go test -race -count=1 -run 'TestWeighted' ./internal/push/
+
+# --- topology census smoke (~3s) ---------------------------------------
+# The per-link cost model must be live end to end: each non-uniform
+# topology class has to move at least one winner-map cell off the
+# uniform baseline (a flat rescale provably cannot — see
+# model.TopologySpec).
+go build -o "$tmp/shapeopt" ./cmd/shapeopt
+"$tmp/shapeopt" -winner-map -alg SCB -rr-max 4 -pr-max 12 -step 1 -n 60 > "$tmp/census.out"
+grep -q "winner map: SCB, 3-island topology" "$tmp/census.out"
+grep -Eq "class 2\+1: [1-9][0-9]* cells change winner" "$tmp/census.out"
+grep -Eq "class 3-island: [1-9][0-9]* cells change winner" "$tmp/census.out"
+
 # --- atlas serving smoke test (~10s) -----------------------------------
 # The O(1) answer tier end to end: shapeopt bakes a coarse atlas and its
 # dump spot-check re-derives cells against the live search (exit 2 on any
@@ -156,7 +181,6 @@ wait "$l3" || true
 # every request succeeds, pland_atlas_hits_total grew, and
 # pland_searched_total / push_runs_total stayed flat (the search engine
 # never ran).
-go build -o "$tmp/shapeopt" ./cmd/shapeopt
 go build -o "$tmp/loadgen" ./cmd/loadgen
 
 "$tmp/shapeopt" -build-atlas "$tmp/atlas.bin" -scale 2 -pr-max 4 -rr-max 3 -n 40
